@@ -1,0 +1,58 @@
+// Ablation (beyond the paper's byte counts): wall-clock latency of one
+// aggregation round under a finite per-peer uplink. The paper's §VII
+// analysis counts bytes; with a real NIC the *time* story is even more
+// lopsided — in one-layer SAC every peer must push N-1 shares and N-1
+// subtotals through its own uplink, while the two-layer system
+// parallelizes across subgroups.
+//
+// Defaults: |w| = 5 MB (the Fig. 5 CNN), 100 Mbit/s uplinks, 15 ms
+// latency, N = 30 — the transfer of one model takes 0.4 s.
+#include <cstdio>
+
+#include "analysis/cost_model.hpp"
+#include "bench/bench_util.hpp"
+#include "core/agg_cost_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+  const std::size_t N = static_cast<std::size_t>(args.get_int("peers", 30));
+  const std::uint64_t wire =
+      static_cast<std::uint64_t>(args.get_int("model-bytes", 5'000'000));
+  const std::uint64_t mbps =
+      static_cast<std::uint64_t>(args.get_int("uplink-mbps", 100));
+  const std::uint64_t bps = mbps * 1'000'000 / 8;
+
+  bench::print_environment("ablation — aggregation round latency vs m");
+  std::printf("N=%zu, |w| = %.1f MB, uplink %llu Mbit/s (one transfer = "
+              "%.0f ms)\n\n",
+              N, static_cast<double>(wire) / 1e6,
+              static_cast<unsigned long long>(mbps),
+              static_cast<double>(wire) / static_cast<double>(bps) * 1e3);
+
+  const auto one = core::simulate_one_layer_latency(N, wire, bps);
+  std::printf("%-24s %14s %16s\n", "configuration", "aggregate ms",
+              "all peers ms");
+  std::printf("%-24s %14.0f %16.0f\n", "one-layer SAC (m=1)",
+              one.aggregate_ms, one.all_received_ms);
+
+  for (std::size_t m : {2u, 3u, 5u, 6u, 10u}) {
+    if (m > N) break;
+    const auto groups = analysis::subgroup_sizes(N, m);
+    const auto two = core::simulate_two_layer_latency(groups, 0, wire, bps);
+    char label[32];
+    std::snprintf(label, sizeof label, "two-layer m=%zu (n=%zu)", m,
+                  groups.front());
+    std::printf("%-24s %14.0f %16.0f   (%.2fx faster than 1-layer)\n",
+                label, two.aggregate_ms, two.all_received_ms,
+                one.all_received_ms / two.all_received_ms);
+  }
+
+  std::printf("\nwith fault tolerance (m=6, tolerance 1 -> more share "
+              "replicas to push):\n");
+  const auto groups = analysis::subgroup_sizes(N, 6);
+  const auto ft = core::simulate_two_layer_latency(groups, 1, wire, bps);
+  std::printf("%-24s %14.0f %16.0f\n", "two-layer m=6, k=n-1",
+              ft.aggregate_ms, ft.all_received_ms);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction binaries.
+//
+// Each bench prints (a) the evaluation-environment header standing in
+// for Table I, and (b) the figure's data series in a plain columnar
+// format, plus the headline comparisons the paper calls out in prose.
+// Flags use a tiny --key=value parser so the full paper-scale
+// configuration stays reachable from the CI-scale defaults.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace p2pfl::bench {
+
+/// Minimal --key=value / --flag argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return def;
+  }
+
+  long get_int(const std::string& key, long def) const {
+    const std::string v = get(key, "");
+    return v.empty() ? def : std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    const std::string v = get(key, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  bool has(const std::string& key) const {
+    const std::string flag = "--" + key;
+    const std::string prefix = flag + "=";
+    for (const auto& a : args_) {
+      if (a == flag || a.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Table I stand-in: the simulated evaluation environment.
+inline void print_environment(const char* experiment) {
+  std::printf("== %s ==\n", experiment);
+  std::printf(
+      "environment: discrete-event simulation (deterministic), "
+      "link latency 15 ms (tc-netem equivalent), hw threads %u\n",
+      std::thread::hardware_concurrency());
+}
+
+}  // namespace p2pfl::bench

@@ -1,0 +1,34 @@
+// Fig. 7: training loss of the two-layer SAC vs the one-layer SAC
+// baseline (same setting as Fig. 6). The curves for all n should
+// coincide per data distribution.
+#include <cstdio>
+
+#include "bench/fl_series_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+  bench::print_environment("Fig. 7 — two-layer SAC vs baseline, training loss");
+
+  const core::FlExperimentConfig base = bench::base_config_from_args(args);
+  std::vector<bench::SeriesResult> series;
+  for (const auto dist : bench::all_distributions()) {
+    for (const std::size_t n : {3u, 5u, 10u}) {
+      core::FlExperimentConfig cfg = base;
+      cfg.distribution = dist;
+      if (n >= cfg.peers) {
+        cfg.aggregation = core::AggregationKind::kOneLayerSac;
+      } else {
+        cfg.aggregation = core::AggregationKind::kTwoLayerSac;
+        cfg.group_size = n;
+      }
+      const std::string label = std::string(core::distribution_name(dist)) +
+                                (n >= cfg.peers ? " baseline(n=N)"
+                                                : " n=" + std::to_string(n));
+      std::fprintf(stderr, "running %s...\n", label.c_str());
+      series.push_back(bench::run_series(cfg, label));
+    }
+  }
+  bench::print_series(series, /*accuracy=*/false);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 9: training loss under slow subgroups (same setting as Fig. 8:
+// N = 20, n = 5, p = 0.5 vs 1.0).
+#include <cstdio>
+
+#include "bench/fl_series_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+  bench::print_environment("Fig. 9 — slow-subgroup fraction, training loss");
+
+  core::FlExperimentConfig base = bench::base_config_from_args(args);
+  base.peers = static_cast<std::size_t>(args.get_int("peers", 20));
+  base.group_size = static_cast<std::size_t>(args.get_int("n", 5));
+  base.aggregation = core::AggregationKind::kTwoLayerSac;
+  base.data.train_samples = static_cast<std::size_t>(
+      args.get_int("samples", 4000));
+
+  std::vector<bench::SeriesResult> series;
+  for (const auto dist : bench::all_distributions()) {
+    for (const double p : {1.0, 0.5}) {
+      core::FlExperimentConfig cfg = base;
+      cfg.distribution = dist;
+      cfg.fraction_p = p;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s p=%.1f",
+                    core::distribution_name(dist), p);
+      std::fprintf(stderr, "running %s...\n", label);
+      series.push_back(bench::run_series(cfg, label));
+    }
+  }
+  bench::print_series(series, /*accuracy=*/false);
+  return 0;
+}

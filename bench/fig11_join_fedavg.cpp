@@ -1,0 +1,51 @@
+// Fig. 11: time to detect a crashed subgroup leader, elect a successor,
+// AND have that successor join the FedAvg layer (§V-A1 post-election
+// callback + §VII-D membership change). Same setting as Fig. 10.
+// Paper averages exceed Fig. 10 by 122.98 / 125.80 / 144.70 / 166.09 ms.
+#include <cstdio>
+
+#include "bench/raft_recovery_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+  const std::size_t trials =
+      static_cast<std::size_t>(args.get_int("trials", 200));
+  bench::print_environment(
+      "Fig. 11 — subgroup leader recovery + FedAvg-layer join");
+  std::printf("N=25, 5 subgroups, %zu trials per timeout setting\n\n",
+              trials);
+
+  const double paper_extra[] = {122.98, 125.80, 144.70, 166.09};
+  std::printf("%12s %10s %10s %12s %12s %16s\n", "timeout", "elect ms",
+              "join ms", "join-elect", "p95 join", "paper join-elect");
+  int idx = 0;
+  for (const SimDuration t : bench::timeout_settings()) {
+    std::vector<double> elect, join;
+    for (std::size_t i = 0; i < trials; ++i) {
+      const auto r = bench::run_recovery_trial(
+          bench::CrashKind::kSubgroupLeader, t, 0x2000 + i * 104729 + idx);
+      if (r.ok) {
+        elect.push_back(r.elect_ms);
+        join.push_back(r.join_ms);
+      }
+    }
+    const auto se = bench::summarize(elect);
+    const auto sj = bench::summarize(join);
+    std::printf("%5lld-%lldms %10.2f %10.2f %12.2f %12.2f %16.2f\n",
+                static_cast<long long>(t / kMillisecond),
+                static_cast<long long>(2 * t / kMillisecond), se.mean,
+                sj.mean, sj.mean - se.mean, sj.p95, paper_extra[idx]);
+    ++idx;
+  }
+  std::printf("\njoin time distribution (T = 50ms):\n");
+  std::vector<double> join50;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto r = bench::run_recovery_trial(
+        bench::CrashKind::kSubgroupLeader, 50 * kMillisecond,
+        0x3000 + i * 31);
+    if (r.ok) join50.push_back(r.join_ms);
+  }
+  bench::print_histogram(join50, 50.0);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// §II context: communication cost per aggregation of the related systems
+// the paper positions itself against, next to this system. Per-round
+// |w|-unit models (see analysis/cost_model.hpp for each derivation);
+// the qualitative columns summarize the trade each design makes.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/cost_model.hpp"
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+  const std::size_t max_n =
+      static_cast<std::size_t>(args.get_int("max-peers", 50));
+  const analysis::ModelSize w;
+
+  bench::print_environment("related work — cost per aggregation (Gb)");
+  std::printf("%4s %12s %12s %12s %12s %14s %16s\n", "N", "1-layer SAC",
+              "BrainTorrent", "CCS17 srv", "Turbo-Agg", "ours (3-3)",
+              "ours ft (2-3)");
+  for (std::size_t N = 10; N <= max_n; N += 10) {
+    const auto groups = analysis::subgroups_by_target_size(N, 3);
+    std::printf("%4zu %12.2f %12.2f %12.2f %12.2f %14.2f %16.2f\n", N,
+                w.gigabits_for(analysis::one_layer_sac_cost(N)),
+                w.gigabits_for(analysis::braintorrent_cost(N)),
+                w.gigabits_for(analysis::ccs17_server_cost(N)),
+                w.gigabits_for(analysis::turbo_aggregate_cost(N)),
+                w.gigabits_for(analysis::two_layer_ft_cost(groups, 3, 3)),
+                w.gigabits_for(analysis::two_layer_ft_cost(groups, 3, 2)));
+  }
+  std::printf(
+      "\nproperties:\n"
+      "  one-layer SAC  : P2P, model-private, O(N^2), aborts on dropout\n"
+      "  BrainTorrent   : P2P, models EXPOSED to the center, O(N)\n"
+      "  CCS'17 server  : centralized server (single point of failure),\n"
+      "                   model-private, O(N) in |w| (+O(N^2) key scalars)\n"
+      "  Turbo-Aggregate: server-coordinated groups, model-private,\n"
+      "                   O(N log N), 50%% dropout tolerance\n"
+      "  ours           : P2P, model-private, O(nN), per-subgroup dropout\n"
+      "                   tolerance + Raft-backed leader recovery\n");
+  return 0;
+}

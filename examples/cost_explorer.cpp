@@ -1,0 +1,69 @@
+// Interactive-ish cost explorer: given N peers, a target subgroup size n
+// and a threshold k, print what one aggregation round costs under every
+// scheme the paper discusses, and where the savings come from.
+//
+// Usage: cost_explorer [N] [n] [k] [params]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/cost_model.hpp"
+#include "core/agg_cost_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  const std::size_t N = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  const std::size_t k = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 2;
+  const analysis::ModelSize w{
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1'250'000};
+
+  if (n < 1 || n > N || k < 1 || k > n) {
+    std::fprintf(stderr, "need 1 <= k <= n <= N\n");
+    return 1;
+  }
+
+  const auto groups = analysis::subgroups_by_target_size(N, n);
+  std::printf("N=%zu peers -> %zu subgroups of ~%zu, |w| = %.0f Mb "
+              "(%llu params)\n\n",
+              N, groups.size(), n, w.megabits(),
+              static_cast<unsigned long long>(w.params));
+
+  const double baseline = analysis::one_layer_sac_cost(N);
+  const double plain = analysis::two_layer_cost(groups);
+  const double ft = analysis::two_layer_ft_cost(groups, n, k);
+
+  std::printf("%-38s %10s %10s %9s\n", "scheme", "|w| units", "Gb",
+              "vs 1-layer");
+  std::printf("%-38s %10.0f %10.2f %8.2fx\n", "one-layer SAC (Alg. 2)",
+              baseline, w.gigabits_for(baseline), 1.0);
+  std::printf("%-38s %10.0f %10.2f %8.2fx\n",
+              "two-layer, n-out-of-n SAC (Alg. 3)", plain,
+              w.gigabits_for(plain), baseline / plain);
+  std::printf("%-38s %10.0f %10.2f %8.2fx\n",
+              "two-layer, k-out-of-n SAC (Alg. 4)", ft, w.gigabits_for(ft),
+              baseline / ft);
+  std::printf("%-38s %10.0f %10.2f %8.2fx\n", "plain FedAvg (no privacy)",
+              2.0 * (N - 1), w.gigabits_for(2.0 * (N - 1)),
+              baseline / (2.0 * (N - 1)));
+
+  std::printf("\nwhere the k-out-of-n round's bytes go (simulated):\n");
+  const auto sim = core::simulate_aggregation_cost(groups, n - k);
+  std::printf("  subgroup SAC shares+subtotals : %7.0f units (%5.2f Gb)\n",
+              sim.sac_units, w.gigabits_for(sim.sac_units));
+  std::printf("  FedAvg uploads + result       : %7.0f units (%5.2f Gb)\n",
+              sim.fedavg_units, w.gigabits_for(sim.fedavg_units));
+  std::printf("  in-subgroup result broadcast  : %7.0f units (%5.2f Gb)\n",
+              sim.broadcast_units, w.gigabits_for(sim.broadcast_units));
+  std::printf("  total                         : %7.0f units (%5.2f Gb)\n",
+              sim.total_units, w.gigabits_for(sim.total_units));
+
+  std::printf("\nfault tolerance at this configuration:\n");
+  std::printf("  each subgroup survives %zu dropouts during aggregation\n",
+              n - k);
+  std::printf("  backend tolerates up to %zu follower crashes "
+              "(optimistic, §VII-D)\n",
+              analysis::two_layer_optimistic_tolerance(groups.size(), n));
+  std::printf("  FedAvg layer wedges at %zu simultaneous leader crashes\n",
+              analysis::fedavg_fatal_leader_crashes(groups.size()));
+  return 0;
+}

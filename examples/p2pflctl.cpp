@@ -1,0 +1,169 @@
+// p2pflctl — command-line front end for the library.
+//
+//   p2pflctl train    [--peers=N --groups=m|--n=K --dist=iid|noniid5|noniid0]
+//                     [--rounds=R --tolerance=F --fraction=P --seed=S]
+//                     [--weighted] [--checkpoint=FILE]
+//   p2pflctl cost     [--peers=N --n=K --k=K2 --params=P]
+//   p2pflctl recovery [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
+//
+// Everything runs on the deterministic simulator; identical flags give
+// identical results.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/cost_model.hpp"
+#include "bench/bench_util.hpp"
+#include "core/fl_experiment.hpp"
+#include "core/two_layer_raft.hpp"
+#include "fl/checkpoint.hpp"
+
+using namespace p2pfl;
+
+namespace {
+
+int cmd_train(const bench::Args& args) {
+  core::FlExperimentConfig cfg;
+  cfg.peers = static_cast<std::size_t>(args.get_int("peers", 10));
+  cfg.subgroups = static_cast<std::size_t>(args.get_int("groups", 0));
+  cfg.group_size = static_cast<std::size_t>(args.get_int("n", 3));
+  if (cfg.subgroups > 0) cfg.group_size = 0;
+  cfg.rounds = static_cast<std::size_t>(args.get_int("rounds", 50));
+  cfg.sac_k = static_cast<std::size_t>(args.get_int("k", 0));
+  cfg.fraction_p = args.get_double("fraction", 1.0);
+  cfg.dropout_after_share_prob = args.get_double("dropout", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.weight_by_samples = args.has("weighted");
+  cfg.eval_every = 5;
+  cfg.data = fl::mnist_like();
+  cfg.data.noise_scale = args.get_double("noise", 2.0);
+  cfg.learning_rate = 1e-3f;
+
+  const std::string dist = args.get("dist", "iid");
+  cfg.distribution = dist == "noniid5" ? core::DataDistribution::kNonIid5
+                     : dist == "noniid0"
+                         ? core::DataDistribution::kNonIid0
+                         : core::DataDistribution::kIid;
+
+  std::printf("training: %zu peers, %s, %zu rounds, subgroups of ~%zu\n",
+              cfg.peers, core::distribution_name(cfg.distribution),
+              cfg.rounds, cfg.group_size);
+  const auto result =
+      core::run_fl_experiment(cfg, [](const core::RoundRecord& rec) {
+        if (rec.test_accuracy) {
+          std::printf("  round %4zu  loss %.4f  acc %5.2f%%\n", rec.round,
+                      rec.train_loss, *rec.test_accuracy * 100.0);
+        }
+      });
+  std::printf("final: %.2f%% (quorum failures: %zu)\n",
+              result.final_accuracy * 100.0,
+              result.subgroup_quorum_failures);
+
+  const std::string ckpt = args.get("checkpoint", "");
+  if (!ckpt.empty()) {
+    if (fl::save_checkpoint(ckpt, result.final_weights)) {
+      std::printf("saved final global model (%zu params) to %s\n",
+                  result.final_weights.size(), ckpt.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write checkpoint %s\n", ckpt.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_cost(const bench::Args& args) {
+  const std::size_t N = static_cast<std::size_t>(args.get_int("peers", 30));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 3));
+  const std::size_t k =
+      static_cast<std::size_t>(args.get_int("k", static_cast<long>(n)));
+  const analysis::ModelSize w{
+      static_cast<std::uint64_t>(args.get_int("params", 1'250'000))};
+  const auto groups = analysis::subgroups_by_target_size(N, n);
+  std::printf("N=%zu, %zu subgroups of ~%zu, |w|=%.0f Mb\n", N,
+              groups.size(), n, w.megabits());
+  std::printf("  one-layer SAC : %8.2f Gb\n",
+              w.gigabits_for(analysis::one_layer_sac_cost(N)));
+  std::printf("  two-layer %zu-%zu: %8.2f Gb (%.2fx)\n", k, n,
+              w.gigabits_for(analysis::two_layer_ft_cost(groups, n, k)),
+              analysis::one_layer_sac_cost(N) /
+                  analysis::two_layer_ft_cost(groups, n, k));
+  std::printf("  plain FedAvg  : %8.2f Gb (no model privacy)\n",
+              w.gigabits_for(2.0 * (N - 1)));
+  return 0;
+}
+
+int cmd_recovery(const bench::Args& args) {
+  const std::size_t peers =
+      static_cast<std::size_t>(args.get_int("peers", 25));
+  const std::size_t groups =
+      static_cast<std::size_t>(args.get_int("groups", 5));
+  const SimDuration T = args.get_int("timeout-ms", 150) * kMillisecond;
+  const bool crash_fed = args.get("crash", "sub") == "fed";
+
+  sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  core::TwoLayerRaftOptions opts;
+  opts.raft.election_timeout_min = T;
+  opts.raft.election_timeout_max = 2 * T;
+  core::TwoLayerRaftSystem sys(core::Topology::even(peers, groups), opts,
+                               net);
+  sys.on_subgroup_leader = [&](SubgroupId g, PeerId p) {
+    std::printf("[%7.0fms] subgroup %u elected peer %u\n", to_ms(sim.now()),
+                g, p);
+  };
+  sys.on_fedavg_leader = [&](PeerId p) {
+    std::printf("[%7.0fms] FedAvg layer elected peer %u\n", to_ms(sim.now()),
+                p);
+  };
+  sys.on_fedavg_joined = [&](PeerId p) {
+    std::printf("[%7.0fms] peer %u (re)joined the FedAvg layer\n",
+                to_ms(sim.now()), p);
+  };
+  sys.start_all();
+  while (!sys.stabilized() && sim.now() < 30 * kSecond) {
+    sim.run_for(20 * kMillisecond);
+  }
+  if (!sys.stabilized()) {
+    std::printf("failed to stabilize\n");
+    return 1;
+  }
+  const PeerId fed = sys.fedavg_leader();
+  PeerId victim = fed;
+  if (!crash_fed) {
+    for (SubgroupId g = 0; g < groups; ++g) {
+      if (sys.subgroup_leader(g) != fed) {
+        victim = sys.subgroup_leader(g);
+        break;
+      }
+    }
+  }
+  std::printf("[%7.0fms] *** crashing %s leader, peer %u ***\n",
+              to_ms(sim.now()), crash_fed ? "the FedAvg" : "a subgroup",
+              victim);
+  const SimTime t0 = sim.now();
+  sys.crash_peer(victim);
+  while (!sys.stabilized() && sim.now() < t0 + 60 * kSecond) {
+    sim.run_for(20 * kMillisecond);
+  }
+  std::printf("[%7.0fms] system stable again — recovery took %.0f ms\n",
+              to_ms(sim.now()), to_ms(sim.now() - t0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: p2pflctl <train|cost|recovery> [--key=value...]\n");
+    return 2;
+  }
+  const bench::Args args(argc - 1, argv + 1);
+  const std::string cmd = argv[1];
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "cost") return cmd_cost(args);
+  if (cmd == "recovery") return cmd_recovery(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,118 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace p2pfl::analysis {
+
+std::vector<std::size_t> subgroup_sizes(std::size_t N, std::size_t m) {
+  P2PFL_CHECK(m >= 1 && m <= N);
+  const std::size_t base = N / m;
+  const std::size_t extra = N % m;
+  std::vector<std::size_t> sizes(m, base);
+  for (std::size_t i = 0; i < extra; ++i) ++sizes[i];
+  return sizes;
+}
+
+std::vector<std::size_t> subgroups_by_target_size(std::size_t N,
+                                                  std::size_t n) {
+  P2PFL_CHECK(n >= 1 && n <= N);
+  return subgroup_sizes(N, N / n);
+}
+
+double one_layer_sac_cost(std::size_t N) {
+  // Shares: N(N-1)|w|; broadcast subtotals: N(N-1)|w| (§III-B).
+  return 2.0 * static_cast<double>(N) * static_cast<double>(N - 1);
+}
+
+double two_layer_cost(std::span<const std::size_t> groups) {
+  P2PFL_CHECK(!groups.empty());
+  const double m = static_cast<double>(groups.size());
+  double total = 2.0 * (m - 1.0);  // FedAvg upload + result to leaders
+  for (std::size_t n : groups) {
+    const double nd = static_cast<double>(n);
+    total += nd * nd - 1.0;  // subgroup SAC, leader-collect mode
+    total += nd - 1.0;       // broadcast of the global model in-group
+  }
+  return total;
+}
+
+double two_layer_cost_eq4(std::size_t m, std::size_t n) {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  return md * nd * nd + md * nd - 2.0;
+}
+
+double two_layer_ft_cost(std::span<const std::size_t> groups, std::size_t n,
+                         std::size_t k) {
+  P2PFL_CHECK(!groups.empty());
+  P2PFL_CHECK(k >= 1 && k <= n);
+  const std::size_t tolerance = n - k;  // dropouts survived per subgroup
+  const double m = static_cast<double>(groups.size());
+  double total = 2.0 * (m - 1.0);
+  for (std::size_t ni : groups) {
+    const double nd = static_cast<double>(ni);
+    const double kd = static_cast<double>(
+        ni > tolerance ? ni - tolerance : std::size_t{1});
+    total += nd * (nd - 1.0) * (nd - kd + 1.0) + (kd - 1.0);  // k-of-n SAC
+    total += nd - 1.0;  // global-model broadcast in-group
+  }
+  return total;
+}
+
+double two_layer_ft_cost_eq5(std::size_t N, std::size_t m, std::size_t n,
+                             std::size_t k) {
+  const double Nd = static_cast<double>(N);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double md = static_cast<double>(m);
+  return (nd * nd - kd * nd + kd) * Nd + kd * md - 2.0;
+}
+
+std::uint64_t multilayer_peers(std::size_t n, std::size_t layers) {
+  P2PFL_CHECK(n >= 2 && layers >= 1);
+  std::uint64_t total = 0;
+  std::uint64_t level = n;  // n(n-1)^{x-1}
+  for (std::size_t x = 1; x <= layers; ++x) {
+    total += level;
+    level *= (n - 1);
+  }
+  return total;
+}
+
+double multilayer_cost(std::size_t n, std::size_t layers) {
+  const double N = static_cast<double>(multilayer_peers(n, layers));
+  return (N - 1.0) * (static_cast<double>(n) + 2.0);
+}
+
+double braintorrent_cost(std::size_t N) {
+  P2PFL_CHECK(N >= 1);
+  return 2.0 * static_cast<double>(N - 1);
+}
+
+double ccs17_server_cost(std::size_t N) {
+  return 2.0 * static_cast<double>(N);
+}
+
+double turbo_aggregate_cost(std::size_t N) {
+  P2PFL_CHECK(N >= 2);
+  const double L = std::ceil(std::log2(static_cast<double>(N)));
+  return 2.0 * static_cast<double>(N) * L;
+}
+
+std::size_t raft_tolerance(std::size_t size) {
+  P2PFL_CHECK(size >= 1);
+  return (size - 1) / 2;
+}
+
+std::size_t two_layer_optimistic_tolerance(std::size_t m, std::size_t n) {
+  return m * (raft_tolerance(n) + 1);
+}
+
+std::size_t fedavg_fatal_leader_crashes(std::size_t m) {
+  return raft_tolerance(m) + 1;
+}
+
+}  // namespace p2pfl::analysis

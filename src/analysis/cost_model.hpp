@@ -1,0 +1,105 @@
+// Closed-form communication-cost and fault-tolerance models (§VII).
+//
+// All costs are returned in units of |w| (one model transfer); callers
+// scale by a ModelSize to get bytes or gigabits. The general
+// (uneven-group) forms reproduce every headline number in the paper —
+// e.g. 10.36x for (n,k,N)=(3,2,30), 8.84x for (3,3,20), 23.80x for
+// (3,3,50) — because the paper distributes remainder peers across
+// subgroups "as evenly as possible" (Fig. 13 caption). Eq. (4)/(5) are
+// the even-group specializations. Tests cross-check these formulas
+// against bytes counted by the network simulator running the real
+// protocol actors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p2pfl::analysis {
+
+/// Model footprint used to scale |w|-unit costs. The paper's CNN
+/// (Fig. 5) has 1.25M parameters = 5 MB = 40 Mb per transfer.
+struct ModelSize {
+  std::uint64_t params = 1'250'000;
+
+  std::uint64_t bytes() const { return 4 * params; }
+  double megabits() const { return static_cast<double>(bytes()) * 8 / 1e6; }
+  double gigabits_for(double units) const {
+    return units * static_cast<double>(bytes()) * 8 / 1e9;
+  }
+};
+
+/// Split N peers into m subgroups, remainder spread one-per-group
+/// (Fig. 13: "N mod m peers ... distributed to the subgroups as evenly
+/// as possible"). Returns m sizes, descending. Requires 1 <= m <= N.
+std::vector<std::size_t> subgroup_sizes(std::size_t N, std::size_t m);
+
+/// Grouping used in §VII-B / Fig. 14: target subgroup size n gives
+/// m = floor(N/n) groups with the remainder spread evenly.
+/// Requires 1 <= n <= N.
+std::vector<std::size_t> subgroups_by_target_size(std::size_t N,
+                                                  std::size_t n);
+
+/// Original one-layer SAC (Alg. 2): 2N(N-1) units per aggregation.
+double one_layer_sac_cost(std::size_t N);
+
+/// Two-layer aggregation with n-out-of-n SAC in each subgroup:
+///   sum_i (n_i^2 - 1)  +  2(m - 1)  +  (N - m)   [§VII-A]
+double two_layer_cost(std::span<const std::size_t> groups);
+
+/// Eq. (4): even-group specialization (mn^2 + mn - 2).
+double two_layer_cost_eq4(std::size_t m, std::size_t n);
+
+/// Two-layer aggregation with k-out-of-n SAC:
+///   sum_i { n_i(n_i-1)(n_i-k_i+1) + (k_i-1) } + 2(m-1) + (N-m).  [§VII-B]
+/// A "k-n" setting tolerates f = n - k dropouts per subgroup; uneven
+/// remainder groups of size n_i use k_i = n_i - f (so k = n keeps every
+/// group at full threshold, matching the paper's 3-3 numbers at N = 20
+/// and 50).
+double two_layer_ft_cost(std::span<const std::size_t> groups, std::size_t n,
+                         std::size_t k);
+
+/// Eq. (5): even-group specialization {(n^2 - kn + k)N + km - 2}.
+double two_layer_ft_cost_eq5(std::size_t N, std::size_t m, std::size_t n,
+                             std::size_t k);
+
+/// Eq. (6): total peers of an X-layer system with groups of size n.
+std::uint64_t multilayer_peers(std::size_t n, std::size_t layers);
+
+/// Eq. (10): X-layer all-SAC aggregation cost (N - 1)(n + 2) units,
+/// where N = multilayer_peers(n, layers).
+double multilayer_cost(std::size_t n, std::size_t layers);
+
+// --- related-work cost models (§II, for comparison benches) ---------------
+
+/// BrainTorrent ([3]): a rotating center pulls every other peer's latest
+/// model and updates its own — N-1 uploads plus making the result
+/// available to the N-1 others per effective round.
+double braintorrent_cost(std::size_t N);
+
+/// Bonawitz et al. (CCS'17, [8]): server-based masking — each user
+/// uploads one masked model and downloads the aggregate; the O(N^2)
+/// pairwise-key traffic is scalars, negligible in |w| units.
+double ccs17_server_cost(std::size_t N);
+
+/// Turbo-Aggregate ([9]): users in N/log2(N) groups of L = ceil(log2 N);
+/// each user forwards its masked model and the running aggregate to the
+/// L members of the next group — ~2 N log2(N) transfers per round.
+/// Approximation from the paper's O(N log N) characterization.
+double turbo_aggregate_cost(std::size_t N);
+
+// --- §VII-D fault-tolerance thresholds -----------------------------------
+
+/// Crashes a single Raft cluster of `size` members survives.
+std::size_t raft_tolerance(std::size_t size);
+
+/// Optimistic bound for the two-layer system: every subgroup may lose a
+/// minority even including its leader being replaced, m(⌊(n-1)/2⌋ + 1)
+/// total faulty peers, as long as FedAvg-layer quorum holds.
+std::size_t two_layer_optimistic_tolerance(std::size_t m, std::size_t n);
+
+/// Simultaneous subgroup-leader crashes that wedge the FedAvg layer
+/// (more than its Raft tolerance).
+std::size_t fedavg_fatal_leader_crashes(std::size_t m);
+
+}  // namespace p2pfl::analysis

@@ -1,0 +1,32 @@
+// Lightweight invariant checking. P2PFL_CHECK is always on (protocol
+// correctness bugs must not be silently ignored in release builds); the
+// cost is negligible next to the simulation work the library does.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace p2pfl::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "P2PFL_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace p2pfl::detail
+
+#define P2PFL_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::p2pfl::detail::check_failed(#expr, __FILE__, __LINE__, {});        \
+  } while (false)
+
+#define P2PFL_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::p2pfl::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (false)

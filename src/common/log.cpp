@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace p2pfl {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (!enabled(lvl)) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace p2pfl

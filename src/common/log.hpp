@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// Protocol modules log through this so experiment binaries can silence or
+// surface trace output uniformly. The logger is process-global and not
+// synchronized across threads by design: all protocol code runs on the
+// single-threaded discrete-event simulator, and the few multi-threaded
+// helpers (tensor kernels) never log from worker threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p2pfl {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// True when messages at `lvl` would be emitted.
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  static void write(LogLevel lvl, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace p2pfl
+
+#define P2PFL_LOG(lvl)                             \
+  if (!::p2pfl::Log::enabled(lvl)) {               \
+  } else                                           \
+    ::p2pfl::detail::LogLine(lvl)
+
+#define P2PFL_TRACE() P2PFL_LOG(::p2pfl::LogLevel::kTrace)
+#define P2PFL_DEBUG() P2PFL_LOG(::p2pfl::LogLevel::kDebug)
+#define P2PFL_INFO() P2PFL_LOG(::p2pfl::LogLevel::kInfo)
+#define P2PFL_WARN() P2PFL_LOG(::p2pfl::LogLevel::kWarn)
+#define P2PFL_ERROR() P2PFL_LOG(::p2pfl::LogLevel::kError)

@@ -1,0 +1,57 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace p2pfl {
+namespace {
+
+std::size_t g_workers = 0;  // 0 = use hardware_concurrency
+
+std::size_t effective_workers() {
+  if (g_workers != 0) return g_workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+std::size_t parallel_workers() { return effective_workers(); }
+
+void set_parallel_workers(std::size_t n) { g_workers = n; }
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers = std::min(effective_workers(), total);
+  if (workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  // Even static split: kernels here have uniform per-index cost, so work
+  // stealing would add complexity without a measurable win.
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  const std::size_t chunk = (total + workers - 1) / workers;
+  for (std::size_t w = 1; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  fn(begin, std::min(end, begin + chunk));
+  for (auto& t : threads) t.join();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(begin, end,
+                       [&fn](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) fn(i);
+                       });
+}
+
+}  // namespace p2pfl

@@ -1,0 +1,68 @@
+#include "common/serialize.hpp"
+
+#include <stdexcept>
+
+namespace p2pfl {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteReader::need(std::size_t n) {
+  if (pos_ + n > buf_.size()) {
+    throw std::out_of_range("ByteReader: truncated buffer");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+}  // namespace p2pfl

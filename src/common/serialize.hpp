@@ -1,0 +1,67 @@
+// Tiny binary serialization used for Raft log commands.
+//
+// Raft replicates opaque byte strings; the two-layer system stores the
+// FedAvg-layer configuration (peer ids + "addresses") in subgroup logs.
+// This writer/reader pair gives a fixed little-endian wire format so a
+// restarted or newly elected peer decodes exactly what was committed.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace p2pfl {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+
+  template <typename T>
+  void vec_u32(const std::vector<T>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) u32(static_cast<std::uint32_t>(x));
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  template <typename T>
+  std::vector<T> vec_u32() {
+    const std::uint32_t n = u32();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(static_cast<T>(u32()));
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n);
+
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace p2pfl

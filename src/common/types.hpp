@@ -1,0 +1,32 @@
+// Core identifier and time types shared by every p2pfl subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p2pfl {
+
+/// Identifies one virtual peer in the P2P network. Peers are numbered
+/// densely from 0; the value doubles as an index into per-peer tables.
+using PeerId = std::uint32_t;
+
+/// Identifies one SAC-layer subgroup (0-based).
+using SubgroupId = std::uint32_t;
+
+/// Sentinel for "no peer" (e.g. no known leader).
+inline constexpr PeerId kNoPeer = std::numeric_limits<PeerId>::max();
+
+/// Simulated time. All protocol timing runs on the discrete-event
+/// simulator's clock, expressed in integer microseconds so event ordering
+/// is exact and runs are bit-reproducible.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Convert simulated time to fractional milliseconds (for reporting).
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace p2pfl

@@ -1,0 +1,60 @@
+// Measure the real aggregation protocol's communication cost.
+//
+// Builds a fresh simulated network, runs one fault-free two-layer
+// aggregation round with the message-driven actors, and returns the
+// bytes the network counted, normalized to |w| units. Cross-checks the
+// closed-form model of analysis/cost_model.hpp (tests assert exact
+// equality; Figs. 13-14 print both columns).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace p2pfl::core {
+
+struct AggCostBreakdown {
+  double total_units = 0.0;      // everything, in |w| units
+  double sac_units = 0.0;        // subgroup share + subtotal traffic
+  double fedavg_units = 0.0;     // leader uploads + result returns
+  double broadcast_units = 0.0;  // in-subgroup fan-out of the result
+  bool completed = false;        // the round produced a global model
+};
+
+/// One aggregation round over `groups` subgroup sizes with a per-subgroup
+/// dropout tolerance (a "k-n setting" is tolerance = n - k; 0 =
+/// n-out-of-n). Peers contribute tiny real vectors; the wire size of a
+/// model transfer is fixed at one synthetic |w|.
+AggCostBreakdown simulate_aggregation_cost(std::span<const std::size_t> groups,
+                                           std::size_t dropout_tolerance);
+
+/// Convenience: just the total in |w| units.
+double simulate_aggregation_cost_units(std::span<const std::size_t> groups,
+                                       std::size_t dropout_tolerance);
+
+struct AggLatency {
+  /// Simulated time until the FedAvg leader holds the global model.
+  double aggregate_ms = -1.0;
+  /// Simulated time until every peer received it.
+  double all_received_ms = -1.0;
+  bool completed = false;
+};
+
+/// One two-layer aggregation round with per-peer egress bandwidth
+/// `egress_bytes_per_sec` (0 = infinite) and model transfers of
+/// `model_wire_bytes`; returns wall-clock (simulated) latencies. This is
+/// the latency counterpart of the byte-count analysis: with a finite
+/// NIC, the one-layer SAC leader serializes O(N) model transfers while
+/// the two-layer system fans them out across subgroup leaders.
+AggLatency simulate_two_layer_latency(std::span<const std::size_t> groups,
+                                      std::size_t dropout_tolerance,
+                                      std::uint64_t model_wire_bytes,
+                                      std::uint64_t egress_bytes_per_sec);
+
+/// One one-layer SAC round (Alg. 2, broadcast subtotals) over N peers
+/// under the same link model; returns time until all peers hold the
+/// average.
+AggLatency simulate_one_layer_latency(std::size_t peers,
+                                      std::uint64_t model_wire_bytes,
+                                      std::uint64_t egress_bytes_per_sec);
+
+}  // namespace p2pfl::core

@@ -1,0 +1,147 @@
+#include "core/system.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "fl/optimizer.hpp"
+
+namespace p2pfl::core {
+
+P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
+                         net::Network& net, const fl::Dataset& data,
+                         const fl::Dataset& test,
+                         const fl::PeerIndices& parts,
+                         const std::function<fl::Model()>& model_builder)
+    : topology_(std::move(topology)),
+      cfg_(cfg),
+      net_(net),
+      test_(test),
+      raft_(topology_, cfg_.raft, net),
+      eval_model_(model_builder()),
+      eval_rng_(Rng(cfg.seed).fork(0xe7a1)) {
+  P2PFL_CHECK(parts.size() >= topology_.peer_count());
+
+  Rng root(cfg_.seed);
+  // Shared initialization: every peer starts from the same w_0.
+  fl::Model init_model = model_builder();
+  Rng init_rng = root.fork(1);
+  init_model.init(init_rng);
+  const std::vector<float> w0 = init_model.get_params();
+
+  for (PeerId id : topology_.all_peers()) {
+    PeerRuntime rt;
+    fl::Model m = model_builder();
+    m.set_params(w0);
+    rt.trainer = std::make_unique<fl::PeerTrainer>(
+        std::move(m), std::make_unique<fl::Adam>(cfg_.learning_rate), data,
+        parts[id], root.fork(1000 + id));
+    rt.current_weights = w0;
+    rt.latest_global = w0;
+    rt.driver = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, id] { drive_round(id); });
+    rt.trainer_done = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, id] { begin_local_training(id); });
+    peers_.emplace(id, std::move(rt));
+  }
+
+  aggregator_ = std::make_unique<TwoLayerAggregator>(
+      topology_, cfg_.agg, net_,
+      [this](PeerId id) -> net::PeerHost& { return raft_.host(id); });
+  aggregator_->on_global_model = [this](std::uint64_t round,
+                                        const secagg::Vector& global,
+                                        std::size_t groups_used) {
+    ++rounds_completed_;
+    freshest_global_ = global;
+    if (on_round_complete) on_round_complete(round, global, groups_used);
+  };
+  aggregator_->on_model_received =
+      [this](std::uint64_t round, PeerId peer, const secagg::Vector& g) {
+        model_received(round, peer, g);
+      };
+}
+
+void P2pFlSystem::start() {
+  raft_.start_all();
+  for (auto& [id, rt] : peers_) {
+    rt.driver->arm_periodic(cfg_.round_interval);
+  }
+}
+
+void P2pFlSystem::crash_peer(PeerId peer) {
+  raft_.crash_peer(peer);
+  PeerRuntime& rt = peers_.at(peer);
+  rt.trainer_done->cancel();
+  rt.training = false;
+  // The driver timer keeps ticking but drive_round() checks leadership
+  // and crash state before acting.
+}
+
+void P2pFlSystem::restart_peer(PeerId peer) { raft_.restart_peer(peer); }
+
+const std::vector<float>& P2pFlSystem::global_model_at(PeerId peer) const {
+  return peers_.at(peer).latest_global;
+}
+
+fl::EvalResult P2pFlSystem::evaluate_global() {
+  const std::vector<float>& w =
+      freshest_global_.empty() ? peers_.begin()->second.latest_global
+                               : freshest_global_;
+  eval_model_.set_params(w);
+  return fl::evaluate_model(eval_model_, test_, eval_rng_);
+}
+
+void P2pFlSystem::drive_round(PeerId self) {
+  if (net_.crashed(self)) return;
+  if (raft_.fedavg_leader() != self) return;
+
+  // Snapshot current leadership from the Raft backend; skip the tick if
+  // any live subgroup is still electing (Raft repairs, we retry next
+  // interval — the paper's timeout-and-continue behaviour).
+  RoundLeadership lead;
+  lead.fedavg_leader = self;
+  lead.subgroup_leaders.resize(topology_.subgroup_count(), kNoPeer);
+  for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
+    const PeerId l = raft_.subgroup_leader(g);
+    bool any_alive = false;
+    for (PeerId p : topology_.group(g)) {
+      if (!net_.crashed(p)) any_alive = true;
+    }
+    if (any_alive && l == kNoPeer) {
+      P2PFL_DEBUG() << "round driver: subgroup " << g
+                    << " has no leader yet, postponing round";
+      return;
+    }
+    lead.subgroup_leaders[g] = l == kNoPeer ? topology_.group(g).front() : l;
+  }
+
+  const std::uint64_t round =
+      static_cast<std::uint64_t>(net_.simulator().now()) + 1;
+  if (round <= last_round_started_) return;
+  last_round_started_ = round;
+  aggregator_->begin_round(round, lead, [this](PeerId id) {
+    return peers_.at(id).current_weights;
+  });
+}
+
+void P2pFlSystem::model_received(std::uint64_t /*round*/, PeerId peer,
+                                 const secagg::Vector& global) {
+  if (net_.crashed(peer)) return;
+  PeerRuntime& rt = peers_.at(peer);
+  rt.latest_global = global;
+  rt.trainer->set_weights(global);
+  if (!rt.training) {
+    rt.training = true;
+    rt.trainer_done->arm(cfg_.train_duration);  // models compute time
+  }
+}
+
+void P2pFlSystem::begin_local_training(PeerId peer) {
+  PeerRuntime& rt = peers_.at(peer);
+  rt.training = false;
+  if (net_.crashed(peer)) return;
+  rt.trainer->train_round(cfg_.train);
+  rt.current_weights = rt.trainer->weights();
+}
+
+}  // namespace p2pfl::core

@@ -1,0 +1,107 @@
+// The complete P2P federated-learning system (Fig. 1, end to end).
+//
+// Combines every substrate into the system the paper deploys:
+//   * two-layer Raft backend — elects subgroup leaders and the FedAvg
+//     leader, repairs them after crashes (§V);
+//   * two-layer aggregation — SAC per subgroup + FedAvg layer (Alg. 3),
+//     with fault-tolerant k-out-of-n SAC (Alg. 4) available;
+//   * real local training — each peer owns a PeerTrainer (model +
+//     optimizer + its data shard) and trains when a new global model
+//     arrives.
+//
+// Round control is leader-driven, like the paper's flow: whichever peer
+// currently holds FedAvg leadership (per its own Raft instance) runs a
+// periodic driver that snapshots the current leadership from Raft and
+// starts an aggregation round. If the FedAvg leader crashes mid-round,
+// the round stalls, Raft elects a successor, and the successor's driver
+// starts the next round — training continues without manual repair.
+// Local training is instantaneous on the simulated clock except for a
+// configurable `train_duration` that models compute time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/two_layer_agg.hpp"
+#include "core/two_layer_raft.hpp"
+#include "fl/trainer.hpp"
+
+namespace p2pfl::core {
+
+struct SystemConfig {
+  TwoLayerRaftOptions raft;
+  AggregationConfig agg;
+  fl::TrainOptions train;
+  float learning_rate = 1e-3f;
+  /// Cadence of the FedAvg leader's round driver.
+  SimDuration round_interval = 2 * kSecond;
+  /// Simulated compute time of one local training pass.
+  SimDuration train_duration = 200 * kMillisecond;
+  std::uint64_t seed = 42;
+};
+
+class P2pFlSystem {
+ public:
+  /// One model instance per peer is built with `model_builder`.
+  /// `data`/`test` must outlive the system; `parts[p]` is peer p's shard.
+  P2pFlSystem(Topology topology, SystemConfig cfg, net::Network& net,
+              const fl::Dataset& data, const fl::Dataset& test,
+              const fl::PeerIndices& parts,
+              const std::function<fl::Model()>& model_builder);
+
+  /// Start Raft everywhere; rounds begin once a FedAvg leader exists.
+  void start();
+
+  // --- fault injection (delegates to the Raft backend) --------------------
+  void crash_peer(PeerId peer);
+  void restart_peer(PeerId peer);
+
+  // --- observation ----------------------------------------------------------
+  TwoLayerRaftSystem& raft() { return raft_; }
+  std::size_t rounds_completed() const { return rounds_completed_; }
+
+  /// Latest global model this peer received (empty before the first
+  /// completed round).
+  const std::vector<float>& global_model_at(PeerId peer) const;
+
+  /// Evaluate the freshest global model on the test set.
+  fl::EvalResult evaluate_global();
+
+  /// Fired on completion of each aggregation round (on the FedAvg
+  /// leader), with the number of subgroup models aggregated.
+  std::function<void(std::uint64_t round, const secagg::Vector&,
+                     std::size_t groups_used)>
+      on_round_complete;
+
+ private:
+  struct PeerRuntime {
+    std::unique_ptr<fl::PeerTrainer> trainer;
+    std::vector<float> current_weights;   // after local training
+    std::vector<float> latest_global;     // last received global model
+    std::unique_ptr<sim::Timer> driver;   // round driver (acts if leader)
+    std::unique_ptr<sim::Timer> trainer_done;  // models compute time
+    bool training = false;
+  };
+
+  void drive_round(PeerId self);
+  void model_received(std::uint64_t round, PeerId peer,
+                      const secagg::Vector& global);
+  void begin_local_training(PeerId peer);
+
+  Topology topology_;
+  SystemConfig cfg_;
+  net::Network& net_;
+  const fl::Dataset& test_;
+  TwoLayerRaftSystem raft_;
+  std::unique_ptr<TwoLayerAggregator> aggregator_;
+  std::map<PeerId, PeerRuntime> peers_;
+  fl::Model eval_model_;
+  Rng eval_rng_;
+  std::uint64_t last_round_started_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  std::vector<float> freshest_global_;
+};
+
+}  // namespace p2pfl::core

@@ -1,0 +1,80 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+
+#include "analysis/cost_model.hpp"
+#include "common/check.hpp"
+
+namespace p2pfl::core {
+
+Topology::Topology(std::vector<std::vector<PeerId>> groups)
+    : groups_(std::move(groups)) {
+  P2PFL_CHECK(!groups_.empty());
+  PeerId max_id = 0;
+  for (const auto& g : groups_) {
+    P2PFL_CHECK_MSG(!g.empty(), "empty subgroup");
+    for (PeerId p : g) {
+      max_id = std::max(max_id, p);
+      ++peer_count_;
+    }
+  }
+  subgroup_of_.assign(max_id + 1, static_cast<SubgroupId>(-1));
+  for (SubgroupId g = 0; g < groups_.size(); ++g) {
+    for (PeerId p : groups_[g]) {
+      P2PFL_CHECK_MSG(subgroup_of_[p] == static_cast<SubgroupId>(-1),
+                      "peer assigned to two subgroups");
+      subgroup_of_[p] = g;
+    }
+  }
+}
+
+Topology Topology::even(std::size_t total_peers, std::size_t subgroups) {
+  const auto sizes = analysis::subgroup_sizes(total_peers, subgroups);
+  std::vector<std::vector<PeerId>> groups(sizes.size());
+  PeerId next = 0;
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    for (std::size_t i = 0; i < sizes[g]; ++i) groups[g].push_back(next++);
+  }
+  return Topology(std::move(groups));
+}
+
+Topology Topology::by_group_size(std::size_t total_peers,
+                                 std::size_t group_size) {
+  P2PFL_CHECK(group_size >= 1 && group_size <= total_peers);
+  return even(total_peers, total_peers / group_size);
+}
+
+const std::vector<PeerId>& Topology::group(SubgroupId g) const {
+  P2PFL_CHECK(g < groups_.size());
+  return groups_[g];
+}
+
+SubgroupId Topology::subgroup_of(PeerId peer) const {
+  P2PFL_CHECK(peer < subgroup_of_.size());
+  const SubgroupId g = subgroup_of_[peer];
+  P2PFL_CHECK_MSG(g != static_cast<SubgroupId>(-1), "unknown peer");
+  return g;
+}
+
+std::vector<PeerId> Topology::all_peers() const {
+  std::vector<PeerId> out;
+  out.reserve(peer_count_);
+  for (const auto& g : groups_) out.insert(out.end(), g.begin(), g.end());
+  return out;
+}
+
+std::vector<PeerId> Topology::designated_leaders() const {
+  std::vector<PeerId> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) out.push_back(g.front());
+  return out;
+}
+
+std::vector<std::size_t> Topology::sizes() const {
+  std::vector<std::size_t> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) out.push_back(g.size());
+  return out;
+}
+
+}  // namespace p2pfl::core

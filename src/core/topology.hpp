@@ -1,0 +1,43 @@
+// Subgroup topology (Fig. 1): N peers divided into m SAC-layer
+// subgroups, remainder peers spread as evenly as possible (Fig. 13).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p2pfl::core {
+
+class Topology {
+ public:
+  /// Build from explicit groups (each non-empty, ids globally unique).
+  explicit Topology(std::vector<std::vector<PeerId>> groups);
+
+  /// Peers 0..N-1 dealt into m subgroups of near-equal size.
+  static Topology even(std::size_t total_peers, std::size_t subgroups);
+
+  /// Grouping by target subgroup size n: m = floor(N/n) groups (§VII-B).
+  static Topology by_group_size(std::size_t total_peers,
+                                std::size_t group_size);
+
+  std::size_t subgroup_count() const { return groups_.size(); }
+  std::size_t peer_count() const { return peer_count_; }
+  const std::vector<std::vector<PeerId>>& groups() const { return groups_; }
+  const std::vector<PeerId>& group(SubgroupId g) const;
+  SubgroupId subgroup_of(PeerId peer) const;
+  std::vector<PeerId> all_peers() const;
+
+  /// Designated bootstrap representative of each subgroup (its first
+  /// member) — the initial FedAvg-layer configuration.
+  std::vector<PeerId> designated_leaders() const;
+
+  /// Subgroup sizes, for the cost model.
+  std::vector<std::size_t> sizes() const;
+
+ private:
+  std::vector<std::vector<PeerId>> groups_;
+  std::vector<SubgroupId> subgroup_of_;  // indexed by PeerId
+  std::size_t peer_count_ = 0;
+};
+
+}  // namespace p2pfl::core

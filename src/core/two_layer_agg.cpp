@@ -1,0 +1,232 @@
+#include "core/two_layer_agg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "fl/fedavg.hpp"
+
+namespace p2pfl::core {
+
+namespace {
+std::string sac_channel(SubgroupId g) { return "sac/sg" + std::to_string(g); }
+const char* kAggPrefix = "agg/";
+}  // namespace
+
+TwoLayerAggregator::TwoLayerAggregator(
+    const Topology& topology, AggregationConfig cfg, net::Network& net,
+    std::function<net::PeerHost&(PeerId)> host_of)
+    : topology_(topology),
+      cfg_(cfg),
+      net_(net),
+      collect_timer_(net.simulator(), [this] {
+        if (fed_ && !fed_->done) {
+          auto it = peers_.find(leadership_.fedavg_leader);
+          if (it != peers_.end()) fed_maybe_aggregate(it->second, true);
+        }
+      }) {
+  P2PFL_CHECK(cfg_.fraction_p > 0.0 && cfg_.fraction_p <= 1.0);
+  secagg::SacActorOptions sac_opts;
+  sac_opts.k = 0;  // per-round thresholds are passed to begin_round
+  sac_opts.split = cfg_.split;
+  sac_opts.broadcast_subtotals = false;
+  sac_opts.wire_bytes_per_share = cfg_.model_wire_bytes;
+  sac_opts.share_timeout = cfg_.sac_share_timeout;
+  sac_opts.subtotal_timeout = cfg_.sac_subtotal_timeout;
+
+  for (PeerId id : topology_.all_peers()) {
+    net::PeerHost& host = host_of(id);
+    PeerState st;
+    st.id = id;
+    st.group = topology_.subgroup_of(id);
+    st.sac = std::make_unique<secagg::SacPeer>(
+        id, sac_channel(st.group), sac_opts, net_, host);
+    host.route(kAggPrefix, [this, id](const net::Envelope& env) {
+      handle_agg(id, env);
+    });
+    auto [it, inserted] = peers_.emplace(id, std::move(st));
+    P2PFL_CHECK(inserted);
+    PeerState* ps = &it->second;
+    ps->sac->on_complete = [this, ps](RoundId round,
+                                      const secagg::Vector& avg) {
+      const std::size_t g = ps->group;
+      const std::size_t size =
+          g < round_groups_.size() ? round_groups_[g].size() : 0;
+      sac_complete(*ps, round, avg, size);
+    };
+  }
+}
+
+TwoLayerAggregator::~TwoLayerAggregator() = default;
+
+std::uint64_t TwoLayerAggregator::model_wire(std::size_t dim) const {
+  return cfg_.model_wire_bytes > 0
+             ? cfg_.model_wire_bytes
+             : 4 * static_cast<std::uint64_t>(dim);
+}
+
+void TwoLayerAggregator::begin_round(RoundId round,
+                                     const RoundLeadership& leadership,
+                                     const ModelProvider& model_of) {
+  P2PFL_CHECK(leadership.subgroup_leaders.size() ==
+              topology_.subgroup_count());
+  P2PFL_CHECK(leadership.fedavg_leader != kNoPeer);
+  abort_round();
+  round_ = round;
+  leadership_ = leadership;
+
+  // Determine each subgroup's live SAC group for this round.
+  round_groups_.assign(topology_.subgroup_count(), {});
+  std::size_t live_groups = 0;
+  for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
+    for (PeerId id : topology_.group(g)) {
+      if (!net_.crashed(id)) round_groups_[g].push_back(id);
+    }
+    if (!round_groups_[g].empty() &&
+        !net_.crashed(leadership.subgroup_leaders[g])) {
+      ++live_groups;
+    }
+  }
+
+  for (auto& [id, p] : peers_) {
+    p.is_subgroup_leader =
+        leadership.subgroup_leaders[p.group] == id && !net_.crashed(id);
+    p.is_fed_leader = leadership.fedavg_leader == id && !net_.crashed(id);
+  }
+
+  // FedAvg-leader collection state (§VI-A3: wait for ceil(p * m)).
+  auto fed_it = peers_.find(leadership.fedavg_leader);
+  P2PFL_CHECK(fed_it != peers_.end());
+  fed_ = FedState{};
+  fed_->round = round;
+  fed_->expected_groups = live_groups;
+  fed_->quorum = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(
+             cfg_.fraction_p * static_cast<double>(live_groups))));
+  collect_timer_.arm(cfg_.collect_timeout);
+
+  // Kick off SAC in every live subgroup.
+  for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
+    const auto& group = round_groups_[g];
+    if (group.empty()) continue;
+    const PeerId leader = leadership.subgroup_leaders[g];
+    const auto pos = std::find(group.begin(), group.end(), leader);
+    if (pos == group.end()) continue;  // leader crashed: Raft's problem
+    const std::size_t leader_pos =
+        static_cast<std::size_t>(pos - group.begin());
+    const std::size_t k = group.size() > cfg_.sac_dropout_tolerance
+                              ? group.size() - cfg_.sac_dropout_tolerance
+                              : 1;
+    for (PeerId id : group) {
+      peers_.at(id).sac->begin_round(round, model_of(id), group, leader_pos,
+                                     k);
+    }
+  }
+}
+
+void TwoLayerAggregator::abort_round() {
+  for (auto& [id, p] : peers_) p.sac->halt();
+  fed_.reset();
+  collect_timer_.cancel();
+}
+
+void TwoLayerAggregator::sac_complete(PeerState& p, RoundId round,
+                                      const secagg::Vector& avg,
+                                      std::size_t group_size) {
+  if (round != round_ || !p.is_subgroup_leader) return;
+  UploadMsg msg;
+  msg.round = round;
+  msg.group = p.group;
+  msg.weight = static_cast<std::uint32_t>(group_size);
+  msg.model = avg;
+  if (p.is_fed_leader) {
+    handle_upload(p, msg);  // local, no wire transfer
+    return;
+  }
+  const std::uint64_t wire = model_wire(avg.size());
+  net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(msg),
+            wire);
+}
+
+void TwoLayerAggregator::handle_agg(PeerId self, const net::Envelope& env) {
+  auto it = peers_.find(self);
+  if (it == peers_.end()) return;
+  if (env.kind == "agg/upload") {
+    handle_upload(it->second, std::any_cast<const UploadMsg&>(env.body));
+  } else if (env.kind == "agg/result") {
+    handle_result(it->second, std::any_cast<const ResultMsg&>(env.body));
+  }
+}
+
+void TwoLayerAggregator::handle_upload(PeerState& p, const UploadMsg& msg) {
+  if (!p.is_fed_leader || !fed_ || fed_->done || msg.round != fed_->round) {
+    return;
+  }
+  fed_->uploads.emplace(msg.group, msg);
+  fed_maybe_aggregate(p, /*timed_out=*/false);
+}
+
+void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
+  if (!fed_ || fed_->done) return;
+  if (net_.crashed(p.id)) return;  // a dead leader aggregates nothing
+  if (!timed_out && fed_->uploads.size() < fed_->quorum) return;
+  if (fed_->uploads.empty()) {
+    fed_->done = true;
+    collect_timer_.cancel();
+    P2PFL_WARN() << "aggregation round " << fed_->round
+                 << " produced no subgroup models";
+    if (on_round_failed) on_round_failed(fed_->round);
+    return;
+  }
+  fed_->done = true;
+  collect_timer_.cancel();
+
+  // Alg. 3 line 10: FedAvg weighted by subgroup peer counts.
+  std::vector<std::vector<float>> models;
+  std::vector<double> weights;
+  for (const auto& [g, up] : fed_->uploads) {
+    models.push_back(up.model);
+    weights.push_back(static_cast<double>(up.weight));
+  }
+  const secagg::Vector global = fl::federated_average(models, weights);
+  if (on_global_model) {
+    on_global_model(fed_->round, global, fed_->uploads.size());
+  }
+
+  // Return the global model to the other subgroup leaders.
+  const std::uint64_t wire = model_wire(global.size());
+  for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
+    const PeerId leader = leadership_.subgroup_leaders[g];
+    if (leader == p.id || net_.crashed(leader)) continue;
+    if (round_groups_[g].empty()) continue;
+    ResultMsg msg{fed_->round, global};
+    net_.send(p.id, leader, "agg/result", std::move(msg), wire);
+  }
+  distribute(p, fed_->round, global);
+}
+
+void TwoLayerAggregator::handle_result(PeerState& p, const ResultMsg& msg) {
+  if (msg.round != round_) return;
+  if (p.is_subgroup_leader) {
+    // From the FedAvg leader: relay into the subgroup.
+    distribute(p, msg.round, msg.model);
+  } else if (on_model_received) {
+    // From the subgroup leader: final hop.
+    on_model_received(msg.round, p.id, msg.model);
+  }
+}
+
+void TwoLayerAggregator::distribute(PeerState& leader, RoundId round,
+                                    const secagg::Vector& global) {
+  // Fan the global model out inside the subgroup, then deliver locally.
+  const std::uint64_t wire = model_wire(global.size());
+  for (PeerId id : round_groups_[leader.group]) {
+    if (id == leader.id) continue;
+    ResultMsg msg{round, global};
+    net_.send(leader.id, id, "agg/result", std::move(msg), wire);
+  }
+  if (on_model_received) on_model_received(round, leader.id, global);
+}
+
+}  // namespace p2pfl::core

@@ -1,0 +1,149 @@
+// Message-driven two-layer aggregation (Alg. 3 as a protocol).
+//
+// One aggregation round over the simulated network:
+//   1. every subgroup runs SAC (leader-collect mode) on channel
+//      "sac/sg<g>" — the SacPeer actors implement Alg. 2 / Alg. 4;
+//   2. each subgroup leader uploads its SAC average (weight = subgroup
+//      size) to the FedAvg leader ("agg/upload", one |w| transfer);
+//   3. the FedAvg leader waits for ceil(p*m) subgroup models (its own
+//      included) or a timeout (§VI-A3 "slow subgroups"), computes the
+//      peer-count-weighted FedAvg, and returns the result to the other
+//      subgroup leaders ("agg/result");
+//   4. subgroup leaders fan the global model out to their followers
+//      ("agg/model").
+//
+// In a fault-free round the bytes this puts on the wire are exactly the
+// paper's Eq. (4) (k = n) or Eq. (5) (k < n) — verified by tests and by
+// the Fig. 13/14 benches, which print the model and the simulated
+// numbers side by side.
+//
+// Leadership is an input to each round (supplied by the two-layer Raft
+// backend in the full system, or fixed in cost simulations); leader
+// crash recovery between rounds is the backend's job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "secagg/sac_actor.hpp"
+#include "sim/timer.hpp"
+
+namespace p2pfl::core {
+
+struct AggregationConfig {
+  /// Dropouts each subgroup survives after its share phase: a subgroup
+  /// of n_i runs k_i-out-of-n_i SAC with k_i = n_i - sac_dropout_tolerance
+  /// (floored at 1). 0 = plain n-out-of-n SAC. A "k-n setting" of the
+  /// paper maps to sac_dropout_tolerance = n - k.
+  std::size_t sac_dropout_tolerance = 0;
+  secagg::SplitOptions split;
+  /// Wire size of one model transfer; 0 = 4 bytes * model dimension.
+  std::uint64_t model_wire_bytes = 0;
+  /// Fraction p of subgroup models the FedAvg leader waits for.
+  double fraction_p = 1.0;
+  /// FedAvg-leader patience before aggregating whatever arrived.
+  SimDuration collect_timeout = 2 * kSecond;
+  /// Passed through to the SAC actors.
+  SimDuration sac_share_timeout = 500 * kMillisecond;
+  SimDuration sac_subtotal_timeout = 500 * kMillisecond;
+};
+
+/// Assigns per-round leadership (from Raft, or fixed for simulations).
+struct RoundLeadership {
+  std::vector<PeerId> subgroup_leaders;  // indexed by SubgroupId
+  PeerId fedavg_leader = kNoPeer;        // must be one of the above
+};
+
+class TwoLayerAggregator {
+ public:
+  using RoundId = secagg::RoundId;
+  using ModelProvider = std::function<secagg::Vector(PeerId)>;
+
+  /// `host_of` must yield the PeerHost attached for each topology peer;
+  /// the aggregator registers its "sac/sg<g>" and "agg/" routes there.
+  TwoLayerAggregator(const Topology& topology, AggregationConfig cfg,
+                     net::Network& net,
+                     std::function<net::PeerHost&(PeerId)> host_of);
+  ~TwoLayerAggregator();
+
+  TwoLayerAggregator(const TwoLayerAggregator&) = delete;
+  TwoLayerAggregator& operator=(const TwoLayerAggregator&) = delete;
+
+  /// Start one aggregation round. `model_of` supplies each live peer's
+  /// current local model. Crashed peers (net.crashed) are excluded from
+  /// their subgroup's SAC group up front (they could not have answered
+  /// the leader's aggregation request).
+  void begin_round(RoundId round, const RoundLeadership& leadership,
+                   const ModelProvider& model_of);
+
+  /// Cancel the current round on every peer (e.g. before a retry).
+  void abort_round();
+
+  /// Fired on the FedAvg leader when the global model is computed.
+  /// `groups_used` counts subgroup models that made the cut.
+  std::function<void(RoundId, const secagg::Vector&, std::size_t)>
+      on_global_model;
+  /// Fired on every peer when the global model reaches it.
+  std::function<void(RoundId, PeerId, const secagg::Vector&)>
+      on_model_received;
+  /// Fired on the FedAvg leader if a whole round yields no models.
+  std::function<void(RoundId)> on_round_failed;
+
+ private:
+  struct UploadMsg {
+    RoundId round = 0;
+    SubgroupId group = 0;
+    std::uint32_t weight = 0;  // peers aggregated in the subgroup
+    secagg::Vector model;
+  };
+  struct ResultMsg {
+    RoundId round = 0;
+    secagg::Vector model;
+  };
+
+  struct PeerState {
+    PeerId id = kNoPeer;
+    SubgroupId group = 0;
+    std::unique_ptr<secagg::SacPeer> sac;
+    bool is_subgroup_leader = false;
+    bool is_fed_leader = false;
+  };
+
+  struct FedState {
+    RoundId round = 0;
+    std::size_t expected_groups = 0;
+    std::size_t quorum = 0;
+    std::map<SubgroupId, UploadMsg> uploads;
+    bool done = false;
+  };
+
+  std::uint64_t model_wire(std::size_t dim) const;
+  void handle_agg(PeerId self, const net::Envelope& env);
+  void handle_upload(PeerState& p, const UploadMsg& msg);
+  void handle_result(PeerState& p, const ResultMsg& msg);
+  void sac_complete(PeerState& p, RoundId round, const secagg::Vector& avg,
+                    std::size_t group_size);
+  void fed_maybe_aggregate(PeerState& p, bool timed_out);
+  void distribute(PeerState& leader, RoundId round,
+                  const secagg::Vector& global);
+
+  const Topology& topology_;
+  AggregationConfig cfg_;
+  net::Network& net_;
+  std::map<PeerId, PeerState> peers_;
+  RoundLeadership leadership_;
+  std::optional<FedState> fed_;
+  sim::Timer collect_timer_;
+  /// Live SAC group per subgroup for the current round.
+  std::vector<std::vector<PeerId>> round_groups_;
+  RoundId round_ = 0;
+};
+
+}  // namespace p2pfl::core

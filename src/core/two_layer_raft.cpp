@@ -1,0 +1,343 @@
+#include "core/two_layer_raft.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace p2pfl::core {
+
+namespace {
+
+constexpr std::uint8_t kFedConfigCommand = 1;
+constexpr std::uint64_t kJoinWireBytes = 24;
+
+std::string subgroup_channel(SubgroupId g) {
+  return "raft/sg" + std::to_string(g);
+}
+
+const char* kFedChannel = "raft/fed";
+const char* kJoinChannel = "join";
+
+Bytes encode_fed_config(const std::vector<PeerId>& members) {
+  ByteWriter w;
+  w.u8(kFedConfigCommand);
+  w.vec_u32(members);
+  return w.take();
+}
+
+std::optional<std::vector<PeerId>> decode_fed_config(const Bytes& data) {
+  ByteReader r(data);
+  if (r.u8() != kFedConfigCommand) return std::nullopt;
+  return r.vec_u32<PeerId>();
+}
+
+}  // namespace
+
+TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
+                                       TwoLayerRaftOptions opts,
+                                       net::Network& net)
+    : topology_(std::move(topology)), opts_(opts), net_(net) {
+  const auto designated = topology_.designated_leaders();
+  for (PeerId id : topology_.all_peers()) {
+    auto peer = std::make_unique<Peer>();
+    peer->id = id;
+    peer->subgroup = topology_.subgroup_of(id);
+    peer->known_fed_cfg = designated;
+    peer->cfg_commit_timer = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, p = peer.get()] { commit_fed_config(*p); });
+    peer->join_timer = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, p = peer.get()] { send_join_request(*p); });
+    peer->host.route(kJoinChannel, [this, p = peer.get()](
+                                       const net::Envelope& env) {
+      handle_join_request(*p, std::any_cast<const JoinRequest&>(env.body));
+    });
+    net_.attach(id, &peer->host);
+    peers_.emplace(id, std::move(peer));
+  }
+  for (auto& [id, peer] : peers_) {
+    const bool is_designated =
+        std::find(designated.begin(), designated.end(), id) !=
+        designated.end();
+    raft::RaftOptions sg_opts = opts_.raft;
+    sg_opts.compaction_threshold = opts_.log_compaction_threshold;
+    if (is_designated) {
+      // Bootstrap determinism: the designated representative campaigns
+      // first, so the initial subgroup leaders coincide with the initial
+      // FedAvg-layer configuration (the steady state the paper's
+      // experiments start from). Later elections are fully randomized.
+      sg_opts.initial_election_timeout = opts_.raft.election_timeout_min / 2;
+    }
+    peer->sg_node = std::make_unique<raft::RaftNode>(
+        id, subgroup_channel(peer->subgroup),
+        topology_.group(peer->subgroup), sg_opts, net_, peer->host);
+    wire_subgroup_node(*peer);
+    // Designated bootstrap representatives are FedAvg members from t=0.
+    if (is_designated) {
+      ensure_fed_node(*peer);
+    }
+  }
+}
+
+TwoLayerRaftSystem::~TwoLayerRaftSystem() {
+  for (auto& [id, peer] : peers_) net_.detach(id);
+}
+
+TwoLayerRaftSystem::Peer& TwoLayerRaftSystem::peer_ref(PeerId id) {
+  auto it = peers_.find(id);
+  P2PFL_CHECK_MSG(it != peers_.end(), "unknown peer");
+  return *it->second;
+}
+
+const TwoLayerRaftSystem::Peer& TwoLayerRaftSystem::peer_ref(
+    PeerId id) const {
+  auto it = peers_.find(id);
+  P2PFL_CHECK_MSG(it != peers_.end(), "unknown peer");
+  return *it->second;
+}
+
+void TwoLayerRaftSystem::wire_subgroup_node(Peer& p) {
+  raft::RaftNode& node = *p.sg_node;
+  node.on_become_leader = [this, &p] { handle_subgroup_leadership(p); };
+  node.on_step_down = [this, &p] { handle_subgroup_stepdown(p); };
+  node.on_apply = [this, &p](raft::Index, const raft::LogEntry& e) {
+    if (auto cfg = decode_fed_config(e.data)) {
+      p.known_fed_cfg = std::move(*cfg);
+    }
+  };
+  // The subgroup state machine is just the FedAvg-layer configuration,
+  // so snapshots are one encoded member list.
+  node.on_snapshot_save = [&p] { return encode_fed_config(p.known_fed_cfg); };
+  node.on_snapshot_install = [&p](raft::Index, const Bytes& state) {
+    if (state.empty()) return;
+    if (auto cfg = decode_fed_config(state)) {
+      p.known_fed_cfg = std::move(*cfg);
+    }
+  };
+}
+
+void TwoLayerRaftSystem::ensure_fed_node(Peer& p) {
+  if (!p.fed_node) {
+    raft::RaftOptions fed_opts = opts_.raft;
+    fed_opts.compaction_threshold = opts_.log_compaction_threshold;
+    p.fed_node = std::make_unique<raft::RaftNode>(
+        p.id, kFedChannel, p.known_fed_cfg, fed_opts, net_, p.host);
+    p.fed_node->on_become_leader = [this, &p] {
+      P2PFL_DEBUG() << "peer " << p.id << " became FedAvg-layer leader";
+      if (on_fedavg_leader) on_fedavg_leader(p.id);
+    };
+    p.fed_node->on_config_adopted = [this,
+                                     &p](const std::vector<PeerId>& cfg) {
+      // Track the layer's membership for subgroup-log commits.
+      p.known_fed_cfg = cfg;
+      check_join_complete(p);
+    };
+    p.fed_node->start();
+  } else if (!p.fed_node->running()) {
+    p.fed_node->restart();
+  }
+}
+
+void TwoLayerRaftSystem::handle_subgroup_leadership(Peer& p) {
+  P2PFL_DEBUG() << "peer " << p.id << " became leader of subgroup "
+                << p.subgroup;
+  if (on_subgroup_leader) on_subgroup_leader(p.subgroup, p.id);
+  // §V-A1 post-leader-election callback: join the FedAvg layer using the
+  // configuration learned through the subgroup's replicated log.
+  ensure_fed_node(p);
+  p.cfg_commit_timer->arm_periodic(opts_.config_commit_interval);
+  if (!p.fed_node->in_config()) {
+    p.announced_join = false;
+    send_join_request(p);  // arms the retry timer
+  } else {
+    check_join_complete(p);
+  }
+}
+
+void TwoLayerRaftSystem::handle_subgroup_stepdown(Peer& p) {
+  p.cfg_commit_timer->cancel();
+  p.join_timer->cancel();
+}
+
+void TwoLayerRaftSystem::commit_fed_config(Peer& p) {
+  if (!p.sg_node->is_leader()) return;
+  const std::vector<PeerId>& members =
+      p.fed_node && p.fed_node->running() && p.fed_node->in_config()
+          ? p.fed_node->members()
+          : p.known_fed_cfg;
+  if (members.empty()) return;
+  p.sg_node->propose(encode_fed_config(members));
+}
+
+void TwoLayerRaftSystem::send_join_request(Peer& p) {
+  if (!p.sg_node->is_leader() || !p.fed_node) return;
+  if (p.fed_node->in_config()) {
+    check_join_complete(p);
+    return;
+  }
+  JoinRequest req;
+  req.candidate = p.id;
+  // The stale representative of this subgroup (predecessor leader).
+  for (PeerId m : p.fed_node->members()) {
+    if (m != p.id && topology_.subgroup_of(m) == p.subgroup) {
+      req.stale_representative = m;
+      break;
+    }
+  }
+  // Prefer the known FedAvg leader; otherwise try members round-robin.
+  PeerId target = p.fed_node->leader_hint();
+  const auto& members = p.fed_node->members();
+  if ((target == kNoPeer || target == p.id) && !members.empty()) {
+    target = members[static_cast<std::size_t>(
+                         net_.simulator().now() /
+                         std::max<SimDuration>(1, opts_.fedavg_presence_poll)) %
+                     members.size()];
+  }
+  if (target != kNoPeer && target != p.id) {
+    net_.send(p.id, target, kJoinChannel, req, kJoinWireBytes);
+  }
+  // §V-B1: keep polling for a FedAvg leader until the join completes.
+  p.join_timer->arm(opts_.fedavg_presence_poll);
+}
+
+void TwoLayerRaftSystem::handle_join_request(Peer& p,
+                                             const JoinRequest& req) {
+  if (!p.fed_node || !p.fed_node->running()) return;
+  raft::RaftNode& fed = *p.fed_node;
+  if (!fed.is_leader()) {
+    // Redirect toward the leader we know of; the joiner also retries.
+    const PeerId hint = fed.leader_hint();
+    if (hint != kNoPeer && hint != p.id && hint != req.candidate) {
+      net_.send(p.id, hint, kJoinChannel, req, kJoinWireBytes);
+    }
+    return;
+  }
+  const auto& cfg = fed.members();
+  const bool candidate_in =
+      std::find(cfg.begin(), cfg.end(), req.candidate) != cfg.end();
+  const bool stale_in =
+      req.stale_representative != kNoPeer &&
+      std::find(cfg.begin(), cfg.end(), req.stale_representative) !=
+          cfg.end();
+  // One single-server change at a time; the joiner's retries sequence the
+  // removal of the stale representative and the addition of the new one.
+  if (stale_in && req.stale_representative != req.candidate) {
+    fed.propose_remove_server(req.stale_representative);
+  } else if (!candidate_in) {
+    fed.propose_add_server(req.candidate);
+  }
+}
+
+void TwoLayerRaftSystem::check_join_complete(Peer& p) {
+  if (!p.fed_node || !p.fed_node->in_config()) return;
+  if (!p.sg_node->is_leader()) return;
+  p.join_timer->cancel();
+  if (!p.announced_join) {
+    p.announced_join = true;
+    P2PFL_DEBUG() << "peer " << p.id << " joined the FedAvg layer";
+    if (on_fedavg_joined) on_fedavg_joined(p.id);
+  }
+}
+
+void TwoLayerRaftSystem::start_all() {
+  for (auto& [id, peer] : peers_) peer->sg_node->start();
+}
+
+void TwoLayerRaftSystem::crash_peer(PeerId peer) {
+  Peer& p = peer_ref(peer);
+  net_.crash(peer);
+  p.sg_node->stop();
+  if (p.fed_node) p.fed_node->stop();
+  p.cfg_commit_timer->cancel();
+  p.join_timer->cancel();
+}
+
+void TwoLayerRaftSystem::restart_peer(PeerId peer) {
+  Peer& p = peer_ref(peer);
+  net_.restore(peer);
+  p.sg_node->restart();
+  // A previous FedAvg instance comes back passively; if the layer has
+  // already replaced this peer it simply never campaigns again.
+  if (p.fed_node) p.fed_node->restart();
+}
+
+bool TwoLayerRaftSystem::peer_crashed(PeerId peer) const {
+  return net_.crashed(peer);
+}
+
+PeerId TwoLayerRaftSystem::subgroup_leader(SubgroupId g) const {
+  PeerId best = kNoPeer;
+  raft::Term best_term = 0;
+  for (PeerId id : topology_.group(g)) {
+    const Peer& p = peer_ref(id);
+    if (net_.crashed(id) || !p.sg_node->is_leader()) continue;
+    if (best == kNoPeer || p.sg_node->current_term() > best_term) {
+      best = id;
+      best_term = p.sg_node->current_term();
+    }
+  }
+  return best;
+}
+
+PeerId TwoLayerRaftSystem::fedavg_leader() const {
+  PeerId best = kNoPeer;
+  raft::Term best_term = 0;
+  for (const auto& [id, p] : peers_) {
+    if (net_.crashed(id) || !p->fed_node || !p->fed_node->is_leader()) {
+      continue;
+    }
+    if (best == kNoPeer || p->fed_node->current_term() > best_term) {
+      best = id;
+      best_term = p->fed_node->current_term();
+    }
+  }
+  return best;
+}
+
+std::vector<PeerId> TwoLayerRaftSystem::fedavg_members() const {
+  const PeerId leader = fedavg_leader();
+  if (leader == kNoPeer) return {};
+  return peer_ref(leader).fed_node->members();
+}
+
+bool TwoLayerRaftSystem::stabilized() const {
+  std::vector<PeerId> leaders;
+  for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
+    const PeerId l = subgroup_leader(g);
+    if (l == kNoPeer) return false;
+    leaders.push_back(l);
+  }
+  const PeerId fed = fedavg_leader();
+  if (fed == kNoPeer) return false;
+  std::vector<PeerId> members = fedavg_members();
+  std::sort(members.begin(), members.end());
+  std::sort(leaders.begin(), leaders.end());
+  if (members != leaders) return false;
+  for (PeerId l : leaders) {
+    const Peer& p = peer_ref(l);
+    if (!p.fed_node || !p.fed_node->running() || !p.fed_node->in_config()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+raft::RaftNode& TwoLayerRaftSystem::subgroup_node(PeerId peer) {
+  return *peer_ref(peer).sg_node;
+}
+
+raft::RaftNode* TwoLayerRaftSystem::fedavg_node(PeerId peer) {
+  return peer_ref(peer).fed_node.get();
+}
+
+net::PeerHost& TwoLayerRaftSystem::host(PeerId peer) {
+  return peer_ref(peer).host;
+}
+
+const std::vector<PeerId>& TwoLayerRaftSystem::known_fedavg_config(
+    PeerId peer) const {
+  return peer_ref(peer).known_fed_cfg;
+}
+
+}  // namespace p2pfl::core

@@ -1,0 +1,139 @@
+// Two-layer Raft backend (§V of the paper).
+//
+// Every peer runs a Raft instance for its SAC-layer subgroup. The
+// subgroup leaders additionally run a Raft instance on the shared
+// FedAvg-layer channel. The glue implemented here is exactly the paper's
+// recovery machinery:
+//
+//  * Post-leader-election callback (§V-A1): when a peer wins its
+//    subgroup election it looks up the FedAvg-layer configuration — which
+//    the previous leader had periodically committed into the subgroup
+//    log — spins up a passive FedAvg-layer Raft instance, and sends join
+//    requests (every `fedavg_presence_poll`, §V-B1) until the FedAvg
+//    leader has removed the subgroup's stale representative and added it
+//    via Raft single-server membership changes (§VII-D).
+//  * FedAvg-layer configuration commits: the subgroup leader commits the
+//    current FedAvg member list to its subgroup's replicated state
+//    machine on a timer, so any future leader knows whom to contact.
+//  * The four failure cases of §V (SAC leader/follower, FedAvg
+//    leader/follower) need no special-casing beyond the above: a FedAvg
+//    follower is a subgroup leader, and a FedAvg leader additionally
+//    triggers a FedAvg-layer election.
+//
+// The system exposes crash/restart injection per peer and observation
+// hooks timestamped by the simulator — these drive Figs. 10-12.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "raft/node.hpp"
+#include "sim/timer.hpp"
+
+namespace p2pfl::core {
+
+struct TwoLayerRaftOptions {
+  raft::RaftOptions raft;  // used for both layers
+  /// §V-B1: interval of the joiner's FedAvg-presence poll / join retry.
+  SimDuration fedavg_presence_poll = 100 * kMillisecond;
+  /// Interval at which a subgroup leader commits the FedAvg-layer
+  /// configuration into its subgroup log.
+  SimDuration config_commit_interval = 200 * kMillisecond;
+  /// Snapshot the config logs after this many applied entries (they grow
+  /// forever otherwise — one config commit every interval). 0 disables.
+  std::size_t log_compaction_threshold = 64;
+};
+
+class TwoLayerRaftSystem {
+ public:
+  TwoLayerRaftSystem(Topology topology, TwoLayerRaftOptions opts,
+                     net::Network& net);
+  ~TwoLayerRaftSystem();
+
+  TwoLayerRaftSystem(const TwoLayerRaftSystem&) = delete;
+  TwoLayerRaftSystem& operator=(const TwoLayerRaftSystem&) = delete;
+
+  /// Start every peer (all followers; elections begin on timeouts).
+  void start_all();
+
+  // --- fault injection ---------------------------------------------------
+  void crash_peer(PeerId peer);
+  void restart_peer(PeerId peer);
+  bool peer_crashed(PeerId peer) const;
+
+  // --- observation --------------------------------------------------------
+  const Topology& topology() const { return topology_; }
+
+  /// Current live leader of a subgroup (kNoPeer if none).
+  PeerId subgroup_leader(SubgroupId g) const;
+
+  /// Current live FedAvg-layer leader (kNoPeer if none).
+  PeerId fedavg_leader() const;
+
+  /// FedAvg-layer membership as seen by its current leader (empty if no
+  /// leader).
+  std::vector<PeerId> fedavg_members() const;
+
+  /// Steady state: one live leader per subgroup, a FedAvg leader exists,
+  /// and the FedAvg membership is exactly the set of subgroup leaders.
+  bool stabilized() const;
+
+  /// Access to a peer's Raft instances (tests / integration).
+  raft::RaftNode& subgroup_node(PeerId peer);
+  raft::RaftNode* fedavg_node(PeerId peer);
+  net::PeerHost& host(PeerId peer);
+
+  /// FedAvg configuration a peer learned through its subgroup log (the
+  /// designated bootstrap list until something newer commits).
+  const std::vector<PeerId>& known_fedavg_config(PeerId peer) const;
+
+  // --- hooks (timestamp with net.simulator().now()) -----------------------
+  std::function<void(SubgroupId, PeerId)> on_subgroup_leader;
+  std::function<void(PeerId)> on_fedavg_leader;
+  /// New subgroup leader completed its FedAvg-layer join (it appears in
+  /// the configuration adopted by its own FedAvg instance).
+  std::function<void(PeerId)> on_fedavg_joined;
+
+ private:
+  struct JoinRequest {
+    PeerId candidate = kNoPeer;
+    PeerId stale_representative = kNoPeer;
+  };
+
+  struct Peer {
+    PeerId id = kNoPeer;
+    SubgroupId subgroup = 0;
+    net::PeerHost host;
+    std::unique_ptr<raft::RaftNode> sg_node;
+    std::unique_ptr<raft::RaftNode> fed_node;
+    std::vector<PeerId> known_fed_cfg;
+    std::unique_ptr<sim::Timer> cfg_commit_timer;
+    std::unique_ptr<sim::Timer> join_timer;
+    bool announced_join = false;
+  };
+
+  Peer& peer_ref(PeerId id);
+  const Peer& peer_ref(PeerId id) const;
+  void wire_subgroup_node(Peer& p);
+  void ensure_fed_node(Peer& p);
+  void handle_subgroup_leadership(Peer& p);
+  void handle_subgroup_stepdown(Peer& p);
+  void commit_fed_config(Peer& p);
+  void send_join_request(Peer& p);
+  void handle_join_request(Peer& p, const JoinRequest& req);
+  void check_join_complete(Peer& p);
+
+  Topology topology_;
+  TwoLayerRaftOptions opts_;
+  net::Network& net_;
+  std::map<PeerId, std::unique_ptr<Peer>> peers_;
+};
+
+}  // namespace p2pfl::core

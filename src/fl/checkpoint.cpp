@@ -1,0 +1,80 @@
+#include "fl/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace p2pfl::fl {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50'32'46'4C;  // "P2FL"
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Bytes encode_checkpoint(std::span<const float> weights) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(weights.size());
+  Bytes payload(weights.size() * sizeof(float));
+  std::memcpy(payload.data(), weights.data(), payload.size());
+  w.u64(fnv1a(payload));
+  Bytes out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<std::vector<float>> decode_checkpoint(const Bytes& data) {
+  try {
+    ByteReader r(data);
+    if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
+    const std::uint64_t count = r.u64();
+    const std::uint64_t checksum = r.u64();
+    constexpr std::size_t kHeader = 4 + 4 + 8 + 8;
+    if (data.size() != kHeader + count * sizeof(float)) return std::nullopt;
+    const std::span<const std::uint8_t> payload(data.data() + kHeader,
+                                                count * sizeof(float));
+    if (fnv1a(payload) != checksum) return std::nullopt;
+    std::vector<float> weights(count);
+    std::memcpy(weights.data(), payload.data(), payload.size());
+    return weights;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+bool save_checkpoint(const std::string& path,
+                     std::span<const float> weights) {
+  const Bytes data = encode_checkpoint(weights);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<std::vector<float>> load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return decode_checkpoint(data);
+}
+
+}  // namespace p2pfl::fl

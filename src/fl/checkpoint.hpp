@@ -1,0 +1,29 @@
+// Model checkpointing: (de)serialize flattened weights with a shape
+// fingerprint, so a training run (or a peer joining mid-experiment) can
+// resume from a saved global model. The format is the library's own
+// little-endian framing (common/serialize.hpp): magic, version,
+// parameter count, raw float32 payload, and a FNV-1a checksum.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace p2pfl::fl {
+
+/// Serialize weights to the checkpoint wire format.
+Bytes encode_checkpoint(std::span<const float> weights);
+
+/// Parse a checkpoint; nullopt on malformed input, bad magic/version or
+/// checksum mismatch.
+std::optional<std::vector<float>> decode_checkpoint(const Bytes& data);
+
+/// File convenience wrappers. Return false / nullopt on I/O failure.
+bool save_checkpoint(const std::string& path,
+                     std::span<const float> weights);
+std::optional<std::vector<float>> load_checkpoint(const std::string& path);
+
+}  // namespace p2pfl::fl

@@ -1,0 +1,39 @@
+#include "fl/dp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace p2pfl::fl {
+
+double gaussian_sigma(const DpConfig& cfg) {
+  P2PFL_CHECK(cfg.epsilon > 0.0 && cfg.delta > 0.0 && cfg.delta < 1.0);
+  P2PFL_CHECK(cfg.clip_norm > 0.0);
+  return cfg.clip_norm * std::sqrt(2.0 * std::log(1.25 / cfg.delta)) /
+         cfg.epsilon;
+}
+
+double l2_norm(std::span<const float> v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+void clip_to_norm(std::span<float> v, double bound) {
+  P2PFL_CHECK(bound > 0.0);
+  const double norm = l2_norm(v);
+  if (norm <= bound || norm == 0.0) return;
+  const double scale = bound / norm;
+  for (float& x : v) x = static_cast<float>(x * scale);
+}
+
+void apply_gaussian_mechanism(std::span<float> update, const DpConfig& cfg,
+                              Rng& rng) {
+  clip_to_norm(update, cfg.clip_norm);
+  const double sigma = gaussian_sigma(cfg);
+  for (float& x : update) {
+    x = static_cast<float>(x + rng.normal(0.0, sigma));
+  }
+}
+
+}  // namespace p2pfl::fl

@@ -1,0 +1,40 @@
+// Differential privacy for model updates (§IV-D: "Other techniques such
+// as Differential Privacy could be used to add noise to the weight of
+// each peer").
+//
+// Implements the Gaussian mechanism on weight vectors: clip the update
+// to an L2 bound, then add N(0, sigma^2) noise with sigma derived from
+// the (epsilon, delta) budget via the analytic bound
+// sigma >= clip * sqrt(2 ln(1.25/delta)) / epsilon.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace p2pfl::fl {
+
+struct DpConfig {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  /// L2 clipping bound applied to the (update) vector before noising.
+  double clip_norm = 1.0;
+};
+
+/// Noise stddev of the Gaussian mechanism for the given budget.
+double gaussian_sigma(const DpConfig& cfg);
+
+/// L2 norm of a vector.
+double l2_norm(std::span<const float> v);
+
+/// Scale `v` in place so its L2 norm is at most `bound`.
+void clip_to_norm(std::span<float> v, double bound);
+
+/// Clip-and-noise a weight *update* (delta from the global model) in
+/// place: the paper-suggested per-peer DP step before SAC aggregation.
+void apply_gaussian_mechanism(std::span<float> update, const DpConfig& cfg,
+                              Rng& rng);
+
+}  // namespace p2pfl::fl

@@ -1,0 +1,316 @@
+#include "fl/layers.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/parallel.hpp"
+
+namespace p2pfl::fl {
+
+// --- Dense -------------------------------------------------------------------
+
+Dense::Dense(std::size_t in, std::size_t out)
+    : in_(in), out_(out), params_(out * in + out), grads_(params_.size()) {
+  P2PFL_CHECK(in > 0 && out > 0);
+}
+
+void Dense::init(Rng& rng) {
+  // He-uniform: suited to the ReLU activations used throughout Fig. 5.
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_));
+  for (std::size_t i = 0; i < out_ * in_; ++i) {
+    params_[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  for (std::size_t i = out_ * in_; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/, Rng& /*rng*/) {
+  P2PFL_CHECK(x.rank() == 2 && x.dim(1) == in_);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y({batch, out_});
+  const float* w = params_.data();
+  const float* b = params_.data() + out_ * in_;
+  parallel_for_chunked(0, batch, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const float* xin = x.data() + s * in_;
+      float* yout = y.data() + s * out_;
+      for (std::size_t o = 0; o < out_; ++o) {
+        const float* wrow = w + o * in_;
+        double acc = b[o];
+        for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * xin[i];
+        yout[o] = static_cast<float>(acc);
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  P2PFL_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_);
+  P2PFL_CHECK(grad_out.dim(0) == x.dim(0));
+  const std::size_t batch = x.dim(0);
+  const float* w = params_.data();
+  float* gw = grads_.data();
+  float* gb = grads_.data() + out_ * in_;
+
+  // Parameter gradients (serial over batch: accumulation race otherwise).
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* xin = x.data() + s * in_;
+    const float* gy = grad_out.data() + s * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      float* gwrow = gw + o * in_;
+      const float g = gy[o];
+      for (std::size_t i = 0; i < in_; ++i) gwrow[i] += g * xin[i];
+      gb[o] += g;
+    }
+  }
+
+  Tensor gx({batch, in_});
+  parallel_for_chunked(0, batch, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const float* gy = grad_out.data() + s * out_;
+      float* gxi = gx.data() + s * in_;
+      for (std::size_t o = 0; o < out_; ++o) {
+        const float* wrow = w + o * in_;
+        const float g = gy[o];
+        for (std::size_t i = 0; i < in_; ++i) gxi[i] += g * wrow[i];
+      }
+    }
+  });
+  return gx;
+}
+
+// --- ReLU --------------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/, Rng& /*rng*/) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  P2PFL_CHECK(grad_out.size() == cached_input_.size());
+  Tensor gx = grad_out;
+  const float* x = cached_input_.data();
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return gx;
+}
+
+// --- Dropout -----------------------------------------------------------------
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  P2PFL_CHECK(rate >= 0.0f && rate < 1.0f);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train, Rng& rng) {
+  if (!train || rate_ == 0.0f) {
+    mask_.clear();
+    return x;
+  }
+  const float keep = 1.0f - rate_;
+  const float scale = 1.0f / keep;
+  mask_.resize(x.size());
+  Tensor y = x;
+  float* v = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    mask_[i] = rng.chance(keep) ? scale : 0.0f;
+    v[i] *= mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  P2PFL_CHECK(grad_out.size() == mask_.size());
+  Tensor gx = grad_out;
+  float* g = gx.data();
+  for (std::size_t i = 0; i < gx.size(); ++i) g[i] *= mask_[i];
+  return gx;
+}
+
+// --- Conv2d ------------------------------------------------------------------
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t filters,
+               std::size_t kernel)
+    : in_c_(in_channels),
+      filters_(filters),
+      k_(kernel),
+      params_(filters * in_channels * kernel * kernel + filters),
+      grads_(params_.size()) {
+  P2PFL_CHECK(in_channels > 0 && filters > 0);
+  P2PFL_CHECK(kernel % 2 == 1);  // same padding needs an odd kernel
+}
+
+void Conv2d::init(Rng& rng) {
+  const std::size_t fan_in = in_c_ * k_ * k_;
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  const std::size_t nw = filters_ * in_c_ * k_ * k_;
+  for (std::size_t i = 0; i < nw; ++i) {
+    params_[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  for (std::size_t i = nw; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/, Rng& /*rng*/) {
+  P2PFL_CHECK(x.rank() == 4 && x.dim(1) == in_c_);
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor y({batch, filters_, h, w});
+  const float* wt = params_.data();
+  const float* bias = params_.data() + filters_ * in_c_ * k_ * k_;
+
+  parallel_for_chunked(0, batch, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      const float* xin = x.data() + s * in_c_ * h * w;
+      float* yout = y.data() + s * filters_ * h * w;
+      for (std::size_t f = 0; f < filters_; ++f) {
+        const float* wf = wt + f * in_c_ * k_ * k_;
+        for (std::size_t oy = 0; oy < h; ++oy) {
+          for (std::size_t ox = 0; ox < w; ++ox) {
+            double acc = bias[f];
+            for (std::size_t c = 0; c < in_c_; ++c) {
+              const float* xc = xin + c * h * w;
+              const float* wc = wf + c * k_ * k_;
+              for (std::size_t ky = 0; ky < k_; ++ky) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(oy + ky) - pad;
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+                for (std::size_t kx = 0; kx < k_; ++kx) {
+                  const std::ptrdiff_t ix =
+                      static_cast<std::ptrdiff_t>(ox + kx) - pad;
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) {
+                    continue;
+                  }
+                  acc += wc[ky * k_ + kx] * xc[iy * w + ix];
+                }
+              }
+            }
+            yout[f * h * w + oy * w + ox] = static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  P2PFL_CHECK(grad_out.rank() == 4 && grad_out.dim(1) == filters_);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  const float* wt = params_.data();
+  float* gw = grads_.data();
+  float* gb = grads_.data() + filters_ * in_c_ * k_ * k_;
+  Tensor gx({batch, in_c_, h, w});
+
+  // Serial over batch: parameter-gradient accumulation is shared.
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* xin = x.data() + s * in_c_ * h * w;
+    const float* gy = grad_out.data() + s * filters_ * h * w;
+    float* gxi = gx.data() + s * in_c_ * h * w;
+    for (std::size_t f = 0; f < filters_; ++f) {
+      const float* wf = wt + f * in_c_ * k_ * k_;
+      float* gwf = gw + f * in_c_ * k_ * k_;
+      const float* gyf = gy + f * h * w;
+      for (std::size_t oy = 0; oy < h; ++oy) {
+        for (std::size_t ox = 0; ox < w; ++ox) {
+          const float g = gyf[oy * w + ox];
+          if (g == 0.0f) continue;
+          gb[f] += g;
+          for (std::size_t c = 0; c < in_c_; ++c) {
+            const float* xc = xin + c * h * w;
+            float* gxc = gxi + c * h * w;
+            const float* wc = wf + c * k_ * k_;
+            float* gwc = gwf + c * k_ * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy + ky) - pad;
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox + kx) - pad;
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                gwc[ky * k_ + kx] += g * xc[iy * w + ix];
+                gxc[iy * w + ix] += g * wc[ky * k_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+// --- MaxPool2d ---------------------------------------------------------------
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/, Rng& /*rng*/) {
+  P2PFL_CHECK(x.rank() == 4);
+  const std::size_t batch = x.dim(0), c = x.dim(1), h = x.dim(2),
+                    w = x.dim(3);
+  P2PFL_CHECK_MSG(h % 2 == 0 && w % 2 == 0,
+                  "MaxPool2d expects even spatial dims");
+  in_shape_ = x.shape();
+  const std::size_t oh = h / 2, ow = w / 2;
+  Tensor y({batch, c, oh, ow});
+  argmax_.assign(y.size(), 0);
+  for (std::size_t s = 0; s < batch * c; ++s) {
+    const float* xc = x.data() + s * h * w;
+    float* yc = y.data() + s * oh * ow;
+    std::size_t* am = argmax_.data() + s * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const std::size_t idx = (oy * 2 + dy) * w + (ox * 2 + dx);
+            if (xc[idx] > best) {
+              best = xc[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        yc[oy * ow + ox] = best;
+        am[oy * ow + ox] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  P2PFL_CHECK(grad_out.size() == argmax_.size());
+  Tensor gx(in_shape_);
+  const std::size_t h = in_shape_[2], w = in_shape_[3];
+  const std::size_t oh = h / 2, ow = w / 2;
+  const std::size_t planes = in_shape_[0] * in_shape_[1];
+  for (std::size_t s = 0; s < planes; ++s) {
+    const float* gy = grad_out.data() + s * oh * ow;
+    const std::size_t* am = argmax_.data() + s * oh * ow;
+    float* gxc = gx.data() + s * h * w;
+    for (std::size_t i = 0; i < oh * ow; ++i) gxc[am[i]] += gy[i];
+  }
+  return gx;
+}
+
+// --- Flatten -----------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/, Rng& /*rng*/) {
+  P2PFL_CHECK(x.rank() >= 2);
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace p2pfl::fl

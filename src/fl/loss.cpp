@@ -1,0 +1,54 @@
+#include "fl/loss.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace p2pfl::fl {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  P2PFL_CHECK(logits.rank() == 2);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  P2PFL_CHECK(labels.size() == batch);
+
+  LossResult out;
+  out.grad = Tensor({batch, classes});
+  double total = 0.0;
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* z = logits.data() + s * classes;
+    float* g = out.grad.data() + s * classes;
+    const int label = labels[s];
+    P2PFL_CHECK(label >= 0 && static_cast<std::size_t>(label) < classes);
+
+    // Max-shifted softmax for numerical stability.
+    float zmax = z[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (z[c] > zmax) {
+        zmax = z[c];
+        argmax = c;
+      }
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(z[c] - zmax));
+    }
+    const double logp_label =
+        static_cast<double>(z[label] - zmax) - std::log(denom);
+    total -= logp_label;
+    if (argmax == static_cast<std::size_t>(label)) ++out.correct;
+
+    const double inv_batch = 1.0 / static_cast<double>(batch);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(z[c] - zmax)) / denom;
+      const double target = c == static_cast<std::size_t>(label) ? 1.0 : 0.0;
+      g[c] = static_cast<float>((p - target) * inv_batch);
+    }
+  }
+  out.loss = total / static_cast<double>(batch);
+  return out;
+}
+
+}  // namespace p2pfl::fl

@@ -1,0 +1,23 @@
+// Categorical cross-entropy with fused softmax (the paper's loss).
+#pragma once
+
+#include <span>
+
+#include "fl/tensor.hpp"
+
+namespace p2pfl::fl {
+
+struct LossResult {
+  /// Mean cross-entropy over the batch.
+  double loss = 0.0;
+  /// dLoss/dLogits, already averaged over the batch.
+  Tensor grad;
+  /// Top-1 hits in the batch.
+  std::size_t correct = 0;
+};
+
+/// logits: (B, classes); labels: B entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+}  // namespace p2pfl::fl

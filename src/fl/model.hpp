@@ -1,0 +1,55 @@
+// Sequential model container + the paper's architectures.
+//
+// paper_cnn() reproduces Fig. 5: two blocks of (conv3x3, conv3x3,
+// maxpool, dropout) with ReLU activations, then dense+ReLU+dropout and a
+// dense output (softmax applied inside the loss). With CIFAR-10 input
+// (3x32x32) and the default dense width the model lands at ~1.25M
+// parameters, the size the paper's cost analysis assumes. mlp() is the
+// scaled-down substitute used by the default (CI-speed) accuracy runs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/layers.hpp"
+
+namespace p2pfl::fl {
+
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Randomly initialize every layer's parameters.
+  void init(Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train, Rng& rng);
+
+  /// Backpropagate loss gradient through all layers (after a forward).
+  void backward(const Tensor& grad);
+
+  std::size_t param_count() const;
+  std::vector<float> get_params() const;
+  void set_params(std::span<const float> flat);
+  std::vector<float> get_grads() const;
+  void zero_grads();
+
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Fig. 5 CNN. `channels`/`hw` describe the square input image.
+  static Model paper_cnn(std::size_t channels, std::size_t hw,
+                         std::size_t dense_width = 287,
+                         std::size_t classes = 10);
+
+  /// Small MLP on flattened input (fast substitute for default runs).
+  static Model mlp(std::size_t inputs, const std::vector<std::size_t>& hidden,
+                   std::size_t classes = 10, float dropout = 0.0f);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace p2pfl::fl

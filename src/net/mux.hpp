@@ -1,0 +1,49 @@
+// Per-peer message demultiplexer.
+//
+// In the paper each peer process runs several protocol endpoints at once:
+// its subgroup Raft instance, possibly a FedAvg-layer Raft instance, the
+// SAC aggregation actor and the FL training loop. PeerHost is the single
+// net::Endpoint attached for a peer; it routes incoming envelopes to the
+// handler whose registered prefix matches the envelope kind.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace p2pfl::net {
+
+class PeerHost : public Endpoint {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  /// Route messages whose kind starts with `prefix` to `handler`.
+  /// The longest matching prefix wins. Re-registering replaces.
+  void route(const std::string& prefix, Handler handler) {
+    handlers_[prefix] = std::move(handler);
+  }
+
+  void unroute(const std::string& prefix) { handlers_.erase(prefix); }
+
+  void deliver(const Envelope& env) override {
+    // Longest-prefix match: scan candidates not after env.kind.
+    auto it = handlers_.upper_bound(env.kind);
+    while (it != handlers_.begin()) {
+      --it;
+      const std::string& prefix = it->first;
+      if (env.kind.compare(0, prefix.size(), prefix) == 0) {
+        it->second(env);
+        return;
+      }
+      // Keys before a non-matching prefix can still match if shorter;
+      // continue scanning backwards.
+    }
+  }
+
+ private:
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace p2pfl::net

@@ -1,0 +1,108 @@
+#include "net/network.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace p2pfl::net {
+
+void TrafficStats::record_sent(const std::string& kind, std::uint64_t bytes) {
+  sent.messages += 1;
+  sent.bytes += bytes;
+  auto& c = sent_by_kind[kind];
+  c.messages += 1;
+  c.bytes += bytes;
+}
+
+void TrafficStats::record_delivered(std::uint64_t bytes) {
+  delivered.messages += 1;
+  delivered.bytes += bytes;
+}
+
+Network::Network(sim::Simulator& sim, NetworkConfig cfg)
+    : sim_(sim), cfg_(cfg), rng_(sim.rng().fork(0x6e65'74ULL /*"net"*/)) {
+  P2PFL_CHECK(cfg_.base_latency >= 0);
+  P2PFL_CHECK(cfg_.latency_jitter >= 0);
+}
+
+void Network::attach(PeerId peer, Endpoint* endpoint) {
+  P2PFL_CHECK(endpoint != nullptr);
+  endpoints_[peer] = endpoint;
+}
+
+void Network::detach(PeerId peer) { endpoints_.erase(peer); }
+
+bool Network::attached(PeerId peer) const {
+  return endpoints_.count(peer) > 0;
+}
+
+SimDuration Network::latency_for(PeerId from, PeerId to) {
+  SimDuration d = cfg_.base_latency;
+  if (cfg_.latency_jitter > 0) {
+    d += rng_.uniform_int(0, cfg_.latency_jitter);
+  }
+  auto it = extra_delay_.find(link_key(from, to));
+  if (it != extra_delay_.end()) d += it->second;
+  return d;
+}
+
+void Network::send(Envelope env) {
+  if (crashed_.count(env.from) > 0) return;  // dead peers emit nothing
+  if (blocked_.count(link_key(env.from, env.to)) > 0) return;
+
+  const bool self = env.from == env.to;
+  if (!self) stats_.record_sent(env.kind, env.wire_bytes);
+
+  SimDuration delay = self ? 0 : latency_for(env.from, env.to);
+  if (!self && cfg_.egress_bytes_per_sec > 0) {
+    // Serialize through the sender's NIC: transmission begins when the
+    // link frees up and occupies it for wire_bytes / bandwidth.
+    const SimDuration tx = static_cast<SimDuration>(
+        static_cast<double>(env.wire_bytes) /
+        static_cast<double>(cfg_.egress_bytes_per_sec) * kSecond);
+    SimTime& free_at = egress_free_at_[env.from];
+    const SimTime start = std::max(sim_.now(), free_at);
+    free_at = start + tx;
+    delay += (free_at - sim_.now());
+  }
+  sim_.schedule_after(delay, [this, env = std::move(env)]() mutable {
+    deliver_now(env);
+  });
+}
+
+void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
+                   std::uint64_t wire_bytes) {
+  send(Envelope{from, to, std::move(kind), std::move(body), wire_bytes});
+}
+
+void Network::deliver_now(const Envelope& env) {
+  if (crashed_.count(env.to) > 0) return;  // lost in flight
+  auto it = endpoints_.find(env.to);
+  if (it == endpoints_.end()) return;  // nobody listening
+  if (env.from != env.to) stats_.record_delivered(env.wire_bytes);
+  it->second->deliver(env);
+}
+
+void Network::crash(PeerId peer) { crashed_.insert(peer); }
+
+void Network::restore(PeerId peer) { crashed_.erase(peer); }
+
+bool Network::crashed(PeerId peer) const { return crashed_.count(peer) > 0; }
+
+void Network::block_link(PeerId from, PeerId to) {
+  blocked_.insert(link_key(from, to));
+}
+
+void Network::unblock_link(PeerId from, PeerId to) {
+  blocked_.erase(link_key(from, to));
+}
+
+void Network::set_link_delay(PeerId from, PeerId to, SimDuration extra) {
+  P2PFL_CHECK(extra >= 0);
+  extra_delay_[link_key(from, to)] = extra;
+}
+
+void Network::clear_link_delay(PeerId from, PeerId to) {
+  extra_delay_.erase(link_key(from, to));
+}
+
+}  // namespace p2pfl::net

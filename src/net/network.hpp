@@ -1,0 +1,140 @@
+// Simulated peer-to-peer message network.
+//
+// Stands in for the paper's localhost TCP mesh shaped by `tc netem`:
+// every message is delivered after a configurable one-way latency
+// (default 15 ms, matching §VI-B1) through the discrete-event simulator.
+// The network is also the *measurement instrument* for the
+// communication-cost experiments (Figs. 13-14): every payload carries an
+// explicit wire size and the network keeps per-kind byte counters, so a
+// simulated aggregation can be checked byte-for-byte against the paper's
+// closed-form cost model. Fault injection (peer crashes, blocked links,
+// extra per-link delay) drives the recovery experiments of Figs. 10-12.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2pfl::net {
+
+/// One message on the wire. `body` is a typed payload (receivers
+/// any_cast it); `wire_bytes` is the size accounted for cost analysis —
+/// kept explicit so experiments can model e.g. a 1.25M-parameter CNN
+/// without materializing 5 MB buffers per message.
+struct Envelope {
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  std::string kind;
+  std::any body;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Protocol actors implement Endpoint to receive messages.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void deliver(const Envelope& env) = 0;
+};
+
+/// Aggregate traffic counters, split by message kind.
+struct TrafficStats {
+  struct Counter {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  Counter sent;       // accepted for transmission
+  Counter delivered;  // actually handed to a live endpoint
+  std::map<std::string, Counter> sent_by_kind;
+
+  void record_sent(const std::string& kind, std::uint64_t bytes);
+  void record_delivered(std::uint64_t bytes);
+};
+
+struct NetworkConfig {
+  /// One-way delivery latency applied to every message (paper: 15 ms).
+  SimDuration base_latency = 15 * kMillisecond;
+  /// Uniform jitter in [0, latency_jitter] added per message.
+  SimDuration latency_jitter = 0;
+  /// Per-peer egress bandwidth in bytes per simulated second; 0 =
+  /// infinite. When set, a sender's messages serialize through its NIC:
+  /// each transmission occupies the link for wire_bytes / bandwidth and
+  /// later sends queue behind it — which is what makes a one-layer SAC
+  /// leader a latency bottleneck (see bench/ablation_round_latency).
+  std::uint64_t egress_bytes_per_sec = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetworkConfig cfg = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+  /// Register the handler for a peer. A peer must be attached before it
+  /// can receive; re-attaching replaces the handler (peer restart).
+  void attach(PeerId peer, Endpoint* endpoint);
+  void detach(PeerId peer);
+  bool attached(PeerId peer) const;
+
+  /// Queue a message. Drops silently (like a dead TCP connection) when
+  /// the sender is crashed or the link is blocked; latency and crash of
+  /// the destination are evaluated at delivery time, so a message can be
+  /// lost to a crash that happens while it is in flight.
+  void send(Envelope env);
+
+  /// Convenience wrapper building the envelope.
+  void send(PeerId from, PeerId to, std::string kind, std::any body,
+            std::uint64_t wire_bytes);
+
+  // --- fault injection -------------------------------------------------
+  /// Crash a peer: it neither sends nor receives until restore().
+  void crash(PeerId peer);
+  void restore(PeerId peer);
+  bool crashed(PeerId peer) const;
+  std::size_t crashed_count() const { return crashed_.size(); }
+
+  /// Block / unblock a directed link (both calls are cheap).
+  void block_link(PeerId from, PeerId to);
+  void unblock_link(PeerId from, PeerId to);
+
+  /// Extra one-way latency for a directed link (simulates slow peers).
+  void set_link_delay(PeerId from, PeerId to, SimDuration extra);
+  void clear_link_delay(PeerId from, PeerId to);
+
+  // --- accounting -------------------------------------------------------
+  const TrafficStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  using Link = std::uint64_t;
+  static Link link_key(PeerId from, PeerId to) {
+    return (static_cast<Link>(from) << 32) | to;
+  }
+
+  SimDuration latency_for(PeerId from, PeerId to);
+  void deliver_now(const Envelope& env);
+
+  sim::Simulator& sim_;
+  NetworkConfig cfg_;
+  Rng rng_;
+  std::unordered_map<PeerId, Endpoint*> endpoints_;
+  std::unordered_set<PeerId> crashed_;
+  std::unordered_set<Link> blocked_;
+  std::unordered_map<Link, SimDuration> extra_delay_;
+  /// Per-sender time at which its egress link becomes idle again.
+  std::unordered_map<PeerId, SimTime> egress_free_at_;
+  TrafficStats stats_;
+};
+
+}  // namespace p2pfl::net

@@ -1,0 +1,90 @@
+#include "raft/log.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace p2pfl::raft {
+
+Bytes encode_members(const std::vector<PeerId>& members) {
+  std::vector<PeerId> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  ByteWriter w;
+  w.vec_u32(sorted);
+  return w.take();
+}
+
+std::vector<PeerId> decode_members(const Bytes& data) {
+  ByteReader r(data);
+  return r.vec_u32<PeerId>();
+}
+
+Term RaftLog::term_at(Index idx) const {
+  if (idx == 0) return 0;
+  if (idx == snap_index_) return snap_term_;
+  P2PFL_CHECK_MSG(idx > snap_index_, "index compacted away");
+  P2PFL_CHECK(idx <= last_index());
+  return entries_[idx - snap_index_ - 1].term;
+}
+
+const LogEntry& RaftLog::at(Index idx) const {
+  P2PFL_CHECK(idx >= first_index() && idx <= last_index());
+  return entries_[idx - snap_index_ - 1];
+}
+
+Index RaftLog::append(LogEntry entry) {
+  entries_.push_back(std::move(entry));
+  return last_index();
+}
+
+void RaftLog::truncate_from(Index idx) {
+  P2PFL_CHECK_MSG(idx > snap_index_, "cannot truncate into the snapshot");
+  if (idx <= last_index()) {
+    entries_.resize(idx - snap_index_ - 1);
+  }
+}
+
+void RaftLog::compact_to(Index idx) {
+  P2PFL_CHECK(idx <= last_index());
+  if (idx <= snap_index_) return;  // already compacted past there
+  const Term boundary_term = term_at(idx);
+  entries_.erase(entries_.begin(),
+                 entries_.begin() +
+                     static_cast<std::ptrdiff_t>(idx - snap_index_));
+  snap_index_ = idx;
+  snap_term_ = boundary_term;
+}
+
+void RaftLog::install_snapshot(Index idx, Term term) {
+  entries_.clear();
+  snap_index_ = idx;
+  snap_term_ = term;
+}
+
+std::vector<LogEntry> RaftLog::slice(Index from, std::size_t max) const {
+  std::vector<LogEntry> out;
+  if (from < first_index() || from > last_index()) return out;
+  const std::size_t n =
+      std::min<std::size_t>(max, last_index() - from + 1);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(entries_[from - snap_index_ - 1 + i]);
+  }
+  return out;
+}
+
+bool RaftLog::candidate_up_to_date(Index cand_last_index,
+                                   Term cand_last_term) const {
+  // §5.4.1: compare terms of the last entries; if equal, longer log wins.
+  if (cand_last_term != last_term()) return cand_last_term > last_term();
+  return cand_last_index >= last_index();
+}
+
+std::optional<Index> RaftLog::latest_config_index() const {
+  for (Index i = last_index(); i >= first_index(); --i) {
+    if (entries_[i - snap_index_ - 1].kind == EntryKind::kConfig) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace p2pfl::raft

@@ -1,0 +1,77 @@
+// The replicated log, with snapshot-based compaction (Raft §7).
+//
+// Indices are 1-based as in the Raft paper; index 0 is the empty-log
+// sentinel with term 0. After compact_to(i), entries <= i are discarded
+// and replaced by a snapshot marker (snapshot_index/term); term_at(i)
+// still answers for the snapshot boundary itself, which is all the
+// AppendEntries consistency check needs. A leader asked to ship entries
+// it has compacted away falls back to InstallSnapshot.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "raft/types.hpp"
+
+namespace p2pfl::raft {
+
+class RaftLog {
+ public:
+  Index last_index() const { return snap_index_ + entries_.size(); }
+
+  Term last_term() const {
+    return entries_.empty() ? snap_term_ : entries_.back().term;
+  }
+
+  Index snapshot_index() const { return snap_index_; }
+  Term snapshot_term() const { return snap_term_; }
+
+  /// First index still present as a real entry (last_index()+1 if none).
+  Index first_index() const { return snap_index_ + 1; }
+
+  /// Discard entries up to and including `idx` (must be <= last_index()).
+  /// Typically called with the commit index once the state machine has
+  /// been snapshotted.
+  void compact_to(Index idx);
+
+  /// Reset the whole log to a snapshot received from the leader.
+  void install_snapshot(Index idx, Term term);
+
+  /// Term of the entry at `idx`; 0 for idx == 0, the snapshot term at the
+  /// snapshot boundary. Requires snapshot_index() <= idx <= last_index().
+  Term term_at(Index idx) const;
+
+  /// True when the entry's term is still known (not compacted away).
+  bool has_term(Index idx) const {
+    return idx >= snap_index_ && idx <= last_index();
+  }
+
+  /// Entry at `idx`. Requires first_index() <= idx <= last_index().
+  const LogEntry& at(Index idx) const;
+
+  /// Append one entry, returning its index.
+  Index append(LogEntry entry);
+
+  /// Remove every entry with index >= idx (conflict resolution).
+  void truncate_from(Index idx);
+
+  /// Entries in [from, from+max), clamped to the log end.
+  std::vector<LogEntry> slice(Index from, std::size_t max) const;
+
+  /// True if a candidate log described by (last_index, last_term) is at
+  /// least as up-to-date as this log (Raft §5.4.1 voting restriction).
+  bool candidate_up_to_date(Index cand_last_index, Term cand_last_term) const;
+
+  /// Index of the most recent kConfig entry, or nullopt if none.
+  std::optional<Index> latest_config_index() const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  Index snap_index_ = 0;
+  Term snap_term_ = 0;
+  std::vector<LogEntry> entries_;  // entries_[i] holds index snap_index_+i+1
+};
+
+}  // namespace p2pfl::raft

@@ -1,0 +1,238 @@
+// One Raft consensus participant.
+//
+// Full hand-rolled Raft (Ongaro & Ousterhout): randomized leader election
+// with U(T, 2T) timeouts (matching the paper's §VI-B setup), log
+// replication with the §5.3 consistency check and conflict back-off,
+// the §5.4 safety restrictions (up-to-date voting rule; only current-term
+// entries are committed directly, older ones commit transitively via a
+// fresh leader's no-op entry), and single-server cluster membership
+// changes (Raft dissertation §4) — the mechanism the two-layer system
+// uses when a newly elected subgroup leader joins the FedAvg layer.
+//
+// A peer may host several RaftNode instances on different channels (its
+// subgroup cluster and the FedAvg-layer cluster); envelopes are routed by
+// channel prefix through net::PeerHost. Nodes are driven entirely by the
+// discrete-event simulator: no threads, no wall-clock.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "raft/log.hpp"
+#include "raft/types.hpp"
+#include "sim/timer.hpp"
+
+namespace p2pfl::raft {
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+const char* role_name(Role r);
+
+struct RaftOptions {
+  /// Election timeout drawn uniformly from [min, max] on every reset.
+  /// The paper samples from U(T, 2T); set min = T, max = 2T.
+  SimDuration election_timeout_min = 150 * kMillisecond;
+  SimDuration election_timeout_max = 300 * kMillisecond;
+  /// Leader heartbeat interval; 0 = election_timeout_min / 3.
+  SimDuration heartbeat_interval = 0;
+  /// Max log entries shipped per AppendEntries RPC.
+  std::size_t max_entries_per_append = 128;
+  /// First election timeout after start(); 0 = random like every other.
+  /// A designated bootstrap leader gets a short value so it reliably
+  /// wins the initial election (the paper's evaluation likewise starts
+  /// from a steady state with known leaders).
+  SimDuration initial_election_timeout = 0;
+  /// §4.2.3 leader stickiness: ignore RequestVote while a heartbeat from
+  /// a current leader was seen within the minimum election timeout.
+  /// Prevents removed or stale servers from disrupting a healthy
+  /// cluster — essential once membership changes (§V joins) happen.
+  bool leader_stickiness = true;
+  /// §7 log compaction: snapshot automatically once this many applied
+  /// entries accumulate past the previous snapshot (0 = manual only).
+  std::size_t compaction_threshold = 0;
+  /// §9.6 PreVote: poll electability before incrementing the term. Off
+  /// by default (the paper's hashicorp baseline also defaults off);
+  /// composes with leader_stickiness.
+  bool pre_vote = false;
+
+  SimDuration effective_heartbeat() const {
+    return heartbeat_interval > 0 ? heartbeat_interval
+                                  : election_timeout_min / 3;
+  }
+};
+
+/// Observable protocol counters (used by tests and the Raft benches).
+struct RaftMetrics {
+  std::uint64_t elections_started = 0;
+  std::uint64_t votes_granted = 0;
+  std::uint64_t times_elected = 0;
+  std::uint64_t entries_applied = 0;
+};
+
+class RaftNode {
+ public:
+  /// `channel` namespaces this cluster's RPC traffic (e.g. "raft/sg3").
+  /// `initial_members` is the bootstrap configuration; it is superseded
+  /// by any kConfig entry that later lands in the log.
+  RaftNode(PeerId id, std::string channel,
+           std::vector<PeerId> initial_members, RaftOptions opts,
+           net::Network& net, net::PeerHost& host);
+  ~RaftNode();
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Begin operating (as a follower). Idempotent.
+  void start();
+
+  /// Simulate a crash of this instance: all timers stop, incoming
+  /// messages are ignored. Persistent state (term, vote, log) survives,
+  /// exactly like a process that lost power.
+  void stop();
+
+  /// Rejoin after stop(). Volatile state (commit index, role) resets and
+  /// is rebuilt through the protocol; applied entries replay, so attached
+  /// state machines must be deterministic.
+  void restart();
+
+  bool running() const { return running_; }
+
+  // --- observers --------------------------------------------------------
+  PeerId id() const { return id_; }
+  const std::string& channel() const { return channel_; }
+  Role role() const { return role_; }
+  bool is_leader() const { return running_ && role_ == Role::kLeader; }
+  Term current_term() const { return term_; }
+  /// Last leader this node heard from (kNoPeer if unknown this term).
+  PeerId leader_hint() const { return leader_hint_; }
+  Index commit_index() const { return commit_; }
+  Index last_log_index() const { return log_.last_index(); }
+  const RaftLog& log() const { return log_; }
+  const std::vector<PeerId>& members() const { return config_; }
+  bool in_config() const;
+  const RaftMetrics& metrics() const { return metrics_; }
+
+  // --- client operations (leader only; nullopt when not leader) ---------
+  /// Replicate an opaque command. Returns its log index.
+  std::optional<Index> propose(Bytes command);
+
+  /// Single-server membership changes. At most one may be in flight
+  /// (uncommitted) at a time; returns nullopt if one already is, if not
+  /// leader, or if the change is a no-op.
+  std::optional<Index> propose_add_server(PeerId server);
+  std::optional<Index> propose_remove_server(PeerId server);
+
+  /// Leadership transfer (§3.10): bring `transferee` fully up to date
+  /// happens via normal replication; this sends TimeoutNow so it
+  /// campaigns immediately. Returns false when not leader or the target
+  /// is not a member. Best effort: if the transferee is behind, it
+  /// simply loses the election and this leader carries on.
+  bool transfer_leadership(PeerId transferee);
+
+  // --- callbacks ---------------------------------------------------------
+  /// Fired (on every node, in log order) when a kCommand entry commits.
+  std::function<void(Index, const LogEntry&)> on_apply;
+  /// Fired on this node when it wins an election.
+  std::function<void()> on_become_leader;
+  /// Fired on this node when it loses leadership.
+  std::function<void()> on_step_down;
+  /// Fired when a new configuration is adopted (at append time, per the
+  /// membership-change rule).
+  std::function<void(const std::vector<PeerId>&)> on_config_adopted;
+  /// Snapshot hooks (§7). save: serialize the application state machine
+  /// at the moment of compaction (called with everything up to the
+  /// compaction point applied). install: replace the state machine with
+  /// a snapshot received from the leader (or restored at restart()).
+  std::function<Bytes()> on_snapshot_save;
+  std::function<void(Index, const Bytes&)> on_snapshot_install;
+
+  /// Compact the log through the last applied entry (§7). No-op unless
+  /// something new has been applied since the previous snapshot.
+  void compact();
+
+  Index snapshot_index() const { return log_.snapshot_index(); }
+
+ private:
+  // Role transitions.
+  void become_follower(Term term, PeerId leader_hint);
+  void start_election();
+  void start_real_election();
+  void become_leader();
+
+  // RPC send side.
+  void broadcast_request_vote();
+  void send_append(PeerId to);
+  void broadcast_append();
+
+  // RPC receive side.
+  void dispatch(const net::Envelope& env);
+  void handle_request_vote(const RequestVoteArgs& args);
+  void handle_request_vote_reply(const RequestVoteReply& reply);
+  void handle_append_entries(const AppendEntriesArgs& args);
+  void handle_append_entries_reply(const AppendEntriesReply& reply);
+  void send_install_snapshot(PeerId to);
+  void handle_install_snapshot(const InstallSnapshotArgs& args);
+  void handle_install_snapshot_reply(const InstallSnapshotReply& reply);
+  void handle_timeout_now(const TimeoutNowArgs& args);
+  void maybe_auto_compact();
+
+  // Commit machinery.
+  void advance_commit();
+  void apply_committed();
+  void adopt_latest_config();
+
+  // Helpers.
+  std::size_t quorum() const { return config_.size() / 2 + 1; }
+  void reset_election_timer();
+  SimDuration random_election_timeout();
+  template <typename T>
+  void send_rpc(PeerId to, const char* suffix, T args,
+                std::uint64_t wire_bytes);
+
+  const PeerId id_;
+  const std::string channel_;
+  const std::vector<PeerId> initial_members_;
+  const RaftOptions opts_;
+  net::Network& net_;
+  net::PeerHost& host_;
+  Rng rng_;
+
+  // Persistent state (survives stop()/restart()).
+  Term term_ = 0;
+  PeerId voted_for_ = kNoPeer;
+  RaftLog log_;
+  /// Snapshot payload + membership at the snapshot point (persistent).
+  Bytes snapshot_state_;
+  std::vector<PeerId> snapshot_members_;
+
+  // Volatile state.
+  bool running_ = false;
+  Role role_ = Role::kFollower;
+  Index commit_ = 0;
+  Index applied_ = 0;
+  PeerId leader_hint_ = kNoPeer;
+  std::vector<PeerId> config_;
+  std::set<PeerId> votes_;
+  std::map<PeerId, Index> next_index_;
+  std::map<PeerId, Index> match_index_;
+  Index pending_config_ = 0;  // index of uncommitted config change, 0 = none
+  /// Simulated time of the last valid leader contact (-1 = never).
+  SimTime last_leader_contact_ = -1;
+  bool first_timeout_pending_ = false;
+  /// PreVote round in progress (role is still kCandidate but the term
+  /// has not been incremented yet).
+  bool prevote_phase_ = false;
+
+  sim::Timer election_timer_;
+  sim::Timer heartbeat_timer_;
+  RaftMetrics metrics_;
+};
+
+}  // namespace p2pfl::raft

@@ -1,0 +1,194 @@
+#include "raft/wire.hpp"
+
+#include <stdexcept>
+
+namespace p2pfl::raft::wire {
+
+namespace {
+
+void put_entry(ByteWriter& w, const LogEntry& e) {
+  w.u64(e.term);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u32(static_cast<std::uint32_t>(e.data.size()));
+  for (std::uint8_t b : e.data) w.u8(b);
+}
+
+LogEntry get_entry(ByteReader& r) {
+  LogEntry e;
+  e.term = r.u64();
+  e.kind = static_cast<EntryKind>(r.u8());
+  const std::uint32_t len = r.u32();
+  e.data.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) e.data.push_back(r.u8());
+  return e;
+}
+
+template <typename T, typename Fn>
+std::optional<T> guarded(const Bytes& b, Fn fn) {
+  try {
+    ByteReader r(b);
+    T out = fn(r);
+    if (!r.exhausted()) return std::nullopt;  // trailing garbage
+    return out;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Bytes encode(const RequestVoteArgs& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u32(m.candidate);
+  w.u64(m.last_log_index);
+  w.u64(m.last_log_term);
+  w.u8(m.pre_vote ? 1 : 0);
+  return w.take();
+}
+
+std::optional<RequestVoteArgs> decode_request_vote(const Bytes& b) {
+  return guarded<RequestVoteArgs>(b, [](ByteReader& r) {
+    RequestVoteArgs m;
+    m.term = r.u64();
+    m.candidate = r.u32();
+    m.last_log_index = r.u64();
+    m.last_log_term = r.u64();
+    m.pre_vote = r.u8() != 0;
+    return m;
+  });
+}
+
+Bytes encode(const RequestVoteReply& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u8(m.vote_granted ? 1 : 0);
+  w.u32(m.voter);
+  w.u8(m.pre_vote ? 1 : 0);
+  return w.take();
+}
+
+std::optional<RequestVoteReply> decode_request_vote_reply(const Bytes& b) {
+  return guarded<RequestVoteReply>(b, [](ByteReader& r) {
+    RequestVoteReply m;
+    m.term = r.u64();
+    m.vote_granted = r.u8() != 0;
+    m.voter = r.u32();
+    m.pre_vote = r.u8() != 0;
+    return m;
+  });
+}
+
+Bytes encode(const AppendEntriesArgs& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u32(m.leader);
+  w.u64(m.prev_log_index);
+  w.u64(m.prev_log_term);
+  w.u64(m.leader_commit);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const LogEntry& e : m.entries) put_entry(w, e);
+  return w.take();
+}
+
+std::optional<AppendEntriesArgs> decode_append_entries(const Bytes& b) {
+  return guarded<AppendEntriesArgs>(b, [](ByteReader& r) {
+    AppendEntriesArgs m;
+    m.term = r.u64();
+    m.leader = r.u32();
+    m.prev_log_index = r.u64();
+    m.prev_log_term = r.u64();
+    m.leader_commit = r.u64();
+    const std::uint32_t n = r.u32();
+    m.entries.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.entries.push_back(get_entry(r));
+    return m;
+  });
+}
+
+Bytes encode(const AppendEntriesReply& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u8(m.success ? 1 : 0);
+  w.u32(m.follower);
+  w.u64(m.match_index);
+  w.u64(m.conflict_index);
+  return w.take();
+}
+
+std::optional<AppendEntriesReply> decode_append_entries_reply(
+    const Bytes& b) {
+  return guarded<AppendEntriesReply>(b, [](ByteReader& r) {
+    AppendEntriesReply m;
+    m.term = r.u64();
+    m.success = r.u8() != 0;
+    m.follower = r.u32();
+    m.match_index = r.u64();
+    m.conflict_index = r.u64();
+    return m;
+  });
+}
+
+Bytes encode(const InstallSnapshotArgs& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u32(m.leader);
+  w.u64(m.last_included_index);
+  w.u64(m.last_included_term);
+  w.vec_u32(m.members);
+  w.u32(static_cast<std::uint32_t>(m.app_state.size()));
+  for (std::uint8_t b : m.app_state) w.u8(b);
+  return w.take();
+}
+
+std::optional<InstallSnapshotArgs> decode_install_snapshot(const Bytes& b) {
+  return guarded<InstallSnapshotArgs>(b, [](ByteReader& r) {
+    InstallSnapshotArgs m;
+    m.term = r.u64();
+    m.leader = r.u32();
+    m.last_included_index = r.u64();
+    m.last_included_term = r.u64();
+    m.members = r.vec_u32<PeerId>();
+    const std::uint32_t len = r.u32();
+    m.app_state.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) m.app_state.push_back(r.u8());
+    return m;
+  });
+}
+
+Bytes encode(const InstallSnapshotReply& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u32(m.follower);
+  w.u64(m.match_index);
+  return w.take();
+}
+
+std::optional<InstallSnapshotReply> decode_install_snapshot_reply(
+    const Bytes& b) {
+  return guarded<InstallSnapshotReply>(b, [](ByteReader& r) {
+    InstallSnapshotReply m;
+    m.term = r.u64();
+    m.follower = r.u32();
+    m.match_index = r.u64();
+    return m;
+  });
+}
+
+Bytes encode(const TimeoutNowArgs& m) {
+  ByteWriter w;
+  w.u64(m.term);
+  w.u32(m.leader);
+  return w.take();
+}
+
+std::optional<TimeoutNowArgs> decode_timeout_now(const Bytes& b) {
+  return guarded<TimeoutNowArgs>(b, [](ByteReader& r) {
+    TimeoutNowArgs m;
+    m.term = r.u64();
+    m.leader = r.u32();
+    return m;
+  });
+}
+
+}  // namespace p2pfl::raft::wire

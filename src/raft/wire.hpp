@@ -1,0 +1,36 @@
+// Binary wire codec for the Raft RPCs.
+//
+// The simulated network carries typed payloads (std::any) for speed, but
+// every envelope's accounted wire size must be honest. This codec defines
+// the canonical little-endian encoding for each RPC; tests assert that
+// the sizes the protocol charges (types.hpp kWireSize / wire_size())
+// equal the actual encoded length, byte for byte, and that every message
+// round-trips. It is also what a real TCP transport for this library
+// would put on the socket.
+#pragma once
+
+#include <optional>
+
+#include "raft/types.hpp"
+
+namespace p2pfl::raft::wire {
+
+Bytes encode(const RequestVoteArgs& m);
+Bytes encode(const RequestVoteReply& m);
+Bytes encode(const AppendEntriesArgs& m);
+Bytes encode(const AppendEntriesReply& m);
+Bytes encode(const InstallSnapshotArgs& m);
+Bytes encode(const InstallSnapshotReply& m);
+Bytes encode(const TimeoutNowArgs& m);
+
+std::optional<RequestVoteArgs> decode_request_vote(const Bytes& b);
+std::optional<RequestVoteReply> decode_request_vote_reply(const Bytes& b);
+std::optional<AppendEntriesArgs> decode_append_entries(const Bytes& b);
+std::optional<AppendEntriesReply> decode_append_entries_reply(
+    const Bytes& b);
+std::optional<InstallSnapshotArgs> decode_install_snapshot(const Bytes& b);
+std::optional<InstallSnapshotReply> decode_install_snapshot_reply(
+    const Bytes& b);
+std::optional<TimeoutNowArgs> decode_timeout_now(const Bytes& b);
+
+}  // namespace p2pfl::raft::wire

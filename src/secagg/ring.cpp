@@ -1,0 +1,79 @@
+#include "secagg/ring.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace p2pfl::secagg {
+
+RingCodec::RingCodec(double scale) : scale_(scale) {
+  P2PFL_CHECK(scale > 0.0);
+}
+
+RingVector RingCodec::encode(std::span<const float> v) const {
+  RingVector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    // Two's-complement embedding of the signed fixed-point value.
+    const double q = std::nearbyint(static_cast<double>(v[i]) * scale_);
+    out[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(q));
+  }
+  return out;
+}
+
+Vector RingCodec::decode_mean(const RingVector& sum,
+                              std::size_t count) const {
+  P2PFL_CHECK(count >= 1);
+  Vector out(sum.size());
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    const double q = static_cast<double>(static_cast<std::int64_t>(sum[i]));
+    out[i] = static_cast<float>(q / scale_ / static_cast<double>(count));
+  }
+  return out;
+}
+
+std::vector<RingVector> ring_divide(const RingVector& secret, std::size_t n,
+                                    Rng& rng) {
+  P2PFL_CHECK(n >= 1);
+  std::vector<RingVector> shares(n, RingVector(secret.size()));
+  for (std::size_t e = 0; e < secret.size(); ++e) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const std::uint64_t r = rng.next_u64();
+      shares[i][e] = r;
+      acc += r;  // wraps mod 2^64, as intended
+    }
+    shares[n - 1][e] = secret[e] - acc;
+  }
+  return shares;
+}
+
+RingVector ring_sum(std::span<const RingVector> shares) {
+  P2PFL_CHECK(!shares.empty());
+  RingVector acc(shares.front().size(), 0);
+  for (const RingVector& s : shares) {
+    P2PFL_CHECK(s.size() == acc.size());
+    for (std::size_t e = 0; e < acc.size(); ++e) acc[e] += s[e];
+  }
+  return acc;
+}
+
+Vector ring_sac_average(std::span<const Vector> models, Rng& rng,
+                        const RingCodec& codec) {
+  P2PFL_CHECK(!models.empty());
+  const std::size_t n = models.size();
+  const std::size_t dim = models.front().size();
+  // subtotal[s] accumulates share s from every peer, exactly as in SAC.
+  std::vector<RingVector> subtotal(n, RingVector(dim, 0));
+  for (const Vector& model : models) {
+    P2PFL_CHECK(model.size() == dim);
+    const auto shares = ring_divide(codec.encode(model), n, rng);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t e = 0; e < dim; ++e) {
+        subtotal[s][e] += shares[s][e];
+      }
+    }
+  }
+  return codec.decode_mean(ring_sum(subtotal), n);
+}
+
+}  // namespace p2pfl::secagg

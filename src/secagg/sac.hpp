@@ -1,0 +1,59 @@
+// Secure Average Computation — algorithmic (message-free) form.
+//
+// Implements the math of Alg. 2 (n-out-of-n SAC) and Alg. 4
+// (fault-tolerant k-out-of-n SAC with replicated additive secret
+// sharing) directly on in-memory share matrices. The federated-training
+// experiments (Figs. 6-9) call these per round — they produce bit-exactly
+// the same averages the message-driven actor (sac_actor.hpp) converges
+// to, without paying for simulated message passing in the inner loop.
+//
+// Share placement (Alg. 4, 0-based): peer j holds, from every peer i,
+// the n−k+1 consecutive shares with indices {j, j+1, …, j+n−k} mod n.
+// Consequently subtotal s (the sum over peers of share s) is computable
+// by the n−k+1 peers {s−(n−k), …, s} mod n, so any n−k crashes after the
+// share phase leave at least one live holder of every subtotal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "secagg/shares.hpp"
+
+namespace p2pfl::secagg {
+
+/// Share indices peer at position j holds (Alg. 4 lines 3-9), ascending
+/// mod-n order starting at j. n >= 1, 1 <= k <= n.
+std::vector<std::size_t> replica_share_indices(std::size_t j, std::size_t n,
+                                               std::size_t k);
+
+/// Positions of the peers that can compute subtotal s.
+std::vector<std::size_t> subtotal_holders(std::size_t s, std::size_t n,
+                                          std::size_t k);
+
+/// Plain SAC (Alg. 2): every peer splits its model, shares are exchanged
+/// and subtotals broadcast; returns the common average. All models must
+/// have equal size; models.size() >= 1.
+Vector sac_average(std::span<const Vector> models, Rng& rng,
+                   const SplitOptions& opts = {});
+
+struct FtSacResult {
+  /// True if every subtotal had at least one live holder, i.e. the
+  /// average could be reconstructed.
+  bool ok = false;
+  /// Average of all n contributing models (valid when ok). Crashed peers'
+  /// models still contribute: their shares were already distributed.
+  Vector average;
+  std::size_t alive = 0;
+};
+
+/// Fault-tolerant SAC (Alg. 4): all n peers distribute shares, then the
+/// peers flagged in `crashed_after_sharing` fail. The leader (first live
+/// position) reconstructs the average from live subtotal holders.
+/// Guaranteed ok when alive >= k.
+FtSacResult fault_tolerant_sac_average(
+    std::span<const Vector> models, std::size_t k,
+    const std::vector<bool>& crashed_after_sharing, Rng& rng,
+    const SplitOptions& opts = {});
+
+}  // namespace p2pfl::secagg

@@ -1,0 +1,296 @@
+#include "secagg/sac_actor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace p2pfl::secagg {
+
+namespace {
+constexpr std::uint64_t kControlBytes = 16;
+}
+
+SacPeer::SacPeer(PeerId id, std::string channel, SacActorOptions opts,
+                 net::Network& net, net::PeerHost& host)
+    : id_(id),
+      channel_(std::move(channel)),
+      opts_(opts),
+      net_(net),
+      host_(host),
+      rng_(net.simulator().rng().fork(0x7361'63ULL ^ (id * 2654435761ULL))),
+      share_timer_(net.simulator(), [this] { on_share_timer(); }),
+      subtotal_timer_(net.simulator(), [this] { on_subtotal_timer(); }) {
+  host_.route(channel_ + "/",
+              [this](const net::Envelope& env) { dispatch(env); });
+}
+
+SacPeer::~SacPeer() { host_.unroute(channel_ + "/"); }
+
+std::optional<RoundId> SacPeer::active_round() const {
+  if (round_ && !round_->completed) return round_->round;
+  return std::nullopt;
+}
+
+bool SacPeer::is_leader() const {
+  return round_ && round_->my_pos == round_->leader_pos;
+}
+
+std::uint64_t SacPeer::share_wire_bytes(std::size_t dim) const {
+  return opts_.wire_bytes_per_share > 0 ? opts_.wire_bytes_per_share
+                                        : 4 * static_cast<std::uint64_t>(dim);
+}
+
+void SacPeer::halt() {
+  round_.reset();
+  share_timer_.cancel();
+  subtotal_timer_.cancel();
+}
+
+void SacPeer::begin_round(RoundId round, Vector model,
+                          std::vector<PeerId> group,
+                          std::size_t leader_pos, std::size_t k_override) {
+  P2PFL_CHECK(!group.empty());
+  P2PFL_CHECK(leader_pos < group.size());
+  if (round_ && round_->round >= round) return;  // stale request
+  halt();
+
+  const std::size_t configured = k_override > 0 ? k_override : opts_.k;
+  RoundState st;
+  st.round = round;
+  st.n = group.size();
+  st.k = opts_.broadcast_subtotals
+             ? st.n  // Alg. 2 has no threshold; every subtotal is primary
+             : (configured == 0 ? st.n : std::min(configured, st.n));
+  st.group = std::move(group);
+  st.leader_pos = leader_pos;
+  const auto me =
+      std::find(st.group.begin(), st.group.end(), id_) - st.group.begin();
+  P2PFL_CHECK_MSG(static_cast<std::size_t>(me) < st.n,
+                  "this peer is not in the round's group");
+  st.my_pos = static_cast<std::size_t>(me);
+  st.share_bytes = share_wire_bytes(model.size());
+  st.got_share_from.assign(st.n, false);
+  round_ = std::move(st);
+
+  const auto shares = divide(model, round_->n, rng_, opts_.split);
+  const std::size_t n = round_->n;
+  const std::size_t k = round_->k;
+
+  // Distribute the n−k+1 consecutive shares each peer replicates.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == round_->my_pos) continue;
+    SacShareMsg msg;
+    msg.round = round;
+    msg.from_pos = static_cast<std::uint32_t>(round_->my_pos);
+    for (std::size_t s : replica_share_indices(j, n, k)) {
+      msg.parts.emplace_back(static_cast<std::uint32_t>(s), shares[s]);
+    }
+    const std::uint64_t wire = msg.parts.size() * round_->share_bytes;
+    net_.send(id_, round_->group[j], channel_ + "/share", std::move(msg),
+              wire);
+  }
+  // Own contribution to the indices this peer holds.
+  for (std::size_t s : replica_share_indices(round_->my_pos, n, k)) {
+    contribute(round_->my_pos, s, shares[s]);
+  }
+
+  if (is_leader()) {
+    share_timer_.arm(opts_.share_timeout);
+  }
+  maybe_finish_share_phase();
+
+  // Replay any messages for this round that arrived before we started it.
+  auto stash = std::move(stash_);
+  stash_.clear();
+  for (auto& [r, env] : stash) {
+    if (r == round) {
+      dispatch(env);
+    } else if (r > round) {
+      stash_.emplace_back(r, std::move(env));
+    }
+  }
+}
+
+void SacPeer::dispatch(const net::Envelope& env) {
+  const std::string_view suffix =
+      std::string_view(env.kind).substr(channel_.size());
+  RoundId msg_round = 0;
+  if (suffix == "/share") {
+    msg_round = std::any_cast<const SacShareMsg&>(env.body).round;
+  } else if (suffix == "/subtotal") {
+    msg_round = std::any_cast<const SacSubtotalMsg&>(env.body).round;
+  } else if (suffix == "/request") {
+    msg_round = std::any_cast<const SacSubtotalReq&>(env.body).round;
+  } else {
+    return;
+  }
+  const RoundId current = round_ ? round_->round : 0;
+  if (!round_ || msg_round > current) {
+    // Round not started here yet: keep the message for begin_round.
+    stash_.emplace_back(msg_round, env);
+    return;
+  }
+  if (msg_round < current) return;  // stale
+
+  if (suffix == "/share") {
+    handle_share(std::any_cast<const SacShareMsg&>(env.body));
+  } else if (suffix == "/subtotal") {
+    handle_subtotal(std::any_cast<const SacSubtotalMsg&>(env.body));
+  } else {
+    handle_request(std::any_cast<const SacSubtotalReq&>(env.body));
+  }
+}
+
+void SacPeer::handle_share(const SacShareMsg& msg) {
+  P2PFL_CHECK(round_.has_value());
+  if (msg.from_pos >= round_->n) return;
+  for (const auto& [idx, data] : msg.parts) {
+    contribute(msg.from_pos, idx, data);
+  }
+  maybe_finish_share_phase();
+}
+
+void SacPeer::contribute(std::size_t from_pos, std::size_t idx,
+                         const Vector& share) {
+  RoundState& st = *round_;
+  if (idx >= st.n) return;
+  st.got_share_from[from_pos] = true;
+  auto [cit, inserted] =
+      st.contributed.try_emplace(idx, std::vector<bool>(st.n, false));
+  if (cit->second[from_pos]) return;  // duplicate
+  cit->second[from_pos] = true;
+  auto [ait, _] = st.acc.try_emplace(idx, std::vector<double>(share.size()));
+  accumulate(ait->second, share);
+  const bool complete = std::all_of(cit->second.begin(), cit->second.end(),
+                                    [](bool b) { return b; });
+  if (complete) {
+    st.subtotal[idx] = to_vector(ait->second);
+  }
+}
+
+void SacPeer::maybe_finish_share_phase() {
+  RoundState& st = *round_;
+  if (st.share_phase_done) return;
+  const auto held =
+      replica_share_indices(st.my_pos, st.n, st.k);
+  for (std::size_t s : held) {
+    if (st.subtotal.count(s) == 0) return;
+  }
+  st.share_phase_done = true;
+  if (is_leader()) share_timer_.cancel();
+  emit_subtotals();
+}
+
+void SacPeer::emit_subtotals() {
+  RoundState& st = *round_;
+  const std::size_t n = st.n;
+  if (opts_.broadcast_subtotals) {
+    // Alg. 2 line 7: broadcast the primary subtotal to every other peer.
+    const Vector& mine = st.subtotal.at(st.my_pos);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == st.my_pos) continue;
+      SacSubtotalMsg msg{st.round, static_cast<std::uint32_t>(st.my_pos),
+                         mine};
+      net_.send(id_, st.group[j], channel_ + "/subtotal", std::move(msg),
+                st.share_bytes);
+    }
+    leader_collect(st.my_pos, mine);
+    return;
+  }
+  if (is_leader()) {
+    for (const auto& [idx, value] : st.subtotal) leader_collect(idx, value);
+    subtotal_timer_.arm(opts_.subtotal_timeout);
+    return;
+  }
+  // Alg. 4 lines 14-16: only peers whose primary subtotal falls outside
+  // the leader's held range upload it.
+  const std::size_t dist = (st.my_pos + n - st.leader_pos) % n;
+  if (dist > n - st.k) {
+    SacSubtotalMsg msg{st.round, static_cast<std::uint32_t>(st.my_pos),
+                       st.subtotal.at(st.my_pos)};
+    net_.send(id_, st.group[st.leader_pos], channel_ + "/subtotal",
+              std::move(msg), st.share_bytes);
+  }
+}
+
+void SacPeer::handle_subtotal(const SacSubtotalMsg& msg) {
+  RoundState& st = *round_;
+  if (msg.idx >= st.n) return;
+  if (!opts_.broadcast_subtotals && !is_leader()) return;
+  leader_collect(msg.idx, msg.value);
+}
+
+void SacPeer::handle_request(const SacSubtotalReq& msg) {
+  RoundState& st = *round_;
+  if (msg.idx >= st.n || msg.reply_to_pos >= st.n) return;
+  auto it = st.subtotal.find(msg.idx);
+  if (it == st.subtotal.end()) return;  // not (yet) available here
+  SacSubtotalMsg reply{st.round, msg.idx, it->second};
+  net_.send(id_, st.group[msg.reply_to_pos], channel_ + "/subtotal",
+            std::move(reply), st.share_bytes);
+}
+
+void SacPeer::leader_collect(std::size_t idx, const Vector& value) {
+  RoundState& st = *round_;
+  st.collected.emplace(idx, value);
+  maybe_complete();
+}
+
+void SacPeer::maybe_complete() {
+  RoundState& st = *round_;
+  if (st.completed || st.collected.size() < st.n) return;
+  st.completed = true;
+  share_timer_.cancel();
+  subtotal_timer_.cancel();
+  std::vector<double> total(st.collected.begin()->second.size(), 0.0);
+  for (const auto& [idx, value] : st.collected) accumulate(total, value);
+  const Vector avg = to_vector(total, static_cast<double>(st.n));
+  if (on_complete) on_complete(st.round, avg);
+}
+
+void SacPeer::on_share_timer() {
+  if (!round_ || round_->share_phase_done || round_->completed) return;
+  std::vector<std::size_t> missing;
+  for (std::size_t p = 0; p < round_->n; ++p) {
+    if (!round_->got_share_from[p]) missing.push_back(p);
+  }
+  P2PFL_DEBUG() << channel_ << " leader " << id_ << ": share phase timed"
+                << " out, " << missing.size() << " silent peers";
+  if (on_share_timeout) on_share_timeout(round_->round, missing);
+}
+
+void SacPeer::on_subtotal_timer() {
+  if (!round_ || round_->completed) return;
+  request_missing_subtotals();
+}
+
+void SacPeer::request_missing_subtotals() {
+  RoundState& st = *round_;
+  bool any_pending = false;
+  for (std::size_t idx = 0; idx < st.n; ++idx) {
+    if (st.collected.count(idx) > 0) continue;
+    const auto holders = subtotal_holders(idx, st.n, st.k);
+    std::size_t& attempt = st.recovery_attempts[idx];
+    // Skip ourselves (if we held it, we would have collected it) and
+    // cycle through the remaining replicas one per timeout tick.
+    while (attempt < holders.size() && holders[attempt] == st.my_pos) {
+      ++attempt;
+    }
+    if (attempt >= holders.size()) {
+      P2PFL_WARN() << channel_ << " round " << st.round << ": subtotal "
+                   << idx << " unrecoverable";
+      if (on_unrecoverable) on_unrecoverable(st.round);
+      return;
+    }
+    SacSubtotalReq req{st.round, static_cast<std::uint32_t>(idx),
+                       static_cast<std::uint32_t>(st.my_pos)};
+    net_.send(id_, st.group[holders[attempt]], channel_ + "/request", req,
+              kControlBytes);
+    ++attempt;
+    any_pending = true;
+  }
+  if (any_pending) subtotal_timer_.arm(opts_.subtotal_timeout);
+}
+
+}  // namespace p2pfl::secagg

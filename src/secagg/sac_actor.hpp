@@ -1,0 +1,164 @@
+// Message-driven SAC participant (the protocol form of Algs. 2 and 4).
+//
+// One SacPeer runs on each subgroup member; they exchange shares and
+// subtotals through the simulated network, so the byte counters observed
+// by net::Network are exactly the quantities the paper's cost analysis
+// (§VII-A/B) counts, and crashes injected mid-protocol exercise the real
+// recovery path of Alg. 4 (leader asks surviving replica holders for the
+// missing subtotals — the Fig. 3 scenario).
+//
+// Two collection modes:
+//  * broadcast (Alg. 2 baseline): every peer broadcasts its subtotal to
+//    every other, all peers finish with the average;
+//    cost 2n(n−1)|w| per round.
+//  * leader collect (two-layer mode): the k−1 peers whose primary
+//    subtotal the leader does not hold send it to the leader only;
+//    cost {n(n−1)(n−k+1) + (k−1)}|w|, reducing to (n²−1)|w| at k = n.
+//
+// Round control (who calls begin_round, restarts after a pre-share-phase
+// dropout, pushing the result up to the FedAvg layer) belongs to the
+// two-layer system in src/core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "secagg/sac.hpp"
+#include "sim/timer.hpp"
+
+namespace p2pfl::secagg {
+
+using RoundId = std::uint64_t;
+
+struct SacActorOptions {
+  /// Reconstruction threshold k (clamped to the group size per round).
+  std::size_t k = 0;  // 0 = n (no fault tolerance, plain SAC)
+  SplitOptions split;
+  /// Alg. 2 mode: subtotals are broadcast and every peer completes.
+  bool broadcast_subtotals = false;
+  /// Wire size of one share / subtotal. 0 = 4 bytes * model dimension.
+  /// Setting it explicitly lets cost experiments model a 1.25M-parameter
+  /// CNN while computing on tiny vectors.
+  std::uint64_t wire_bytes_per_share = 0;
+  /// Leader-side patience for shares / subtotals before declaring peers
+  /// dropped (drives Alg. 4 recovery or a round abort).
+  SimDuration share_timeout = 500 * kMillisecond;
+  SimDuration subtotal_timeout = 500 * kMillisecond;
+};
+
+/// Messages (bodies carried in net::Envelope::body).
+struct SacShareMsg {
+  RoundId round = 0;
+  std::uint32_t from_pos = 0;
+  std::vector<std::pair<std::uint32_t, Vector>> parts;  // (share idx, data)
+};
+struct SacSubtotalMsg {
+  RoundId round = 0;
+  std::uint32_t idx = 0;
+  Vector value;
+};
+struct SacSubtotalReq {
+  RoundId round = 0;
+  std::uint32_t idx = 0;
+  std::uint32_t reply_to_pos = 0;
+};
+
+class SacPeer {
+ public:
+  /// `channel` namespaces this subgroup's SAC traffic (e.g. "sac/sg2").
+  SacPeer(PeerId id, std::string channel, SacActorOptions opts,
+          net::Network& net, net::PeerHost& host);
+  ~SacPeer();
+
+  SacPeer(const SacPeer&) = delete;
+  SacPeer& operator=(const SacPeer&) = delete;
+
+  /// Join round `round` contributing `model`. `group` lists the round's
+  /// participants (identical on every member; defines share placement);
+  /// `leader_pos` is the aggregation leader's position in it. Starting a
+  /// newer round abandons any older one. `k_override` replaces the
+  /// configured threshold for this round (0 = use SacActorOptions::k) —
+  /// the two-layer system uses it to apply one dropout-tolerance budget
+  /// to subgroups of different sizes.
+  void begin_round(RoundId round, Vector model, std::vector<PeerId> group,
+                   std::size_t leader_pos, std::size_t k_override = 0);
+
+  /// Abandon the current round and cancel timers (peer crash / reset).
+  void halt();
+
+  PeerId id() const { return id_; }
+  std::optional<RoundId> active_round() const;
+
+  /// Fired when the average is known: on the leader in collect mode, on
+  /// every live peer in broadcast mode.
+  std::function<void(RoundId, const Vector&)> on_complete;
+  /// Leader only: the share phase timed out; `missing` lists positions
+  /// that contributed no shares. The caller decides how to restart.
+  std::function<void(RoundId, const std::vector<std::size_t>&)>
+      on_share_timeout;
+  /// Leader only: a subtotal could not be recovered from any replica
+  /// (more than n−k peers lost) — the round is unrecoverable.
+  std::function<void(RoundId)> on_unrecoverable;
+
+ private:
+  struct RoundState {
+    RoundId round = 0;
+    std::vector<PeerId> group;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    std::size_t my_pos = 0;
+    std::size_t leader_pos = 0;
+    std::uint64_t share_bytes = 0;
+    /// Accumulating subtotals for share indices this peer holds.
+    std::map<std::size_t, std::vector<double>> acc;
+    /// Per held index: which positions contributed already.
+    std::map<std::size_t, std::vector<bool>> contributed;
+    /// Which positions we received any shares from (dropout detection).
+    std::vector<bool> got_share_from;
+    /// Finished subtotals this peer holds.
+    std::map<std::size_t, Vector> subtotal;
+    /// Leader: all collected subtotals by index.
+    std::map<std::size_t, Vector> collected;
+    /// Leader: replica positions already queried per missing index.
+    std::map<std::size_t, std::size_t> recovery_attempts;
+    bool share_phase_done = false;
+    bool completed = false;
+  };
+
+  bool is_leader() const;
+  void dispatch(const net::Envelope& env);
+  void handle_share(const SacShareMsg& msg);
+  void handle_subtotal(const SacSubtotalMsg& msg);
+  void handle_request(const SacSubtotalReq& msg);
+  void contribute(std::size_t from_pos, std::size_t idx,
+                  const Vector& share);
+  void maybe_finish_share_phase();
+  void emit_subtotals();
+  void leader_collect(std::size_t idx, const Vector& value);
+  void maybe_complete();
+  void on_share_timer();
+  void on_subtotal_timer();
+  void request_missing_subtotals();
+  std::uint64_t share_wire_bytes(std::size_t dim) const;
+
+  const PeerId id_;
+  const std::string channel_;
+  const SacActorOptions opts_;
+  net::Network& net_;
+  net::PeerHost& host_;
+  Rng rng_;
+  std::optional<RoundState> round_;
+  /// Messages for rounds this peer has not begun yet (begin_round control
+  /// and peer shares race over equal-latency links).
+  std::vector<std::pair<RoundId, net::Envelope>> stash_;
+  sim::Timer share_timer_;
+  sim::Timer subtotal_timer_;
+};
+
+}  // namespace p2pfl::secagg

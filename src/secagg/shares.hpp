@@ -1,0 +1,60 @@
+// Additive secret sharing (Alg. 1 of the paper).
+//
+// A model (flattened weight vector) is split into N shares that sum back
+// to the original. Two schemes are provided:
+//
+//  * kProportional — the literal Alg. 1: draw N random numbers, normalize
+//    them to fractions, scale the secret. We apply it per element (each
+//    weight gets its own random fractions), which is what the underlying
+//    SAC baseline (Wink & Nochta) requires for the shares to look random;
+//    applying one scalar fraction to the whole tensor would hand every
+//    peer a scaled copy of the model.
+//  * kUniformMask — classical additive masking: N−1 shares are uniform
+//    noise in [−R, R], the last is the secret minus their sum. Included
+//    because it is the textbook additive scheme ([13] in the paper) and
+//    has better numerical behaviour for large N.
+//
+// Shares are the unit of the k-out-of-n replication in Alg. 4: share
+// *placement* (which consecutive shares go to which peer) lives in
+// sac.hpp; this header only creates and sums shares.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace p2pfl::secagg {
+
+/// A flattened model / share. float matches the 4-byte parameters the
+/// paper's cost analysis assumes (1.25M params = 40 Mb).
+using Vector = std::vector<float>;
+
+enum class SplitScheme {
+  kProportional,  // per-element normalized random fractions (Alg. 1)
+  kUniformMask,   // additive masking with uniform noise
+};
+
+struct SplitOptions {
+  SplitScheme scheme = SplitScheme::kProportional;
+  /// Mask amplitude for kUniformMask.
+  double mask_range = 1.0;
+};
+
+/// Split `secret` into n shares that sum (exactly up to FP rounding) to
+/// it. n >= 1. Shares all have secret.size() elements.
+std::vector<Vector> divide(std::span<const float> secret, std::size_t n,
+                           Rng& rng, const SplitOptions& opts = {});
+
+/// Element-wise sum of shares (double accumulation). All inputs must
+/// share one size.
+Vector sum_shares(std::span<const Vector> shares);
+
+/// Element-wise in-place accumulate: acc += x.
+void accumulate(std::vector<double>& acc, std::span<const float> x);
+
+/// acc (double) -> Vector, optionally scaled by 1/divisor.
+Vector to_vector(std::span<const double> acc, double divisor = 1.0);
+
+}  // namespace p2pfl::secagg

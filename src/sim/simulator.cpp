@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace p2pfl::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::schedule_at(SimTime t, EventFn fn) {
+  P2PFL_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(SimDuration delay, EventFn fn) {
+  P2PFL_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazy deletion: the tombstone is skipped when it reaches the heap top.
+  return cancelled_.insert(id).second;
+  // Note: cancelling an already-fired id leaves a harmless tombstone that
+  // is never matched; callers hold ids only for genuinely pending events.
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    P2PFL_CHECK(ev.t >= now_);
+    now_ = ev.t;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+std::size_t Simulator::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && pop_and_run()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime t) {
+  P2PFL_CHECK(t >= now_);
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_) {
+    // Peek past tombstones to find the next live event.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().t > t) break;
+    if (pop_and_run()) ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace p2pfl::sim

@@ -1,0 +1,44 @@
+#include "sim/timer.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace p2pfl::sim {
+
+Timer::Timer(Simulator& sim, Callback cb) : sim_(sim), cb_(std::move(cb)) {
+  P2PFL_CHECK(cb_ != nullptr);
+}
+
+Timer::~Timer() { cancel(); }
+
+void Timer::arm(SimDuration delay) {
+  cancel();
+  period_ = 0;
+  event_ = sim_.schedule_after(delay, [this] { fire(); });
+}
+
+void Timer::arm_periodic(SimDuration interval) {
+  P2PFL_CHECK(interval > 0);
+  cancel();
+  period_ = interval;
+  event_ = sim_.schedule_after(interval, [this] { fire(); });
+}
+
+void Timer::cancel() {
+  if (event_ != kInvalidEvent) {
+    sim_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+void Timer::fire() {
+  event_ = kInvalidEvent;
+  if (period_ > 0) {
+    // Re-arm before invoking the callback so the callback may cancel().
+    event_ = sim_.schedule_after(period_, [this] { fire(); });
+  }
+  cb_();
+}
+
+}  // namespace p2pfl::sim

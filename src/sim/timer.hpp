@@ -1,0 +1,46 @@
+// Resettable one-shot and periodic timers on top of the simulator.
+//
+// Raft is all timers: election timeouts that reset on every heartbeat,
+// heartbeat broadcast intervals, and the FedAvg-presence poll of §V-B1.
+// Timer owns at most one pending simulator event and guarantees the
+// callback never fires after cancel()/destruction.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace p2pfl::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Simulator& sim, Callback cb);
+  ~Timer();
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arm (or re-arm) as a one-shot firing after `delay`.
+  void arm(SimDuration delay);
+
+  /// Arm (or re-arm) as a periodic timer with the given interval; the
+  /// first firing happens one interval from now.
+  void arm_periodic(SimDuration interval);
+
+  /// Cancel any pending firing. Safe to call when idle.
+  void cancel();
+
+  bool armed() const { return event_ != kInvalidEvent; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  Callback cb_;
+  EventId event_ = kInvalidEvent;
+  SimDuration period_ = 0;  // 0 = one-shot
+};
+
+}  // namespace p2pfl::sim

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "fl/checkpoint.hpp"
+#include "fl/model.hpp"
+
+namespace p2pfl::fl {
+namespace {
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  std::vector<float> w{1.5f, -2.25f, 0.0f, 3.14159f};
+  const auto decoded = decode_checkpoint(encode_checkpoint(w));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, w);
+}
+
+TEST(Checkpoint, EmptyWeightsRoundTrip) {
+  const auto decoded = decode_checkpoint(encode_checkpoint({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Checkpoint, CorruptedPayloadRejected) {
+  std::vector<float> w{1.0f, 2.0f, 3.0f};
+  Bytes data = encode_checkpoint(w);
+  data.back() ^= 0xFF;  // flip payload bits
+  EXPECT_FALSE(decode_checkpoint(data).has_value());
+}
+
+TEST(Checkpoint, TruncatedRejected) {
+  std::vector<float> w{1.0f, 2.0f};
+  Bytes data = encode_checkpoint(w);
+  data.pop_back();
+  EXPECT_FALSE(decode_checkpoint(data).has_value());
+  EXPECT_FALSE(decode_checkpoint(Bytes{1, 2, 3}).has_value());
+}
+
+TEST(Checkpoint, WrongMagicRejected) {
+  Bytes data = encode_checkpoint(std::vector<float>{1.0f});
+  data[0] ^= 0x01;
+  EXPECT_FALSE(decode_checkpoint(data).has_value());
+}
+
+TEST(Checkpoint, FileRoundTripRestoresModel) {
+  Rng rng(5);
+  Model m = Model::mlp(8, {4}, 3);
+  m.init(rng);
+  const auto original = m.get_params();
+  const std::string path = ::testing::TempDir() + "/p2pfl_ckpt.bin";
+  ASSERT_TRUE(save_checkpoint(path, original));
+
+  Model fresh = Model::mlp(8, {4}, 3);
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  fresh.set_params(*loaded);
+  EXPECT_EQ(fresh.get_params(), original);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_checkpoint("/nonexistent/p2pfl.ckpt").has_value());
+}
+
+}  // namespace
+}  // namespace p2pfl::fl

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace p2pfl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng root(7);
+  Rng c1 = root.fork(1);
+  Rng c2 = root.fork(2);
+  Rng c1_again = Rng(7).fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-1.5, 2.5);
+    EXPECT_GE(v, -1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Serialize, RoundTripPrimitives) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(-3.25);
+  w.str("hello");
+  const Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, RoundTripU32Vector) {
+  ByteWriter w;
+  std::vector<std::uint32_t> v{5, 0, 4294967295u, 17};
+  w.vec_u32(v);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.vec_u32<std::uint32_t>(), v);
+}
+
+TEST(Serialize, TruncatedBufferThrows) {
+  ByteWriter w;
+  w.u32(42);
+  Bytes buf = w.take();
+  buf.pop_back();
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(Serialize, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+}
+
+}  // namespace
+}  // namespace p2pfl

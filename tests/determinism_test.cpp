@@ -1,0 +1,101 @@
+// Whole-stack determinism: identical seeds must give bit-identical
+// protocol histories — the property that makes every experiment in this
+// repo replayable and every failure seed debuggable.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fl_experiment.hpp"
+#include "core/two_layer_raft.hpp"
+
+namespace p2pfl {
+namespace {
+
+struct RaftTrace {
+  std::vector<std::tuple<SimTime, SubgroupId, PeerId>> sub_elections;
+  std::vector<std::pair<SimTime, PeerId>> fed_elections;
+  PeerId final_fed = kNoPeer;
+  std::vector<PeerId> final_members;
+};
+
+RaftTrace run_raft_trace(std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  core::TwoLayerRaftOptions opts;
+  opts.raft.election_timeout_min = 50 * kMillisecond;
+  opts.raft.election_timeout_max = 100 * kMillisecond;
+  core::TwoLayerRaftSystem sys(core::Topology::even(12, 4), opts, net);
+  RaftTrace t;
+  sys.on_subgroup_leader = [&](SubgroupId g, PeerId p) {
+    t.sub_elections.emplace_back(sim.now(), g, p);
+  };
+  sys.on_fedavg_leader = [&](PeerId p) {
+    t.fed_elections.emplace_back(sim.now(), p);
+  };
+  sys.start_all();
+  sim.run_for(3 * kSecond);
+  // Crash the FedAvg leader mid-way for extra nondeterminism surface.
+  const PeerId fed = sys.fedavg_leader();
+  if (fed != kNoPeer) sys.crash_peer(fed);
+  sim.run_for(3 * kSecond);
+  t.final_fed = sys.fedavg_leader();
+  t.final_members = sys.fedavg_members();
+  return t;
+}
+
+TEST(Determinism, TwoLayerRaftTimelineIsSeedExact) {
+  const RaftTrace a = run_raft_trace(2024);
+  const RaftTrace b = run_raft_trace(2024);
+  EXPECT_EQ(a.sub_elections, b.sub_elections);
+  EXPECT_EQ(a.fed_elections, b.fed_elections);
+  EXPECT_EQ(a.final_fed, b.final_fed);
+  EXPECT_EQ(a.final_members, b.final_members);
+}
+
+TEST(Determinism, DifferentSeedsGiveDifferentTimelines) {
+  const RaftTrace a = run_raft_trace(1);
+  const RaftTrace b = run_raft_trace(2);
+  // Same topology, different randomized timeouts: the election
+  // timestamps will differ even if the same peers happen to win.
+  EXPECT_NE(a.sub_elections, b.sub_elections);
+}
+
+TEST(Determinism, FlExperimentBitExactAcrossRuns) {
+  core::FlExperimentConfig cfg;
+  cfg.peers = 6;
+  cfg.group_size = 3;
+  cfg.rounds = 6;
+  cfg.eval_every = 2;
+  cfg.data.height = 8;
+  cfg.data.width = 8;
+  cfg.data.train_samples = 240;
+  cfg.data.test_samples = 60;
+  cfg.seed = 77;
+  const auto a = core::run_fl_experiment(cfg);
+  const auto b = core::run_fl_experiment(cfg);
+  EXPECT_EQ(a.final_weights, b.final_weights);  // bit-identical weights
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].train_loss, b.records[i].train_loss);
+    EXPECT_EQ(a.records[i].test_accuracy, b.records[i].test_accuracy);
+  }
+}
+
+TEST(Determinism, FlExperimentSeedChangesWeights) {
+  core::FlExperimentConfig cfg;
+  cfg.peers = 4;
+  cfg.group_size = 2;
+  cfg.rounds = 3;
+  cfg.data.height = 8;
+  cfg.data.width = 8;
+  cfg.data.train_samples = 120;
+  cfg.data.test_samples = 40;
+  cfg.seed = 1;
+  const auto a = core::run_fl_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = core::run_fl_experiment(cfg);
+  EXPECT_NE(a.final_weights, b.final_weights);
+}
+
+}  // namespace
+}  // namespace p2pfl

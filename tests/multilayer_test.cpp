@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "analysis/cost_model.hpp"
+#include "core/multilayer.hpp"
+
+namespace p2pfl::core {
+namespace {
+
+struct Harness {
+  Harness(std::size_t n, std::size_t layers, std::uint64_t seed = 3)
+      : topo(MultilayerTopology::build(n, layers)),
+        sim(seed),
+        net(sim, {.base_latency = 15 * kMillisecond}) {
+    for (PeerId p = 0; p < topo.peer_count; ++p) {
+      hosts.push_back(std::make_unique<net::PeerHost>());
+      net.attach(p, hosts.back().get());
+    }
+    MultilayerOptions opts;
+    opts.model_wire_bytes = kWire;
+    agg = std::make_unique<MultilayerAggregator>(
+        topo, opts, net, [this](PeerId p) -> net::PeerHost& {
+          return *hosts[p];
+        });
+    agg->on_complete = [this](secagg::RoundId, const secagg::Vector& g) {
+      global = g;
+    };
+    agg->on_model_received = [this](secagg::RoundId, PeerId p,
+                                    const secagg::Vector& g) {
+      received[p] = g;
+    };
+  }
+
+  void run_round(std::size_t dim = 4) {
+    Rng rng(11);
+    models.clear();
+    for (PeerId p = 0; p < topo.peer_count; ++p) {
+      secagg::Vector v(dim);
+      for (float& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+      models.push_back(v);
+    }
+    agg->begin_round(1, [this](PeerId p) { return models[p]; });
+    sim.run();
+  }
+
+  secagg::Vector expected_mean() const {
+    secagg::Vector avg(models.front().size(), 0.0f);
+    for (const auto& m : models) {
+      for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += m[i];
+    }
+    for (float& v : avg) v /= static_cast<float>(models.size());
+    return avg;
+  }
+
+  static constexpr std::uint64_t kWire = 1u << 16;
+
+  MultilayerTopology topo;
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::unique_ptr<net::PeerHost>> hosts;
+  std::unique_ptr<MultilayerAggregator> agg;
+  std::vector<secagg::Vector> models;
+  secagg::Vector global;
+  std::map<PeerId, secagg::Vector> received;
+};
+
+struct Dims {
+  std::size_t n;
+  std::size_t layers;
+};
+
+class MultilayerShape : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(MultilayerShape, PeerCountMatchesEq6) {
+  const auto [n, layers] = GetParam();
+  const auto topo = MultilayerTopology::build(n, layers);
+  EXPECT_EQ(topo.peer_count, analysis::multilayer_peers(n, layers));
+  // Group count: 1 + sum_{k=1..X-1} n(n-1)^{k-1}.
+  std::size_t expected_groups = 1;
+  if (layers > 1) {
+    expected_groups += static_cast<std::size_t>(
+        analysis::multilayer_peers(n, layers - 1));
+  }
+  EXPECT_EQ(topo.groups.size(), expected_groups);
+  // Every group has exactly n members, leader first.
+  for (const auto& g : topo.groups) {
+    EXPECT_EQ(g.members.size(), n);
+    EXPECT_EQ(g.members.front(), g.leader);
+  }
+}
+
+TEST_P(MultilayerShape, EveryPeerHasExactlyOneHome) {
+  const auto [n, layers] = GetParam();
+  const auto topo = MultilayerTopology::build(n, layers);
+  std::vector<std::size_t> memberships(topo.peer_count, 0);
+  for (const auto& g : topo.groups) {
+    for (PeerId m : g.members) ++memberships[m];
+  }
+  for (PeerId p = 0; p < topo.peer_count; ++p) {
+    // Members of one group, plus one more if they lead a child group.
+    const std::size_t expected = topo.leads[p] == -1 ? 1 : 2;
+    EXPECT_EQ(memberships[p], expected) << "peer " << p;
+    EXPECT_GE(topo.home[p], 0);
+  }
+}
+
+TEST_P(MultilayerShape, AggregatesToExactGlobalMean) {
+  const auto [n, layers] = GetParam();
+  Harness h(n, layers);
+  h.run_round();
+  ASSERT_FALSE(h.global.empty());
+  const auto expected = h.expected_mean();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(h.global[i], expected[i], 1e-3f) << "element " << i;
+  }
+}
+
+TEST_P(MultilayerShape, EveryPeerReceivesTheGlobalModel) {
+  const auto [n, layers] = GetParam();
+  Harness h(n, layers);
+  h.run_round();
+  EXPECT_EQ(h.received.size(), h.topo.peer_count);
+  for (const auto& [p, model] : h.received) {
+    EXPECT_EQ(model, h.global) << "peer " << p;
+  }
+}
+
+TEST_P(MultilayerShape, WireBytesMatchEq10Exactly) {
+  const auto [n, layers] = GetParam();
+  Harness h(n, layers);
+  h.run_round();
+  const double expected_units = analysis::multilayer_cost(n, layers);
+  const double measured_units =
+      static_cast<double>(h.net.stats().sent.bytes) /
+      static_cast<double>(Harness::kWire);
+  EXPECT_DOUBLE_EQ(measured_units, expected_units)
+      << "n=" << n << " X=" << layers;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MultilayerShape,
+                         ::testing::Values(Dims{3, 1}, Dims{3, 2},
+                                           Dims{3, 3}, Dims{4, 2},
+                                           Dims{5, 2}, Dims{2, 3}));
+
+TEST(Multilayer, TwoLayerCaseMatchesTwoLayerFormulaWithSacTop) {
+  // An X=2 hierarchy with SAC at the top is the paper's "SAC could be
+  // employed in the higher layer" variant; Eq. 10 at X=2 equals
+  // (N-1)(n+2).
+  const auto topo = MultilayerTopology::build(4, 2);
+  const double eq10 = analysis::multilayer_cost(4, 2);
+  EXPECT_DOUBLE_EQ(
+      eq10, static_cast<double>((topo.peer_count - 1) * (4 + 2)));
+}
+
+}  // namespace
+}  // namespace p2pfl::core

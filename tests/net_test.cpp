@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "net/mux.hpp"
+#include "net/network.hpp"
+
+namespace p2pfl::net {
+namespace {
+
+struct Recorder : Endpoint {
+  std::vector<Envelope> received;
+  std::vector<SimTime> times;
+  sim::Simulator* sim = nullptr;
+  void deliver(const Envelope& env) override {
+    received.push_back(env);
+    if (sim != nullptr) times.push_back(sim->now());
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(42), net_(sim_, {.base_latency = 15 * kMillisecond}) {
+    a_.sim = &sim_;
+    b_.sim = &sim_;
+    net_.attach(0, &a_);
+    net_.attach(1, &b_);
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  Recorder a_, b_;
+};
+
+TEST_F(NetworkTest, DeliversWithConfiguredLatency) {
+  net_.send(0, 1, "test/msg", std::string("payload"), 100);
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.times[0], 15 * kMillisecond);
+  EXPECT_EQ(b_.received[0].kind, "test/msg");
+  EXPECT_EQ(std::any_cast<std::string>(b_.received[0].body), "payload");
+}
+
+TEST_F(NetworkTest, CountsSentAndDeliveredBytes) {
+  net_.send(0, 1, "k1", 1, 100);
+  net_.send(1, 0, "k2", 2, 50);
+  sim_.run();
+  EXPECT_EQ(net_.stats().sent.messages, 2u);
+  EXPECT_EQ(net_.stats().sent.bytes, 150u);
+  EXPECT_EQ(net_.stats().delivered.bytes, 150u);
+  EXPECT_EQ(net_.stats().sent_by_kind.at("k1").bytes, 100u);
+  EXPECT_EQ(net_.stats().sent_by_kind.at("k2").messages, 1u);
+}
+
+TEST_F(NetworkTest, CrashedSenderEmitsNothing) {
+  net_.crash(0);
+  net_.send(0, 1, "k", 1, 10);
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().sent.messages, 0u);
+}
+
+TEST_F(NetworkTest, CrashedReceiverLosesInFlightMessage) {
+  net_.send(0, 1, "k", 1, 10);
+  sim_.run_until(5 * kMillisecond);
+  net_.crash(1);  // message is mid-flight
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(net_.stats().sent.messages, 1u);  // it was put on the wire
+  EXPECT_EQ(net_.stats().delivered.messages, 0u);
+}
+
+TEST_F(NetworkTest, RestoreReenablesDelivery) {
+  net_.crash(1);
+  net_.send(0, 1, "k", 1, 10);
+  sim_.run();
+  net_.restore(1);
+  net_.send(0, 1, "k", 2, 10);
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(std::any_cast<int>(b_.received[0].body), 2);
+}
+
+TEST_F(NetworkTest, BlockedLinkDropsDirectionally) {
+  net_.block_link(0, 1);
+  net_.send(0, 1, "k", 1, 10);
+  net_.send(1, 0, "k", 2, 10);
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+  ASSERT_EQ(a_.received.size(), 1u);
+  net_.unblock_link(0, 1);
+  net_.send(0, 1, "k", 3, 10);
+  sim_.run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, ExtraLinkDelayApplies) {
+  net_.set_link_delay(0, 1, 100 * kMillisecond);
+  net_.send(0, 1, "k", 1, 10);
+  sim_.run();
+  ASSERT_EQ(b_.times.size(), 1u);
+  EXPECT_EQ(b_.times[0], 115 * kMillisecond);
+  net_.clear_link_delay(0, 1);
+  net_.send(0, 1, "k", 2, 10);
+  sim_.run();
+  EXPECT_EQ(b_.times[1] - b_.times[0], 15 * kMillisecond);
+}
+
+TEST_F(NetworkTest, SelfSendIsImmediateAndUncounted) {
+  net_.send(0, 0, "k", 7, 10);
+  sim_.run();
+  ASSERT_EQ(a_.received.size(), 1u);
+  EXPECT_EQ(a_.times[0], 0);
+  EXPECT_EQ(net_.stats().sent.messages, 0u);
+}
+
+TEST_F(NetworkTest, UnattachedDestinationDropsSilently) {
+  net_.send(0, 99, "k", 1, 10);
+  EXPECT_NO_THROW(sim_.run());
+  EXPECT_EQ(net_.stats().delivered.messages, 0u);
+}
+
+TEST_F(NetworkTest, ResetStatsClearsCounters) {
+  net_.send(0, 1, "k", 1, 10);
+  sim_.run();
+  net_.reset_stats();
+  EXPECT_EQ(net_.stats().sent.messages, 0u);
+  EXPECT_EQ(net_.stats().delivered.bytes, 0u);
+}
+
+TEST(PeerHost, RoutesByLongestPrefix) {
+  PeerHost host;
+  std::vector<std::string> hits;
+  host.route("raft/", [&](const Envelope& e) { hits.push_back("raft:" + e.kind); });
+  host.route("raft/sg1/", [&](const Envelope& e) { hits.push_back("sg1:" + e.kind); });
+  host.route("sac/", [&](const Envelope& e) { hits.push_back("sac:" + e.kind); });
+
+  host.deliver(Envelope{0, 1, "raft/sg1/ae", {}, 0});
+  host.deliver(Envelope{0, 1, "raft/fed/rv", {}, 0});
+  host.deliver(Envelope{0, 1, "sac/share", {}, 0});
+  host.deliver(Envelope{0, 1, "unknown/x", {}, 0});
+
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], "sg1:raft/sg1/ae");
+  EXPECT_EQ(hits[1], "raft:raft/fed/rv");
+  EXPECT_EQ(hits[2], "sac:sac/share");
+}
+
+TEST(PeerHost, UnrouteStopsDelivery) {
+  PeerHost host;
+  int hits = 0;
+  host.route("a/", [&](const Envelope&) { ++hits; });
+  host.deliver(Envelope{0, 1, "a/x", {}, 0});
+  host.unroute("a/");
+  host.deliver(Envelope{0, 1, "a/x", {}, 0});
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(NetworkJitter, JitterStaysWithinBound) {
+  sim::Simulator sim(7);
+  Network net(sim, {.base_latency = 10 * kMillisecond,
+                    .latency_jitter = 5 * kMillisecond});
+  Recorder r;
+  r.sim = &sim;
+  net.attach(1, &r);
+  net.attach(0, &r);
+  for (int i = 0; i < 50; ++i) net.send(0, 1, "k", i, 1);
+  sim.run();
+  ASSERT_EQ(r.times.size(), 50u);
+  for (SimTime t : r.times) {
+    EXPECT_GE(t, 10 * kMillisecond);
+    EXPECT_LE(t, 15 * kMillisecond);
+  }
+}
+
+
+TEST(NetworkBandwidth, TransmissionDelayAddsToLatency) {
+  sim::Simulator sim(3);
+  NetworkConfig cfg;
+  cfg.base_latency = 10 * kMillisecond;
+  cfg.egress_bytes_per_sec = 1'000'000;  // 1 MB/s
+  Network net(sim, cfg);
+  Recorder r;
+  r.sim = &sim;
+  net.attach(0, &r);
+  net.attach(1, &r);
+  net.send(0, 1, "k", 1, 500'000);  // 0.5 s transmission
+  sim.run();
+  ASSERT_EQ(r.times.size(), 1u);
+  EXPECT_EQ(r.times[0], 500 * kMillisecond + 10 * kMillisecond);
+}
+
+TEST(NetworkBandwidth, SenderEgressSerializes) {
+  // Two messages from one sender queue behind each other; two messages
+  // from different senders do not.
+  sim::Simulator sim(4);
+  NetworkConfig cfg;
+  cfg.base_latency = 0;
+  cfg.egress_bytes_per_sec = 1'000'000;
+  Network net(sim, cfg);
+  Recorder r;
+  r.sim = &sim;
+  net.attach(0, &r);
+  net.attach(1, &r);
+  net.attach(2, &r);
+  net.send(0, 2, "k", 1, 100'000);  // done at 100 ms
+  net.send(0, 2, "k", 2, 100'000);  // queued: done at 200 ms
+  net.send(1, 2, "k", 3, 100'000);  // own NIC: done at 100 ms
+  sim.run();
+  ASSERT_EQ(r.times.size(), 3u);
+  EXPECT_EQ(r.times[0], 100 * kMillisecond);
+  EXPECT_EQ(r.times[1], 100 * kMillisecond);
+  EXPECT_EQ(r.times[2], 200 * kMillisecond);
+}
+
+TEST(NetworkBandwidth, ZeroMeansInfinite) {
+  sim::Simulator sim(5);
+  NetworkConfig cfg;
+  cfg.base_latency = 5 * kMillisecond;
+  cfg.egress_bytes_per_sec = 0;
+  Network net(sim, cfg);
+  Recorder r;
+  r.sim = &sim;
+  net.attach(0, &r);
+  net.attach(1, &r);
+  net.send(0, 1, "k", 1, 1'000'000'000);
+  sim.run();
+  ASSERT_EQ(r.times.size(), 1u);
+  EXPECT_EQ(r.times[0], 5 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace p2pfl::net

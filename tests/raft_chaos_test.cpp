@@ -1,0 +1,244 @@
+// Randomized fault-injection ("chaos") tests for the Raft substrate.
+//
+// Long simulated runs with random crashes, restarts and link blocks,
+// while continuously checking the Raft paper's safety properties:
+//   * Election Safety  — at most one leader per term;
+//   * Log Matching     — equal (index, term) implies equal prefixes;
+//   * Leader Completeness / State-Machine Safety — applied sequences of
+//     any two nodes are prefixes of each other, and committed entries
+//     are never lost.
+// Seeds are parameterized so one failure is replayable exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/rng.hpp"
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "raft/node.hpp"
+
+namespace p2pfl::raft {
+namespace {
+
+class ChaosCluster {
+ public:
+  ChaosCluster(std::size_t n, std::uint64_t seed)
+      : sim_(seed),
+        net_(sim_, {.base_latency = 15 * kMillisecond}),
+        chaos_rng_(seed ^ 0xc4a05ULL) {
+    RaftOptions opts;
+    opts.election_timeout_min = 100 * kMillisecond;
+    opts.election_timeout_max = 200 * kMillisecond;
+    std::vector<PeerId> members;
+    for (std::size_t i = 0; i < n; ++i) members.push_back(static_cast<PeerId>(i));
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts_.push_back(std::make_unique<net::PeerHost>());
+      net_.attach(static_cast<PeerId>(i), hosts_.back().get());
+      nodes_.push_back(std::make_unique<RaftNode>(
+          static_cast<PeerId>(i), "raft/chaos", members, opts, net_,
+          *hosts_[i]));
+      RaftNode* node = nodes_.back().get();
+      node->on_apply = [this, i](Index idx, const LogEntry& e) {
+        applied_[i].emplace_back(idx, e.data);
+      };
+      node->on_become_leader = [this, node] {
+        auto [it, fresh] = leaders_by_term_.emplace(node->current_term(),
+                                                    node->id());
+        EXPECT_TRUE(fresh || it->second == node->id())
+            << "two leaders elected in term " << node->current_term();
+      };
+      node->start();
+    }
+  }
+
+  /// Like run_chaos, but the leader also cycles membership: it removes a
+  /// random other member and adds it back a few ticks later.
+  void run_membership_churn(SimDuration total, double change_p) {
+    std::uint8_t next_cmd = 0;
+    PeerId parked = kNoPeer;  // currently removed member
+    int park_ticks = 0;
+    const SimTime end = sim_.now() + total;
+    while (sim_.now() < end) {
+      sim_.run_for(50 * kMillisecond);
+      RaftNode* leader = live_leader();
+      if (leader != nullptr) {
+        leader->propose(Bytes{next_cmd++});
+        if (parked == kNoPeer && chaos_rng_.chance(change_p)) {
+          // Remove a random other member.
+          std::vector<PeerId> others;
+          for (PeerId m : leader->members()) {
+            if (m != leader->id()) others.push_back(m);
+          }
+          if (others.size() + 1 > 2) {  // keep at least a pair
+            const PeerId victim = others[chaos_rng_.index(others.size())];
+            if (leader->propose_remove_server(victim)) {
+              parked = victim;
+              park_ticks = 0;
+            }
+          }
+        } else if (parked != kNoPeer && ++park_ticks > 5) {
+          if (leader->propose_add_server(parked)) parked = kNoPeer;
+        }
+      }
+      check_safety();
+    }
+    // Re-admit whoever is still parked and settle.
+    for (int i = 0; i < 100 && parked != kNoPeer; ++i) {
+      sim_.run_for(100 * kMillisecond);
+      RaftNode* leader = live_leader();
+      if (leader != nullptr && leader->propose_add_server(parked)) {
+        parked = kNoPeer;
+      }
+    }
+    sim_.run_for(3 * kSecond);
+    check_safety();
+  }
+
+  void run_chaos(SimDuration total, double crash_p, double restart_p) {
+    std::uint8_t next_cmd = 0;
+    const SimTime end = sim_.now() + total;
+    while (sim_.now() < end) {
+      sim_.run_for(50 * kMillisecond);
+
+      // A live leader keeps proposing work.
+      for (auto& n : nodes_) {
+        if (n->is_leader() && !net_.crashed(n->id())) {
+          n->propose(Bytes{next_cmd++});
+          break;
+        }
+      }
+      // Random crashes, bounded to a minority so progress stays possible
+      // most of the time.
+      if (chaos_rng_.chance(crash_p) &&
+          crashed_.size() < nodes_.size() / 2) {
+        const PeerId victim =
+            static_cast<PeerId>(chaos_rng_.index(nodes_.size()));
+        if (crashed_.insert(victim).second) {
+          net_.crash(victim);
+          nodes_[victim]->stop();
+        }
+      }
+      // Random restarts.
+      if (!crashed_.empty() && chaos_rng_.chance(restart_p)) {
+        const PeerId back = *crashed_.begin();
+        crashed_.erase(back);
+        net_.restore(back);
+        applied_[back].clear();  // restart replays from scratch
+        nodes_[back]->restart();
+      }
+      check_safety();
+    }
+    // Heal everything and let the cluster converge.
+    for (PeerId p : crashed_) {
+      net_.restore(p);
+      applied_[p].clear();
+      nodes_[p]->restart();
+    }
+    crashed_.clear();
+    sim_.run_for(3 * kSecond);
+    check_safety();
+  }
+
+  void check_safety() {
+    // Log Matching across every live pair.
+    for (std::size_t a = 0; a < nodes_.size(); ++a) {
+      for (std::size_t b = a + 1; b < nodes_.size(); ++b) {
+        const RaftLog& la = nodes_[a]->log();
+        const RaftLog& lb = nodes_[b]->log();
+        const Index common = std::min(la.last_index(), lb.last_index());
+        // Find the highest common index with equal terms; everything at
+        // or below it must match exactly.
+        for (Index i = common; i >= 1; --i) {
+          if (la.term_at(i) == lb.term_at(i)) {
+            for (Index j = i; j >= 1; --j) {
+              ASSERT_TRUE(la.at(j) == lb.at(j))
+                  << "log divergence below matching (index " << i
+                  << ", nodes " << a << "," << b << ")";
+            }
+            break;
+          }
+        }
+      }
+    }
+    // State-Machine Safety: applied sequences are prefix-compatible.
+    for (std::size_t a = 0; a < nodes_.size(); ++a) {
+      for (std::size_t b = a + 1; b < nodes_.size(); ++b) {
+        const auto& sa = applied_[a];
+        const auto& sb = applied_[b];
+        const std::size_t common = std::min(sa.size(), sb.size());
+        for (std::size_t i = 0; i < common; ++i) {
+          ASSERT_EQ(sa[i], sb[i])
+              << "state machines diverged at applied entry " << i;
+        }
+      }
+    }
+  }
+
+  std::size_t total_applied() const {
+    std::size_t best = 0;
+    for (const auto& [i, seq] : applied_) best = std::max(best, seq.size());
+    return best;
+  }
+
+  bool has_leader() const {
+    for (const auto& n : nodes_) {
+      if (n->is_leader() && !net_.crashed(n->id())) return true;
+    }
+    return false;
+  }
+
+  RaftNode* live_leader() {
+    for (auto& n : nodes_) {
+      if (n->is_leader() && !net_.crashed(n->id())) return n.get();
+    }
+    return nullptr;
+  }
+
+  std::size_t member_count() {
+    RaftNode* l = live_leader();
+    return l == nullptr ? 0 : l->members().size();
+  }
+
+ private:
+  sim::Simulator sim_;
+  net::Network net_;
+  Rng chaos_rng_;
+  std::vector<std::unique_ptr<net::PeerHost>> hosts_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  std::map<std::size_t, std::vector<std::pair<Index, Bytes>>> applied_;
+  std::map<Term, PeerId> leaders_by_term_;
+  std::set<PeerId> crashed_;
+};
+
+class RaftChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaftChaos, SafetyHoldsUnderRandomCrashesFiveNodes) {
+  ChaosCluster c(5, GetParam());
+  c.run_chaos(30 * kSecond, /*crash_p=*/0.15, /*restart_p=*/0.2);
+  EXPECT_TRUE(c.has_leader());
+  EXPECT_GT(c.total_applied(), 20u) << "cluster made too little progress";
+}
+
+TEST_P(RaftChaos, SafetyHoldsUnderHeavyChurnSevenNodes) {
+  ChaosCluster c(7, GetParam() ^ 0x77);
+  c.run_chaos(20 * kSecond, /*crash_p=*/0.3, /*restart_p=*/0.35);
+  EXPECT_TRUE(c.has_leader());
+  EXPECT_GT(c.total_applied(), 5u);
+}
+
+TEST_P(RaftChaos, MembershipChurnPreservesSafety) {
+  ChaosCluster c(5, GetParam() ^ 0x3333);
+  c.run_membership_churn(20 * kSecond, /*change_p=*/0.2);
+  ASSERT_NE(c.live_leader(), nullptr);
+  EXPECT_EQ(c.member_count(), 5u) << "everyone re-admitted";
+  EXPECT_GT(c.total_applied(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftChaos,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace p2pfl::raft

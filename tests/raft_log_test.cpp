@@ -1,0 +1,109 @@
+// RaftLog unit tests (indexing, truncation, slicing, the §5.4.1
+// up-to-date comparison, config tracking). Compaction-specific behaviour
+// lives in raft_snapshot_test.cpp.
+#include <gtest/gtest.h>
+
+#include "raft/log.hpp"
+
+namespace p2pfl::raft {
+namespace {
+
+LogEntry mk(Term t, EntryKind k = EntryKind::kCommand, Bytes data = {}) {
+  LogEntry e;
+  e.term = t;
+  e.kind = k;
+  e.data = std::move(data);
+  return e;
+}
+
+TEST(RaftLog, EmptyLogSentinels) {
+  RaftLog log;
+  EXPECT_EQ(log.last_index(), 0u);
+  EXPECT_EQ(log.last_term(), 0u);
+  EXPECT_EQ(log.term_at(0), 0u);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.first_index(), 1u);
+  EXPECT_FALSE(log.latest_config_index().has_value());
+}
+
+TEST(RaftLog, AppendAssignsOneBasedIndices) {
+  RaftLog log;
+  EXPECT_EQ(log.append(mk(1)), 1u);
+  EXPECT_EQ(log.append(mk(1)), 2u);
+  EXPECT_EQ(log.append(mk(2)), 3u);
+  EXPECT_EQ(log.last_index(), 3u);
+  EXPECT_EQ(log.last_term(), 2u);
+  EXPECT_EQ(log.term_at(2), 1u);
+}
+
+TEST(RaftLog, TruncateFromRemovesSuffix) {
+  RaftLog log;
+  for (Term t = 1; t <= 5; ++t) log.append(mk(t));
+  log.truncate_from(3);
+  EXPECT_EQ(log.last_index(), 2u);
+  EXPECT_EQ(log.last_term(), 2u);
+  log.truncate_from(10);  // past-the-end is a no-op
+  EXPECT_EQ(log.last_index(), 2u);
+  log.truncate_from(1);  // everything
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(RaftLog, SliceClampsAndCopies) {
+  RaftLog log;
+  for (Term t = 1; t <= 5; ++t) {
+    log.append(mk(t, EntryKind::kCommand, {static_cast<std::uint8_t>(t)}));
+  }
+  const auto s = log.slice(2, 2);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].data[0], 2);
+  EXPECT_EQ(s[1].data[0], 3);
+  EXPECT_EQ(log.slice(5, 10).size(), 1u);
+  EXPECT_TRUE(log.slice(6, 10).empty());
+  EXPECT_TRUE(log.slice(0, 10).empty());
+}
+
+TEST(RaftLog, UpToDateComparison) {
+  RaftLog log;
+  log.append(mk(1));
+  log.append(mk(3));
+  // Higher last term wins regardless of length.
+  EXPECT_TRUE(log.candidate_up_to_date(1, 4));
+  EXPECT_FALSE(log.candidate_up_to_date(100, 2));
+  // Equal last term: length decides.
+  EXPECT_TRUE(log.candidate_up_to_date(2, 3));
+  EXPECT_TRUE(log.candidate_up_to_date(3, 3));
+  EXPECT_FALSE(log.candidate_up_to_date(1, 3));
+}
+
+TEST(RaftLog, LatestConfigIndexTracksAppendsAndTruncations) {
+  RaftLog log;
+  log.append(mk(1));
+  log.append(mk(1, EntryKind::kConfig, encode_members({0, 1, 2})));
+  log.append(mk(1));
+  log.append(mk(2, EntryKind::kConfig, encode_members({0, 1, 2, 3})));
+  ASSERT_TRUE(log.latest_config_index().has_value());
+  EXPECT_EQ(*log.latest_config_index(), 4u);
+  log.truncate_from(4);
+  ASSERT_TRUE(log.latest_config_index().has_value());
+  EXPECT_EQ(*log.latest_config_index(), 2u);
+  EXPECT_EQ(decode_members(log.at(2).data),
+            (std::vector<PeerId>{0, 1, 2}));
+}
+
+TEST(RaftLog, EncodeMembersSortsAndRoundTrips) {
+  const Bytes b = encode_members({5, 1, 3});
+  EXPECT_EQ(decode_members(b), (std::vector<PeerId>{1, 3, 5}));
+  EXPECT_TRUE(decode_members(encode_members({})).empty());
+}
+
+TEST(RaftLog, OutOfRangeAccessThrows) {
+  RaftLog log;
+  log.append(mk(1));
+  EXPECT_THROW(log.at(0), std::logic_error);
+  EXPECT_THROW(log.at(2), std::logic_error);
+  EXPECT_THROW(log.term_at(2), std::logic_error);
+  EXPECT_THROW(log.truncate_from(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace p2pfl::raft

@@ -1,0 +1,188 @@
+// PreVote (§9.6) and leadership transfer (§3.10).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "raft/node.hpp"
+
+namespace p2pfl::raft {
+namespace {
+
+struct Cluster {
+  explicit Cluster(std::size_t n, RaftOptions opts, std::uint64_t seed = 42)
+      : sim(seed), net(sim, {.base_latency = 15 * kMillisecond}) {
+    std::vector<PeerId> members;
+    for (std::size_t i = 0; i < n; ++i) members.push_back(static_cast<PeerId>(i));
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<net::PeerHost>());
+      net.attach(static_cast<PeerId>(i), hosts.back().get());
+      nodes.push_back(std::make_unique<RaftNode>(
+          static_cast<PeerId>(i), "raft/pv", members, opts, net,
+          *hosts[i]));
+      nodes.back()->start();
+    }
+  }
+
+  RaftNode* leader() {
+    for (auto& n : nodes) {
+      if (n->is_leader() && !net.crashed(n->id())) return n.get();
+    }
+    return nullptr;
+  }
+
+  void isolate(PeerId id) {
+    for (auto& n : nodes) {
+      if (n->id() != id) {
+        net.block_link(id, n->id());
+        net.block_link(n->id(), id);
+      }
+    }
+  }
+
+  void heal(PeerId id) {
+    for (auto& n : nodes) {
+      if (n->id() != id) {
+        net.unblock_link(id, n->id());
+        net.unblock_link(n->id(), id);
+      }
+    }
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::unique_ptr<net::PeerHost>> hosts;
+  std::vector<std::unique_ptr<RaftNode>> nodes;
+};
+
+RaftOptions prevote_opts() {
+  RaftOptions opts;
+  opts.pre_vote = true;
+  return opts;
+}
+
+TEST(PreVote, ClusterStillElectsALeader) {
+  Cluster c(5, prevote_opts());
+  c.sim.run_for(3 * kSecond);
+  ASSERT_NE(c.leader(), nullptr);
+  // With PreVote and no disruption the first real election usually
+  // happens at term 1 — terms don't inflate.
+  EXPECT_LE(c.leader()->current_term(), 3u);
+}
+
+TEST(PreVote, IsolatedNodeDoesNotInflateItsTerm) {
+  // The classic PreVote scenario: a partitioned node keeps timing out.
+  // Without PreVote its term grows unboundedly and it deposes the leader
+  // on rejoin; with PreVote it never wins a pre-quorum, so its term
+  // stays put and the healed cluster is undisturbed.
+  Cluster c(5, prevote_opts());
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  const Term term_before = leader->current_term();
+
+  PeerId victim = kNoPeer;
+  for (auto& n : c.nodes) {
+    if (n.get() != leader) victim = n->id();
+  }
+  c.isolate(victim);
+  c.sim.run_for(10 * kSecond);  // dozens of failed prevote rounds
+  EXPECT_EQ(c.nodes[victim]->current_term(), term_before)
+      << "prevote must not bump the term";
+
+  c.heal(victim);
+  c.sim.run_for(2 * kSecond);
+  ASSERT_NE(c.leader(), nullptr);
+  EXPECT_EQ(c.leader()->id(), leader->id()) << "leadership was disturbed";
+  EXPECT_EQ(c.leader()->current_term(), term_before);
+}
+
+TEST(PreVote, WithoutPreVoteIsolatedNodeInflatesTerm) {
+  // Control experiment documenting the behaviour PreVote fixes. (Leader
+  // stickiness still protects the healthy side on heal.)
+  RaftOptions opts;  // pre_vote = false
+  Cluster c(5, opts);
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  PeerId victim = kNoPeer;
+  for (auto& n : c.nodes) {
+    if (n.get() != leader) victim = n->id();
+  }
+  const Term before = c.nodes[victim]->current_term();
+  c.isolate(victim);
+  c.sim.run_for(10 * kSecond);
+  EXPECT_GT(c.nodes[victim]->current_term(), before + 10);
+}
+
+TEST(PreVote, CrashRecoveryStillWorks) {
+  Cluster c(5, prevote_opts(), 9);
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  const PeerId old_id = leader->id();
+  c.net.crash(old_id);
+  leader->stop();
+  c.sim.run_for(3 * kSecond);
+  RaftNode* successor = c.leader();
+  ASSERT_NE(successor, nullptr);
+  EXPECT_NE(successor->id(), old_id);
+}
+
+TEST(LeadershipTransfer, TransfereeBecomesLeaderPromptly) {
+  Cluster c(5, {});
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  PeerId target = kNoPeer;
+  for (auto& n : c.nodes) {
+    if (n.get() != leader) target = n->id();
+  }
+  // Commit something so logs are non-trivial.
+  leader->propose(Bytes{1});
+  c.sim.run_for(200 * kMillisecond);
+
+  const SimTime asked = c.sim.now();
+  ASSERT_TRUE(leader->transfer_leadership(target));
+  c.sim.run_for(2 * kSecond);
+  RaftNode* new_leader = c.leader();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_EQ(new_leader->id(), target);
+  // Transfer is fast: one RTT for TimeoutNow + one election round, far
+  // below an election timeout.
+  EXPECT_LT(c.nodes[target]->current_term(), leader->current_term() + 3);
+  (void)asked;
+}
+
+TEST(LeadershipTransfer, RejectedWhenNotLeaderOrNotMember) {
+  Cluster c(3, {});
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  for (auto& n : c.nodes) {
+    if (n.get() != leader) {
+      EXPECT_FALSE(n->transfer_leadership(leader->id()));
+    }
+  }
+  EXPECT_FALSE(leader->transfer_leadership(99));        // not a member
+  EXPECT_FALSE(leader->transfer_leadership(leader->id()));  // self
+}
+
+TEST(LeadershipTransfer, WorksUnderPreVote) {
+  Cluster c(5, prevote_opts(), 17);
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  PeerId target = kNoPeer;
+  for (auto& n : c.nodes) {
+    if (n.get() != leader) target = n->id();
+  }
+  ASSERT_TRUE(leader->transfer_leadership(target));
+  c.sim.run_for(2 * kSecond);
+  ASSERT_NE(c.leader(), nullptr);
+  EXPECT_EQ(c.leader()->id(), target);
+}
+
+}  // namespace
+}  // namespace p2pfl::raft

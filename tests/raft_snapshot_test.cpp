@@ -1,0 +1,219 @@
+// Log compaction and InstallSnapshot (§7 of the Raft paper), as used to
+// keep the two-layer system's config logs bounded over long FL runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "raft/node.hpp"
+
+namespace p2pfl::raft {
+namespace {
+
+// --- RaftLog-level compaction --------------------------------------------------
+
+TEST(RaftLogCompaction, CompactDiscardsPrefixKeepsIndices) {
+  RaftLog log;
+  for (Term t = 1; t <= 5; ++t) log.append(LogEntry{t, EntryKind::kCommand, {static_cast<std::uint8_t>(t)}});
+  log.compact_to(3);
+  EXPECT_EQ(log.snapshot_index(), 3u);
+  EXPECT_EQ(log.snapshot_term(), 3u);
+  EXPECT_EQ(log.first_index(), 4u);
+  EXPECT_EQ(log.last_index(), 5u);
+  EXPECT_EQ(log.term_at(3), 3u);  // boundary still answers
+  EXPECT_EQ(log.at(4).term, 4u);
+  EXPECT_EQ(log.term_at(5), 5u);
+  EXPECT_THROW(log.at(3), std::logic_error);
+}
+
+TEST(RaftLogCompaction, CompactAllLeavesEmptyTail) {
+  RaftLog log;
+  for (Term t = 1; t <= 3; ++t) log.append(LogEntry{t, EntryKind::kCommand, {}});
+  log.compact_to(3);
+  EXPECT_EQ(log.last_index(), 3u);
+  EXPECT_EQ(log.last_term(), 3u);
+  EXPECT_TRUE(log.slice(1, 10).empty());
+  // Appending continues seamlessly.
+  log.append(LogEntry{4, EntryKind::kCommand, {}});
+  EXPECT_EQ(log.last_index(), 4u);
+  EXPECT_EQ(log.at(4).term, 4u);
+}
+
+TEST(RaftLogCompaction, RepeatedAndStaleCompactionsAreIdempotent) {
+  RaftLog log;
+  for (Term t = 1; t <= 4; ++t) log.append(LogEntry{t, EntryKind::kCommand, {}});
+  log.compact_to(2);
+  log.compact_to(2);  // no-op
+  log.compact_to(1);  // stale: already compacted past it
+  EXPECT_EQ(log.snapshot_index(), 2u);
+  EXPECT_EQ(log.last_index(), 4u);
+}
+
+TEST(RaftLogCompaction, InstallSnapshotResetsEverything) {
+  RaftLog log;
+  for (Term t = 1; t <= 3; ++t) log.append(LogEntry{t, EntryKind::kCommand, {}});
+  log.install_snapshot(10, 7);
+  EXPECT_EQ(log.last_index(), 10u);
+  EXPECT_EQ(log.last_term(), 7u);
+  EXPECT_EQ(log.snapshot_index(), 10u);
+  EXPECT_TRUE(log.latest_config_index() == std::nullopt);
+}
+
+// --- node-level snapshot flow -----------------------------------------------------
+
+struct SnapCluster {
+  explicit SnapCluster(std::size_t n, RaftOptions opts,
+                       std::uint64_t seed = 42)
+      : sim(seed), net(sim, {.base_latency = 15 * kMillisecond}) {
+    std::vector<PeerId> members;
+    for (std::size_t i = 0; i < n; ++i) members.push_back(static_cast<PeerId>(i));
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<net::PeerHost>());
+      net.attach(static_cast<PeerId>(i), hosts.back().get());
+      nodes.push_back(std::make_unique<RaftNode>(
+          static_cast<PeerId>(i), "raft/snap", members, opts, net,
+          *hosts[i]));
+      RaftNode* node = nodes.back().get();
+      // State machine: running sum of command bytes, snapshot = the sum.
+      node->on_apply = [this, i](Index, const LogEntry& e) {
+        for (std::uint8_t b : e.data) sums[i] += b;
+      };
+      node->on_snapshot_save = [this, i] {
+        ByteWriter w;
+        w.u64(sums[i]);
+        return w.take();
+      };
+      node->on_snapshot_install = [this, i](Index, const Bytes& state) {
+        ByteReader r(state);
+        sums[i] = r.u64();
+        ++installs[i];
+      };
+      node->start();
+    }
+  }
+
+  RaftNode* leader() {
+    for (auto& n : nodes) {
+      if (n->is_leader() && !net.crashed(n->id())) return n.get();
+    }
+    return nullptr;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::unique_ptr<net::PeerHost>> hosts;
+  std::vector<std::unique_ptr<RaftNode>> nodes;
+  std::map<std::size_t, std::uint64_t> sums;
+  std::map<std::size_t, int> installs;
+};
+
+TEST(RaftSnapshot, AutoCompactionBoundsTheLog) {
+  RaftOptions opts;
+  opts.compaction_threshold = 10;
+  SnapCluster c(3, opts);
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  for (std::uint8_t i = 0; i < 40; ++i) {
+    leader->propose(Bytes{1});
+    c.sim.run_for(60 * kMillisecond);
+  }
+  c.sim.run_for(1 * kSecond);
+  EXPECT_GT(leader->snapshot_index(), 20u);
+  EXPECT_LE(leader->last_log_index() - leader->snapshot_index(), 15u);
+  // Every node applied all 40 increments exactly once.
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(c.sums[i], 40u);
+}
+
+TEST(RaftSnapshot, LaggingFollowerCatchesUpViaInstallSnapshot) {
+  RaftOptions opts;
+  SnapCluster c(3, opts);
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  // Crash one follower, commit a batch, compact it away on the leader.
+  PeerId lagging = kNoPeer;
+  for (auto& n : c.nodes) {
+    if (n.get() != leader) lagging = n->id();
+  }
+  c.net.crash(lagging);
+  c.nodes[lagging]->stop();
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    leader->propose(Bytes{2});
+    c.sim.run_for(60 * kMillisecond);
+  }
+  c.sim.run_for(500 * kMillisecond);
+  leader->compact();
+  ASSERT_GT(leader->snapshot_index(), 0u);
+  // Let pre-compaction heartbeats still in flight drain (they would
+  // otherwise catch the follower up via plain AppendEntries).
+  c.sim.run_for(100 * kMillisecond);
+
+  // The restarted follower's log is far behind the snapshot: the leader
+  // must ship InstallSnapshot, then stream the tail.
+  c.net.restore(lagging);
+  c.sums[lagging] = 0;
+  c.nodes[lagging]->restart();
+  leader->propose(Bytes{3});
+  c.sim.run_for(3 * kSecond);
+  EXPECT_GE(c.installs[lagging], 1);
+  EXPECT_EQ(c.sums[lagging], 20u * 2 + 3);
+  EXPECT_EQ(c.nodes[lagging]->commit_index(), leader->commit_index());
+}
+
+TEST(RaftSnapshot, RestartRestoresStateMachineFromSnapshot) {
+  RaftOptions opts;
+  opts.compaction_threshold = 5;
+  SnapCluster c(3, opts);
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  for (std::uint8_t i = 0; i < 12; ++i) {
+    leader->propose(Bytes{1});
+    c.sim.run_for(60 * kMillisecond);
+  }
+  c.sim.run_for(500 * kMillisecond);
+  const PeerId id = leader->id();
+  c.net.crash(id);
+  leader->stop();
+  c.sums[id] = 0;  // simulate process restart losing volatile state
+  c.net.restore(id);
+  c.nodes[id]->restart();
+  c.sim.run_for(2 * kSecond);
+  // Snapshot restore + log-tail replay reconstructs the full sum.
+  EXPECT_EQ(c.sums[id], 12u);
+}
+
+TEST(RaftSnapshot, MembershipSurvivesInsideSnapshot) {
+  // Add a server, compact past the config entry, then bring up a fresh
+  // lagging node: it must learn the 4-member config from the snapshot.
+  RaftOptions opts;
+  SnapCluster c(3, opts);
+  // Fourth node, not in the initial config.
+  c.hosts.push_back(std::make_unique<net::PeerHost>());
+  c.net.attach(3, c.hosts.back().get());
+  std::vector<PeerId> members{0, 1, 2};
+  c.nodes.push_back(std::make_unique<RaftNode>(
+      3, "raft/snap", members, opts, c.net, *c.hosts[3]));
+  c.sim.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  ASSERT_TRUE(leader->propose_add_server(3).has_value());
+  c.sim.run_for(1 * kSecond);
+  leader->propose(Bytes{1});
+  c.sim.run_for(500 * kMillisecond);
+  leader->compact();
+  ASSERT_TRUE(leader->log().latest_config_index() == std::nullopt);
+  EXPECT_EQ(leader->members().size(), 4u);  // from the snapshot fallback
+
+  // Node 3 starts from nothing and receives the snapshot.
+  c.nodes[3]->start();
+  c.sim.run_for(2 * kSecond);
+  EXPECT_TRUE(c.nodes[3]->in_config());
+  EXPECT_EQ(c.nodes[3]->members().size(), 4u);
+}
+
+}  // namespace
+}  // namespace p2pfl::raft

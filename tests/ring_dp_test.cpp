@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/dp.hpp"
+#include "secagg/ring.hpp"
+
+namespace p2pfl {
+namespace {
+
+using secagg::RingCodec;
+using secagg::RingVector;
+using secagg::Vector;
+
+Vector random_vec(std::size_t dim, Rng& rng, double range = 2.0) {
+  Vector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-range, range));
+  return v;
+}
+
+// --- ring sharing -------------------------------------------------------------
+
+TEST(RingCodec, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  RingCodec codec;
+  const Vector v = random_vec(64, rng);
+  const RingVector enc = codec.encode(v);
+  const Vector dec = codec.decode_mean(enc, 1);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(dec[i], v[i], 1e-6f);
+  }
+}
+
+TEST(RingCodec, NegativeValuesSurviveTwoComplement) {
+  RingCodec codec;
+  const Vector v{-1.5f, -0.001f, 0.0f, 3.25f};
+  const Vector dec = codec.decode_mean(codec.encode(v), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(dec[i], v[i], 1e-6f);
+  }
+}
+
+TEST(RingDivide, SharesSumExactlyModRing) {
+  Rng rng(2);
+  RingCodec codec;
+  const Vector v = random_vec(32, rng);
+  const RingVector secret = codec.encode(v);
+  for (std::size_t n : {1u, 2u, 5u, 9u}) {
+    const auto shares = secagg::ring_divide(secret, n, rng);
+    const RingVector sum = secagg::ring_sum(shares);
+    EXPECT_EQ(sum, secret) << "n=" << n;  // exact, no FP error at all
+  }
+}
+
+TEST(RingDivide, SharesLookUniform) {
+  // Unlike Alg. 1's proportional split, a ring share carries no trace of
+  // the secret's sign or magnitude: its bits are uniform. Sanity-check
+  // by splitting a zero vector — shares must still be non-trivial.
+  Rng rng(3);
+  const RingVector zero(128, 0);
+  const auto shares = secagg::ring_divide(zero, 3, rng);
+  std::size_t nonzero = 0;
+  for (std::uint64_t x : shares[0]) {
+    if (x != 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, zero.size());
+}
+
+TEST(RingSacAverage, MatchesPlainAverageExactly) {
+  Rng rng(4);
+  for (std::size_t n : {2u, 3u, 10u, 30u}) {
+    std::vector<Vector> models;
+    for (std::size_t i = 0; i < n; ++i) models.push_back(random_vec(16, rng));
+    const Vector avg = secagg::ring_sac_average(models, rng);
+    for (std::size_t e = 0; e < 16; ++e) {
+      double expected = 0.0;
+      for (const auto& m : models) expected += m[e];
+      expected /= static_cast<double>(n);
+      // Fixed-point at 2^-24 resolution: error bounded by quantization.
+      EXPECT_NEAR(avg[e], expected, 1e-5) << "n=" << n;
+    }
+  }
+}
+
+// --- differential privacy -------------------------------------------------------
+
+TEST(Dp, SigmaFollowsAnalyticFormula) {
+  fl::DpConfig cfg;
+  cfg.epsilon = 2.0;
+  cfg.delta = 1e-5;
+  cfg.clip_norm = 3.0;
+  const double expected =
+      3.0 * std::sqrt(2.0 * std::log(1.25 / 1e-5)) / 2.0;
+  EXPECT_DOUBLE_EQ(fl::gaussian_sigma(cfg), expected);
+}
+
+TEST(Dp, ClipLeavesSmallVectorsUntouched) {
+  std::vector<float> v{0.3f, 0.4f};  // norm 0.5
+  fl::clip_to_norm(v, 1.0);
+  EXPECT_FLOAT_EQ(v[0], 0.3f);
+  EXPECT_FLOAT_EQ(v[1], 0.4f);
+}
+
+TEST(Dp, ClipScalesLargeVectorsToBound) {
+  std::vector<float> v{3.0f, 4.0f};  // norm 5
+  fl::clip_to_norm(v, 1.0);
+  EXPECT_NEAR(fl::l2_norm(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-6);  // direction preserved
+}
+
+TEST(Dp, MechanismAddsNoiseOfExpectedScale) {
+  Rng rng(5);
+  fl::DpConfig cfg;
+  cfg.epsilon = 1.0;
+  cfg.delta = 1e-5;
+  cfg.clip_norm = 1.0;
+  const double sigma = fl::gaussian_sigma(cfg);
+  const std::size_t dim = 20000;
+  std::vector<float> update(dim, 0.0f);
+  fl::apply_gaussian_mechanism(update, cfg, rng);
+  double var = 0.0;
+  for (float x : update) var += static_cast<double>(x) * x;
+  var /= static_cast<double>(dim);
+  EXPECT_NEAR(std::sqrt(var), sigma, sigma * 0.05);
+}
+
+TEST(Dp, NoiseAveragesOutAcrossManyPeers) {
+  // DP noise added per peer attenuates by 1/sqrt(N) in the FedAvg mean —
+  // the reason the §IV-D extension composes with aggregation.
+  Rng rng(6);
+  fl::DpConfig cfg;
+  cfg.epsilon = 1.0;
+  cfg.clip_norm = 1.0;
+  const std::size_t peers = 400, dim = 50;
+  std::vector<double> mean(dim, 0.0);
+  for (std::size_t p = 0; p < peers; ++p) {
+    std::vector<float> u(dim, 0.01f);
+    fl::apply_gaussian_mechanism(u, cfg, rng);
+    for (std::size_t e = 0; e < dim; ++e) mean[e] += u[e];
+  }
+  const double sigma = fl::gaussian_sigma(cfg);
+  double rms = 0.0;
+  for (std::size_t e = 0; e < dim; ++e) {
+    mean[e] /= peers;
+    rms += (mean[e] - 0.01) * (mean[e] - 0.01);
+  }
+  rms = std::sqrt(rms / dim);
+  EXPECT_LT(rms, 3.0 * sigma / std::sqrt(static_cast<double>(peers)));
+}
+
+}  // namespace
+}  // namespace p2pfl

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "secagg/sac_actor.hpp"
+
+namespace p2pfl::secagg {
+namespace {
+
+// A subgroup of SacPeer actors over a simulated network.
+struct SacNet {
+  explicit SacNet(std::size_t n, SacActorOptions opts, std::uint64_t seed = 5)
+      : sim(seed), net(sim, {.base_latency = 15 * kMillisecond}) {
+    for (PeerId id = 0; id < n; ++id) {
+      group.push_back(id);
+      hosts.push_back(std::make_unique<net::PeerHost>());
+      net.attach(id, hosts.back().get());
+      peers.push_back(std::make_unique<SacPeer>(id, "sac/test", opts, net,
+                                                *hosts.back()));
+      SacPeer* p = peers.back().get();
+      p->on_complete = [this, id](RoundId r, const Vector& avg) {
+        results[id] = std::make_pair(r, avg);
+      };
+      p->on_unrecoverable = [this, id](RoundId) { unrecoverable.insert(id); };
+    }
+  }
+
+  /// All peers contribute v_i = (i+1) * ones; expected average is
+  /// (n+1)/2 * ones.
+  void begin(RoundId round, std::size_t leader_pos,
+             std::size_t dim = 8) {
+    for (PeerId id = 0; id < peers.size(); ++id) {
+      Vector v(dim, static_cast<float>(id + 1));
+      peers[id]->begin_round(round, std::move(v), group, leader_pos);
+    }
+  }
+
+  float expected_mean() const {
+    return static_cast<float>(peers.size() + 1) / 2.0f;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<PeerId> group;
+  std::vector<std::unique_ptr<net::PeerHost>> hosts;
+  std::vector<std::unique_ptr<SacPeer>> peers;
+  std::map<PeerId, std::pair<RoundId, Vector>> results;
+  std::set<PeerId> unrecoverable;
+};
+
+TEST(SacActor, LeaderCollectComputesAverage) {
+  SacActorOptions opts;  // n-out-of-n, leader collect
+  SacNet s(5, opts);
+  s.begin(1, 2);
+  s.sim.run();
+  ASSERT_EQ(s.results.size(), 1u);  // only the leader completes
+  ASSERT_TRUE(s.results.count(2));
+  for (float v : s.results[2].second) {
+    EXPECT_NEAR(v, s.expected_mean(), 1e-4f);
+  }
+}
+
+TEST(SacActor, BroadcastModeCompletesOnEveryPeer) {
+  SacActorOptions opts;
+  opts.broadcast_subtotals = true;  // Alg. 2
+  SacNet s(4, opts);
+  s.begin(1, 0);
+  s.sim.run();
+  ASSERT_EQ(s.results.size(), 4u);
+  for (const auto& [id, r] : s.results) {
+    for (float v : r.second) EXPECT_NEAR(v, s.expected_mean(), 1e-4f);
+  }
+}
+
+TEST(SacActor, BroadcastCostIs2NNminus1) {
+  SacActorOptions opts;
+  opts.broadcast_subtotals = true;
+  opts.wire_bytes_per_share = 1000;
+  const std::size_t n = 6;
+  SacNet s(n, opts);
+  s.begin(1, 0);
+  s.sim.run();
+  EXPECT_EQ(s.net.stats().sent.bytes, 2u * n * (n - 1) * 1000u);
+}
+
+TEST(SacActor, LeaderCollectCostIsN2Minus1) {
+  SacActorOptions opts;
+  opts.wire_bytes_per_share = 1000;
+  const std::size_t n = 6;
+  SacNet s(n, opts);
+  s.begin(1, 3);
+  s.sim.run();
+  EXPECT_EQ(s.net.stats().sent.bytes, (n * n - 1) * 1000u);
+}
+
+TEST(SacActor, FaultTolerantCostMatchesAnalysis) {
+  // k-out-of-n: n(n-1)(n-k+1) shares + (k-1) subtotals.
+  for (std::size_t n : {3u, 5u}) {
+    for (std::size_t k = 2; k <= n; ++k) {
+      SacActorOptions opts;
+      opts.k = k;
+      opts.wire_bytes_per_share = 1000;
+      SacNet s(n, opts);
+      s.begin(1, 0);
+      s.sim.run();
+      const std::uint64_t expected =
+          (n * (n - 1) * (n - k + 1) + (k - 1)) * 1000u;
+      EXPECT_EQ(s.net.stats().sent.bytes, expected)
+          << "n=" << n << " k=" << k;
+      ASSERT_TRUE(s.results.count(0)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SacActor, Fig3ScenarioPeerDropsAfterSharing) {
+  // 2-out-of-3 SAC; one non-leader peer crashes right after its shares
+  // leave; the remaining two still recover the average of ALL THREE
+  // models via the replicated subtotals.
+  SacActorOptions opts;
+  opts.k = 2;
+  opts.subtotal_timeout = 100 * kMillisecond;
+  SacNet s(3, opts);
+  s.begin(1, 0);
+  // Shares depart instantly at begin_round; crash "Alice" (peer 2) while
+  // they are in flight.
+  s.sim.run_for(1 * kMillisecond);
+  s.net.crash(2);
+  s.peers[2]->halt();
+  s.sim.run_for(5 * kSecond);
+  ASSERT_TRUE(s.results.count(0));
+  for (float v : s.results[0].second) {
+    EXPECT_NEAR(v, s.expected_mean(), 1e-4f);  // all 3 models included
+  }
+}
+
+TEST(SacActor, RecoversFromMaximumTolerableDropouts) {
+  // 2-out-of-5: up to three peers may vanish after the share phase.
+  SacActorOptions opts;
+  opts.k = 2;
+  opts.subtotal_timeout = 100 * kMillisecond;
+  SacNet s(5, opts);
+  s.begin(1, 0);
+  s.sim.run_for(1 * kMillisecond);
+  for (PeerId dead : {1u, 2u, 4u}) {
+    s.net.crash(dead);
+    s.peers[dead]->halt();
+  }
+  s.sim.run_for(10 * kSecond);
+  ASSERT_TRUE(s.results.count(0));
+  for (float v : s.results[0].second) {
+    EXPECT_NEAR(v, s.expected_mean(), 1e-4f);
+  }
+}
+
+TEST(SacActor, LeaderReportsShareTimeoutForSilentPeer) {
+  SacActorOptions opts;
+  opts.share_timeout = 200 * kMillisecond;
+  SacNet s(4, opts);
+  std::optional<std::vector<std::size_t>> missing;
+  s.peers[1]->on_share_timeout = [&](RoundId,
+                                     const std::vector<std::size_t>& m) {
+    missing = m;
+  };
+  // Peer 3 crashes before the round starts: its shares never exist.
+  s.net.crash(3);
+  for (PeerId id : {0u, 1u, 2u}) {
+    Vector v(4, static_cast<float>(id + 1));
+    s.peers[id]->begin_round(1, std::move(v), s.group, 1);
+  }
+  s.sim.run_for(2 * kSecond);
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(*missing, (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(s.results.empty());  // n-out-of-n cannot proceed (Alg. 2 flaw)
+}
+
+TEST(SacActor, UnrecoverableWhenTooManyHoldersDie) {
+  // 3-out-of-4: tolerance is one dropout; kill two adjacent holders.
+  SacActorOptions opts;
+  opts.k = 3;
+  opts.subtotal_timeout = 50 * kMillisecond;
+  SacNet s(4, opts);
+  s.begin(1, 0);
+  s.sim.run_for(1 * kMillisecond);
+  for (PeerId dead : {1u, 2u}) {
+    s.net.crash(dead);
+    s.peers[dead]->halt();
+  }
+  s.sim.run_for(10 * kSecond);
+  // Subtotal 2 was held by peers {2, 1} only; the leader must give up.
+  EXPECT_TRUE(s.unrecoverable.count(0));
+  EXPECT_TRUE(s.results.empty());
+}
+
+TEST(SacActor, StaleRoundMessagesIgnoredNewerRoundWins) {
+  SacActorOptions opts;
+  SacNet s(3, opts);
+  s.begin(1, 0);
+  s.sim.run_for(1 * kMillisecond);
+  // Restart with a newer round before round 1 finishes.
+  s.begin(2, 0);
+  s.sim.run();
+  ASSERT_TRUE(s.results.count(0));
+  EXPECT_EQ(s.results[0].first, 2u);
+}
+
+TEST(SacActor, EarlySharesAreStashedUntilRoundBegins) {
+  SacActorOptions opts;
+  SacNet s(3, opts);
+  // Peers 1 and 2 start the round; leader 0 lags by one latency.
+  for (PeerId id : {1u, 2u}) {
+    Vector v(4, static_cast<float>(id + 1));
+    s.peers[id]->begin_round(1, std::move(v), s.group, 0);
+  }
+  s.sim.run_for(40 * kMillisecond);  // their shares reach peer 0 first
+  Vector v(4, 1.0f);
+  s.peers[0]->begin_round(1, std::move(v), s.group, 0);
+  s.sim.run();
+  ASSERT_TRUE(s.results.count(0));
+  for (float x : s.results[0].second) EXPECT_NEAR(x, 2.0f, 1e-4f);
+}
+
+TEST(SacActor, SinglePeerGroupCompletesImmediately) {
+  SacActorOptions opts;
+  SacNet s(1, opts);
+  s.begin(1, 0);
+  s.sim.run();
+  ASSERT_TRUE(s.results.count(0));
+  EXPECT_NEAR(s.results[0].second[0], 1.0f, 1e-6f);
+}
+
+TEST(SacActor, PerRoundKOverrideApplies) {
+  SacActorOptions opts;  // configured n-out-of-n
+  opts.wire_bytes_per_share = 1000;
+  SacNet s(4, opts);
+  // Override to k=3 for this round: shares per message = n-k+1 = 2.
+  for (PeerId id = 0; id < 4; ++id) {
+    Vector v(4, static_cast<float>(id + 1));
+    s.peers[id]->begin_round(1, std::move(v), s.group, 0, 3);
+  }
+  s.sim.run();
+  const std::uint64_t expected = (4u * 3u * 2u + 2u) * 1000u;
+  EXPECT_EQ(s.net.stats().sent.bytes, expected);
+  ASSERT_TRUE(s.results.count(0));
+}
+
+TEST(SacActor, ActorAverageMatchesMathAverage) {
+  // The protocol and the math form agree bit-for-bit given one seed for
+  // the splits... they use different RNG streams, so compare within FP
+  // tolerance instead.
+  SacActorOptions opts;
+  SacNet s(6, opts, 77);
+  s.begin(1, 4);
+  s.sim.run();
+  ASSERT_TRUE(s.results.count(4));
+  for (float v : s.results[4].second) {
+    EXPECT_NEAR(v, s.expected_mean(), 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace p2pfl::secagg

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace p2pfl::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_after(30, [&] { order.push_back(3); });
+  sim.schedule_after(10, [&] { order.push_back(1); });
+  sim.schedule_after(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, FifoAmongSimultaneousEvents) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_after(5, [&] { order.push_back(1); });
+  sim.schedule_after(5, [&] { order.push_back(2); });
+  sim.schedule_after(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool fired = false;
+  const EventId id = sim.schedule_after(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel is reported
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim(1);
+  int count = 0;
+  sim.schedule_after(1, [&] {
+    ++count;
+    sim.schedule_after(1, [&] { ++count; });
+  });
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 2);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim(1);
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 50; t += 10) {
+    sim.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  sim.run_until(30);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(sim.now(), 30);
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(sim.now(), 100);  // clock advances even past the last event
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator sim(1);
+  int count = 0;
+  sim.schedule_after(1, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_after(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim(1);
+  sim.schedule_after(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim(1);
+  const EventId a = sim.schedule_after(1, [] {});
+  sim.schedule_after(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Timer, OneShotFiresOnce) {
+  Simulator sim(1);
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.arm(10);
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RearmResetsDeadline) {
+  Simulator sim(1);
+  std::vector<SimTime> fire_times;
+  Timer t(sim, [&] { fire_times.push_back(sim.now()); });
+  t.arm(10);
+  sim.run_until(5);
+  t.arm(10);  // reset: should now fire at 15, not 10
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], 15);
+}
+
+TEST(Timer, PeriodicFiresRepeatedlyUntilCancelled) {
+  Simulator sim(1);
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.arm_periodic(10);
+  sim.run_until(35);
+  EXPECT_EQ(fires, 3);
+  t.cancel();
+  sim.run_until(100);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Timer, CallbackMayCancelPeriodic) {
+  Simulator sim(1);
+  int fires = 0;
+  Timer t(sim, [&] {
+    ++fires;
+    if (fires == 2) t.cancel();
+  });
+  t.arm_periodic(10);
+  sim.run_until(200);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Timer, DestructionCancelsPendingEvent) {
+  Simulator sim(1);
+  int fires = 0;
+  {
+    Timer t(sim, [&] { ++fires; });
+    t.arm(10);
+  }
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace p2pfl::sim

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/two_layer_agg.hpp"
+
+namespace p2pfl::core {
+namespace {
+
+struct AggHarness {
+  AggHarness(std::size_t peers, std::size_t groups, AggregationConfig cfg,
+             std::uint64_t seed = 9)
+      : topo(Topology::even(peers, groups)),
+        sim(seed),
+        net(sim, {.base_latency = 15 * kMillisecond}) {
+    for (PeerId p : topo.all_peers()) {
+      hosts.emplace(p, std::make_unique<net::PeerHost>());
+      net.attach(p, hosts.at(p).get());
+    }
+    agg = std::make_unique<TwoLayerAggregator>(
+        topo, cfg, net, [this](PeerId p) -> net::PeerHost& {
+          return *hosts.at(p);
+        });
+    agg->on_global_model = [this](std::uint64_t, const secagg::Vector& g,
+                                  std::size_t used) {
+      global = g;
+      groups_used = used;
+    };
+    agg->on_model_received = [this](std::uint64_t, PeerId p,
+                                    const secagg::Vector& g) {
+      received[p] = g;
+    };
+    agg->on_round_failed = [this](std::uint64_t) { failed = true; };
+  }
+
+  void begin(std::uint64_t round = 1) {
+    RoundLeadership lead;
+    lead.subgroup_leaders = topo.designated_leaders();
+    lead.fedavg_leader = lead.subgroup_leaders.front();
+    // Peer p contributes the constant vector (p+1).
+    agg->begin_round(round, lead, [](PeerId p) {
+      return secagg::Vector(4, static_cast<float>(p + 1));
+    });
+  }
+
+  Topology topo;
+  sim::Simulator sim;
+  net::Network net;
+  std::map<PeerId, std::unique_ptr<net::PeerHost>> hosts;
+  std::unique_ptr<TwoLayerAggregator> agg;
+  std::optional<secagg::Vector> global;
+  std::size_t groups_used = 0;
+  std::map<PeerId, secagg::Vector> received;
+  bool failed = false;
+};
+
+TEST(TwoLayerAgg, GlobalModelIsPeerCountWeightedMean) {
+  AggregationConfig cfg;
+  AggHarness h(9, 3, cfg);
+  h.begin();
+  h.sim.run();
+  ASSERT_TRUE(h.global.has_value());
+  EXPECT_EQ(h.groups_used, 3u);
+  // Equal groups and the weighting by n make this the global mean: 5.0.
+  EXPECT_NEAR((*h.global)[0], 5.0f, 1e-4f);
+}
+
+TEST(TwoLayerAgg, EveryPeerGetsResult) {
+  AggregationConfig cfg;
+  AggHarness h(10, 3, cfg);  // uneven groups 4/3/3
+  h.begin();
+  h.sim.run();
+  ASSERT_TRUE(h.global.has_value());
+  EXPECT_EQ(h.received.size(), 10u);
+  for (const auto& [p, g] : h.received) EXPECT_EQ(g, *h.global);
+  // Uneven weighting: mean of group means weighted by size = global mean
+  // = 5.5.
+  EXPECT_NEAR((*h.global)[0], 5.5f, 1e-4f);
+}
+
+TEST(TwoLayerAgg, FractionHalfAggregatesSubsetOfGroups) {
+  AggregationConfig cfg;
+  cfg.fraction_p = 0.5;
+  AggHarness h(12, 4, cfg);
+  h.begin();
+  h.sim.run();
+  ASSERT_TRUE(h.global.has_value());
+  EXPECT_EQ(h.groups_used, 2u);  // ceil(0.5 * 4)
+  // All peers still receive the result.
+  EXPECT_EQ(h.received.size(), 12u);
+}
+
+TEST(TwoLayerAgg, SlowSubgroupExcludedByTimeout) {
+  AggregationConfig cfg;
+  cfg.collect_timeout = 500 * kMillisecond;
+  AggHarness h(9, 3, cfg);
+  // Make subgroup 2's leader-to-fed link crawl: its upload misses the
+  // timeout.
+  h.net.set_link_delay(h.topo.group(2).front(),
+                       h.topo.group(0).front(), 5 * kSecond);
+  h.begin();
+  h.sim.run_for(20 * kSecond);
+  ASSERT_TRUE(h.global.has_value());
+  EXPECT_EQ(h.groups_used, 2u);
+  // Mean over groups 0 and 1 only: peers 1..6 -> 3.5.
+  EXPECT_NEAR((*h.global)[0], 3.5f, 1e-4f);
+}
+
+TEST(TwoLayerAgg, DropoutAfterShareWithToleranceStillIncludesModel) {
+  AggregationConfig cfg;
+  cfg.sac_dropout_tolerance = 1;
+  cfg.sac_subtotal_timeout = 100 * kMillisecond;
+  AggHarness h(9, 3, cfg);
+  h.begin();
+  // Crash a follower of subgroup 1 after shares are in flight.
+  h.sim.run_for(1 * kMillisecond);
+  const PeerId victim = h.topo.group(1)[1];
+  h.net.crash(victim);
+  h.sim.run_for(30 * kSecond);
+  ASSERT_TRUE(h.global.has_value());
+  EXPECT_EQ(h.groups_used, 3u);
+  // The victim's model still contributes: global mean stays 5.0.
+  EXPECT_NEAR((*h.global)[0], 5.0f, 1e-4f);
+}
+
+TEST(TwoLayerAgg, CrashedPeersExcludedFromRoundStart) {
+  AggregationConfig cfg;
+  AggHarness h(9, 3, cfg);
+  // A follower of group 0 is already dead when the round begins.
+  h.net.crash(h.topo.group(0)[2]);
+  h.begin();
+  h.sim.run_for(20 * kSecond);
+  ASSERT_TRUE(h.global.has_value());
+  // Group 0 aggregated peers 0, 1 (values 1, 2), weighted by 2.
+  // Groups: (1+2)/2 * 2, (4+5+6)/3 * 3, (7+8+9)/3 * 3 over weight 8.
+  const double expected = (1.5 * 2 + 5.0 * 3 + 8.0 * 3) / 8.0;
+  EXPECT_NEAR((*h.global)[0], expected, 1e-4);
+  EXPECT_EQ(h.received.size(), 8u);  // dead peer gets nothing
+}
+
+TEST(TwoLayerAgg, RoundFailsWhenNoUploadArrives) {
+  AggregationConfig cfg;
+  cfg.collect_timeout = 300 * kMillisecond;
+  cfg.sac_share_timeout = 10 * kSecond;  // keep SAC from finishing
+  AggHarness h(6, 2, cfg);
+  // Sever every link toward the FedAvg leader's host except self.
+  for (PeerId p : h.topo.all_peers()) {
+    if (p != 0) h.net.block_link(p, 0);
+  }
+  // ...including intra-group shares so even its own SAC stalls.
+  h.begin();
+  h.sim.run_for(5 * kSecond);
+  EXPECT_FALSE(h.global.has_value());
+  EXPECT_TRUE(h.failed);
+}
+
+TEST(TwoLayerAgg, NewRoundSupersedesOldOne) {
+  AggregationConfig cfg;
+  AggHarness h(6, 2, cfg);
+  h.begin(1);
+  h.sim.run_for(1 * kMillisecond);
+  h.begin(2);  // abort + restart
+  h.sim.run();
+  ASSERT_TRUE(h.global.has_value());
+  EXPECT_EQ(h.received.size(), 6u);
+}
+
+}  // namespace
+}  // namespace p2pfl::core

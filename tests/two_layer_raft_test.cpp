@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/two_layer_raft.hpp"
+
+namespace p2pfl::core {
+namespace {
+
+TwoLayerRaftOptions fast_options() {
+  TwoLayerRaftOptions opts;
+  opts.raft.election_timeout_min = 50 * kMillisecond;   // T
+  opts.raft.election_timeout_max = 100 * kMillisecond;  // 2T
+  opts.fedavg_presence_poll = 100 * kMillisecond;
+  opts.config_commit_interval = 200 * kMillisecond;
+  return opts;
+}
+
+struct System {
+  explicit System(std::size_t peers, std::size_t groups,
+                  std::uint64_t seed = 42)
+      : sim(seed),
+        net(sim, {.base_latency = 15 * kMillisecond}),
+        sys(Topology::even(peers, groups), fast_options(), net) {}
+
+  /// Run until stabilized() or the deadline; returns success.
+  bool run_until_stable(SimDuration budget = 10 * kSecond) {
+    const SimTime deadline = sim.now() + budget;
+    while (sim.now() < deadline) {
+      if (sys.stabilized()) return true;
+      sim.run_for(20 * kMillisecond);
+    }
+    return sys.stabilized();
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  TwoLayerRaftSystem sys;
+};
+
+TEST(TwoLayerRaft, StabilizesFromColdStart) {
+  System s(9, 3);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  // One leader per subgroup; the FedAvg membership is exactly them.
+  std::vector<PeerId> leaders;
+  for (SubgroupId g = 0; g < 3; ++g) {
+    const PeerId l = s.sys.subgroup_leader(g);
+    ASSERT_NE(l, kNoPeer);
+    leaders.push_back(l);
+  }
+  auto members = s.sys.fedavg_members();
+  std::sort(members.begin(), members.end());
+  std::sort(leaders.begin(), leaders.end());
+  EXPECT_EQ(members, leaders);
+  // The FedAvg leader is one of the subgroup leaders.
+  EXPECT_NE(std::find(leaders.begin(), leaders.end(), s.sys.fedavg_leader()),
+            leaders.end());
+}
+
+TEST(TwoLayerRaft, PaperScaleTwentyFivePeersStabilizes) {
+  // §VI-B: five subgroups of five peers.
+  System s(25, 5, 7);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable(20 * kSecond));
+  EXPECT_EQ(s.sys.fedavg_members().size(), 5u);
+}
+
+TEST(TwoLayerRaft, SubgroupLeaderCrashIsRepairedAndReplacedInFedAvg) {
+  System s(9, 3);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  // Pick a subgroup leader that is NOT the FedAvg leader (§V-A1 case).
+  const PeerId fed = s.sys.fedavg_leader();
+  PeerId victim = kNoPeer;
+  SubgroupId victim_group = 0;
+  for (SubgroupId g = 0; g < 3; ++g) {
+    if (s.sys.subgroup_leader(g) != fed) {
+      victim = s.sys.subgroup_leader(g);
+      victim_group = g;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoPeer);
+  s.sys.crash_peer(victim);
+  ASSERT_TRUE(s.run_until_stable());
+  const PeerId successor = s.sys.subgroup_leader(victim_group);
+  EXPECT_NE(successor, kNoPeer);
+  EXPECT_NE(successor, victim);
+  const auto members = s.sys.fedavg_members();
+  EXPECT_NE(std::find(members.begin(), members.end(), successor),
+            members.end());
+  EXPECT_EQ(std::find(members.begin(), members.end(), victim),
+            members.end());
+}
+
+TEST(TwoLayerRaft, FedAvgLeaderCrashTriggersDoubleRecovery) {
+  // §V-B1: the FedAvg leader is also a subgroup leader; both layers must
+  // re-elect and the new subgroup leader must join.
+  System s(9, 3, 11);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  const PeerId old_fed = s.sys.fedavg_leader();
+  const SubgroupId group = s.sys.topology().subgroup_of(old_fed);
+  s.sys.crash_peer(old_fed);
+  ASSERT_TRUE(s.run_until_stable());
+  const PeerId new_fed = s.sys.fedavg_leader();
+  EXPECT_NE(new_fed, kNoPeer);
+  EXPECT_NE(new_fed, old_fed);
+  const PeerId new_sub = s.sys.subgroup_leader(group);
+  EXPECT_NE(new_sub, kNoPeer);
+  EXPECT_NE(new_sub, old_fed);
+  const auto members = s.sys.fedavg_members();
+  EXPECT_NE(std::find(members.begin(), members.end(), new_sub),
+            members.end());
+  EXPECT_EQ(std::find(members.begin(), members.end(), old_fed),
+            members.end());
+}
+
+TEST(TwoLayerRaft, SubgroupFollowerCrashIsHarmless) {
+  System s(9, 3, 13);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  // Crash a pure follower (neither subgroup leader nor FedAvg member).
+  PeerId victim = kNoPeer;
+  for (PeerId p : s.sys.topology().all_peers()) {
+    bool is_leader = false;
+    for (SubgroupId g = 0; g < 3; ++g) {
+      if (s.sys.subgroup_leader(g) == p) is_leader = true;
+    }
+    if (!is_leader) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoPeer);
+  const PeerId fed_before = s.sys.fedavg_leader();
+  s.sys.crash_peer(victim);
+  s.sim.run_for(2 * kSecond);
+  EXPECT_TRUE(s.sys.stabilized());
+  EXPECT_EQ(s.sys.fedavg_leader(), fed_before);
+}
+
+TEST(TwoLayerRaft, CrashedLeaderRestartsAsFollower) {
+  System s(9, 3, 17);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  const PeerId fed = s.sys.fedavg_leader();
+  PeerId victim = kNoPeer;
+  for (SubgroupId g = 0; g < 3; ++g) {
+    if (s.sys.subgroup_leader(g) != fed) victim = s.sys.subgroup_leader(g);
+  }
+  s.sys.crash_peer(victim);
+  ASSERT_TRUE(s.run_until_stable());
+  s.sys.restart_peer(victim);
+  s.sim.run_for(3 * kSecond);
+  EXPECT_TRUE(s.sys.stabilized());
+  EXPECT_FALSE(s.sys.subgroup_node(victim).is_leader());
+  // The restarted peer was replaced in the FedAvg layer and stays out.
+  const auto members = s.sys.fedavg_members();
+  EXPECT_EQ(std::find(members.begin(), members.end(), victim),
+            members.end());
+}
+
+TEST(TwoLayerRaft, FedAvgConfigPropagatesToSubgroupFollowers) {
+  System s(9, 3, 19);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  s.sim.run_for(2 * kSecond);  // a few config-commit intervals
+  auto expected = s.sys.fedavg_members();
+  std::sort(expected.begin(), expected.end());
+  for (PeerId p : s.sys.topology().all_peers()) {
+    auto known = s.sys.known_fedavg_config(p);
+    std::sort(known.begin(), known.end());
+    EXPECT_EQ(known, expected) << "peer " << p;
+  }
+}
+
+TEST(TwoLayerRaft, ToleratesFollowerMinorityInEverySubgroup) {
+  // §VII-D optimistic case: every subgroup can lose a follower minority.
+  System s(15, 3, 23);  // subgroups of five
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  std::size_t crashed = 0;
+  for (SubgroupId g = 0; g < 3; ++g) {
+    std::size_t in_group = 0;
+    for (PeerId p : s.sys.topology().group(g)) {
+      if (p != s.sys.subgroup_leader(g) && in_group < 2) {
+        s.sys.crash_peer(p);
+        ++in_group;
+        ++crashed;
+      }
+    }
+  }
+  EXPECT_EQ(crashed, 6u);
+  s.sim.run_for(3 * kSecond);
+  EXPECT_TRUE(s.sys.stabilized());
+}
+
+TEST(TwoLayerRaft, SequentialLeaderCrashesKeepRecovering) {
+  System s(9, 3, 29);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  // Crash the current FedAvg leader twice in a row (each subgroup of 3
+  // tolerates one crash).
+  for (int wave = 0; wave < 2; ++wave) {
+    const PeerId fed = s.sys.fedavg_leader();
+    ASSERT_NE(fed, kNoPeer) << "wave " << wave;
+    s.sys.crash_peer(fed);
+    ASSERT_TRUE(s.run_until_stable(20 * kSecond)) << "wave " << wave;
+  }
+}
+
+TEST(TwoLayerRaft, HooksFireWithTimestamps) {
+  System s(9, 3, 31);
+  std::vector<SimTime> sub_elections, fed_elections, joins;
+  s.sys.on_subgroup_leader = [&](SubgroupId, PeerId) {
+    sub_elections.push_back(s.sim.now());
+  };
+  s.sys.on_fedavg_leader = [&](PeerId) {
+    fed_elections.push_back(s.sim.now());
+  };
+  s.sys.on_fedavg_joined = [&](PeerId) { joins.push_back(s.sim.now()); };
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  EXPECT_GE(sub_elections.size(), 3u);
+  EXPECT_GE(fed_elections.size(), 1u);
+  // Cold start: designated bootstrap members may already be in config,
+  // so joins only happen for non-designated first leaders.
+  const PeerId fed = s.sys.fedavg_leader();
+  PeerId victim = kNoPeer;
+  SubgroupId vg = 0;
+  for (SubgroupId g = 0; g < 3; ++g) {
+    if (s.sys.subgroup_leader(g) != fed) {
+      victim = s.sys.subgroup_leader(g);
+      vg = g;
+    }
+  }
+  joins.clear();
+  const SimTime crash_time = s.sim.now();
+  s.sys.crash_peer(victim);
+  ASSERT_TRUE(s.run_until_stable());
+  ASSERT_GE(joins.size(), 1u);
+  EXPECT_GT(joins.back(), crash_time);
+  EXPECT_NE(s.sys.subgroup_leader(vg), victim);
+}
+
+TEST(TwoLayerRaft, LongRunCompactsConfigLogsAndLateJoinerRecovers) {
+  // The subgroup leader commits the FedAvg config every 200 ms; over a
+  // long run the logs must stay bounded via snapshots, and a peer that
+  // slept through most of it must recover the config from a snapshot.
+  System s(9, 3, 41);
+  s.sys.start_all();
+  ASSERT_TRUE(s.run_until_stable());
+
+  // Crash a pure follower early.
+  PeerId victim = kNoPeer;
+  for (PeerId p : s.sys.topology().all_peers()) {
+    bool leader = false;
+    for (SubgroupId g = 0; g < 3; ++g) {
+      if (s.sys.subgroup_leader(g) == p) leader = true;
+    }
+    if (!leader) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoPeer);
+  s.sys.crash_peer(victim);
+
+  s.sim.run_for(60 * kSecond);  // ~300 config commits
+  const SubgroupId vg = s.sys.topology().subgroup_of(victim);
+  const PeerId leader = s.sys.subgroup_leader(vg);
+  ASSERT_NE(leader, kNoPeer);
+  raft::RaftNode& leader_node = s.sys.subgroup_node(leader);
+  EXPECT_GT(leader_node.snapshot_index(), 0u) << "log never compacted";
+  EXPECT_LE(leader_node.last_log_index() - leader_node.snapshot_index(),
+            2 * 64u)
+      << "log grew unboundedly";
+
+  s.sys.restart_peer(victim);
+  s.sim.run_for(5 * kSecond);
+  EXPECT_TRUE(s.sys.stabilized());
+  auto expected = s.sys.fedavg_members();
+  auto known = s.sys.known_fedavg_config(victim);
+  std::sort(expected.begin(), expected.end());
+  std::sort(known.begin(), known.end());
+  EXPECT_EQ(known, expected);
+}
+
+}  // namespace
+}  // namespace p2pfl::core

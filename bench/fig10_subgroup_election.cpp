@@ -43,5 +43,10 @@ int main(int argc, char** argv) {
   std::printf("\n(shape check: recovery time grows linearly with T; the "
               "paper's absolute values\ninclude hashicorp-raft overheads our "
               "simulator does not model)\n");
+
+  // One fully traced trial for offline inspection of the recovery.
+  bench::run_recovery_trial(bench::CrashKind::kSubgroupLeader,
+                            50 * kMillisecond, 0x1000, peers, groups,
+                            args.get("trace-out", "fig10"));
   return 0;
 }

@@ -47,5 +47,10 @@ int main(int argc, char** argv) {
     if (r.ok) join50.push_back(r.join_ms);
   }
   bench::print_histogram(join50, 50.0);
+
+  // One fully traced trial for offline inspection of the join sequence.
+  bench::run_recovery_trial(bench::CrashKind::kSubgroupLeader,
+                            50 * kMillisecond, 0x2000, 25, 5,
+                            args.get("trace-out", "fig11"));
   return 0;
 }

@@ -45,5 +45,10 @@ int main(int argc, char** argv) {
   std::printf("\n(the joiner must wait for the FedAvg-layer election to "
               "finish before it can be\nadded — §V-B1 — so full recovery "
               "exceeds the single-layer case of Fig. 11)\n");
+
+  // One fully traced trial covering the double-recovery sequence.
+  bench::run_recovery_trial(bench::CrashKind::kFedAvgLeader,
+                            50 * kMillisecond, 0x4000, 25, 5,
+                            args.get("trace-out", "fig12"));
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/obs_util.hpp"
 #include "core/agg_cost_sim.hpp"
 
 int main(int argc, char** argv) {
@@ -43,5 +44,14 @@ int main(int argc, char** argv) {
               "%.2fx below one-layer SAC (paper: ~10x)\n",
               w.gigabits_for(analysis::two_layer_cost(g6)),
               baseline_units / analysis::two_layer_cost(g6));
+
+  // Traced + metered re-run of the m=6 round for offline inspection.
+  const std::string base = args.get("trace-out", "fig13");
+  core::AggSimHooks hooks;
+  hooks.on_start = [](sim::Simulator& s) { s.obs().trace.set_enabled(true); };
+  hooks.on_finish = [&](sim::Simulator& s) {
+    bench::export_observability(s, base);
+  };
+  core::simulate_aggregation_cost(g6, 0, hooks);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/obs_util.hpp"
 #include "core/agg_cost_sim.hpp"
 
 int main(int argc, char** argv) {
@@ -63,5 +64,16 @@ int main(int argc, char** argv) {
     std::printf("  %zu-%zu, N=%2zu: %6.2fx (paper %.2fx)\n", h.k, h.n, h.N,
                 ratio, h.paper);
   }
+
+  // Traced + metered re-run of the 3-2, N=30 round (a setting with live
+  // dropout tolerance) for offline inspection.
+  const std::string base = args.get("trace-out", "fig14");
+  core::AggSimHooks hooks;
+  hooks.on_start = [](sim::Simulator& s) { s.obs().trace.set_enabled(true); };
+  hooks.on_finish = [&](sim::Simulator& s) {
+    bench::export_observability(s, base);
+  };
+  const auto traced_groups = analysis::subgroups_by_target_size(30, 3);
+  core::simulate_aggregation_cost(traced_groups, 1, hooks);
   return 0;
 }

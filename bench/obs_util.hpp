@@ -1,0 +1,49 @@
+// Shared observability export helpers for the bench binaries.
+//
+// Every fig10-fig14 bench writes two machine-readable artifacts next to
+// its stdout table:
+//   <base>.metrics.jsonl  - one JSON object per metric (obs::metrics_jsonl)
+//   <base>.trace.json     - Chrome trace_event JSON; load it in
+//                           about://tracing or ui.perfetto.dev
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2pfl::bench {
+
+/// Dump the simulator's metrics registry and trace stream to
+/// `<base>.metrics.jsonl` / `<base>.trace.json`.
+inline void export_observability(sim::Simulator& sim,
+                                 const std::string& base) {
+  const std::string metrics_path = base + ".metrics.jsonl";
+  const std::string trace_path = base + ".trace.json";
+  obs::write_text_file(metrics_path, obs::metrics_jsonl(sim.obs().metrics));
+  obs::write_text_file(trace_path, obs::chrome_trace_json(sim.obs().trace));
+  std::cerr << "# metrics: " << metrics_path << "\n"
+            << "# trace:   " << trace_path
+            << " (open in about://tracing)\n";
+}
+
+/// RAII exporter: enables tracing on construction and exports on scope
+/// exit, so trial helpers with early returns still produce artifacts.
+class ScopedObsExport {
+ public:
+  ScopedObsExport(sim::Simulator& sim, std::string base)
+      : sim_(sim), base_(std::move(base)) {
+    sim_.obs().trace.set_enabled(true);
+  }
+  ~ScopedObsExport() { export_observability(sim_, base_); }
+
+  ScopedObsExport(const ScopedObsExport&) = delete;
+  ScopedObsExport& operator=(const ScopedObsExport&) = delete;
+
+ private:
+  sim::Simulator& sim_;
+  std::string base_;
+};
+
+}  // namespace p2pfl::bench

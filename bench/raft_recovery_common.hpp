@@ -10,10 +10,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/obs_util.hpp"
 #include "core/two_layer_raft.hpp"
 
 namespace p2pfl::bench {
@@ -35,12 +38,20 @@ struct TrialResult {
   bool ok = false;
 };
 
+/// `trace_base`, when non-empty, enables tracing for this trial and
+/// exports <trace_base>.metrics.jsonl / <trace_base>.trace.json on every
+/// exit path (the harness has several early returns).
 inline TrialResult run_recovery_trial(CrashKind kind, SimDuration timeout_t,
                                       std::uint64_t seed,
                                       std::size_t peers = 25,
-                                      std::size_t groups = 5) {
+                                      std::size_t groups = 5,
+                                      const std::string& trace_base = {}) {
   using namespace p2pfl::core;
   sim::Simulator sim(seed);
+  std::unique_ptr<ScopedObsExport> exporter;
+  if (!trace_base.empty()) {
+    exporter = std::make_unique<ScopedObsExport>(sim, trace_base);
+  }
   net::Network net(sim, {.base_latency = 15 * kMillisecond});
   TwoLayerRaftOptions opts;
   opts.raft.election_timeout_min = timeout_t;

@@ -5,15 +5,20 @@
 //                     [--weighted] [--checkpoint=FILE]
 //   p2pflctl cost     [--peers=N --n=K --k=K2 --params=P]
 //   p2pflctl recovery [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
+//   p2pflctl trace    [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
+//                     [--out=BASE] [--categories=sim,net,raft,agg]
 //
 // Everything runs on the deterministic simulator; identical flags give
-// identical results.
+// identical results. `trace` replays the recovery scenario with the
+// observability layer on and writes BASE.metrics.jsonl plus
+// BASE.trace.json (Chrome trace_event format; open in about://tracing).
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/obs_util.hpp"
 #include "core/fl_experiment.hpp"
 #include "core/two_layer_raft.hpp"
 #include "fl/checkpoint.hpp"
@@ -93,7 +98,7 @@ int cmd_cost(const bench::Args& args) {
   return 0;
 }
 
-int cmd_recovery(const bench::Args& args) {
+int cmd_recovery(const bench::Args& args, bool traced = false) {
   const std::size_t peers =
       static_cast<std::size_t>(args.get_int("peers", 25));
   const std::size_t groups =
@@ -102,6 +107,16 @@ int cmd_recovery(const bench::Args& args) {
   const bool crash_fed = args.get("crash", "sub") == "fed";
 
   sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  if (traced) {
+    sim.obs().trace.set_enabled(true);
+    // --categories=net,raft limits the stream; default records all.
+    std::string cats = args.get("categories", "");
+    while (!cats.empty()) {
+      const std::size_t comma = cats.find(',');
+      sim.obs().trace.enable_category(cats.substr(0, comma));
+      cats = comma == std::string::npos ? "" : cats.substr(comma + 1);
+    }
+  }
   net::Network net(sim, {.base_latency = 15 * kMillisecond});
   core::TwoLayerRaftOptions opts;
   opts.raft.election_timeout_min = T;
@@ -148,6 +163,9 @@ int cmd_recovery(const bench::Args& args) {
   }
   std::printf("[%7.0fms] system stable again — recovery took %.0f ms\n",
               to_ms(sim.now()), to_ms(sim.now() - t0));
+  if (traced) {
+    bench::export_observability(sim, args.get("out", "p2pfl"));
+  }
   return 0;
 }
 
@@ -156,7 +174,8 @@ int cmd_recovery(const bench::Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: p2pflctl <train|cost|recovery> [--key=value...]\n");
+                 "usage: p2pflctl <train|cost|recovery|trace> "
+                 "[--key=value...]\n");
     return 2;
   }
   const bench::Args args(argc - 1, argv + 1);
@@ -164,6 +183,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return cmd_train(args);
   if (cmd == "cost") return cmd_cost(args);
   if (cmd == "recovery") return cmd_recovery(args);
+  if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -14,10 +14,11 @@
 namespace p2pfl::core {
 
 AggCostBreakdown simulate_aggregation_cost(
-    std::span<const std::size_t> groups, std::size_t dropout_tolerance) {
+    std::span<const std::size_t> groups, std::size_t dropout_tolerance,
+    const AggSimHooks& hooks) {
   // |w| chosen large so control traffic (none in a fault-free round)
   // could never be confused with a model transfer.
-  constexpr std::uint64_t kModelWire = 1u << 20;
+  constexpr std::uint64_t kModelWire = kCostSimModelWire;
   constexpr std::size_t kDim = 4;
 
   sim::Simulator sim(1234);
@@ -56,12 +57,14 @@ AggCostBreakdown simulate_aggregation_cost(
   lead.subgroup_leaders = topo.designated_leaders();
   lead.fedavg_leader = lead.subgroup_leaders.front();
   Rng model_rng(99);
+  if (hooks.on_start) hooks.on_start(sim);
   agg.begin_round(1, lead, [&](PeerId) {
     secagg::Vector v(kDim);
     for (float& x : v) x = static_cast<float>(model_rng.uniform(-1.0, 1.0));
     return v;
   });
   sim.run();
+  if (hooks.on_finish) hooks.on_finish(sim);
 
   const auto& by_kind = net.stats().sent_by_kind;
   auto units_of = [&](const char* prefix) {

@@ -8,7 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+
+namespace p2pfl::sim {
+class Simulator;
+}  // namespace p2pfl::sim
 
 namespace p2pfl::core {
 
@@ -20,12 +25,27 @@ struct AggCostBreakdown {
   bool completed = false;        // the round produced a global model
 };
 
+/// Synthetic |w| used by simulate_aggregation_cost for every model
+/// transfer (exported so metric cross-checks can convert |w| units back
+/// to the byte counts the network's metrics registry reports).
+inline constexpr std::uint64_t kCostSimModelWire = 1u << 20;
+
+/// Observation hooks for cost simulations that own their Simulator
+/// internally: `on_start` runs before the round is kicked off (e.g. to
+/// enable tracing), `on_finish` after the sim drains (e.g. to export
+/// metrics/traces before the Simulator is destroyed).
+struct AggSimHooks {
+  std::function<void(sim::Simulator&)> on_start;
+  std::function<void(sim::Simulator&)> on_finish;
+};
+
 /// One aggregation round over `groups` subgroup sizes with a per-subgroup
 /// dropout tolerance (a "k-n setting" is tolerance = n - k; 0 =
 /// n-out-of-n). Peers contribute tiny real vectors; the wire size of a
-/// model transfer is fixed at one synthetic |w|.
+/// model transfer is fixed at one synthetic |w| (kCostSimModelWire).
 AggCostBreakdown simulate_aggregation_cost(std::span<const std::size_t> groups,
-                                           std::size_t dropout_tolerance);
+                                           std::size_t dropout_tolerance,
+                                           const AggSimHooks& hooks = {});
 
 /// Convenience: just the total in |w| units.
 double simulate_aggregation_cost_units(std::span<const std::size_t> groups,

@@ -39,9 +39,10 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
     rt.current_weights = w0;
     rt.latest_global = w0;
     rt.driver = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, id] { drive_round(id); });
+        net_.simulator(), [this, id] { drive_round(id); }, "fl.round_driver");
     rt.trainer_done = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, id] { begin_local_training(id); });
+        net_.simulator(), [this, id] { begin_local_training(id); },
+        "fl.trainer_done");
     peers_.emplace(id, std::move(rt));
   }
 

@@ -20,12 +20,15 @@ TwoLayerAggregator::TwoLayerAggregator(
     : topology_(topology),
       cfg_(cfg),
       net_(net),
-      collect_timer_(net.simulator(), [this] {
-        if (fed_ && !fed_->done) {
-          auto it = peers_.find(leadership_.fedavg_leader);
-          if (it != peers_.end()) fed_maybe_aggregate(it->second, true);
-        }
-      }) {
+      collect_timer_(
+          net.simulator(),
+          [this] {
+            if (fed_ && !fed_->done) {
+              auto it = peers_.find(leadership_.fedavg_leader);
+              if (it != peers_.end()) fed_maybe_aggregate(it->second, true);
+            }
+          },
+          "agg.collect_timeout") {
   P2PFL_CHECK(cfg_.fraction_p > 0.0 && cfg_.fraction_p <= 1.0);
   secagg::SacActorOptions sac_opts;
   sac_opts.k = 0;  // per-round thresholds are passed to begin_round
@@ -106,6 +109,16 @@ void TwoLayerAggregator::begin_round(RoundId round,
              cfg_.fraction_p * static_cast<double>(live_groups))));
   collect_timer_.arm(cfg_.collect_timeout);
 
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("agg.rounds_started").add(1);
+  round_start_ = net_.simulator().now();
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "agg.round_begin", leadership.fedavg_leader,
+                    {{"round", round},
+                     {"live_groups", live_groups},
+                     {"quorum", fed_->quorum}});
+  }
+
   // Kick off SAC in every live subgroup.
   for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
     const auto& group = round_groups_[g];
@@ -163,6 +176,12 @@ void TwoLayerAggregator::handle_upload(PeerState& p, const UploadMsg& msg) {
   if (!p.is_fed_leader || !fed_ || fed_->done || msg.round != fed_->round) {
     return;
   }
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("agg.uploads_received").add(1);
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "agg.upload", p.id,
+                    {{"round", msg.round}, {"group", msg.group}});
+  }
   fed_->uploads.emplace(msg.group, msg);
   fed_maybe_aggregate(p, /*timed_out=*/false);
 }
@@ -171,16 +190,36 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
   if (!fed_ || fed_->done) return;
   if (net_.crashed(p.id)) return;  // a dead leader aggregates nothing
   if (!timed_out && fed_->uploads.size() < fed_->quorum) return;
+  obs::Observability& o = net_.simulator().obs();
   if (fed_->uploads.empty()) {
     fed_->done = true;
     collect_timer_.cancel();
     P2PFL_WARN() << "aggregation round " << fed_->round
                  << " produced no subgroup models";
+    o.metrics.counter("agg.rounds_failed").add(1);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "agg.round_failed", p.id,
+                      {{"round", fed_->round}});
+    }
     if (on_round_failed) on_round_failed(fed_->round);
     return;
   }
   fed_->done = true;
   collect_timer_.cancel();
+  o.metrics.counter("agg.rounds_completed").add(1);
+  const double latency_ms =
+      static_cast<double>(net_.simulator().now() - round_start_) /
+      static_cast<double>(kMillisecond);
+  o.metrics
+      .histogram("agg.round_latency_ms",
+                 obs::Histogram::exponential_bounds(1.0, 2.0, 16))
+      .record(latency_ms);
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "agg.merge", p.id,
+                    {{"round", fed_->round},
+                     {"groups_used", fed_->uploads.size()},
+                     {"latency_ms", latency_ms}});
+  }
 
   // Alg. 3 line 10: FedAvg weighted by subgroup peer counts.
   std::vector<std::vector<float>> models;

@@ -144,6 +144,8 @@ class TwoLayerAggregator {
   /// Live SAC group per subgroup for the current round.
   std::vector<std::vector<PeerId>> round_groups_;
   RoundId round_ = 0;
+  /// Virtual time at which the current round started (latency metric).
+  SimTime round_start_ = 0;
 };
 
 }  // namespace p2pfl::core

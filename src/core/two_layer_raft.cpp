@@ -46,9 +46,11 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
     peer->subgroup = topology_.subgroup_of(id);
     peer->known_fed_cfg = designated;
     peer->cfg_commit_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, p = peer.get()] { commit_fed_config(*p); });
+        net_.simulator(), [this, p = peer.get()] { commit_fed_config(*p); },
+        "fed.cfg_commit");
     peer->join_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, p = peer.get()] { send_join_request(*p); });
+        net_.simulator(), [this, p = peer.get()] { send_join_request(*p); },
+        "fed.join_retry");
     peer->host.route(kJoinChannel, [this, p = peer.get()](
                                        const net::Envelope& env) {
       handle_join_request(*p, std::any_cast<const JoinRequest&>(env.body));
@@ -195,6 +197,7 @@ void TwoLayerRaftSystem::send_join_request(Peer& p) {
                      members.size()];
   }
   if (target != kNoPeer && target != p.id) {
+    net_.simulator().obs().metrics.counter("fed.join_requests").add(1);
     net_.send(p.id, target, kJoinChannel, req, kJoinWireBytes);
   }
   // §V-B1: keep polling for a FedAvg leader until the join completes.
@@ -236,6 +239,12 @@ void TwoLayerRaftSystem::check_join_complete(Peer& p) {
   if (!p.announced_join) {
     p.announced_join = true;
     P2PFL_DEBUG() << "peer " << p.id << " joined the FedAvg layer";
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("fed.joins_completed").add(1);
+    if (o.trace.category_enabled("raft")) {
+      o.trace.instant("raft", "fed.joined", p.id,
+                      {{"subgroup", p.subgroup}});
+    }
     if (on_fedavg_joined) on_fedavg_joined(p.id);
   }
 }

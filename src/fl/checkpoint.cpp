@@ -28,7 +28,9 @@ Bytes encode_checkpoint(std::span<const float> weights) {
   w.u32(kVersion);
   w.u64(weights.size());
   Bytes payload(weights.size() * sizeof(float));
-  std::memcpy(payload.data(), weights.data(), payload.size());
+  if (!weights.empty()) {
+    std::memcpy(payload.data(), weights.data(), payload.size());
+  }
   w.u64(fnv1a(payload));
   Bytes out = w.take();
   out.insert(out.end(), payload.begin(), payload.end());
@@ -47,7 +49,9 @@ std::optional<std::vector<float>> decode_checkpoint(const Bytes& data) {
                                                 count * sizeof(float));
     if (fnv1a(payload) != checksum) return std::nullopt;
     std::vector<float> weights(count);
-    std::memcpy(weights.data(), payload.data(), payload.size());
+    if (count > 0) {
+      std::memcpy(weights.data(), payload.data(), payload.size());
+    }
     return weights;
   } catch (const std::out_of_range&) {
     return std::nullopt;

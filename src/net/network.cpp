@@ -13,15 +13,29 @@ void TrafficStats::record_sent(const std::string& kind, std::uint64_t bytes) {
   c.bytes += bytes;
 }
 
-void TrafficStats::record_delivered(std::uint64_t bytes) {
+void TrafficStats::record_delivered(const std::string& kind,
+                                    std::uint64_t bytes) {
   delivered.messages += 1;
   delivered.bytes += bytes;
+  auto& c = delivered_by_kind[kind];
+  c.messages += 1;
+  c.bytes += bytes;
 }
 
 Network::Network(sim::Simulator& sim, NetworkConfig cfg)
-    : sim_(sim), cfg_(cfg), rng_(sim.rng().fork(0x6e65'74ULL /*"net"*/)) {
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(sim.rng().fork(0x6e65'74ULL /*"net"*/)),
+      m_sent_msgs_(sim.obs().metrics.counter("net.sent.messages")),
+      m_sent_bytes_(sim.obs().metrics.counter("net.sent.bytes")),
+      m_delivered_msgs_(sim.obs().metrics.counter("net.delivered.messages")),
+      m_delivered_bytes_(sim.obs().metrics.counter("net.delivered.bytes")) {
   P2PFL_CHECK(cfg_.base_latency >= 0);
   P2PFL_CHECK(cfg_.latency_jitter >= 0);
+}
+
+void Network::count_drop(const char* reason) {
+  sim_.obs().metrics.counter(std::string("net.dropped.") + reason).add(1);
 }
 
 void Network::attach(PeerId peer, Endpoint* endpoint) {
@@ -46,11 +60,29 @@ SimDuration Network::latency_for(PeerId from, PeerId to) {
 }
 
 void Network::send(Envelope env) {
-  if (crashed_.count(env.from) > 0) return;  // dead peers emit nothing
-  if (blocked_.count(link_key(env.from, env.to)) > 0) return;
+  if (crashed_.count(env.from) > 0) {  // dead peers emit nothing
+    count_drop("sender_crashed");
+    return;
+  }
+  if (blocked_.count(link_key(env.from, env.to)) > 0) {
+    count_drop("link_blocked");
+    return;
+  }
 
   const bool self = env.from == env.to;
-  if (!self) stats_.record_sent(env.kind, env.wire_bytes);
+  if (!self) {
+    stats_.record_sent(env.kind, env.wire_bytes);
+    m_sent_msgs_.add(1);
+    m_sent_bytes_.add(env.wire_bytes);
+    sim_.obs()
+        .metrics.counter("net.sent.bytes." + env.kind)
+        .add(env.wire_bytes);
+    obs::TraceStream& tr = sim_.obs().trace;
+    if (tr.category_enabled("net")) {
+      tr.instant("net", "net.send " + env.kind, env.from,
+                 {{"to", env.to}, {"bytes", env.wire_bytes}});
+    }
+  }
 
   SimDuration delay = self ? 0 : latency_for(env.from, env.to);
   if (!self && cfg_.egress_bytes_per_sec > 0) {
@@ -75,10 +107,28 @@ void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
 }
 
 void Network::deliver_now(const Envelope& env) {
-  if (crashed_.count(env.to) > 0) return;  // lost in flight
+  if (crashed_.count(env.to) > 0) {  // lost in flight
+    count_drop("receiver_crashed");
+    return;
+  }
   auto it = endpoints_.find(env.to);
-  if (it == endpoints_.end()) return;  // nobody listening
-  if (env.from != env.to) stats_.record_delivered(env.wire_bytes);
+  if (it == endpoints_.end()) {  // nobody listening
+    count_drop("unattached");
+    return;
+  }
+  if (env.from != env.to) {
+    stats_.record_delivered(env.kind, env.wire_bytes);
+    m_delivered_msgs_.add(1);
+    m_delivered_bytes_.add(env.wire_bytes);
+    sim_.obs()
+        .metrics.counter("net.delivered.bytes." + env.kind)
+        .add(env.wire_bytes);
+    obs::TraceStream& tr = sim_.obs().trace;
+    if (tr.category_enabled("net")) {
+      tr.instant("net", "net.deliver " + env.kind, env.to,
+                 {{"from", env.from}, {"bytes", env.wire_bytes}});
+    }
+  }
   it->second->deliver(env);
 }
 

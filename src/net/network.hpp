@@ -53,9 +53,10 @@ struct TrafficStats {
   Counter sent;       // accepted for transmission
   Counter delivered;  // actually handed to a live endpoint
   std::map<std::string, Counter> sent_by_kind;
+  std::map<std::string, Counter> delivered_by_kind;
 
   void record_sent(const std::string& kind, std::uint64_t bytes);
-  void record_delivered(std::uint64_t bytes);
+  void record_delivered(const std::string& kind, std::uint64_t bytes);
 };
 
 struct NetworkConfig {
@@ -124,10 +125,15 @@ class Network {
 
   SimDuration latency_for(PeerId from, PeerId to);
   void deliver_now(const Envelope& env);
+  void count_drop(const char* reason);
 
   sim::Simulator& sim_;
   NetworkConfig cfg_;
   Rng rng_;
+  obs::Counter& m_sent_msgs_;
+  obs::Counter& m_sent_bytes_;
+  obs::Counter& m_delivered_msgs_;
+  obs::Counter& m_delivered_bytes_;
   std::unordered_map<PeerId, Endpoint*> endpoints_;
   std::unordered_set<PeerId> crashed_;
   std::unordered_set<Link> blocked_;

@@ -1,0 +1,36 @@
+// Serialization of metrics and traces to machine-readable files.
+//
+//  * metrics_jsonl: one JSON object per line per metric — the format the
+//    figure benches drop next to their stdout tables so plots and
+//    regression checks can consume exact numbers.
+//  * chrome_trace_json: the Chrome trace_event JSON-array format; open
+//    the file in chrome://tracing / about://tracing or
+//    https://ui.perfetto.dev to see the protocol timeline, one row per
+//    peer, in virtual time (microseconds).
+//
+// All output is fully determined by the registry/stream contents: maps
+// iterate in name order, numbers format identically across runs, and no
+// wall-clock timestamps are embedded — byte-identical seeds give
+// byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace p2pfl::obs {
+
+/// JSON-quote a string (adds the surrounding double quotes).
+std::string json_quote(std::string_view s);
+
+/// One line per counter/gauge/histogram, lexically ordered by name.
+std::string metrics_jsonl(const MetricsRegistry& registry);
+
+/// Full Chrome trace_event JSON document ({"traceEvents": [...]}).
+std::string chrome_trace_json(const TraceStream& trace);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace p2pfl::obs

@@ -1,0 +1,91 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace p2pfl::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  P2PFL_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  P2PFL_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must be ascending");
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Continuous 0-based rank of the requested order statistic.
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(cum + c)) {
+      // The order statistic lies in bucket i; interpolate within it.
+      const double lo = i == 0 ? min_ : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : max_;
+      const double frac = (rank - static_cast<double>(cum)) /
+                          static_cast<double>(c);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cum += c;
+  }
+  return max_;
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double step,
+                                             std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + static_cast<double>(i) * step);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return it->second;
+}
+
+}  // namespace p2pfl::obs

@@ -1,0 +1,109 @@
+// Deterministic metrics registry: named counters, gauges and
+// fixed-bucket histograms.
+//
+// The registry is owned by the discrete-event Simulator, so every sample
+// is taken at a point in *virtual* time and two runs with the same seed
+// produce byte-identical metric dumps. Nothing in this module reads the
+// wall clock or any other ambient state. Metric objects are created on
+// first lookup and live as long as the registry; references returned by
+// counter()/gauge()/histogram() stay valid forever (node-based map), so
+// hot paths can cache them and skip the name lookup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p2pfl::obs {
+
+/// Monotonically increasing event count (messages sent, elections won…).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time signed level (current leaders, pending events…).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram with quantile queries.
+///
+/// `bounds` are ascending bucket upper limits; samples above the last
+/// bound land in an implicit overflow bucket. Quantiles interpolate
+/// linearly inside the bucket containing the requested order statistic
+/// and are clamped to the observed [min, max], so single-sample and
+/// all-equal distributions report exact values and the estimation error
+/// is bounded by the width of one bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Estimate the q-quantile (q in [0, 1]); 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket sample counts; size bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// n bounds: lo, lo+step, ..., lo+(n-1)*step.
+  static std::vector<double> linear_bounds(double lo, double step,
+                                           std::size_t n);
+  /// n bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name-keyed collection of metrics. Iteration order is the lexical
+/// order of names (std::map), which keeps every export deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creates the histogram with `bounds` on first use; later calls with
+  /// the same name return the existing histogram (bounds are ignored).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace p2pfl::obs

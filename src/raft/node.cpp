@@ -27,14 +27,21 @@ RaftNode::RaftNode(PeerId id, std::string channel,
       host_(host),
       rng_(net.simulator().rng().fork(0x7261'6674ULL ^ id)),
       config_(initial_members_),
-      election_timer_(net.simulator(), [this] {
-        // Follower: suspects the leader is gone. Candidate: the election
-        // reached no outcome. Either way, start (another) election.
-        if (running_ && role_ != Role::kLeader) start_election();
-      }),
-      heartbeat_timer_(net.simulator(), [this] {
-        if (running_ && role_ == Role::kLeader) broadcast_append();
-      }) {
+      election_timer_(
+          net.simulator(),
+          [this] {
+            // Follower: suspects the leader is gone. Candidate: the
+            // election reached no outcome. Either way, start (another)
+            // election.
+            if (running_ && role_ != Role::kLeader) start_election();
+          },
+          channel_ + ".election_timeout"),
+      heartbeat_timer_(
+          net.simulator(),
+          [this] {
+            if (running_ && role_ == Role::kLeader) broadcast_append();
+          },
+          channel_ + ".heartbeat") {
   P2PFL_CHECK(opts_.election_timeout_min > 0);
   P2PFL_CHECK(opts_.election_timeout_max >= opts_.election_timeout_min);
   std::sort(config_.begin(), config_.end());
@@ -63,6 +70,9 @@ void RaftNode::stop() {
   running_ = false;
   election_timer_.cancel();
   heartbeat_timer_.cancel();
+  if (role_ == Role::kLeader) {
+    net_.simulator().obs().metrics.gauge("raft.leaders." + channel_).add(-1);
+  }
   role_ = Role::kFollower;
   leader_hint_ = kNoPeer;
   last_leader_contact_ = -1;
@@ -111,6 +121,7 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
   if (term > term_) {
     term_ = term;
     voted_for_ = kNoPeer;
+    net_.simulator().obs().metrics.counter("raft.term_bumps").add(1);
   }
   role_ = Role::kFollower;
   prevote_phase_ = false;
@@ -125,6 +136,13 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
   if (was_leader) {
     P2PFL_DEBUG() << channel_ << " peer " << id_ << " stepped down (term "
                   << term_ << ")";
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("raft.stepdowns").add(1);
+    o.metrics.gauge("raft.leaders." + channel_).add(-1);
+    if (o.trace.category_enabled("raft")) {
+      o.trace.instant("raft", "raft.step_down", id_,
+                      {{"channel", channel_}, {"term", term_}});
+    }
     if (on_step_down) on_step_down();
   }
 }
@@ -170,6 +188,13 @@ void RaftNode::start_real_election() {
   votes_.insert(id_);
   leader_hint_ = kNoPeer;
   ++metrics_.elections_started;
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("raft.elections_started").add(1);
+  o.metrics.counter("raft.term_bumps").add(1);
+  if (o.trace.category_enabled("raft")) {
+    o.trace.instant("raft", "raft.election_start", id_,
+                    {{"channel", channel_}, {"term", term_}});
+  }
   P2PFL_DEBUG() << channel_ << " peer " << id_ << " starts election, term "
                 << term_;
   reset_election_timer();
@@ -185,6 +210,13 @@ void RaftNode::become_leader() {
   role_ = Role::kLeader;
   leader_hint_ = id_;
   ++metrics_.times_elected;
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("raft.elections_won").add(1);
+  o.metrics.gauge("raft.leaders." + channel_).add(1);
+  if (o.trace.category_enabled("raft")) {
+    o.trace.instant("raft", "raft.leader_elected", id_,
+                    {{"channel", channel_}, {"term", term_}});
+  }
   election_timer_.cancel();
   // Inherit any still-uncommitted config entry as the pending change.
   pending_config_ = 0;
@@ -474,10 +506,13 @@ void RaftNode::advance_commit() {
 }
 
 void RaftNode::apply_committed() {
+  obs::Counter& applied_counter =
+      net_.simulator().obs().metrics.counter("raft.entries_applied");
   while (applied_ < commit_) {
     ++applied_;
     const LogEntry& e = log_.at(applied_);
     ++metrics_.entries_applied;
+    applied_counter.add(1);
     if (e.kind == EntryKind::kConfig) {
       if (pending_config_ == applied_) pending_config_ = 0;
       // A leader that committed its own removal steps down (§4.2.2).
@@ -562,6 +597,12 @@ void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
     snapshot_state_ = args.app_state;
     commit_ = idx;
     applied_ = idx;
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("raft.snapshot_installs").add(1);
+    if (o.trace.category_enabled("raft")) {
+      o.trace.instant("raft", "raft.snapshot_install", id_,
+                      {{"channel", channel_}, {"index", idx}});
+    }
     if (on_snapshot_install) on_snapshot_install(idx, snapshot_state_);
     adopt_latest_config();
   }

@@ -19,8 +19,10 @@ SacPeer::SacPeer(PeerId id, std::string channel, SacActorOptions opts,
       net_(net),
       host_(host),
       rng_(net.simulator().rng().fork(0x7361'63ULL ^ (id * 2654435761ULL))),
-      share_timer_(net.simulator(), [this] { on_share_timer(); }),
-      subtotal_timer_(net.simulator(), [this] { on_subtotal_timer(); }) {
+      share_timer_(net.simulator(), [this] { on_share_timer(); },
+                   channel_ + ".share_timeout"),
+      subtotal_timer_(net.simulator(), [this] { on_subtotal_timer(); },
+                      channel_ + ".subtotal_timeout") {
   host_.route(channel_ + "/",
               [this](const net::Envelope& env) { dispatch(env); });
 }
@@ -72,6 +74,16 @@ void SacPeer::begin_round(RoundId round, Vector model,
   st.share_bytes = share_wire_bytes(model.size());
   st.got_share_from.assign(st.n, false);
   round_ = std::move(st);
+
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("sac.rounds_started").add(1);
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "sac.share_phase", id_,
+                    {{"channel", channel_},
+                     {"round", round},
+                     {"n", round_->n},
+                     {"k", round_->k}});
+  }
 
   const auto shares = divide(model, round_->n, rng_, opts_.split);
   const std::size_t n = round_->n;
@@ -178,6 +190,11 @@ void SacPeer::maybe_finish_share_phase() {
     if (st.subtotal.count(s) == 0) return;
   }
   st.share_phase_done = true;
+  obs::TraceStream& tr = net_.simulator().obs().trace;
+  if (tr.category_enabled("agg")) {
+    tr.instant("agg", "sac.subtotal_phase", id_,
+               {{"channel", channel_}, {"round", st.round}});
+  }
   if (is_leader()) share_timer_.cancel();
   emit_subtotals();
 }
@@ -243,6 +260,12 @@ void SacPeer::maybe_complete() {
   st.completed = true;
   share_timer_.cancel();
   subtotal_timer_.cancel();
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("sac.rounds_completed").add(1);
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "sac.reveal", id_,
+                    {{"channel", channel_}, {"round", st.round}});
+  }
   std::vector<double> total(st.collected.begin()->second.size(), 0.0);
   for (const auto& [idx, value] : st.collected) accumulate(total, value);
   const Vector avg = to_vector(total, static_cast<double>(st.n));
@@ -257,6 +280,7 @@ void SacPeer::on_share_timer() {
   }
   P2PFL_DEBUG() << channel_ << " leader " << id_ << ": share phase timed"
                 << " out, " << missing.size() << " silent peers";
+  net_.simulator().obs().metrics.counter("sac.share_timeouts").add(1);
   if (on_share_timeout) on_share_timeout(round_->round, missing);
 }
 
@@ -280,8 +304,17 @@ void SacPeer::request_missing_subtotals() {
     if (attempt >= holders.size()) {
       P2PFL_WARN() << channel_ << " round " << st.round << ": subtotal "
                    << idx << " unrecoverable";
+      net_.simulator().obs().metrics.counter("sac.unrecoverable").add(1);
       if (on_unrecoverable) on_unrecoverable(st.round);
       return;
+    }
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("sac.recovery_requests").add(1);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "sac.recovery_request", id_,
+                      {{"channel", channel_},
+                       {"round", st.round},
+                       {"subtotal", idx}});
     }
     SacSubtotalReq req{st.round, static_cast<std::uint32_t>(idx),
                        static_cast<std::uint32_t>(st.my_pos)};

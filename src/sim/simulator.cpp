@@ -35,6 +35,7 @@ bool Simulator::pop_and_run() {
     if (cancelled_.erase(ev.id) > 0) continue;
     P2PFL_CHECK(ev.t >= now_);
     now_ = ev.t;
+    dispatch_counter_.add(1);
     ev.fn();
     return true;
   }

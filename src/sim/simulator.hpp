@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace p2pfl::sim {
 
@@ -68,6 +69,11 @@ class Simulator {
   /// Root deterministic random source; components should fork() children.
   Rng& rng() { return rng_; }
 
+  /// Metrics registry + trace stream for this simulation. Owned here so
+  /// every sample carries the virtual clock and runs stay seed-exact.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+
  private:
   struct Event {
     SimTime t;
@@ -89,6 +95,8 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;
+  obs::Observability obs_{&now_};
+  obs::Counter& dispatch_counter_{obs_.metrics.counter("sim.events_dispatched")};
 };
 
 }  // namespace p2pfl::sim

@@ -6,7 +6,11 @@
 
 namespace p2pfl::sim {
 
-Timer::Timer(Simulator& sim, Callback cb) : sim_(sim), cb_(std::move(cb)) {
+Timer::Timer(Simulator& sim, Callback cb, std::string name)
+    : sim_(sim),
+      cb_(std::move(cb)),
+      name_(std::move(name)),
+      fire_counter_(sim.obs().metrics.counter("sim.timer_fires")) {
   P2PFL_CHECK(cb_ != nullptr);
 }
 
@@ -34,6 +38,11 @@ void Timer::cancel() {
 
 void Timer::fire() {
   event_ = kInvalidEvent;
+  fire_counter_.add(1);
+  obs::TraceStream& tr = sim_.obs().trace;
+  if (tr.category_enabled("sim")) {
+    tr.instant("sim", name_.empty() ? "timer" : name_, 0);
+  }
   if (period_ > 0) {
     // Re-arm before invoking the callback so the callback may cancel().
     event_ = sim_.schedule_after(period_, [this] { fire(); });

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "sim/simulator.hpp"
 
@@ -16,7 +17,9 @@ class Timer {
  public:
   using Callback = std::function<void()>;
 
-  Timer(Simulator& sim, Callback cb);
+  /// `name` labels this timer's firings in the trace stream (category
+  /// "sim"); unnamed timers trace as "timer".
+  Timer(Simulator& sim, Callback cb, std::string name = {});
   ~Timer();
 
   Timer(const Timer&) = delete;
@@ -39,6 +42,8 @@ class Timer {
 
   Simulator& sim_;
   Callback cb_;
+  const std::string name_;
+  obs::Counter& fire_counter_;
   EventId event_ = kInvalidEvent;
   SimDuration period_ = 0;  // 0 = one-shot
 };

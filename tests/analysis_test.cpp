@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "analysis/cost_model.hpp"
+#include "core/agg_cost_sim.hpp"
+#include "sim/simulator.hpp"
 
 namespace p2pfl::analysis {
 namespace {
@@ -162,6 +167,34 @@ TEST(ModelSizeUnits, PaperCnnIs40MbPerTransfer) {
   const ModelSize w;
   EXPECT_EQ(w.bytes(), 5'000'000u);
   EXPECT_DOUBLE_EQ(w.megabits(), 40.0);
+}
+
+// --- closed form vs the metrics registry -----------------------------------
+
+TEST(CostModelVsMetrics, Eq4MatchesNetSentBytesCounter) {
+  // Third, independent measurement of the Fig. 13 byte counts: the
+  // network's metrics-registry counter (not TrafficStats) must equal
+  // Eq. (4)'s closed form times the synthetic |w| in a fault-free round.
+  for (const auto& [m, n] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 3}, {5, 5}, {6, 4}}) {
+    const std::vector<std::size_t> groups(m, n);
+    std::uint64_t metered_bytes = 0;
+    core::AggSimHooks hooks;
+    hooks.on_finish = [&](sim::Simulator& s) {
+      metered_bytes = s.obs().metrics.counter("net.sent.bytes").value();
+    };
+    const auto breakdown = core::simulate_aggregation_cost(groups, 0, hooks);
+    ASSERT_TRUE(breakdown.completed) << "m=" << m << " n=" << n;
+    const double expected_units = two_layer_cost_eq4(m, n);
+    EXPECT_EQ(metered_bytes,
+              static_cast<std::uint64_t>(expected_units) *
+                  core::kCostSimModelWire)
+        << "m=" << m << " n=" << n;
+    // And the registry agrees with the per-kind TrafficStats total.
+    EXPECT_DOUBLE_EQ(breakdown.total_units,
+                     static_cast<double>(metered_bytes) /
+                         static_cast<double>(core::kCostSimModelWire));
+  }
 }
 
 }  // namespace

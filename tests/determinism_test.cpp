@@ -3,10 +3,13 @@
 // repo replayable and every failure seed debuggable.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fl_experiment.hpp"
 #include "core/two_layer_raft.hpp"
+#include "obs/export.hpp"
 
 namespace p2pfl {
 namespace {
@@ -58,6 +61,46 @@ TEST(Determinism, DifferentSeedsGiveDifferentTimelines) {
   // Same topology, different randomized timeouts: the election
   // timestamps will differ even if the same peers happen to win.
   EXPECT_NE(a.sub_elections, b.sub_elections);
+}
+
+/// Serialized observability artifacts for one fully traced run of the
+/// RaftTrace scenario: (metrics JSONL, Chrome trace JSON).
+std::pair<std::string, std::string> run_golden_trace(std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  sim.obs().trace.set_enabled(true);
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  core::TwoLayerRaftOptions opts;
+  opts.raft.election_timeout_min = 50 * kMillisecond;
+  opts.raft.election_timeout_max = 100 * kMillisecond;
+  core::TwoLayerRaftSystem sys(core::Topology::even(12, 4), opts, net);
+  sys.start_all();
+  sim.run_for(3 * kSecond);
+  const PeerId fed = sys.fedavg_leader();
+  if (fed != kNoPeer) sys.crash_peer(fed);
+  sim.run_for(3 * kSecond);
+  return {obs::metrics_jsonl(sim.obs().metrics),
+          obs::chrome_trace_json(sim.obs().trace)};
+}
+
+TEST(Determinism, GoldenTraceIsByteIdenticalAcrossRuns) {
+  const auto a = run_golden_trace(4242);
+  const auto b = run_golden_trace(4242);
+  // Byte-for-byte: the trace embeds only virtual timestamps and the
+  // export formats every number identically, so two runs with the same
+  // seed must serialize to the same file content.
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  // The run actually recorded protocol activity on all layers.
+  EXPECT_NE(a.second.find("\"cat\":\"net\""), std::string::npos);
+  EXPECT_NE(a.second.find("\"cat\":\"raft\""), std::string::npos);
+  EXPECT_NE(a.second.find("raft.leader_elected"), std::string::npos);
+  EXPECT_NE(a.first.find("raft.elections_won"), std::string::npos);
+}
+
+TEST(Determinism, GoldenTraceDiffersAcrossSeeds) {
+  const auto a = run_golden_trace(1);
+  const auto b = run_golden_trace(2);
+  EXPECT_NE(a.second, b.second);
 }
 
 TEST(Determinism, FlExperimentBitExactAcrossRuns) {

@@ -126,6 +126,62 @@ TEST_F(NetworkTest, ResetStatsClearsCounters) {
   EXPECT_EQ(net_.stats().delivered.bytes, 0u);
 }
 
+TEST_F(NetworkTest, SplitsDeliveredByKind) {
+  net_.send(0, 1, "k1", 1, 100);
+  net_.send(0, 1, "k2", 2, 40);
+  net_.send(1, 0, "k2", 3, 60);
+  sim_.run();
+  const auto& by_kind = net_.stats().delivered_by_kind;
+  ASSERT_EQ(by_kind.count("k1"), 1u);
+  ASSERT_EQ(by_kind.count("k2"), 1u);
+  EXPECT_EQ(by_kind.at("k1").messages, 1u);
+  EXPECT_EQ(by_kind.at("k1").bytes, 100u);
+  EXPECT_EQ(by_kind.at("k2").messages, 2u);
+  EXPECT_EQ(by_kind.at("k2").bytes, 100u);
+}
+
+TEST_F(NetworkTest, PerKindDeliveredNeverExceedsSentUnderFaults) {
+  // Mixed-kind traffic under a blocked link, an in-flight receiver
+  // crash, and a crashed sender: per kind, whatever reaches a live
+  // endpoint must be a subset of what was put on the wire.
+  net_.block_link(0, 1);
+  net_.send(0, 1, "blocked/k", 1, 10);  // dropped before send accounting
+  net_.unblock_link(0, 1);
+  net_.send(0, 1, "ok/k", 3, 30);
+  sim_.run();  // delivered
+  net_.send(0, 1, "lost/k", 2, 20);  // receiver crashes mid-flight
+  sim_.run_for(5 * kMillisecond);
+  net_.crash(1);
+  sim_.run();
+  net_.restore(1);
+  net_.send(1, 0, "ok/k", 4, 30);
+  sim_.run();  // delivered
+  net_.crash(1);
+  net_.send(1, 0, "dead/k", 5, 40);  // crashed sender emits nothing
+  sim_.run();
+
+  const auto& st = net_.stats();
+  for (const auto& [kind, delivered] : st.delivered_by_kind) {
+    const auto it = st.sent_by_kind.find(kind);
+    ASSERT_NE(it, st.sent_by_kind.end()) << "delivered unknown kind " << kind;
+    EXPECT_LE(delivered.messages, it->second.messages) << kind;
+    EXPECT_LE(delivered.bytes, it->second.bytes) << kind;
+  }
+  // The faults actually bit: "lost/k" was sent but never delivered, the
+  // blocked and crashed-sender kinds never even hit the send counters.
+  EXPECT_EQ(st.sent_by_kind.at("lost/k").messages, 1u);
+  EXPECT_EQ(st.delivered_by_kind.count("lost/k"), 0u);
+  EXPECT_EQ(st.sent_by_kind.count("blocked/k"), 0u);
+  EXPECT_EQ(st.sent_by_kind.count("dead/k"), 0u);
+  EXPECT_EQ(st.delivered_by_kind.at("ok/k").messages, 2u);
+
+  // Drop reasons are attributed in the metrics registry.
+  const auto& counters = sim_.obs().metrics.counters();
+  EXPECT_EQ(counters.at("net.dropped.link_blocked").value(), 1u);
+  EXPECT_EQ(counters.at("net.dropped.sender_crashed").value(), 1u);
+  EXPECT_GE(counters.at("net.dropped.receiver_crashed").value(), 1u);
+}
+
 TEST(PeerHost, RoutesByLongestPrefix) {
   PeerHost host;
   std::vector<std::string> hits;

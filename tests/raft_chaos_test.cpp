@@ -201,6 +201,8 @@ class ChaosCluster {
     return l == nullptr ? 0 : l->members().size();
   }
 
+  sim::Simulator& sim() { return sim_; }
+
  private:
   sim::Simulator sim_;
   net::Network net_;
@@ -226,6 +228,43 @@ TEST_P(RaftChaos, SafetyHoldsUnderHeavyChurnSevenNodes) {
   c.run_chaos(20 * kSecond, /*crash_p=*/0.3, /*restart_p=*/0.35);
   EXPECT_TRUE(c.has_leader());
   EXPECT_GT(c.total_applied(), 5u);
+}
+
+TEST_P(RaftChaos, MetricInvariantsHoldUnderCrashRestartChaos) {
+  ChaosCluster c(5, GetParam());
+  c.sim().obs().trace.set_enabled(true);
+  c.sim().obs().trace.enable_category("raft");
+  c.run_chaos(20 * kSecond, /*crash_p=*/0.15, /*restart_p=*/0.2);
+  const obs::MetricsRegistry& m = c.sim().obs().metrics;
+
+  // A campaign can fail (split vote, lost to a crash) but never produce
+  // more than one win; winning requires having campaigned.
+  const auto& counters = m.counters();
+  const std::uint64_t started = counters.at("raft.elections_started").value();
+  const std::uint64_t won = counters.at("raft.elections_won").value();
+  EXPECT_GE(started, won);
+  EXPECT_GE(won, 1u);
+
+  // Election Safety, independently of the on_become_leader callbacks:
+  // the trace stream records exactly one leader_elected per term.
+  std::set<std::string> terms_with_leader;
+  std::uint64_t elected_events = 0;
+  for (const obs::TraceEvent& ev : c.sim().obs().trace.events()) {
+    if (ev.name != "raft.leader_elected") continue;
+    ++elected_events;
+    std::string term;
+    for (const auto& [key, value] : ev.args) {
+      if (key == "term") term = value.json;
+    }
+    EXPECT_TRUE(terms_with_leader.insert(term).second)
+        << "two leaders elected in term " << term;
+  }
+  EXPECT_EQ(elected_events, won);
+
+  // run_chaos healed every crash and settled: one live leader remains
+  // and every stale leader has stepped down, so the gauge reads 1.
+  ASSERT_TRUE(c.has_leader());
+  EXPECT_EQ(m.gauges().at("raft.leaders.raft/chaos").value(), 1);
 }
 
 TEST_P(RaftChaos, MembershipChurnPreservesSafety) {

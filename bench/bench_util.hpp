@@ -7,11 +7,15 @@
 // configuration stays reachable from the CI-scale defaults.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "net/network.hpp"
 
 namespace p2pfl::bench {
 
@@ -60,6 +64,32 @@ inline void print_environment(const char* experiment) {
       "environment: discrete-event simulation (deterministic), "
       "link latency 15 ms (tc-netem equivalent), hw threads %u\n",
       std::thread::hardware_concurrency());
+}
+
+/// Per-reason drop table, mirroring the obs `net.dropped.*` counters.
+inline void print_drop_table(
+    const std::map<std::string, std::uint64_t>& drops) {
+  if (drops.empty()) {
+    std::printf("drops by reason: none\n");
+    return;
+  }
+  std::printf("drops by reason:\n");
+  for (const auto& [reason, count] : drops) {
+    std::printf("  %-16s %10llu\n", reason.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+}
+
+/// Aggregate traffic counters plus the drop table.
+inline void print_traffic(const net::TrafficStats& stats) {
+  std::printf(
+      "traffic: sent %llu msgs / %llu bytes, delivered %llu msgs / %llu "
+      "bytes\n",
+      static_cast<unsigned long long>(stats.sent.messages),
+      static_cast<unsigned long long>(stats.sent.bytes),
+      static_cast<unsigned long long>(stats.delivered.messages),
+      static_cast<unsigned long long>(stats.delivered.bytes));
+  print_drop_table(stats.dropped_by_reason);
 }
 
 }  // namespace p2pfl::bench

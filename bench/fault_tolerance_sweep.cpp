@@ -14,6 +14,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
+#include "chaos/engine.hpp"
 #include "core/two_layer_raft.hpp"
 
 namespace {
@@ -26,6 +27,9 @@ enum class Scenario { kOptimisticFollowers, kLeaderReplacement, kFatal };
 struct Outcome {
   bool stabilized_after = false;
   double ms = -1.0;
+  /// Per-reason drop counts of this run (accumulated by main into the
+  /// sweep-wide drop table).
+  std::map<std::string, std::uint64_t> drops;
 };
 
 Outcome run_case(std::size_t m, std::size_t n, Scenario scenario,
@@ -42,6 +46,7 @@ Outcome run_case(std::size_t m, std::size_t n, Scenario scenario,
   }
   if (!sys.stabilized()) return {};
 
+  std::vector<PeerId> victims;
   switch (scenario) {
     case Scenario::kOptimisticFollowers: {
       const std::size_t per_group = (n - 1) / 2 + 1;
@@ -50,7 +55,7 @@ Outcome run_case(std::size_t m, std::size_t n, Scenario scenario,
         std::size_t killed = 0;
         for (PeerId p : sys.topology().group(g)) {
           if (p != leader && killed < per_group) {
-            sys.crash_peer(p);
+            victims.push_back(p);
             ++killed;
           }
         }
@@ -62,7 +67,7 @@ Outcome run_case(std::size_t m, std::size_t n, Scenario scenario,
       for (SubgroupId g = 0; g < m; ++g) {
         const PeerId l = sys.subgroup_leader(g);
         if (l != kNoPeer && l != fed) {
-          sys.crash_peer(l);
+          victims.push_back(l);
           break;
         }
       }
@@ -70,26 +75,35 @@ Outcome run_case(std::size_t m, std::size_t n, Scenario scenario,
     }
     case Scenario::kFatal: {
       const std::size_t kill = analysis::fedavg_fatal_leader_crashes(m);
-      std::size_t killed = 0;
-      for (SubgroupId g = 0; g < m && killed < kill; ++g) {
+      for (SubgroupId g = 0; g < m && victims.size() < kill; ++g) {
         const PeerId l = sys.subgroup_leader(g);
-        if (l != kNoPeer) {
-          sys.crash_peer(l);
-          ++killed;
-        }
+        if (l != kNoPeer) victims.push_back(l);
       }
       break;
     }
   }
 
+  // Crashes go through a ChaosPlan (executed on the next simulator
+  // step), so each case is a replayable (seed, plan) pair.
   const SimTime crash_at = sim.now();
+  chaos::ChaosPlan plan;
+  for (PeerId v : victims) plan.crash_at(crash_at, v);
+  chaos::ChaosEngineHooks hooks;
+  hooks.crash = [&sys](PeerId p) { sys.crash_peer(p); };
+  chaos::ChaosEngine chaos_engine(net, std::move(plan), hooks);
+  chaos_engine.start();
+
+  Outcome out;
   while (sim.now() < crash_at + 30 * kSecond) {
-    if (sys.stabilized()) {
-      return {true, to_ms(sim.now() - crash_at)};
-    }
     sim.run_for(20 * kMillisecond);
+    if (sys.stabilized()) {
+      out.stabilized_after = true;
+      out.ms = to_ms(sim.now() - crash_at);
+      break;
+    }
   }
-  return {};
+  out.drops = net.stats().dropped_by_reason;
+  return out;
 }
 
 }  // namespace
@@ -101,25 +115,28 @@ int main(int argc, char** argv) {
   bench::print_environment("§VII-D — two-layer Raft fault-tolerance sweep");
   std::printf("%4s %4s %10s | %18s %20s %16s\n", "m", "n", "opt bound",
               "followers-only ok", "leader-replace ok", "fatal blocked");
+  std::map<std::string, std::uint64_t> total_drops;
   for (std::size_t m : {3u, 5u}) {
     for (std::size_t n : {3u, 5u}) {
       std::size_t opt_ok = 0, repl_ok = 0, fatal_blocked = 0;
       double repl_ms = 0.0;
       for (std::size_t i = 0; i < trials; ++i) {
-        if (run_case(m, n, Scenario::kOptimisticFollowers,
-                     0x5000 + i * 13 + m * 7 + n)
-                .stabilized_after) {
-          ++opt_ok;
-        }
+        const auto o = run_case(m, n, Scenario::kOptimisticFollowers,
+                                0x5000 + i * 13 + m * 7 + n);
+        if (o.stabilized_after) ++opt_ok;
         const auto r = run_case(m, n, Scenario::kLeaderReplacement,
                                 0x6000 + i * 17 + m * 3 + n);
         if (r.stabilized_after) {
           ++repl_ok;
           repl_ms += r.ms;
         }
-        if (!run_case(m, n, Scenario::kFatal, 0x7000 + i * 19 + m + n)
-                 .stabilized_after) {
-          ++fatal_blocked;
+        const auto f =
+            run_case(m, n, Scenario::kFatal, 0x7000 + i * 19 + m + n);
+        if (!f.stabilized_after) ++fatal_blocked;
+        for (const auto* d : {&o.drops, &r.drops, &f.drops}) {
+          for (const auto& [reason, count] : *d) {
+            total_drops[reason] += count;
+          }
         }
       }
       std::printf("%4zu %4zu %10zu | %15zu/%zu %12zu/%zu (%4.0fms) %13zu/%zu\n",
@@ -135,5 +152,7 @@ int main(int argc, char** argv) {
       "subgroup leader crash\nfully heals (elect + FedAvg rejoin). fatal: a "
       "FedAvg-layer majority crash cannot\nheal, matching the paper's "
       "⌊(m-1)/2⌋ threshold.\n");
+  std::printf("\n");
+  p2pfl::bench::print_drop_table(total_drops);
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bench/obs_util.hpp"
+#include "chaos/engine.hpp"
 #include "core/two_layer_raft.hpp"
 
 namespace p2pfl::bench {
@@ -96,8 +97,17 @@ inline TrialResult run_recovery_trial(CrashKind kind, SimDuration timeout_t,
     if (!fed_elected) fed_elected = sim.now();
   };
 
+  // The crash is injected through a ChaosPlan so every recovery run is a
+  // pure (seed, plan) pair: the fault lands on the chaos trace/metrics
+  // and the trial replays exactly. The hook routes the crash through the
+  // Raft system (stops the node, not just its links).
   const SimTime crash_at = sim.now();
-  sys.crash_peer(victim);
+  chaos::ChaosPlan plan;
+  plan.crash_at(crash_at, victim);
+  chaos::ChaosEngineHooks hooks;
+  hooks.crash = [&sys](PeerId p) { sys.crash_peer(p); };
+  chaos::ChaosEngine chaos_engine(net, std::move(plan), hooks);
+  chaos_engine.start();
 
   const bool need_fed = kind == CrashKind::kFedAvgLeader;
   const SimTime deadline = crash_at + 60 * kSecond;
@@ -105,6 +115,7 @@ inline TrialResult run_recovery_trial(CrashKind kind, SimDuration timeout_t,
     if (elected && joined && (!need_fed || fed_elected)) break;
     sim.run_for(10 * kMillisecond);
   }
+  if (exporter) print_traffic(net.stats());
   if (!elected || !joined || (need_fed && !fed_elected)) return out;
 
   out.elect_ms = to_ms(*elected - crash_at);

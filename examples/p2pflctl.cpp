@@ -7,11 +7,19 @@
 //   p2pflctl recovery [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
 //   p2pflctl trace    [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
 //                     [--out=BASE] [--categories=sim,net,raft,agg]
+//   p2pflctl chaos    [--peers=N --groups=m --rounds=R --seed=S]
+//                     [--loss=P --dup=P --reorder-ms=J]
+//                     [--churn-mttf=MS --churn-mttr=MS]
+//                     [--partition-at=MS --heal-at=MS --interval=MS]
 //
 // Everything runs on the deterministic simulator; identical flags give
 // identical results. `trace` replays the recovery scenario with the
 // observability layer on and writes BASE.metrics.jsonl plus
 // BASE.trace.json (Chrome trace_event format; open in about://tracing).
+// `chaos` runs two-layer aggregation rounds under a scripted fault plan
+// (message loss, duplication, reordering, crash/restart churn and an
+// optional partition window) and checks that every committed round is
+// the exact average of its contributing peers.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -19,6 +27,7 @@
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
 #include "bench/obs_util.hpp"
+#include "chaos/soak.hpp"
 #include "core/fl_experiment.hpp"
 #include "core/two_layer_raft.hpp"
 #include "fl/checkpoint.hpp"
@@ -169,12 +178,75 @@ int cmd_recovery(const bench::Args& args, bool traced = false) {
   return 0;
 }
 
+int cmd_chaos(const bench::Args& args) {
+  chaos::ChaosSoakConfig cfg;
+  cfg.peers = static_cast<std::size_t>(args.get_int("peers", 12));
+  cfg.groups = static_cast<std::size_t>(args.get_int("groups", 3));
+  cfg.rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
+  cfg.dim = static_cast<std::size_t>(args.get_int("dim", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.round_interval = args.get_int("interval", 1000) * kMillisecond;
+  cfg.net.faults.drop_prob = args.get_double("loss", 0.05);
+  cfg.net.faults.duplicate_prob = args.get_double("dup", 0.05);
+  const long reorder_ms = args.get_int("reorder-ms", 0);
+  if (reorder_ms > 0) {
+    cfg.net.faults.reorder_prob = 0.25;
+    cfg.net.faults.reorder_jitter = reorder_ms * kMillisecond;
+  }
+  cfg.churn_mttf = args.get_int("churn-mttf", 0) * kMillisecond;
+  cfg.churn_mttr = args.get_int("churn-mttr", 1000) * kMillisecond;
+  cfg.partition_at = args.get_int("partition-at", 0) * kMillisecond;
+  cfg.heal_at = args.get_int("heal-at", 0) * kMillisecond;
+
+  std::printf(
+      "chaos soak: %zu peers in %zu groups, %zu rounds @ %.0f ms, seed "
+      "%llu\n",
+      cfg.peers, cfg.groups, cfg.rounds, to_ms(cfg.round_interval),
+      static_cast<unsigned long long>(cfg.seed));
+  std::printf(
+      "faults: loss %.2f, dup %.2f, reorder jitter %ld ms, churn "
+      "mttf/mttr %.0f/%.0f ms, partition [%.0f, %.0f) ms\n",
+      cfg.net.faults.drop_prob, cfg.net.faults.duplicate_prob, reorder_ms,
+      to_ms(cfg.churn_mttf), to_ms(cfg.churn_mttr), to_ms(cfg.partition_at),
+      to_ms(cfg.heal_at));
+
+  const chaos::ChaosSoakResult res = chaos::run_chaos_soak(cfg);
+
+  std::printf("\n%5s %9s %12s %10s\n", "round", "outcome", "contributors",
+              "max|err|");
+  for (const chaos::RoundOutcome& o : res.outcomes) {
+    if (o.committed) {
+      std::printf("%5llu %9s %8zu/%-3zu %10.2e\n",
+                  static_cast<unsigned long long>(o.round), "committed",
+                  o.contributors, cfg.peers, o.max_abs_error);
+    } else {
+      std::printf("%5llu %9s %12s %10s\n",
+                  static_cast<unsigned long long>(o.round), "aborted", "-",
+                  "-");
+    }
+  }
+  std::printf(
+      "\nrounds: %zu started, %zu committed, %zu aborted, %zu skipped "
+      "(no live leader)\n",
+      res.rounds_started, res.rounds_committed, res.rounds_aborted,
+      res.rounds_skipped);
+  std::printf("chaos: %zu crashes, %zu restarts\n", res.crashes,
+              res.restarts);
+  bench::print_traffic(res.traffic);
+
+  const bool ok = res.liveness_ok && res.all_commits_exact;
+  std::printf("liveness: %s, exactness: %s (max error %.2e)\n",
+              res.liveness_ok ? "OK" : "FAILED",
+              res.all_commits_exact ? "OK" : "FAILED", res.max_abs_error);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: p2pflctl <train|cost|recovery|trace> "
+                 "usage: p2pflctl <train|cost|recovery|trace|chaos> "
                  "[--key=value...]\n");
     return 2;
   }
@@ -184,6 +256,7 @@ int main(int argc, char** argv) {
   if (cmd == "cost") return cmd_cost(args);
   if (cmd == "recovery") return cmd_recovery(args);
   if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
+  if (cmd == "chaos") return cmd_chaos(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

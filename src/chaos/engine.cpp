@@ -1,0 +1,156 @@
+#include "chaos/engine.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace p2pfl::chaos {
+
+ChaosEngine::ChaosEngine(net::Network& net, ChaosPlan plan,
+                         ChaosEngineHooks hooks)
+    : net_(net),
+      sim_(net.simulator()),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      rng_(sim_.rng().fork(0x6368'616f'7321ULL /*"chaos!"*/)) {
+  if (!hooks_.crash) hooks_.crash = [this](PeerId p) { net_.crash(p); };
+  if (!hooks_.restart) hooks_.restart = [this](PeerId p) { net_.restore(p); };
+}
+
+SimDuration ChaosEngine::exp_draw(SimDuration mean) {
+  P2PFL_CHECK(mean > 0);
+  // Inverse-CDF; uniform(0,1) < 1 keeps the log argument positive.
+  const double u = rng_.uniform(0.0, 1.0);
+  return static_cast<SimDuration>(-static_cast<double>(mean) *
+                                  std::log(1.0 - u));
+}
+
+void ChaosEngine::trace_fault(const char* name, std::uint32_t tid,
+                              obs::TraceArgs args) {
+  ++faults_injected_;
+  obs::Observability& o = sim_.obs();
+  o.metrics.counter(std::string("chaos.") + name).add(1);
+  if (o.trace.category_enabled("chaos")) {
+    o.trace.instant("chaos", std::string("chaos.") + name, tid,
+                    std::move(args));
+  }
+}
+
+void ChaosEngine::do_crash(PeerId peer, const char* cause) {
+  if (down_.count(peer) > 0) return;  // already down (double plan entry)
+  down_.insert(peer);
+  ++crashes_;
+  trace_fault("crash", peer, {{"cause", cause}});
+  hooks_.crash(peer);
+}
+
+void ChaosEngine::do_restart(PeerId peer, const char* cause) {
+  if (down_.count(peer) == 0) return;
+  down_.erase(peer);
+  ++restarts_;
+  trace_fault("restart", peer, {{"cause", cause}});
+  hooks_.restart(peer);
+}
+
+void ChaosEngine::churn_fail(const ChurnSpec& spec, PeerId peer) {
+  if (sim_.now() >= spec.end) return;
+  if (down_.count(peer) > 0 ||
+      down_.size() >= spec.max_concurrent_down) {
+    // Postpone: the peer is already down (explicit plan crash) or the
+    // concurrency guard is saturated.
+    schedule_churn_failure(spec, peer, sim_.now() + exp_draw(spec.mttr));
+    return;
+  }
+  do_crash(peer, "churn");
+  const SimTime back_at = sim_.now() + exp_draw(spec.mttr);
+  sim_.schedule_at(back_at, [this, &spec, peer] {
+    do_restart(peer, "churn");
+    const SimTime next_fail = sim_.now() + exp_draw(spec.mttf);
+    if (next_fail < spec.end) schedule_churn_failure(spec, peer, next_fail);
+  });
+}
+
+void ChaosEngine::schedule_churn_failure(const ChurnSpec& spec, PeerId peer,
+                                         SimTime at) {
+  if (at >= spec.end) return;
+  sim_.schedule_at(at, [this, &spec, peer] { churn_fail(spec, peer); });
+}
+
+void ChaosEngine::start() {
+  P2PFL_CHECK_MSG(!started_, "ChaosEngine::start called twice");
+  started_ = true;
+
+  for (const CrashEvent& e : plan_.crashes()) {
+    sim_.schedule_at(e.at, [this, e] { do_crash(e.peer, "plan"); });
+  }
+  for (const RestartEvent& e : plan_.restarts()) {
+    sim_.schedule_at(e.at, [this, e] { do_restart(e.peer, "plan"); });
+  }
+  for (const PartitionEvent& e : plan_.partitions()) {
+    sim_.schedule_at(e.at, [this, &e] {
+      net_.partition(e.groups);
+      trace_fault("partition", 0,
+                  {{"groups", static_cast<std::uint64_t>(e.groups.size())}});
+    });
+    if (e.heal_at > 0) {
+      sim_.schedule_at(e.heal_at, [this] {
+        net_.heal();
+        trace_fault("heal", 0, {});
+      });
+    }
+  }
+  for (const SlowGroupEvent& e : plan_.slow_groups()) {
+    sim_.schedule_at(e.at, [this, &e] {
+      for (PeerId s : e.peers) {
+        for (PeerId o : e.universe) {
+          if (o == s) continue;
+          net_.set_link_delay(s, o, e.extra);
+          net_.set_link_delay(o, s, e.extra);
+        }
+      }
+      trace_fault("slow_group", e.peers.empty() ? 0 : e.peers.front(),
+                  {{"extra_us", e.extra},
+                   {"peers", static_cast<std::uint64_t>(e.peers.size())}});
+    });
+    if (e.clear_at > 0) {
+      sim_.schedule_at(e.clear_at, [this, &e] {
+        for (PeerId s : e.peers) {
+          for (PeerId o : e.universe) {
+            if (o == s) continue;
+            net_.clear_link_delay(s, o);
+            net_.clear_link_delay(o, s);
+          }
+        }
+        trace_fault("slow_group_clear",
+                    e.peers.empty() ? 0 : e.peers.front(), {});
+      });
+    }
+  }
+  for (const FaultWindowEvent& e : plan_.fault_windows()) {
+    sim_.schedule_at(e.at, [this, &e] {
+      saved_defaults_ = net_.config().faults;
+      net_.set_default_faults(e.faults);
+      trace_fault("fault_window", 0,
+                  {{"drop", e.faults.drop_prob},
+                   {"dup", e.faults.duplicate_prob},
+                   {"reorder", e.faults.reorder_prob}});
+    });
+    if (e.clear_at > 0) {
+      sim_.schedule_at(e.clear_at, [this] {
+        net_.set_default_faults(saved_defaults_);
+        trace_fault("fault_window_clear", 0, {});
+      });
+    }
+  }
+  for (const ChurnSpec& spec : plan_.churns()) {
+    P2PFL_CHECK_MSG(!spec.peers.empty(), "churn spec without peers");
+    P2PFL_CHECK(spec.end > spec.start);
+    for (PeerId p : spec.peers) {
+      schedule_churn_failure(spec, p, spec.start + exp_draw(spec.mttf));
+    }
+  }
+}
+
+}  // namespace p2pfl::chaos

@@ -1,0 +1,74 @@
+// Deterministic executor for ChaosPlans.
+//
+// The engine turns a declarative plan into simulator events: every
+// crash, restart, partition, heal and fault window becomes one event on
+// the discrete-event queue, every injected fault is counted in the
+// metrics registry (`chaos.*`) and emitted to the trace stream
+// (category "chaos"), and every stochastic draw (churn timings) comes
+// from an RNG forked off the simulator's root — so two runs with the
+// same (seed, plan) produce byte-identical trace streams while
+// different seeds diverge.
+//
+// Crashing a protocol peer usually involves more than silencing its
+// links (Raft nodes must stop, timers must be cancelled), so the engine
+// delegates the actual crash/restart to caller-supplied hooks; the
+// defaults fall back to net.crash()/net.restore().
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "chaos/plan.hpp"
+#include "net/network.hpp"
+
+namespace p2pfl::chaos {
+
+struct ChaosEngineHooks {
+  /// Take a peer down / bring it back. Defaults: net.crash/net.restore.
+  std::function<void(PeerId)> crash;
+  std::function<void(PeerId)> restart;
+};
+
+class ChaosEngine {
+ public:
+  /// The engine must outlive the simulation run it drives.
+  ChaosEngine(net::Network& net, ChaosPlan plan, ChaosEngineHooks hooks = {});
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  /// Schedule every plan event on the simulator. Call once; events in
+  /// the past (at <= now) fire on the next simulator step.
+  void start();
+
+  // --- observation -------------------------------------------------------
+  std::size_t faults_injected() const { return faults_injected_; }
+  std::size_t crashes() const { return crashes_; }
+  std::size_t restarts() const { return restarts_; }
+  bool peer_down(PeerId p) const { return down_.count(p) > 0; }
+  std::size_t peers_down() const { return down_.size(); }
+
+ private:
+  void do_crash(PeerId peer, const char* cause);
+  void do_restart(PeerId peer, const char* cause);
+  void schedule_churn_failure(const ChurnSpec& spec, PeerId peer,
+                              SimTime at);
+  void churn_fail(const ChurnSpec& spec, PeerId peer);
+  void trace_fault(const char* name, std::uint32_t tid,
+                   obs::TraceArgs args);
+  SimDuration exp_draw(SimDuration mean);
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  ChaosPlan plan_;
+  ChaosEngineHooks hooks_;
+  Rng rng_;
+  std::set<PeerId> down_;
+  net::LinkFaults saved_defaults_;
+  std::size_t faults_injected_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t restarts_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace p2pfl::chaos

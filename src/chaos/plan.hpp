@@ -1,0 +1,140 @@
+// Declarative fault plans for deterministic chaos runs.
+//
+// A ChaosPlan is a script of faults — crashes, restarts, crash/restart
+// churn, partition windows, slow subgroups, network-imperfection
+// windows — expressed in simulated time. The ChaosEngine (engine.hpp)
+// executes a plan on the simulator's event queue and draws every
+// stochastic choice (churn inter-failure times, victim selection) from a
+// deterministic RNG fork, so a chaos run is a pure function of
+// (seed, plan): replayable, diffable, and bisectable. The Fig. 10-12
+// recovery benches and the soak tests inject their faults exclusively
+// through plans instead of bespoke bench code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace p2pfl::chaos {
+
+/// Crash one peer at an absolute simulated time.
+struct CrashEvent {
+  SimTime at = 0;
+  PeerId peer = kNoPeer;
+};
+
+/// Restart (restore) one peer at an absolute simulated time.
+struct RestartEvent {
+  SimTime at = 0;
+  PeerId peer = kNoPeer;
+};
+
+/// Split the network into groups at `at`; heal at `heal_at` (0 = never).
+/// Peers listed in no group form one implicit extra group (see
+/// net::Network::partition).
+struct PartitionEvent {
+  SimTime at = 0;
+  SimTime heal_at = 0;
+  std::vector<std::vector<PeerId>> groups;
+};
+
+/// Add `extra` one-way latency on every link into and out of `peers`
+/// during [at, clear_at) — the paper's "slow subgroup" scenario.
+struct SlowGroupEvent {
+  SimTime at = 0;
+  SimTime clear_at = 0;
+  std::vector<PeerId> peers;
+  SimDuration extra = 0;
+  /// Every other peer the slow group talks to (delays are per-link).
+  std::vector<PeerId> universe;
+};
+
+/// Override the network's default stochastic faults during
+/// [at, clear_at); the previous defaults are restored afterwards.
+struct FaultWindowEvent {
+  SimTime at = 0;
+  SimTime clear_at = 0;  // 0 = never restore
+  net::LinkFaults faults;
+};
+
+/// Continuous crash/restart churn over [start, end): each peer in scope
+/// fails after Exp(mttf) uptime and recovers after Exp(mttr) downtime,
+/// with all draws from the engine's deterministic RNG.
+struct ChurnSpec {
+  SimTime start = 0;
+  SimTime end = 0;
+  SimDuration mttf = 10 * kSecond;
+  SimDuration mttr = 2 * kSecond;
+  std::vector<PeerId> peers;
+  /// Liveness guard: a failure draw that would exceed this many
+  /// simultaneously-down peers is postponed by one MTTR.
+  std::size_t max_concurrent_down = static_cast<std::size_t>(-1);
+};
+
+class ChaosPlan {
+ public:
+  ChaosPlan& crash_at(SimTime t, PeerId peer) {
+    crashes_.push_back({t, peer});
+    return *this;
+  }
+  ChaosPlan& restart_at(SimTime t, PeerId peer) {
+    restarts_.push_back({t, peer});
+    return *this;
+  }
+  /// Crash at `t` and restart `downtime` later.
+  ChaosPlan& crash_for(SimTime t, PeerId peer, SimDuration downtime) {
+    crash_at(t, peer);
+    return restart_at(t + downtime, peer);
+  }
+  ChaosPlan& partition_window(SimTime at, SimTime heal_at,
+                              std::vector<std::vector<PeerId>> groups) {
+    partitions_.push_back({at, heal_at, std::move(groups)});
+    return *this;
+  }
+  ChaosPlan& slow_group(SimTime at, SimTime clear_at,
+                        std::vector<PeerId> peers, SimDuration extra,
+                        std::vector<PeerId> universe) {
+    slow_groups_.push_back(
+        {at, clear_at, std::move(peers), extra, std::move(universe)});
+    return *this;
+  }
+  ChaosPlan& fault_window(SimTime at, SimTime clear_at,
+                          net::LinkFaults faults) {
+    fault_windows_.push_back({at, clear_at, faults});
+    return *this;
+  }
+  ChaosPlan& churn(ChurnSpec spec) {
+    churns_.push_back(std::move(spec));
+    return *this;
+  }
+
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+  const std::vector<RestartEvent>& restarts() const { return restarts_; }
+  const std::vector<PartitionEvent>& partitions() const {
+    return partitions_;
+  }
+  const std::vector<SlowGroupEvent>& slow_groups() const {
+    return slow_groups_;
+  }
+  const std::vector<FaultWindowEvent>& fault_windows() const {
+    return fault_windows_;
+  }
+  const std::vector<ChurnSpec>& churns() const { return churns_; }
+
+  bool empty() const {
+    return crashes_.empty() && restarts_.empty() && partitions_.empty() &&
+           slow_groups_.empty() && fault_windows_.empty() && churns_.empty();
+  }
+
+ private:
+  std::vector<CrashEvent> crashes_;
+  std::vector<RestartEvent> restarts_;
+  std::vector<PartitionEvent> partitions_;
+  std::vector<SlowGroupEvent> slow_groups_;
+  std::vector<FaultWindowEvent> fault_windows_;
+  std::vector<ChurnSpec> churns_;
+};
+
+}  // namespace p2pfl::chaos

@@ -1,0 +1,161 @@
+#include "chaos/soak.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "chaos/engine.hpp"
+#include "common/check.hpp"
+#include "core/topology.hpp"
+#include "core/two_layer_agg.hpp"
+#include "obs/export.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2pfl::chaos {
+
+ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
+  P2PFL_CHECK(cfg.peers > 0 && cfg.groups > 0 && cfg.rounds > 0);
+  sim::Simulator sim(cfg.seed);
+  if (cfg.capture_trace) sim.obs().trace.set_enabled(true);
+  net::Network net(sim, cfg.net);
+
+  const core::Topology topo = core::Topology::even(cfg.peers, cfg.groups);
+  std::map<PeerId, std::unique_ptr<net::PeerHost>> hosts;
+  for (PeerId id : topo.all_peers()) {
+    auto host = std::make_unique<net::PeerHost>();
+    net.attach(id, host.get());
+    hosts.emplace(id, std::move(host));
+  }
+
+  core::AggregationConfig acfg;
+  acfg.sac_dropout_tolerance = cfg.dropout_tolerance;
+  // Every started round must resolve (commit or fail) within its slot so
+  // the next round never inherits an undecided predecessor.
+  acfg.collect_timeout = cfg.round_interval;
+  acfg.sac_share_timeout = 150 * kMillisecond;
+  acfg.sac_subtotal_timeout = 150 * kMillisecond;
+  acfg.sac_share_retry_limit = cfg.sac_share_retries;
+  acfg.upload_retry = 300 * kMillisecond;
+  core::TwoLayerAggregator agg(
+      topo, acfg, net,
+      [&](PeerId id) -> net::PeerHost& { return *hosts.at(id); });
+
+  // Constant per-peer models make the exact global model computable.
+  const auto model_of = [&](PeerId id) {
+    return secagg::Vector(cfg.dim, static_cast<float>(id + 1));
+  };
+
+  ChaosSoakResult res;
+  std::optional<RoundOutcome> current;
+  agg.on_global_model = [&](std::uint64_t round, const secagg::Vector& g,
+                            std::size_t) {
+    if (!current || current->round != round) return;
+    const std::vector<PeerId>& who = agg.last_contributors();
+    double expected = 0.0;
+    for (PeerId p : who) expected += static_cast<double>(p + 1);
+    expected /= static_cast<double>(who.empty() ? 1 : who.size());
+    double err = 0.0;
+    for (float v : g) {
+      err = std::max(err, std::abs(static_cast<double>(v) - expected));
+    }
+    current->committed = true;
+    current->contributors = who.size();
+    current->max_abs_error = err;
+  };
+
+  // Fault plan: ambient faults come from cfg.net.faults; the engine adds
+  // churn and the partition window. Both end early enough that the tail
+  // rounds run on a healed network.
+  ChaosPlan plan;
+  const SimTime total = static_cast<SimTime>(cfg.rounds) * cfg.round_interval;
+  if (cfg.churn_mttf > 0) {
+    ChurnSpec churn;
+    churn.start = cfg.round_interval / 2;
+    churn.end = std::max<SimTime>(churn.start + 1,
+                                  total - 3 * cfg.round_interval);
+    churn.mttf = cfg.churn_mttf;
+    churn.mttr = cfg.churn_mttr;
+    churn.peers = topo.all_peers();
+    churn.max_concurrent_down = std::max<std::size_t>(1, cfg.peers / 3);
+    plan.churn(churn);
+  }
+  if (cfg.partition_at > 0 && cfg.heal_at > cfg.partition_at) {
+    std::vector<PeerId> island = topo.group(0);
+    std::vector<PeerId> mainland;
+    for (PeerId p : topo.all_peers()) {
+      if (std::find(island.begin(), island.end(), p) == island.end()) {
+        mainland.push_back(p);
+      }
+    }
+    plan.partition_window(cfg.partition_at, cfg.heal_at,
+                          {island, mainland});
+  }
+  ChaosEngine engine(net, std::move(plan));
+  engine.start();
+
+  for (std::uint64_t r = 1; r <= cfg.rounds; ++r) {
+    // Leadership from liveness: first live member leads its subgroup,
+    // first live subgroup leader chairs the FedAvg layer (the Raft
+    // backend's steady-state answer, without running Raft here).
+    core::RoundLeadership lead;
+    lead.subgroup_leaders.assign(topo.subgroup_count(), kNoPeer);
+    for (SubgroupId g = 0; g < topo.subgroup_count(); ++g) {
+      for (PeerId p : topo.group(g)) {
+        if (!net.crashed(p)) {
+          lead.subgroup_leaders[g] = p;
+          break;
+        }
+      }
+      if (lead.subgroup_leaders[g] == kNoPeer) {
+        lead.subgroup_leaders[g] = topo.group(g).front();  // all dead
+      }
+      if (lead.fedavg_leader == kNoPeer &&
+          !net.crashed(lead.subgroup_leaders[g])) {
+        lead.fedavg_leader = lead.subgroup_leaders[g];
+      }
+    }
+    if (lead.fedavg_leader == kNoPeer) {
+      ++res.rounds_skipped;
+      sim.run_for(cfg.round_interval);
+      continue;
+    }
+
+    current = RoundOutcome{};
+    current->round = r;
+    ++res.rounds_started;
+    agg.begin_round(r, lead, model_of);
+    sim.run_for(cfg.round_interval);
+
+    if (current->committed) {
+      ++res.rounds_committed;
+      res.max_abs_error = std::max(res.max_abs_error,
+                                   current->max_abs_error);
+      if (current->max_abs_error > cfg.exact_tol) {
+        res.all_commits_exact = false;
+      }
+    } else {
+      ++res.rounds_aborted;
+    }
+    res.outcomes.push_back(*current);
+    current.reset();
+  }
+
+  res.crashes = engine.crashes();
+  res.restarts = engine.restarts();
+  res.traffic = net.stats();
+  bool tail_commit = false;
+  const std::size_t tail = std::min<std::size_t>(3, res.outcomes.size());
+  for (std::size_t i = res.outcomes.size() - tail; i < res.outcomes.size();
+       ++i) {
+    if (res.outcomes[i].committed) tail_commit = true;
+  }
+  res.liveness_ok = res.rounds_committed > 0 && tail_commit;
+  if (cfg.capture_trace) {
+    res.trace_json = obs::chrome_trace_json(sim.obs().trace);
+  }
+  return res;
+}
+
+}  // namespace p2pfl::chaos

@@ -1,0 +1,84 @@
+// Reusable chaos-soak harness: two-layer aggregation under a fault plan.
+//
+// Runs N aggregation rounds of the full TwoLayerAggregator stack (SAC
+// subgroups + FedAvg layer) over a network with ambient stochastic
+// faults (loss / duplication / reordering) while a ChaosEngine injects
+// crash-restart churn and an optional partition window. Leadership is
+// re-derived each round from liveness (first live member of each
+// subgroup), standing in for the Raft backend so the soak isolates the
+// aggregation protocol's own retry hardening.
+//
+// Every peer contributes the constant model (p + 1), so the exact global
+// model of any committed round is known in closed form: the mean of
+// (p + 1) over the round's contributing peers. The harness checks every
+// commit against it — a committed-but-wrong model (double-counted
+// duplicate, share from a stale round, missed contributor) is the one
+// failure mode a liveness metric cannot see.
+//
+// Used by `p2pflctl chaos`, the tier-1 chaos tests and the slow soak.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace p2pfl::chaos {
+
+struct ChaosSoakConfig {
+  std::size_t peers = 12;
+  std::size_t groups = 3;
+  std::size_t rounds = 10;
+  std::size_t dim = 8;
+  std::uint64_t seed = 1;
+  SimDuration round_interval = 2 * kSecond;
+  /// Ambient network behaviour; set `net.faults` for loss/dup/reorder.
+  net::NetworkConfig net{.base_latency = 15 * kMillisecond};
+  /// Dropouts each subgroup tolerates after its share phase (Alg. 4 k).
+  std::size_t dropout_tolerance = 2;
+  /// Crash/restart churn across all peers during the bulk of the run
+  /// (0 = none). Churn stops three intervals before the end so the
+  /// trailing rounds demonstrate recovery.
+  SimDuration churn_mttf = 0;
+  SimDuration churn_mttr = 1 * kSecond;
+  /// Partition window: subgroup 0 vs the rest (0 = none).
+  SimTime partition_at = 0;
+  SimTime heal_at = 0;
+  /// SAC share-phase retransmission budget (generous: ambient loss).
+  std::size_t sac_share_retries = 6;
+  /// Max |committed − exact| accepted as float-accumulation noise.
+  double exact_tol = 5e-3;
+  /// Record the full trace stream into ChaosSoakResult::trace_json.
+  bool capture_trace = false;
+};
+
+struct RoundOutcome {
+  std::uint64_t round = 0;
+  bool committed = false;
+  std::size_t contributors = 0;
+  double max_abs_error = 0.0;
+};
+
+struct ChaosSoakResult {
+  std::size_t rounds_started = 0;
+  std::size_t rounds_committed = 0;
+  /// Started rounds that closed without a global model.
+  std::size_t rounds_aborted = 0;
+  /// Ticks skipped outright because no live leader candidate existed.
+  std::size_t rounds_skipped = 0;
+  bool all_commits_exact = true;
+  double max_abs_error = 0.0;
+  /// At least one commit, and one within the last three started rounds
+  /// (the plan leaves the tail fault-free, so recovery must show there).
+  bool liveness_ok = false;
+  std::size_t crashes = 0;
+  std::size_t restarts = 0;
+  std::vector<RoundOutcome> outcomes;
+  net::TrafficStats traffic;
+  std::string trace_json;  // only when cfg.capture_trace
+};
+
+ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg);
+
+}  // namespace p2pfl::chaos

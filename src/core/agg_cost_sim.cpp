@@ -117,6 +117,8 @@ AggLatency simulate_two_layer_latency(std::span<const std::size_t> groups,
   cfg.collect_timeout = 3600 * kSecond;      // latency study: never give up
   cfg.sac_share_timeout = 3600 * kSecond;
   cfg.sac_subtotal_timeout = 3600 * kSecond;
+  cfg.upload_retry = 3600 * kSecond;  // big models serialize slowly; a
+                                      // retry would distort the byte study
   TwoLayerAggregator agg(topo, cfg, net, [&](PeerId id) -> net::PeerHost& {
     return *hosts.at(id);
   });

@@ -60,6 +60,12 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
       [this](std::uint64_t round, PeerId peer, const secagg::Vector& g) {
         model_received(round, peer, g);
       };
+  aggregator_->on_round_failed = [this](std::uint64_t) {
+    ++rounds_aborted_;
+  };
+  aggregator_->on_round_aborted = [this](std::uint64_t) {
+    ++rounds_aborted_;
+  };
 }
 
 void P2pFlSystem::start() {

@@ -60,7 +60,11 @@ class P2pFlSystem {
 
   // --- observation ----------------------------------------------------------
   TwoLayerRaftSystem& raft() { return raft_; }
+  TwoLayerAggregator& aggregator() { return *aggregator_; }
   std::size_t rounds_completed() const { return rounds_completed_; }
+  /// Rounds that started but never produced a global model: superseded,
+  /// torn down (e.g. partition), or closed with zero subgroup uploads.
+  std::size_t rounds_aborted() const { return rounds_aborted_; }
 
   /// Latest global model this peer received (empty before the first
   /// completed round).
@@ -101,6 +105,7 @@ class P2pFlSystem {
   Rng eval_rng_;
   std::uint64_t last_round_started_ = 0;
   std::uint64_t rounds_completed_ = 0;
+  std::uint64_t rounds_aborted_ = 0;
   std::vector<float> freshest_global_;
 };
 

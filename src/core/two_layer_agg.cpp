@@ -37,6 +37,7 @@ TwoLayerAggregator::TwoLayerAggregator(
   sac_opts.wire_bytes_per_share = cfg_.model_wire_bytes;
   sac_opts.share_timeout = cfg_.sac_share_timeout;
   sac_opts.subtotal_timeout = cfg_.sac_subtotal_timeout;
+  sac_opts.share_retry_limit = cfg_.sac_share_retry_limit;
 
   for (PeerId id : topology_.all_peers()) {
     net::PeerHost& host = host_of(id);
@@ -51,6 +52,9 @@ TwoLayerAggregator::TwoLayerAggregator(
     auto [it, inserted] = peers_.emplace(id, std::move(st));
     P2PFL_CHECK(inserted);
     PeerState* ps = &it->second;
+    ps->upload_timer = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, ps] { retry_upload(*ps); },
+        "agg.upload_retry");
     ps->sac->on_complete = [this, ps](RoundId round,
                                       const secagg::Vector& avg) {
       const std::size_t g = ps->group;
@@ -139,7 +143,24 @@ void TwoLayerAggregator::begin_round(RoundId round,
 }
 
 void TwoLayerAggregator::abort_round() {
-  for (auto& [id, p] : peers_) p.sac->halt();
+  for (auto& [id, p] : peers_) {
+    p.sac->halt();
+    p.pending_upload.reset();
+    if (p.upload_timer) p.upload_timer->cancel();
+  }
+  if (fed_ && !fed_->done) {
+    // The round was still undecided: superseded by a newer one or torn
+    // down by the system (e.g. the FedAvg layer lost its leader under a
+    // partition).
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("agg.rounds_aborted").add(1);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "agg.round_abort", leadership_.fedavg_leader,
+                      {{"round", fed_->round},
+                       {"uploads", fed_->uploads.size()}});
+    }
+    if (on_round_aborted) on_round_aborted(fed_->round);
+  }
   fed_.reset();
   collect_timer_.cancel();
 }
@@ -158,8 +179,46 @@ void TwoLayerAggregator::sac_complete(PeerState& p, RoundId round,
     return;
   }
   const std::uint64_t wire = model_wire(avg.size());
+  p.pending_upload = msg;
+  p.upload_attempts = 0;
   net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(msg),
             wire);
+  p.upload_timer->arm(cfg_.upload_retry);
+}
+
+void TwoLayerAggregator::retry_upload(PeerState& p) {
+  if (!p.pending_upload || p.pending_upload->round != round_) return;
+  if (net_.crashed(p.id)) return;
+  if (p.upload_attempts >= cfg_.upload_retry_limit) {
+    net_.simulator().obs().metrics.counter("agg.uploads_abandoned").add(1);
+    p.pending_upload.reset();
+    return;
+  }
+  ++p.upload_attempts;
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("agg.upload_retries").add(1);
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "agg.upload_retry", p.id,
+                    {{"round", p.pending_upload->round},
+                     {"attempt", p.upload_attempts}});
+  }
+  UploadMsg copy = *p.pending_upload;
+  const std::uint64_t wire = model_wire(copy.model.size());
+  net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(copy),
+            wire);
+  SimDuration delay = cfg_.upload_retry;
+  for (std::size_t i = 0; i < p.upload_attempts && delay < 8 * cfg_.upload_retry;
+       ++i) {
+    delay *= 2;
+  }
+  p.upload_timer->arm(delay);
+}
+
+void TwoLayerAggregator::settle_upload(PeerState& p, RoundId round) {
+  if (p.pending_upload && p.pending_upload->round == round) {
+    p.pending_upload.reset();
+    p.upload_timer->cancel();
+  }
 }
 
 void TwoLayerAggregator::handle_agg(PeerId self, const net::Envelope& env) {
@@ -224,9 +283,13 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
   // Alg. 3 line 10: FedAvg weighted by subgroup peer counts.
   std::vector<std::vector<float>> models;
   std::vector<double> weights;
+  last_contributors_.clear();
   for (const auto& [g, up] : fed_->uploads) {
     models.push_back(up.model);
     weights.push_back(static_cast<double>(up.weight));
+    last_contributors_.insert(last_contributors_.end(),
+                              round_groups_[g].begin(),
+                              round_groups_[g].end());
   }
   const secagg::Vector global = fl::federated_average(models, weights);
   if (on_global_model) {
@@ -247,6 +310,9 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
 
 void TwoLayerAggregator::handle_result(PeerState& p, const ResultMsg& msg) {
   if (msg.round != round_) return;
+  // The round is decided: any still-pending upload can stop retrying
+  // (the FedAvg leader either used it or closed the round without it).
+  settle_upload(p, msg.round);
   if (p.is_subgroup_leader) {
     // From the FedAvg leader: relay into the subgroup.
     distribute(p, msg.round, msg.model);

@@ -53,6 +53,16 @@ struct AggregationConfig {
   /// Passed through to the SAC actors.
   SimDuration sac_share_timeout = 500 * kMillisecond;
   SimDuration sac_subtotal_timeout = 500 * kMillisecond;
+  /// Share-phase retransmission requests before the SAC leader reports
+  /// the silent peers (see SacActorOptions::share_retry_limit).
+  std::size_t sac_share_retry_limit = 2;
+  /// Subgroup-leader "agg/upload" retry: first resend after upload_retry,
+  /// doubling up to 8x, at most upload_retry_limit resends; stops as soon
+  /// as the round's result (or a new round) arrives. In a fault-free
+  /// round the result arrives long before the first resend, so the wire
+  /// cost is unchanged.
+  SimDuration upload_retry = 1 * kSecond;
+  std::size_t upload_retry_limit = 5;
 };
 
 /// Assigns per-round leadership (from Raft, or fixed for simulations).
@@ -83,8 +93,16 @@ class TwoLayerAggregator {
   void begin_round(RoundId round, const RoundLeadership& leadership,
                    const ModelProvider& model_of);
 
-  /// Cancel the current round on every peer (e.g. before a retry).
+  /// Cancel the current round on every peer (e.g. before a retry). An
+  /// undecided round counts as aborted (metric `agg.rounds_aborted`).
   void abort_round();
+
+  /// Peers whose models went into the most recent global model: the
+  /// members of every subgroup whose upload made the FedAvg cut. Valid
+  /// after on_global_model fires, until the next round begins.
+  const std::vector<PeerId>& last_contributors() const {
+    return last_contributors_;
+  }
 
   /// Fired on the FedAvg leader when the global model is computed.
   /// `groups_used` counts subgroup models that made the cut.
@@ -95,6 +113,9 @@ class TwoLayerAggregator {
       on_model_received;
   /// Fired on the FedAvg leader if a whole round yields no models.
   std::function<void(RoundId)> on_round_failed;
+  /// Fired when an undecided round is torn down (superseded or aborted
+  /// under partition) before the FedAvg leader could aggregate.
+  std::function<void(RoundId)> on_round_aborted;
 
  private:
   struct UploadMsg {
@@ -114,6 +135,10 @@ class TwoLayerAggregator {
     std::unique_ptr<secagg::SacPeer> sac;
     bool is_subgroup_leader = false;
     bool is_fed_leader = false;
+    /// Upload awaiting its round's result; resent on upload_timer.
+    std::optional<UploadMsg> pending_upload;
+    std::size_t upload_attempts = 0;
+    std::unique_ptr<sim::Timer> upload_timer;
   };
 
   struct FedState {
@@ -133,6 +158,8 @@ class TwoLayerAggregator {
   void fed_maybe_aggregate(PeerState& p, bool timed_out);
   void distribute(PeerState& leader, RoundId round,
                   const secagg::Vector& global);
+  void retry_upload(PeerState& p);
+  void settle_upload(PeerState& p, RoundId round);
 
   const Topology& topology_;
   AggregationConfig cfg_;
@@ -143,6 +170,8 @@ class TwoLayerAggregator {
   sim::Timer collect_timer_;
   /// Live SAC group per subgroup for the current round.
   std::vector<std::vector<PeerId>> round_groups_;
+  /// Peers behind the most recent global model (see last_contributors()).
+  std::vector<PeerId> last_contributors_;
   RoundId round_ = 0;
   /// Virtual time at which the current round started (latency metric).
   SimTime round_start_ = 0;

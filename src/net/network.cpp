@@ -26,6 +26,7 @@ Network::Network(sim::Simulator& sim, NetworkConfig cfg)
     : sim_(sim),
       cfg_(cfg),
       rng_(sim.rng().fork(0x6e65'74ULL /*"net"*/)),
+      fault_rng_(sim.rng().fork(0x6368'616fULL /*"chao"*/)),
       m_sent_msgs_(sim.obs().metrics.counter("net.sent.messages")),
       m_sent_bytes_(sim.obs().metrics.counter("net.sent.bytes")),
       m_delivered_msgs_(sim.obs().metrics.counter("net.delivered.messages")),
@@ -36,6 +37,7 @@ Network::Network(sim::Simulator& sim, NetworkConfig cfg)
 
 void Network::count_drop(const char* reason) {
   sim_.obs().metrics.counter(std::string("net.dropped.") + reason).add(1);
+  stats_.dropped_by_reason[reason] += 1;
 }
 
 void Network::attach(PeerId peer, Endpoint* endpoint) {
@@ -59,6 +61,84 @@ SimDuration Network::latency_for(PeerId from, PeerId to) {
   return d;
 }
 
+const LinkFaults& Network::faults_for(PeerId from, PeerId to,
+                                      const std::string& kind) const {
+  auto lit = link_faults_.find(link_key(from, to));
+  if (lit != link_faults_.end()) return lit->second;
+  if (!kind_faults_.empty()) {
+    // Longest matching prefix wins; scan candidates not after `kind`.
+    auto it = kind_faults_.upper_bound(kind);
+    while (it != kind_faults_.begin()) {
+      --it;
+      const std::string& prefix = it->first;
+      if (kind.compare(0, prefix.size(), prefix) == 0) return it->second;
+    }
+  }
+  return cfg_.faults;
+}
+
+void Network::set_link_faults(PeerId from, PeerId to, LinkFaults faults) {
+  link_faults_[link_key(from, to)] = faults;
+}
+
+void Network::clear_link_faults(PeerId from, PeerId to) {
+  link_faults_.erase(link_key(from, to));
+}
+
+void Network::set_kind_faults(std::string kind_prefix, LinkFaults faults) {
+  kind_faults_[std::move(kind_prefix)] = faults;
+}
+
+void Network::clear_kind_faults(const std::string& kind_prefix) {
+  kind_faults_.erase(kind_prefix);
+}
+
+void Network::partition(const std::vector<std::vector<PeerId>>& groups) {
+  partition_group_.clear();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (PeerId p : groups[g]) {
+      partition_group_[p] = static_cast<int>(g);
+    }
+  }
+  partition_active_ = true;
+}
+
+void Network::heal() {
+  partition_active_ = false;
+  partition_group_.clear();
+}
+
+bool Network::partitioned(PeerId from, PeerId to) const {
+  if (!partition_active_) return false;
+  // Peers absent from every named group share one implicit group (-1).
+  const auto f = partition_group_.find(from);
+  const auto t = partition_group_.find(to);
+  const int gf = f == partition_group_.end() ? -1 : f->second;
+  const int gt = t == partition_group_.end() ? -1 : t->second;
+  return gf != gt;
+}
+
+void Network::schedule_delivery(const Envelope& env, PeerId from, PeerId to) {
+  SimDuration delay = latency_for(from, to);
+  const LinkFaults& f = faults_for(from, to, env.kind);
+  if (f.reorder_prob > 0.0 && f.reorder_jitter > 0 &&
+      fault_rng_.chance(f.reorder_prob)) {
+    delay += fault_rng_.uniform_int(0, f.reorder_jitter);
+  }
+  if (cfg_.egress_bytes_per_sec > 0) {
+    // Serialize through the sender's NIC: transmission begins when the
+    // link frees up and occupies it for wire_bytes / bandwidth.
+    const SimDuration tx = static_cast<SimDuration>(
+        static_cast<double>(env.wire_bytes) /
+        static_cast<double>(cfg_.egress_bytes_per_sec) * kSecond);
+    SimTime& free_at = egress_free_at_[from];
+    const SimTime start = std::max(sim_.now(), free_at);
+    free_at = start + tx;
+    delay += (free_at - sim_.now());
+  }
+  sim_.schedule_after(delay, [this, env]() { deliver_now(env); });
+}
+
 void Network::send(Envelope env) {
   if (crashed_.count(env.from) > 0) {  // dead peers emit nothing
     count_drop("sender_crashed");
@@ -68,37 +148,52 @@ void Network::send(Envelope env) {
     count_drop("link_blocked");
     return;
   }
+  if (partitioned(env.from, env.to)) {
+    count_drop("partitioned");
+    return;
+  }
 
   const bool self = env.from == env.to;
-  if (!self) {
-    stats_.record_sent(env.kind, env.wire_bytes);
-    m_sent_msgs_.add(1);
-    m_sent_bytes_.add(env.wire_bytes);
-    sim_.obs()
-        .metrics.counter("net.sent.bytes." + env.kind)
-        .add(env.wire_bytes);
-    obs::TraceStream& tr = sim_.obs().trace;
-    if (tr.category_enabled("net")) {
-      tr.instant("net", "net.send " + env.kind, env.from,
-                 {{"to", env.to}, {"bytes", env.wire_bytes}});
-    }
+  if (self) {
+    sim_.schedule_after(0, [this, env = std::move(env)]() mutable {
+      deliver_now(env);
+    });
+    return;
   }
 
-  SimDuration delay = self ? 0 : latency_for(env.from, env.to);
-  if (!self && cfg_.egress_bytes_per_sec > 0) {
-    // Serialize through the sender's NIC: transmission begins when the
-    // link frees up and occupies it for wire_bytes / bandwidth.
-    const SimDuration tx = static_cast<SimDuration>(
-        static_cast<double>(env.wire_bytes) /
-        static_cast<double>(cfg_.egress_bytes_per_sec) * kSecond);
-    SimTime& free_at = egress_free_at_[env.from];
-    const SimTime start = std::max(sim_.now(), free_at);
-    free_at = start + tx;
-    delay += (free_at - sim_.now());
+  stats_.record_sent(env.kind, env.wire_bytes);
+  m_sent_msgs_.add(1);
+  m_sent_bytes_.add(env.wire_bytes);
+  sim_.obs()
+      .metrics.counter("net.sent.bytes." + env.kind)
+      .add(env.wire_bytes);
+  obs::TraceStream& tr = sim_.obs().trace;
+  if (tr.category_enabled("net")) {
+    tr.instant("net", "net.send " + env.kind, env.from,
+               {{"to", env.to}, {"bytes", env.wire_bytes}});
   }
-  sim_.schedule_after(delay, [this, env = std::move(env)]() mutable {
-    deliver_now(env);
-  });
+
+  const LinkFaults& f = faults_for(env.from, env.to, env.kind);
+  if (f.drop_prob > 0.0 && fault_rng_.chance(f.drop_prob)) {
+    // Lost in flight: the sender paid the bytes, nobody receives them.
+    count_drop("chaos_loss");
+    if (tr.category_enabled("net")) {
+      tr.instant("net", "net.chaos_drop " + env.kind, env.from,
+                 {{"to", env.to}});
+    }
+    return;
+  }
+  const bool duplicate =
+      f.duplicate_prob > 0.0 && fault_rng_.chance(f.duplicate_prob);
+  if (duplicate) {
+    sim_.obs().metrics.counter("net.chaos.duplicates").add(1);
+    if (tr.category_enabled("net")) {
+      tr.instant("net", "net.chaos_dup " + env.kind, env.from,
+                 {{"to", env.to}});
+    }
+    schedule_delivery(env, env.from, env.to);
+  }
+  schedule_delivery(env, env.from, env.to);
 }
 
 void Network::send(PeerId from, PeerId to, std::string kind, std::any body,

@@ -8,7 +8,9 @@
 // explicit wire size and the network keeps per-kind byte counters, so a
 // simulated aggregation can be checked byte-for-byte against the paper's
 // closed-form cost model. Fault injection (peer crashes, blocked links,
-// extra per-link delay) drives the recovery experiments of Figs. 10-12.
+// extra per-link delay, probabilistic loss/duplication/reordering, named
+// partitions) drives the recovery experiments of Figs. 10-12 and the
+// chaos engine in src/chaos.
 #pragma once
 
 #include <any>
@@ -54,9 +56,33 @@ struct TrafficStats {
   Counter delivered;  // actually handed to a live endpoint
   std::map<std::string, Counter> sent_by_kind;
   std::map<std::string, Counter> delivered_by_kind;
+  /// Message counts per drop reason, mirroring the obs
+  /// `net.dropped.<reason>` counters (sender_crashed, link_blocked,
+  /// partitioned, chaos_loss, receiver_crashed, unattached).
+  std::map<std::string, std::uint64_t> dropped_by_reason;
 
   void record_sent(const std::string& kind, std::uint64_t bytes);
   void record_delivered(const std::string& kind, std::uint64_t bytes);
+};
+
+/// Stochastic link-imperfection knobs. All draws come from the network's
+/// own deterministic RNG fork, so identical seeds produce identical loss
+/// patterns. The all-zero default is a perfect link and makes no RNG
+/// draws at all (existing byte-exact cost experiments stay untouched).
+struct LinkFaults {
+  /// Probability a message is lost in flight (after send accounting).
+  double drop_prob = 0.0;
+  /// Probability a message is delivered twice (independent latencies).
+  double duplicate_prob = 0.0;
+  /// With probability reorder_prob a message picks up extra uniform
+  /// latency in [0, reorder_jitter], letting later sends overtake it.
+  double reorder_prob = 0.0;
+  SimDuration reorder_jitter = 0;
+
+  bool any() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 ||
+           (reorder_prob > 0.0 && reorder_jitter > 0);
+  }
 };
 
 struct NetworkConfig {
@@ -70,6 +96,9 @@ struct NetworkConfig {
   /// later sends queue behind it — which is what makes a one-layer SAC
   /// leader a latency bottleneck (see bench/ablation_round_latency).
   std::uint64_t egress_bytes_per_sec = 0;
+  /// Default stochastic imperfection applied to every inter-peer message
+  /// (overridable per link and per message-kind prefix).
+  LinkFaults faults = {};
 };
 
 class Network {
@@ -113,6 +142,33 @@ class Network {
   void set_link_delay(PeerId from, PeerId to, SimDuration extra);
   void clear_link_delay(PeerId from, PeerId to);
 
+  // --- stochastic imperfection ------------------------------------------
+  /// Replace the default faults applied to every inter-peer message.
+  void set_default_faults(LinkFaults faults) { cfg_.faults = faults; }
+
+  /// Per-directed-link faults; take precedence over kind and default.
+  void set_link_faults(PeerId from, PeerId to, LinkFaults faults);
+  void clear_link_faults(PeerId from, PeerId to);
+
+  /// Faults for every message whose kind starts with `kind_prefix`
+  /// (e.g. "raft/" or "agg/upload"); longest matching prefix wins.
+  /// Precedence: link > kind > default.
+  void set_kind_faults(std::string kind_prefix, LinkFaults faults);
+  void clear_kind_faults(const std::string& kind_prefix);
+
+  // --- partitions --------------------------------------------------------
+  /// Split the network: peers in different `groups` cannot exchange
+  /// messages (checked at send time, like block_link). Peers absent from
+  /// every group form one implicit extra group of their own, so
+  /// partition({A}) isolates A from the rest. Calling partition() again
+  /// replaces the previous split; heal() removes it. Independent of
+  /// block_link state (healing does not unblock manual blocks).
+  void partition(const std::vector<std::vector<PeerId>>& groups);
+  void heal();
+  bool partition_active() const { return partition_active_; }
+  /// True when an active partition separates the two peers.
+  bool partitioned(PeerId from, PeerId to) const;
+
   // --- accounting -------------------------------------------------------
   const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -124,12 +180,18 @@ class Network {
   }
 
   SimDuration latency_for(PeerId from, PeerId to);
+  const LinkFaults& faults_for(PeerId from, PeerId to,
+                               const std::string& kind) const;
+  void schedule_delivery(const Envelope& env, PeerId from, PeerId to);
   void deliver_now(const Envelope& env);
   void count_drop(const char* reason);
 
   sim::Simulator& sim_;
   NetworkConfig cfg_;
   Rng rng_;
+  /// Separate stream for stochastic faults so enabling chaos never
+  /// perturbs the latency-jitter draws of an otherwise identical run.
+  Rng fault_rng_;
   obs::Counter& m_sent_msgs_;
   obs::Counter& m_sent_bytes_;
   obs::Counter& m_delivered_msgs_;
@@ -138,6 +200,10 @@ class Network {
   std::unordered_set<PeerId> crashed_;
   std::unordered_set<Link> blocked_;
   std::unordered_map<Link, SimDuration> extra_delay_;
+  std::unordered_map<Link, LinkFaults> link_faults_;
+  std::map<std::string, LinkFaults> kind_faults_;
+  bool partition_active_ = false;
+  std::unordered_map<PeerId, int> partition_group_;
   /// Per-sender time at which its egress link becomes idle again.
   std::unordered_map<PeerId, SimTime> egress_free_at_;
   TrafficStats stats_;

@@ -43,6 +43,15 @@ std::uint64_t SacPeer::share_wire_bytes(std::size_t dim) const {
                                         : 4 * static_cast<std::uint64_t>(dim);
 }
 
+SimDuration SacPeer::backoff(SimDuration base, std::size_t step) const {
+  std::size_t mult = 1;
+  for (std::size_t i = 0; i < step && mult < opts_.backoff_cap; ++i) {
+    mult *= 2;
+  }
+  if (mult > opts_.backoff_cap) mult = opts_.backoff_cap;
+  return base * static_cast<SimDuration>(mult);
+}
+
 void SacPeer::halt() {
   round_.reset();
   share_timer_.cancel();
@@ -85,7 +94,8 @@ void SacPeer::begin_round(RoundId round, Vector model,
                      {"k", round_->k}});
   }
 
-  const auto shares = divide(model, round_->n, rng_, opts_.split);
+  round_->shares = divide(model, round_->n, rng_, opts_.split);
+  const std::vector<Vector>& shares = round_->shares;
   const std::size_t n = round_->n;
   const std::size_t k = round_->k;
 
@@ -107,9 +117,10 @@ void SacPeer::begin_round(RoundId round, Vector model,
     contribute(round_->my_pos, s, shares[s]);
   }
 
-  if (is_leader()) {
-    share_timer_.arm(opts_.share_timeout);
-  }
+  // Every peer watches its own share phase: when it stays incomplete the
+  // timer requests retransmissions (and, on the leader, eventually
+  // reports the still-silent positions upward).
+  share_timer_.arm(opts_.share_timeout);
   maybe_finish_share_phase();
 
   // Replay any messages for this round that arrived before we started it.
@@ -134,6 +145,8 @@ void SacPeer::dispatch(const net::Envelope& env) {
     msg_round = std::any_cast<const SacSubtotalMsg&>(env.body).round;
   } else if (suffix == "/request") {
     msg_round = std::any_cast<const SacSubtotalReq&>(env.body).round;
+  } else if (suffix == "/share_req") {
+    msg_round = std::any_cast<const SacShareReq&>(env.body).round;
   } else {
     return;
   }
@@ -149,8 +162,10 @@ void SacPeer::dispatch(const net::Envelope& env) {
     handle_share(std::any_cast<const SacShareMsg&>(env.body));
   } else if (suffix == "/subtotal") {
     handle_subtotal(std::any_cast<const SacSubtotalMsg&>(env.body));
-  } else {
+  } else if (suffix == "/request") {
     handle_request(std::any_cast<const SacSubtotalReq&>(env.body));
+  } else {
+    handle_share_request(std::any_cast<const SacShareReq&>(env.body));
   }
 }
 
@@ -161,6 +176,25 @@ void SacPeer::handle_share(const SacShareMsg& msg) {
     contribute(msg.from_pos, idx, data);
   }
   maybe_finish_share_phase();
+}
+
+void SacPeer::handle_share_request(const SacShareReq& msg) {
+  RoundState& st = *round_;
+  if (msg.reply_to_pos >= st.n ||
+      msg.reply_to_pos == static_cast<std::uint32_t>(st.my_pos)) {
+    return;
+  }
+  if (st.shares.empty()) return;  // never split in this round
+  SacShareMsg out;
+  out.round = st.round;
+  out.from_pos = static_cast<std::uint32_t>(st.my_pos);
+  for (std::size_t s : replica_share_indices(msg.reply_to_pos, st.n, st.k)) {
+    out.parts.emplace_back(static_cast<std::uint32_t>(s), st.shares[s]);
+  }
+  net_.simulator().obs().metrics.counter("sac.share_resends").add(1);
+  const std::uint64_t wire = out.parts.size() * st.share_bytes;
+  net_.send(id_, st.group[msg.reply_to_pos], channel_ + "/share",
+            std::move(out), wire);
 }
 
 void SacPeer::contribute(std::size_t from_pos, std::size_t idx,
@@ -190,12 +224,12 @@ void SacPeer::maybe_finish_share_phase() {
     if (st.subtotal.count(s) == 0) return;
   }
   st.share_phase_done = true;
+  share_timer_.cancel();
   obs::TraceStream& tr = net_.simulator().obs().trace;
   if (tr.category_enabled("agg")) {
     tr.instant("agg", "sac.subtotal_phase", id_,
                {{"channel", channel_}, {"round", st.round}});
   }
-  if (is_leader()) share_timer_.cancel();
   emit_subtotals();
 }
 
@@ -274,14 +308,57 @@ void SacPeer::maybe_complete() {
 
 void SacPeer::on_share_timer() {
   if (!round_ || round_->share_phase_done || round_->completed) return;
-  std::vector<std::size_t> missing;
-  for (std::size_t p = 0; p < round_->n; ++p) {
-    if (!round_->got_share_from[p]) missing.push_back(p);
+  RoundState& st = *round_;
+  obs::Observability& o = net_.simulator().obs();
+  ++st.share_retries;
+  if (st.share_retries > opts_.share_retry_limit) {
+    // Retry budget exhausted. The leader reports the positions that never
+    // contributed anything so the round controller can restart without
+    // them; followers go quiet and wait to be superseded.
+    if (is_leader()) {
+      std::vector<std::size_t> missing;
+      for (std::size_t p = 0; p < st.n; ++p) {
+        if (!st.got_share_from[p]) missing.push_back(p);
+      }
+      P2PFL_DEBUG() << channel_ << " leader " << id_ << ": share phase timed"
+                    << " out, " << missing.size() << " silent peers";
+      o.metrics.counter("sac.share_timeouts").add(1);
+      if (on_share_timeout) on_share_timeout(st.round, missing);
+    } else {
+      o.metrics.counter("sac.share_retry_exhausted").add(1);
+    }
+    return;
   }
-  P2PFL_DEBUG() << channel_ << " leader " << id_ << ": share phase timed"
-                << " out, " << missing.size() << " silent peers";
-  net_.simulator().obs().metrics.counter("sac.share_timeouts").add(1);
-  if (on_share_timeout) on_share_timeout(round_->round, missing);
+  // Ask every position whose shares for our held indices are still
+  // missing to retransmit; receivers re-send the same retained shares,
+  // and contribute() drops duplicates, so this is loss-safe.
+  std::vector<bool> want(st.n, false);
+  for (std::size_t s : replica_share_indices(st.my_pos, st.n, st.k)) {
+    if (st.subtotal.count(s) > 0) continue;
+    auto it = st.contributed.find(s);
+    for (std::size_t p = 0; p < st.n; ++p) {
+      if (p == st.my_pos) continue;
+      if (it == st.contributed.end() || !it->second[p]) want[p] = true;
+    }
+  }
+  std::size_t requested = 0;
+  for (std::size_t p = 0; p < st.n; ++p) {
+    if (!want[p]) continue;
+    SacShareReq req{st.round, static_cast<std::uint32_t>(st.my_pos)};
+    net_.send(id_, st.group[p], channel_ + "/share_req", req, kControlBytes);
+    ++requested;
+  }
+  if (requested > 0) {
+    o.metrics.counter("sac.share_retries").add(requested);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "sac.share_retry", id_,
+                      {{"channel", channel_},
+                       {"round", st.round},
+                       {"requests", requested},
+                       {"attempt", st.share_retries}});
+    }
+  }
+  share_timer_.arm(backoff(opts_.share_timeout, st.share_retries));
 }
 
 void SacPeer::on_subtotal_timer() {
@@ -294,20 +371,22 @@ void SacPeer::request_missing_subtotals() {
   bool any_pending = false;
   for (std::size_t idx = 0; idx < st.n; ++idx) {
     if (st.collected.count(idx) > 0) continue;
-    const auto holders = subtotal_holders(idx, st.n, st.k);
+    auto holders = subtotal_holders(idx, st.n, st.k);
+    // We never need to ask ourselves: anything we held is collected.
+    holders.erase(std::remove(holders.begin(), holders.end(), st.my_pos),
+                  holders.end());
     std::size_t& attempt = st.recovery_attempts[idx];
-    // Skip ourselves (if we held it, we would have collected it) and
-    // cycle through the remaining replicas one per timeout tick.
-    while (attempt < holders.size() && holders[attempt] == st.my_pos) {
-      ++attempt;
-    }
-    if (attempt >= holders.size()) {
+    if (holders.empty() ||
+        attempt >= holders.size() * opts_.recovery_passes) {
       P2PFL_WARN() << channel_ << " round " << st.round << ": subtotal "
                    << idx << " unrecoverable";
       net_.simulator().obs().metrics.counter("sac.unrecoverable").add(1);
       if (on_unrecoverable) on_unrecoverable(st.round);
       return;
     }
+    // Cycle through the replica holders, several passes: a holder that
+    // was merely behind (or whose reply was lost) answers on a later one.
+    const std::size_t target = holders[attempt % holders.size()];
     obs::Observability& o = net_.simulator().obs();
     o.metrics.counter("sac.recovery_requests").add(1);
     if (o.trace.category_enabled("agg")) {
@@ -318,12 +397,15 @@ void SacPeer::request_missing_subtotals() {
     }
     SacSubtotalReq req{st.round, static_cast<std::uint32_t>(idx),
                        static_cast<std::uint32_t>(st.my_pos)};
-    net_.send(id_, st.group[holders[attempt]], channel_ + "/request", req,
+    net_.send(id_, st.group[target], channel_ + "/request", req,
               kControlBytes);
     ++attempt;
     any_pending = true;
   }
-  if (any_pending) subtotal_timer_.arm(opts_.subtotal_timeout);
+  if (any_pending) {
+    ++st.recovery_rounds;
+    subtotal_timer_.arm(backoff(opts_.subtotal_timeout, st.recovery_rounds));
+  }
 }
 
 }  // namespace p2pfl::secagg

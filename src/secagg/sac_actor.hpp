@@ -15,6 +15,16 @@
 //    subtotal the leader does not hold send it to the leader only;
 //    cost {n(n−1)(n−k+1) + (k−1)}|w|, reducing to (n²−1)|w| at k = n.
 //
+// Retry hardening (for lossy/duplicating networks, see src/chaos): every
+// peer retains its round's shares and, while its held subtotals are
+// incomplete, requests retransmission from silent positions on a
+// capped-exponential-backoff timer; all handlers are idempotent, so
+// duplicated or retransmitted messages never double-count. The leader's
+// subtotal recovery cycles through replica holders for several passes
+// (a holder that was merely behind answers on a later pass) before
+// declaring the round unrecoverable. In a fault-free round no retry
+// timer ever fires and the wire cost is unchanged.
+//
 // Round control (who calls begin_round, restarts after a pre-share-phase
 // dropout, pushing the result up to the FedAvg layer) belongs to the
 // two-layer system in src/core.
@@ -46,10 +56,19 @@ struct SacActorOptions {
   /// Setting it explicitly lets cost experiments model a 1.25M-parameter
   /// CNN while computing on tiny vectors.
   std::uint64_t wire_bytes_per_share = 0;
-  /// Leader-side patience for shares / subtotals before declaring peers
-  /// dropped (drives Alg. 4 recovery or a round abort).
+  /// Base patience for shares / subtotals; retries back off from here.
   SimDuration share_timeout = 500 * kMillisecond;
   SimDuration subtotal_timeout = 500 * kMillisecond;
+  /// Retry timers double each firing, capped at backoff_cap × the base
+  /// timeout.
+  std::size_t backoff_cap = 8;
+  /// Leader: retransmission requests sent before on_share_timeout
+  /// reports the still-silent positions (non-leaders retry forever; the
+  /// round controller supersedes them).
+  std::size_t share_retry_limit = 2;
+  /// Full cycles through a subtotal's replica holders before the round
+  /// is declared unrecoverable.
+  std::size_t recovery_passes = 3;
 };
 
 /// Messages (bodies carried in net::Envelope::body).
@@ -66,6 +85,11 @@ struct SacSubtotalMsg {
 struct SacSubtotalReq {
   RoundId round = 0;
   std::uint32_t idx = 0;
+  std::uint32_t reply_to_pos = 0;
+};
+/// "Your shares for my position never arrived — send them again."
+struct SacShareReq {
+  RoundId round = 0;
   std::uint32_t reply_to_pos = 0;
 };
 
@@ -98,12 +122,14 @@ class SacPeer {
   /// Fired when the average is known: on the leader in collect mode, on
   /// every live peer in broadcast mode.
   std::function<void(RoundId, const Vector&)> on_complete;
-  /// Leader only: the share phase timed out; `missing` lists positions
-  /// that contributed no shares. The caller decides how to restart.
+  /// Leader only: the share phase stayed incomplete after the retry
+  /// budget; `missing` lists positions that contributed no shares. The
+  /// caller decides how to restart.
   std::function<void(RoundId, const std::vector<std::size_t>&)>
       on_share_timeout;
   /// Leader only: a subtotal could not be recovered from any replica
-  /// (more than n−k peers lost) — the round is unrecoverable.
+  /// after all recovery passes (more than n−k peers lost) — the round
+  /// is unrecoverable.
   std::function<void(RoundId)> on_unrecoverable;
 
  private:
@@ -115,6 +141,8 @@ class SacPeer {
     std::size_t my_pos = 0;
     std::size_t leader_pos = 0;
     std::uint64_t share_bytes = 0;
+    /// This peer's own split, retained for retransmission requests.
+    std::vector<Vector> shares;
     /// Accumulating subtotals for share indices this peer holds.
     std::map<std::size_t, std::vector<double>> acc;
     /// Per held index: which positions contributed already.
@@ -125,8 +153,12 @@ class SacPeer {
     std::map<std::size_t, Vector> subtotal;
     /// Leader: all collected subtotals by index.
     std::map<std::size_t, Vector> collected;
-    /// Leader: replica positions already queried per missing index.
+    /// Leader: recovery requests issued per missing index (cycles
+    /// through the index's live-holder candidates, several passes).
     std::map<std::size_t, std::size_t> recovery_attempts;
+    /// Retry-backoff bookkeeping.
+    std::size_t share_retries = 0;
+    std::size_t recovery_rounds = 0;
     bool share_phase_done = false;
     bool completed = false;
   };
@@ -136,6 +168,7 @@ class SacPeer {
   void handle_share(const SacShareMsg& msg);
   void handle_subtotal(const SacSubtotalMsg& msg);
   void handle_request(const SacSubtotalReq& msg);
+  void handle_share_request(const SacShareReq& msg);
   void contribute(std::size_t from_pos, std::size_t idx,
                   const Vector& share);
   void maybe_finish_share_phase();
@@ -145,6 +178,7 @@ class SacPeer {
   void on_share_timer();
   void on_subtotal_timer();
   void request_missing_subtotals();
+  SimDuration backoff(SimDuration base, std::size_t step) const;
   std::uint64_t share_wire_bytes(std::size_t dim) const;
 
   const PeerId id_;

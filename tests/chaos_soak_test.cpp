@@ -1,0 +1,149 @@
+// Long chaos soaks (slow suite; the fast configurations live in
+// chaos_test.cpp).
+//
+// Two layers are soaked here:
+//   * the aggregation stack via run_chaos_soak — many rounds under
+//     simultaneous loss, duplication, reordering, crash/restart churn
+//     and a partition window, across several seeds;
+//   * the full P2pFlSystem (Raft leadership + aggregation + training)
+//     under a ChaosEngine partition window, checking that rounds abort
+//     while the FedAvg leader is cut off and resume after healing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chaos/engine.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/soak.hpp"
+#include "core/system.hpp"
+
+namespace p2pfl::chaos {
+namespace {
+
+TEST(ChaosSoakSlow, LongSoakSurvivesLossDupChurnAndPartition) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    ChaosSoakConfig cfg;
+    cfg.peers = 12;
+    cfg.groups = 3;
+    cfg.rounds = 20;
+    cfg.dim = 8;
+    cfg.seed = seed;
+    cfg.round_interval = 1 * kSecond;
+    cfg.net.faults.drop_prob = 0.10;
+    cfg.net.faults.duplicate_prob = 0.10;
+    cfg.net.faults.reorder_prob = 0.10;
+    cfg.net.faults.reorder_jitter = 100 * kMillisecond;
+    cfg.churn_mttf = 4 * kSecond;
+    cfg.churn_mttr = 600 * kMillisecond;
+    cfg.partition_at = 5 * kSecond + 100 * kMillisecond;
+    cfg.heal_at = 7 * kSecond + 100 * kMillisecond;
+    const ChaosSoakResult res = run_chaos_soak(cfg);
+    EXPECT_TRUE(res.liveness_ok)
+        << "seed " << seed << ": committed " << res.rounds_committed
+        << "/" << res.rounds_started;
+    EXPECT_TRUE(res.all_commits_exact)
+        << "seed " << seed << " max error " << res.max_abs_error;
+    EXPECT_GE(res.rounds_committed, 5u) << "seed " << seed;
+    EXPECT_GT(res.crashes, 0u) << "seed " << seed << ": churn never fired";
+    // The ambient faults really were active the whole run.
+    EXPECT_GT(res.traffic.dropped_by_reason.at("chaos_loss"), 0u);
+  }
+}
+
+TEST(ChaosSoakSlow, HighLossStillCommitsExactRounds) {
+  // 25% loss is brutal (a 4-peer share phase needs ~36 deliveries);
+  // retransmission must still land enough rounds, and every landed
+  // round must be exact.
+  ChaosSoakConfig cfg;
+  cfg.peers = 8;
+  cfg.groups = 2;
+  cfg.rounds = 12;
+  cfg.seed = 17;
+  cfg.round_interval = 2 * kSecond;
+  cfg.net.faults.drop_prob = 0.25;
+  cfg.sac_share_retries = 10;
+  const ChaosSoakResult res = run_chaos_soak(cfg);
+  EXPECT_TRUE(res.liveness_ok);
+  EXPECT_TRUE(res.all_commits_exact) << "max error " << res.max_abs_error;
+  EXPECT_GE(res.rounds_committed, 4u);
+}
+
+// Full-system harness (mirrors tests/system_test.cpp) with an
+// injectable network configuration.
+struct FullSystemChaos {
+  FullSystemChaos(std::size_t peers, std::size_t groups, std::uint64_t seed,
+                  net::NetworkConfig net_cfg = {.base_latency =
+                                                    15 * kMillisecond})
+      : sim(seed), net(sim, net_cfg) {
+    fl::SyntheticSpec spec;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_samples = 400;
+    spec.test_samples = 120;
+    spec.noise_scale = 0.6;
+    Rng data_rng(seed);
+    data = std::make_unique<fl::TrainTest>(fl::make_synthetic(spec, data_rng));
+    parts = fl::partition_iid(data->train, peers, data_rng);
+
+    core::SystemConfig cfg;
+    cfg.raft.raft.election_timeout_min = 50 * kMillisecond;
+    cfg.raft.raft.election_timeout_max = 100 * kMillisecond;
+    cfg.raft.fedavg_presence_poll = 100 * kMillisecond;
+    cfg.round_interval = 1 * kSecond;
+    cfg.train_duration = 100 * kMillisecond;
+    cfg.learning_rate = 3e-3f;
+    cfg.seed = seed;
+    sys = std::make_unique<core::P2pFlSystem>(
+        core::Topology::even(peers, groups), cfg, net, data->train,
+        data->test, parts, [] { return fl::Model::mlp(64, {16}); });
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<fl::TrainTest> data;
+  fl::PeerIndices parts;
+  std::unique_ptr<core::P2pFlSystem> sys;
+};
+
+TEST(ChaosSoakSlow, SystemAbortsRoundsUnderPartitionAndRecovers) {
+  FullSystemChaos f(9, 3, 7);
+  f.sys->start();
+  f.sim.run_for(6 * kSecond);
+  ASSERT_GE(f.sys->rounds_completed(), 1u);
+
+  // Cut subgroup 0 (wherever the FedAvg leader sits, two of the three
+  // subgroups end up on the other side) for four seconds, driven
+  // through a ChaosPlan so the faults land on the trace/metrics too.
+  ChaosPlan plan;
+  plan.partition_window(f.sim.now() + 100 * kMillisecond,
+                        f.sim.now() + 4 * kSecond + 100 * kMillisecond,
+                        {{0, 1, 2}, {3, 4, 5, 6, 7, 8}});
+  ChaosEngine engine(f.net, std::move(plan));
+  engine.start();
+  f.sim.run_for(5 * kSecond);  // window plus a little settling
+
+  // During the window some started rounds could not complete: either
+  // the FedAvg leader was on the 3-peer island (no quorum of uploads)
+  // or cross-partition subgroups never delivered theirs.
+  EXPECT_GT(f.sys->rounds_aborted(), 0u);
+
+  // After healing, progress resumes.
+  const std::size_t after_heal = f.sys->rounds_completed();
+  f.sim.run_for(10 * kSecond);
+  EXPECT_GE(f.sys->rounds_completed(), after_heal + 3)
+      << "rounds must keep completing after the partition heals";
+}
+
+TEST(ChaosSoakSlow, SystemLearnsOnLossyNetwork) {
+  net::NetworkConfig cfg{.base_latency = 15 * kMillisecond};
+  cfg.faults.drop_prob = 0.05;
+  cfg.faults.duplicate_prob = 0.05;
+  FullSystemChaos f(6, 2, 13, cfg);
+  f.sys->start();
+  f.sim.run_for(30 * kSecond);
+  EXPECT_GE(f.sys->rounds_completed(), 5u);
+  EXPECT_GT(f.sys->evaluate_global().accuracy, 0.4);
+}
+
+}  // namespace
+}  // namespace p2pfl::chaos

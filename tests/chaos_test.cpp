@@ -1,0 +1,510 @@
+// Tier-1 tests for the chaos layer: stochastic network imperfection
+// (loss / duplication / reordering / partitions), the ChaosEngine's
+// deterministic fault plans, and the protocol hardening that lets SAC
+// and the two-layer aggregator survive them.
+//
+// The central property throughout: faults may delay or kill a round, but
+// any round that *does* commit carries the exact average of its
+// contributing peers — duplicates never double-count, retransmissions
+// never inject stale data.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "chaos/engine.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/soak.hpp"
+#include "core/topology.hpp"
+#include "core/two_layer_agg.hpp"
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "secagg/sac_actor.hpp"
+
+namespace p2pfl::chaos {
+namespace {
+
+struct Recorder : net::Endpoint {
+  std::vector<net::Envelope> got;
+  void deliver(const net::Envelope& env) override { got.push_back(env); }
+};
+
+std::uint64_t counter_value(sim::Simulator& sim, const std::string& name) {
+  const auto& counters = sim.obs().metrics.counters();
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
+TEST(ChaosNet, DropEverythingDeliversNothingAndCountsDrops) {
+  sim::Simulator sim(7);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.drop_prob = 1.0;
+  net::Network net(sim, cfg);
+  Recorder r0, r1;
+  net.attach(0, &r0);
+  net.attach(1, &r1);
+  for (int i = 0; i < 10; ++i) net.send(0, 1, "msg", i, 100);
+  sim.run();
+  EXPECT_TRUE(r1.got.empty());
+  // The sender paid for the bytes (they left its NIC)...
+  EXPECT_EQ(net.stats().sent.messages, 10u);
+  // ...and every loss is accounted, in the stats table and the registry.
+  EXPECT_EQ(net.stats().dropped_by_reason.at("chaos_loss"), 10u);
+  EXPECT_EQ(counter_value(sim, "net.dropped.chaos_loss"), 10u);
+  EXPECT_EQ(net.stats().delivered.messages, 0u);
+}
+
+TEST(ChaosNet, DuplicationDeliversEveryMessageTwice) {
+  sim::Simulator sim(7);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.duplicate_prob = 1.0;
+  net::Network net(sim, cfg);
+  Recorder r1;
+  net.attach(0, &r1);  // sender must be attachable too
+  net.attach(1, &r1);
+  for (int i = 0; i < 5; ++i) net.send(0, 1, "msg", i, 100);
+  sim.run();
+  EXPECT_EQ(r1.got.size(), 10u);
+  EXPECT_EQ(counter_value(sim, "net.chaos.duplicates"), 5u);
+  // Send-side accounting counts the message once; the duplicate is a
+  // network artifact, not a second transmission.
+  EXPECT_EQ(net.stats().sent.messages, 5u);
+}
+
+TEST(ChaosNet, ReorderJitterShufflesArrivalOrder) {
+  sim::Simulator sim(11);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.reorder_prob = 1.0;
+  cfg.faults.reorder_jitter = 500 * kMillisecond;
+  net::Network net(sim, cfg);
+  Recorder r1;
+  net.attach(0, &r1);
+  net.attach(1, &r1);
+  std::vector<int> sent_order;
+  for (int i = 0; i < 20; ++i) {
+    sent_order.push_back(i);
+    net.send(0, 1, "msg", i, 100);
+  }
+  sim.run();
+  ASSERT_EQ(r1.got.size(), 20u);
+  std::vector<int> arrival;
+  for (const auto& env : r1.got) {
+    arrival.push_back(std::any_cast<int>(env.body));
+  }
+  EXPECT_NE(arrival, sent_order);  // at least one pair overtook another
+  std::sort(arrival.begin(), arrival.end());
+  EXPECT_EQ(arrival, sent_order);  // ...but nothing was lost or duplicated
+}
+
+TEST(ChaosNet, PerLinkFaultsOverrideDefaults) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  Recorder r1, r2;
+  net.attach(0, &r1);
+  net.attach(1, &r1);
+  net.attach(2, &r2);
+  net.set_link_faults(0, 1, {.drop_prob = 1.0});
+  for (int i = 0; i < 5; ++i) {
+    net.send(0, 1, "msg", i, 100);
+    net.send(0, 2, "msg", i, 100);
+  }
+  sim.run();
+  EXPECT_TRUE(r1.got.empty());
+  EXPECT_EQ(r2.got.size(), 5u);
+  net.clear_link_faults(0, 1);
+  net.send(0, 1, "msg", 99, 100);
+  sim.run();
+  EXPECT_EQ(r1.got.size(), 1u);
+}
+
+TEST(ChaosNet, KindPrefixFaultsLongestPrefixWins) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  Recorder r1;
+  net.attach(0, &r1);
+  net.attach(1, &r1);
+  // "agg/" is lossless but the more specific "agg/upload" loses all.
+  net.set_kind_faults("agg/", {});
+  net.set_kind_faults("agg/upload", {.drop_prob = 1.0});
+  net.send(0, 1, "agg/upload", 1, 100);
+  net.send(0, 1, "agg/result", 2, 100);
+  net.send(0, 1, "raft/vote", 3, 100);
+  sim.run();
+  ASSERT_EQ(r1.got.size(), 2u);
+  EXPECT_EQ(r1.got[0].kind, "agg/result");
+  EXPECT_EQ(r1.got[1].kind, "raft/vote");
+  net.clear_kind_faults("agg/upload");
+  net.send(0, 1, "agg/upload", 4, 100);
+  sim.run();
+  EXPECT_EQ(r1.got.size(), 3u);
+}
+
+TEST(ChaosNet, PartitionBlocksCrossGroupTrafficUntilHealed) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  Recorder r;
+  for (PeerId p = 0; p < 4; ++p) net.attach(p, &r);
+  net.partition({{0, 1}, {2, 3}});
+  EXPECT_TRUE(net.partition_active());
+  EXPECT_FALSE(net.partitioned(0, 1));
+  EXPECT_TRUE(net.partitioned(0, 2));
+  net.send(0, 1, "a", 0, 10);  // same side: flows
+  net.send(0, 2, "b", 0, 10);  // across: dropped at send time
+  sim.run();
+  EXPECT_EQ(r.got.size(), 1u);
+  EXPECT_EQ(r.got[0].kind, "a");
+  EXPECT_EQ(net.stats().dropped_by_reason.at("partitioned"), 1u);
+  net.heal();
+  EXPECT_FALSE(net.partition_active());
+  net.send(0, 2, "b", 0, 10);
+  sim.run();
+  EXPECT_EQ(r.got.size(), 2u);
+}
+
+TEST(ChaosNet, UnlistedPeersShareTheImplicitPartitionGroup) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  Recorder r;
+  for (PeerId p = 0; p < 3; ++p) net.attach(p, &r);
+  net.partition({{0}});  // isolate peer 0; 1 and 2 stay connected
+  EXPECT_TRUE(net.partitioned(0, 1));
+  EXPECT_TRUE(net.partitioned(2, 0));
+  EXPECT_FALSE(net.partitioned(1, 2));
+}
+
+TEST(ChaosNet, DropTableMirrorsObsCountersAcrossReasons) {
+  sim::Simulator sim(7);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.drop_prob = 1.0;
+  net::Network net(sim, cfg);
+  Recorder r;
+  net.attach(0, &r);
+  net.attach(1, &r);
+  net.crash(2);
+  net.send(2, 1, "x", 0, 10);  // sender_crashed
+  net.send(0, 1, "x", 0, 10);  // chaos_loss
+  sim.run();
+  for (const auto& [reason, count] : net.stats().dropped_by_reason) {
+    EXPECT_EQ(counter_value(sim, "net.dropped." + reason), count) << reason;
+  }
+  EXPECT_EQ(net.stats().dropped_by_reason.size(), 2u);
+}
+
+TEST(ChaosEngineTest, ExecutesPlannedCrashAndRestart) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  ChaosPlan plan;
+  plan.crash_for(100 * kMillisecond, 3, 400 * kMillisecond);
+  ChaosEngine engine(net, plan);
+  engine.start();
+  sim.run_for(200 * kMillisecond);
+  EXPECT_TRUE(net.crashed(3));
+  EXPECT_TRUE(engine.peer_down(3));
+  EXPECT_EQ(engine.crashes(), 1u);
+  sim.run_for(400 * kMillisecond);  // restart at t=500ms
+  EXPECT_FALSE(net.crashed(3));
+  EXPECT_EQ(engine.restarts(), 1u);
+  EXPECT_EQ(engine.peers_down(), 0u);
+  EXPECT_EQ(counter_value(sim, "chaos.crash"), 1u);
+  EXPECT_EQ(counter_value(sim, "chaos.restart"), 1u);
+}
+
+TEST(ChaosEngineTest, FaultWindowSetsAndRestoresNetworkDefaults) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  ChaosPlan plan;
+  plan.fault_window(100 * kMillisecond, 500 * kMillisecond,
+                    {.drop_prob = 0.5, .duplicate_prob = 0.25});
+  ChaosEngine engine(net, plan);
+  engine.start();
+  EXPECT_EQ(net.config().faults.drop_prob, 0.0);
+  sim.run_for(200 * kMillisecond);
+  EXPECT_EQ(net.config().faults.drop_prob, 0.5);
+  EXPECT_EQ(net.config().faults.duplicate_prob, 0.25);
+  sim.run_for(400 * kMillisecond);
+  EXPECT_EQ(net.config().faults.drop_prob, 0.0);
+  EXPECT_EQ(net.config().faults.duplicate_prob, 0.0);
+}
+
+TEST(ChaosEngineTest, PartitionWindowAppliesAndHeals) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  ChaosPlan plan;
+  plan.partition_window(100 * kMillisecond, 300 * kMillisecond,
+                        {{0}, {1, 2}});
+  ChaosEngine engine(net, plan);
+  engine.start();
+  EXPECT_FALSE(net.partition_active());
+  sim.run_for(150 * kMillisecond);
+  EXPECT_TRUE(net.partition_active());
+  EXPECT_TRUE(net.partitioned(0, 1));
+  sim.run_for(250 * kMillisecond);
+  EXPECT_FALSE(net.partition_active());
+}
+
+using ChurnLog = std::vector<std::tuple<SimTime, PeerId, bool>>;
+
+ChurnLog run_churn(std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  ChurnLog log;
+  ChaosEngineHooks hooks;
+  hooks.crash = [&](PeerId p) {
+    log.emplace_back(sim.now(), p, false);
+    net.crash(p);
+  };
+  hooks.restart = [&](PeerId p) {
+    log.emplace_back(sim.now(), p, true);
+    net.restore(p);
+  };
+  ChurnSpec churn;
+  churn.start = 0;
+  churn.end = 5 * kSecond;
+  churn.mttf = 300 * kMillisecond;
+  churn.mttr = 100 * kMillisecond;
+  churn.peers = {0, 1, 2, 3, 4, 5};
+  churn.max_concurrent_down = 2;
+  ChaosPlan plan;
+  plan.churn(churn);
+  ChaosEngine engine(net, plan, hooks);
+  engine.start();
+  sim.run_for(6 * kSecond);
+  return log;
+}
+
+TEST(ChaosEngineTest, ChurnIsSeedDeterministic) {
+  const ChurnLog a = run_churn(2024);
+  const ChurnLog b = run_churn(2024);
+  const ChurnLog c = run_churn(2025);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // identical seed: identical fault timeline
+  EXPECT_NE(a, c);  // different seed: different draws
+}
+
+TEST(ChaosEngineTest, ChurnRespectsConcurrencyGuard) {
+  sim::Simulator sim(99);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  ChurnSpec churn;
+  churn.start = 0;
+  churn.end = 5 * kSecond;
+  churn.mttf = 100 * kMillisecond;  // aggressive: far more failure
+  churn.mttr = 400 * kMillisecond;  // draws than the guard admits
+  churn.peers = {0, 1, 2, 3, 4, 5, 6, 7};
+  churn.max_concurrent_down = 3;
+  ChaosPlan plan;
+  plan.churn(churn);
+  ChaosEngine engine(net, plan);
+  engine.start();
+  std::size_t max_down = 0;
+  for (int i = 0; i < 60; ++i) {
+    sim.run_for(100 * kMillisecond);
+    max_down = std::max(max_down, engine.peers_down());
+  }
+  EXPECT_GT(engine.crashes(), 0u);
+  EXPECT_LE(max_down, 3u);
+}
+
+// --- protocol hardening ----------------------------------------------------
+
+// A subgroup of SacPeers over a faulty network; peer i contributes
+// (i+1)*ones, so the exact average is (n+1)/2.
+struct LossySac {
+  LossySac(std::size_t n, secagg::SacActorOptions opts,
+           net::LinkFaults faults, std::uint64_t seed)
+      : sim(seed),
+        net(sim,
+            net::NetworkConfig{.base_latency = 15 * kMillisecond,
+                               .faults = faults}) {
+    for (PeerId id = 0; id < n; ++id) {
+      group.push_back(id);
+      hosts.push_back(std::make_unique<net::PeerHost>());
+      net.attach(id, hosts.back().get());
+      peers.push_back(std::make_unique<secagg::SacPeer>(
+          id, "sac/chaos", opts, net, *hosts.back()));
+      peers.back()->on_complete = [this, id](secagg::RoundId r,
+                                             const secagg::Vector& avg) {
+        results[id] = std::make_pair(r, avg);
+      };
+    }
+  }
+  void begin(secagg::RoundId round, std::size_t leader_pos) {
+    for (PeerId id = 0; id < peers.size(); ++id) {
+      secagg::Vector v(8, static_cast<float>(id + 1));
+      peers[id]->begin_round(round, std::move(v), group, leader_pos);
+    }
+  }
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<PeerId> group;
+  std::vector<std::unique_ptr<net::PeerHost>> hosts;
+  std::vector<std::unique_ptr<secagg::SacPeer>> peers;
+  std::map<PeerId, std::pair<secagg::RoundId, secagg::Vector>> results;
+};
+
+TEST(ChaosSac, CompletedRoundIsExactUnderLossAndDuplication) {
+  // The chaos property from the issue: loss and duplication may slow a
+  // round down (retransmissions), but a round that completes yields the
+  // exact true average — never a double-counted or partial one.
+  for (std::uint64_t seed : {3u, 11u, 42u}) {
+    secagg::SacActorOptions opts;
+    opts.k = 4;
+    opts.share_timeout = 100 * kMillisecond;
+    opts.subtotal_timeout = 100 * kMillisecond;
+    opts.share_retry_limit = 10;
+    net::LinkFaults faults;
+    faults.drop_prob = 0.15;
+    faults.duplicate_prob = 0.15;
+    LossySac s(6, opts, faults, seed);
+    s.begin(1, 2);
+    s.sim.run_for(60 * kSecond);
+    ASSERT_TRUE(s.results.count(2)) << "round never completed, seed "
+                                    << seed;
+    for (float v : s.results[2].second) {
+      EXPECT_NEAR(v, 3.5f, 1e-3f) << "seed " << seed;
+    }
+    EXPECT_GT(counter_value(s.sim, "net.dropped.chaos_loss"), 0u);
+  }
+}
+
+TEST(ChaosSac, TotalDuplicationNeverDoubleCounts) {
+  // Every single message delivered twice: idempotent handlers must keep
+  // the average exact (a double-counted share would shift it).
+  secagg::SacActorOptions opts;
+  opts.k = 3;
+  net::LinkFaults faults;
+  faults.duplicate_prob = 1.0;
+  LossySac s(5, opts, faults, 7);
+  s.begin(1, 0);
+  s.sim.run();
+  ASSERT_TRUE(s.results.count(0));
+  for (float v : s.results[0].second) {
+    EXPECT_NEAR(v, 3.0f, 1e-4f);
+  }
+  EXPECT_EQ(counter_value(s.sim, "net.chaos.duplicates"),
+            counter_value(s.sim, "net.sent.messages"));
+}
+
+TEST(ChaosAgg, UploadRetryRecoversFromUploadLossWindow) {
+  // All "agg/upload" transfers are lost for the first 1.2 s; the
+  // subgroup leaders' capped-backoff retries deliver them afterwards and
+  // the round commits with every subgroup included.
+  sim::Simulator sim(5);
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  const core::Topology topo = core::Topology::even(9, 3);
+  std::map<PeerId, std::unique_ptr<net::PeerHost>> hosts;
+  for (PeerId id : topo.all_peers()) {
+    auto host = std::make_unique<net::PeerHost>();
+    net.attach(id, host.get());
+    hosts.emplace(id, std::move(host));
+  }
+  core::AggregationConfig cfg;
+  cfg.collect_timeout = 30 * kSecond;
+  cfg.upload_retry = 400 * kMillisecond;
+  core::TwoLayerAggregator agg(
+      topo, cfg, net, [&](PeerId id) -> net::PeerHost& {
+        return *hosts.at(id);
+      });
+  std::optional<secagg::Vector> global;
+  std::size_t groups_used = 0;
+  agg.on_global_model = [&](std::uint64_t, const secagg::Vector& g,
+                            std::size_t used) {
+    global = g;
+    groups_used = used;
+  };
+  net.set_kind_faults("agg/upload", {.drop_prob = 1.0});
+  sim.schedule_at(1200 * kMillisecond,
+                  [&] { net.clear_kind_faults("agg/upload"); });
+  core::RoundLeadership lead;
+  lead.subgroup_leaders = {0, 3, 6};
+  lead.fedavg_leader = 0;
+  agg.begin_round(1, lead, [](PeerId id) {
+    return secagg::Vector(4, static_cast<float>(id + 1));
+  });
+  sim.run_for(30 * kSecond);
+  ASSERT_TRUE(global.has_value());
+  EXPECT_EQ(groups_used, 3u);
+  EXPECT_EQ(agg.last_contributors().size(), 9u);
+  for (float v : *global) EXPECT_NEAR(v, 5.0f, 1e-4f);  // mean of 1..9
+  EXPECT_GE(counter_value(sim, "agg.upload_retries"), 2u);
+  EXPECT_GT(counter_value(sim, "net.dropped.chaos_loss"), 0u);
+}
+
+// --- chaos soak (fast configuration; the long one lives in the slow
+// suite, see chaos_soak_test.cpp) -------------------------------------------
+
+ChaosSoakConfig fast_soak_config(std::uint64_t seed) {
+  ChaosSoakConfig cfg;
+  cfg.peers = 12;
+  cfg.groups = 3;
+  cfg.rounds = 8;
+  cfg.dim = 4;
+  cfg.seed = seed;
+  cfg.round_interval = 1 * kSecond;
+  cfg.net.faults.drop_prob = 0.05;
+  cfg.net.faults.duplicate_prob = 0.05;
+  cfg.churn_mttf = 5 * kSecond;
+  cfg.churn_mttr = 700 * kMillisecond;
+  return cfg;
+}
+
+TEST(ChaosSoak, FastSoakStaysLiveAndExact) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ChaosSoakResult res = run_chaos_soak(fast_soak_config(seed));
+    EXPECT_TRUE(res.liveness_ok) << "seed " << seed;
+    EXPECT_TRUE(res.all_commits_exact)
+        << "seed " << seed << " max error " << res.max_abs_error;
+    EXPECT_GE(res.rounds_committed, 3u) << "seed " << seed;
+    EXPECT_EQ(res.rounds_started,
+              res.rounds_committed + res.rounds_aborted);
+  }
+}
+
+TEST(ChaosSoak, PartitionDegradesThenHeals) {
+  ChaosSoakConfig cfg;
+  cfg.peers = 12;
+  cfg.groups = 3;
+  cfg.rounds = 8;
+  cfg.seed = 4;
+  cfg.round_interval = 1 * kSecond;
+  cfg.partition_at = 2 * kSecond + 100 * kMillisecond;
+  cfg.heal_at = 4 * kSecond + 100 * kMillisecond;
+  const ChaosSoakResult res = run_chaos_soak(cfg);
+  EXPECT_TRUE(res.liveness_ok);
+  EXPECT_TRUE(res.all_commits_exact);
+  // During the window the FedAvg leader only reaches its own island, so
+  // committed rounds shrink to its subgroup; after healing, full
+  // participation returns.
+  bool shrunk = false;
+  for (const RoundOutcome& o : res.outcomes) {
+    if (o.committed && o.contributors < cfg.peers) shrunk = true;
+  }
+  EXPECT_TRUE(shrunk);
+  ASSERT_FALSE(res.outcomes.empty());
+  const RoundOutcome& last = res.outcomes.back();
+  EXPECT_TRUE(last.committed);
+  EXPECT_EQ(last.contributors, cfg.peers);
+}
+
+TEST(ChaosSoak, TraceStreamIsByteIdenticalForSameSeedAndPlan) {
+  ChaosSoakConfig cfg = fast_soak_config(9);
+  cfg.rounds = 5;
+  cfg.partition_at = 1 * kSecond + 500 * kMillisecond;
+  cfg.heal_at = 2 * kSecond + 500 * kMillisecond;
+  cfg.capture_trace = true;
+  const ChaosSoakResult a = run_chaos_soak(cfg);
+  const ChaosSoakResult b = run_chaos_soak(cfg);
+  EXPECT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  ChaosSoakConfig other = cfg;
+  other.seed = 10;
+  const ChaosSoakResult c = run_chaos_soak(other);
+  EXPECT_NE(a.trace_json, c.trace_json);
+}
+
+}  // namespace
+}  // namespace p2pfl::chaos

@@ -24,10 +24,10 @@ namespace {
 
 class ChaosCluster {
  public:
-  ChaosCluster(std::size_t n, std::uint64_t seed)
-      : sim_(seed),
-        net_(sim_, {.base_latency = 15 * kMillisecond}),
-        chaos_rng_(seed ^ 0xc4a05ULL) {
+  ChaosCluster(std::size_t n, std::uint64_t seed,
+               net::NetworkConfig net_cfg = {.base_latency =
+                                                 15 * kMillisecond})
+      : sim_(seed), net_(sim_, net_cfg), chaos_rng_(seed ^ 0xc4a05ULL) {
     RaftOptions opts;
     opts.election_timeout_min = 100 * kMillisecond;
     opts.election_timeout_max = 200 * kMillisecond;
@@ -265,6 +265,47 @@ TEST_P(RaftChaos, MetricInvariantsHoldUnderCrashRestartChaos) {
   // and every stale leader has stepped down, so the gauge reads 1.
   ASSERT_TRUE(c.has_leader());
   EXPECT_EQ(m.gauges().at("raft.leaders.raft/chaos").value(), 1);
+}
+
+net::NetworkConfig lossy_net(double drop, double dup) {
+  net::NetworkConfig cfg{.base_latency = 15 * kMillisecond};
+  cfg.faults.drop_prob = drop;
+  cfg.faults.duplicate_prob = dup;
+  cfg.faults.reorder_prob = 0.1;
+  cfg.faults.reorder_jitter = 100 * kMillisecond;
+  return cfg;
+}
+
+/// Loss makes a leaderless instant at the chaos end possible (an
+/// election may be in flight); allow a bounded re-election window
+/// before asserting liveness.
+void settle_leader(ChaosCluster& c) {
+  for (int i = 0; i < 100 && !c.has_leader(); ++i) {
+    c.sim().run_for(100 * kMillisecond);
+  }
+}
+
+TEST_P(RaftChaos, SafetyHoldsOnLossyDuplicatingNetwork) {
+  // 10% loss + 5% duplication + reordering, on top of crash/restart
+  // churn: elections retry until quorums form, but Election Safety and
+  // Log Matching must hold through every dropped or doubled message.
+  ChaosCluster c(5, GetParam() ^ 0x1055, lossy_net(0.10, 0.05));
+  c.run_chaos(30 * kSecond, /*crash_p=*/0.1, /*restart_p=*/0.2);
+  settle_leader(c);
+  EXPECT_TRUE(c.has_leader());
+  c.check_safety();
+  EXPECT_GT(c.total_applied(), 10u) << "cluster made too little progress";
+}
+
+TEST_P(RaftChaos, SafetyHoldsUnderHeavyLoss) {
+  // 20% loss: commit progress slows dramatically (AppendEntries and
+  // their acks both die), but nothing committed may ever be lost.
+  ChaosCluster c(5, GetParam() ^ 0x2055, lossy_net(0.20, 0.10));
+  c.run_chaos(20 * kSecond, /*crash_p=*/0.05, /*restart_p=*/0.2);
+  settle_leader(c);
+  EXPECT_TRUE(c.has_leader());
+  c.check_safety();
+  EXPECT_GT(c.total_applied(), 3u);
 }
 
 TEST_P(RaftChaos, MembershipChurnPreservesSafety) {

@@ -8,10 +8,14 @@
 // Defaults: |w| = 5 MB (the Fig. 5 CNN), 100 Mbit/s uplinks, 15 ms
 // latency, N = 30 — the transfer of one model takes 0.4 s.
 #include <cstdio>
+#include <string>
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
 #include "core/agg_cost_sim.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
+#include "sim/simulator.hpp"
 
 int main(int argc, char** argv) {
   using namespace p2pfl;
@@ -54,5 +58,22 @@ int main(int argc, char** argv) {
   const auto ft = core::simulate_two_layer_latency(groups, 1, wire, bps);
   std::printf("%-24s %14.0f %16.0f\n", "two-layer m=6, k=n-1",
               ft.aggregate_ms, ft.all_received_ms);
+
+  // Where does the round latency go? Re-run the m=6 round with causal
+  // span recording and attribute the FedAvg leader's commit latency to
+  // protocol phases / links via the critical-path extractor. The phase
+  // column sums exactly to the round latency.
+  std::printf("\ncritical path of the m=6 round (span attribution):\n");
+  const std::string base = args.get("trace-out", "ablation");
+  core::AggSimHooks hooks;
+  hooks.on_start = [](sim::Simulator& s) { s.obs().spans.set_enabled(true); };
+  hooks.on_finish = [&](sim::Simulator& s) {
+    const obs::CriticalPath cp = obs::extract_critical_path(s.obs().spans, 1);
+    std::printf("%s", obs::critical_path_table(cp).c_str());
+    const std::string spans_path = base + ".spans.jsonl";
+    obs::write_text_file(spans_path, obs::spans_jsonl(s.obs().spans));
+    std::fprintf(stderr, "# spans:   %s\n", spans_path.c_str());
+  };
+  core::simulate_two_layer_latency(groups, 1, wire, bps, hooks);
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/raft_recovery_common.hpp"
 #include "chaos/engine.hpp"
 #include "core/two_layer_raft.hpp"
 
@@ -113,13 +114,14 @@ int main(int argc, char** argv) {
   const std::size_t trials =
       static_cast<std::size_t>(args.get_int("trials", 10));
   bench::print_environment("§VII-D — two-layer Raft fault-tolerance sweep");
-  std::printf("%4s %4s %10s | %18s %20s %16s\n", "m", "n", "opt bound",
-              "followers-only ok", "leader-replace ok", "fatal blocked");
+  std::printf("%4s %4s %10s | %18s %20s %16s | %28s\n", "m", "n", "opt bound",
+              "followers-only ok", "leader-replace ok", "fatal blocked",
+              "replace ms p50/p95/p99");
   std::map<std::string, std::uint64_t> total_drops;
   for (std::size_t m : {3u, 5u}) {
     for (std::size_t n : {3u, 5u}) {
       std::size_t opt_ok = 0, repl_ok = 0, fatal_blocked = 0;
-      double repl_ms = 0.0;
+      std::vector<double> repl_ms;
       for (std::size_t i = 0; i < trials; ++i) {
         const auto o = run_case(m, n, Scenario::kOptimisticFollowers,
                                 0x5000 + i * 13 + m * 7 + n);
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
                                 0x6000 + i * 17 + m * 3 + n);
         if (r.stabilized_after) {
           ++repl_ok;
-          repl_ms += r.ms;
+          repl_ms.push_back(r.ms);
         }
         const auto f =
             run_case(m, n, Scenario::kFatal, 0x7000 + i * 19 + m + n);
@@ -139,11 +141,13 @@ int main(int argc, char** argv) {
           }
         }
       }
-      std::printf("%4zu %4zu %10zu | %15zu/%zu %12zu/%zu (%4.0fms) %13zu/%zu\n",
-                  m, n,
-                  p2pfl::analysis::two_layer_optimistic_tolerance(m, n),
-                  opt_ok, trials, repl_ok, trials,
-                  repl_ok ? repl_ms / repl_ok : -1.0, fatal_blocked, trials);
+      const auto rs = bench::summarize(repl_ms);
+      std::printf(
+          "%4zu %4zu %10zu | %15zu/%zu %12zu/%zu (%4.0fms) %13zu/%zu | "
+          "%8.0f %8.0f %8.0f\n",
+          m, n, p2pfl::analysis::two_layer_optimistic_tolerance(m, n),
+          opt_ok, trials, repl_ok, trials, repl_ok ? rs.mean : -1.0,
+          fatal_blocked, trials, rs.p50, rs.p95, rs.p99);
     }
   }
   std::printf(

@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
               trials);
 
   const double paper_extra[] = {122.98, 125.80, 144.70, 166.09};
-  std::printf("%12s %10s %10s %12s %12s %16s\n", "timeout", "elect ms",
-              "join ms", "join-elect", "p95 join", "paper join-elect");
+  std::printf("%12s %10s %10s %12s %10s %10s %10s %16s\n", "timeout",
+              "elect ms", "join ms", "join-elect", "p50 join", "p95 join",
+              "p99 join", "paper join-elect");
   int idx = 0;
   for (const SimDuration t : bench::timeout_settings()) {
     std::vector<double> elect, join;
@@ -32,10 +33,11 @@ int main(int argc, char** argv) {
     }
     const auto se = bench::summarize(elect);
     const auto sj = bench::summarize(join);
-    std::printf("%5lld-%lldms %10.2f %10.2f %12.2f %12.2f %16.2f\n",
-                static_cast<long long>(t / kMillisecond),
-                static_cast<long long>(2 * t / kMillisecond), se.mean,
-                sj.mean, sj.mean - se.mean, sj.p95, paper_extra[idx]);
+    std::printf(
+        "%5lld-%lldms %10.2f %10.2f %12.2f %10.2f %10.2f %10.2f %16.2f\n",
+        static_cast<long long>(t / kMillisecond),
+        static_cast<long long>(2 * t / kMillisecond), se.mean, sj.mean,
+        sj.mean - se.mean, sj.p50, sj.p95, sj.p99, paper_extra[idx]);
     ++idx;
   }
   std::printf("\njoin time distribution (T = 50ms):\n");

@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
               trials);
 
   const double paper_extra[] = {95.07, 114.65, 130.30, 158.53};
-  std::printf("%12s %12s %12s %12s %12s %18s\n", "timeout", "fed elect",
-              "sub elect", "full ms", "p95 full", "paper extra vs f11");
+  std::printf("%12s %12s %12s %12s %10s %10s %10s %18s\n", "timeout",
+              "fed elect", "sub elect", "full ms", "p50 full", "p95 full",
+              "p99 full", "paper extra vs f11");
   int idx = 0;
   for (const SimDuration t : bench::timeout_settings()) {
     std::vector<double> fed_elect, sub_elect, full;
@@ -36,10 +37,11 @@ int main(int argc, char** argv) {
     const auto sf = bench::summarize(fed_elect);
     const auto ss = bench::summarize(sub_elect);
     const auto sa = bench::summarize(full);
-    std::printf("%5lld-%lldms %12.2f %12.2f %12.2f %12.2f %18.2f\n",
-                static_cast<long long>(t / kMillisecond),
-                static_cast<long long>(2 * t / kMillisecond), sf.mean,
-                ss.mean, sa.mean, sa.p95, paper_extra[idx]);
+    std::printf(
+        "%5lld-%lldms %12.2f %12.2f %12.2f %10.2f %10.2f %10.2f %18.2f\n",
+        static_cast<long long>(t / kMillisecond),
+        static_cast<long long>(2 * t / kMillisecond), sf.mean, ss.mean,
+        sa.mean, sa.p50, sa.p95, sa.p99, paper_extra[idx]);
     ++idx;
   }
   std::printf("\n(the joiner must wait for the FedAvg-layer election to "

@@ -1,40 +1,56 @@
 // Shared observability export helpers for the bench binaries.
 //
-// Every fig10-fig14 bench writes two machine-readable artifacts next to
-// its stdout table:
+// Every fig10-fig14 bench writes three machine-readable artifacts next
+// to its stdout table:
 //   <base>.metrics.jsonl  - one JSON object per metric (obs::metrics_jsonl)
 //   <base>.trace.json     - Chrome trace_event JSON; load it in
 //                           about://tracing or ui.perfetto.dev
+//   <base>.spans.jsonl    - one JSON object per causal span
+//                           (obs::spans_jsonl), when spans were recorded
 #pragma once
 
 #include <iostream>
 #include <string>
 
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2pfl::bench {
 
-/// Dump the simulator's metrics registry and trace stream to
-/// `<base>.metrics.jsonl` / `<base>.trace.json`.
+/// Dump the simulator's metrics registry, trace stream and span recorder
+/// to `<base>.metrics.jsonl` / `<base>.trace.json` / `<base>.spans.jsonl`.
+/// Span export (and span->trace flow events) is skipped when no spans
+/// were recorded, so trace-only callers keep their old artifacts.
 inline void export_observability(sim::Simulator& sim,
                                  const std::string& base) {
   const std::string metrics_path = base + ".metrics.jsonl";
   const std::string trace_path = base + ".trace.json";
   obs::write_text_file(metrics_path, obs::metrics_jsonl(sim.obs().metrics));
-  obs::write_text_file(trace_path, obs::chrome_trace_json(sim.obs().trace));
+  const bool have_spans = sim.obs().spans.size() > 0;
+  obs::write_text_file(
+      trace_path,
+      have_spans ? obs::chrome_trace_json(sim.obs().trace, sim.obs().spans)
+                 : obs::chrome_trace_json(sim.obs().trace));
   std::cerr << "# metrics: " << metrics_path << "\n"
             << "# trace:   " << trace_path
             << " (open in about://tracing)\n";
+  if (have_spans) {
+    const std::string spans_path = base + ".spans.jsonl";
+    obs::write_text_file(spans_path, obs::spans_jsonl(sim.obs().spans));
+    std::cerr << "# spans:   " << spans_path << "\n";
+  }
 }
 
-/// RAII exporter: enables tracing on construction and exports on scope
-/// exit, so trial helpers with early returns still produce artifacts.
+/// RAII exporter: enables tracing + span recording on construction and
+/// exports on scope exit, so trial helpers with early returns still
+/// produce artifacts.
 class ScopedObsExport {
  public:
   ScopedObsExport(sim::Simulator& sim, std::string base)
       : sim_(sim), base_(std::move(base)) {
     sim_.obs().trace.set_enabled(true);
+    sim_.obs().spans.set_enabled(true);
   }
   ~ScopedObsExport() { export_observability(sim_, base_); }
 

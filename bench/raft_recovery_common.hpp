@@ -19,6 +19,7 @@
 #include "bench/obs_util.hpp"
 #include "chaos/engine.hpp"
 #include "core/two_layer_raft.hpp"
+#include "obs/metrics.hpp"
 
 namespace p2pfl::bench {
 
@@ -131,23 +132,30 @@ inline TrialResult run_recovery_trial(CrashKind kind, SimDuration timeout_t,
 }
 
 struct Stats {
-  double mean = 0.0, p50 = 0.0, p95 = 0.0, min = 0.0, max = 0.0;
+  double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0, min = 0.0, max = 0.0;
   std::size_t n = 0;
 };
 
-inline Stats summarize(std::vector<double> xs) {
+/// Quantiles come from an obs::Histogram (the same estimator the metrics
+/// registry exports), so a bench table row and the corresponding
+/// *.metrics.jsonl histogram agree. The bucket grid is rebuilt from the
+/// sample range with 512 buckets; interpolation error is < 1/512 of the
+/// range and the estimate clamps to the observed [min, max].
+inline Stats summarize(const std::vector<double>& xs) {
   Stats s;
   if (xs.empty()) return s;
-  std::sort(xs.begin(), xs.end());
   s.n = xs.size();
-  double total = 0.0;
-  for (double x : xs) total += x;
-  s.mean = total / static_cast<double>(xs.size());
-  s.p50 = xs[xs.size() / 2];
-  s.p95 = xs[static_cast<std::size_t>(
-      static_cast<double>(xs.size() - 1) * 0.95)];
-  s.min = xs.front();
-  s.max = xs.back();
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const double step = std::max((hi - lo) / 512.0, 1e-9);
+  obs::Histogram h(obs::Histogram::linear_bounds(lo, step, 513));
+  for (double x : xs) h.record(x);
+  s.mean = h.mean();
+  s.p50 = h.quantile(0.50);
+  s.p95 = h.quantile(0.95);
+  s.p99 = h.quantile(0.99);
+  s.min = h.min();
+  s.max = h.max();
   return s;
 }
 

@@ -11,6 +11,8 @@
 //                     [--loss=P --dup=P --reorder-ms=J]
 //                     [--churn-mttf=MS --churn-mttr=MS]
 //                     [--partition-at=MS --heal-at=MS --interval=MS]
+//   p2pflctl explain  [same scenario flags as chaos, fault-free default]
+//                     [--round=N] [--out=BASE]
 //
 // Everything runs on the deterministic simulator; identical flags give
 // identical results. `trace` replays the recovery scenario with the
@@ -19,7 +21,12 @@
 // `chaos` runs two-layer aggregation rounds under a scripted fault plan
 // (message loss, duplication, reordering, crash/restart churn and an
 // optional partition window) and checks that every committed round is
-// the exact average of its contributing peers.
+// the exact average of its contributing peers. `explain` replays the
+// same scenario with causal span recording on and prints the chosen
+// round's critical path — which phases, links and retries the
+// end-to-end latency is attributable to — plus an abort post-mortem for
+// every round that died.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -178,7 +185,10 @@ int cmd_recovery(const bench::Args& args, bool traced = false) {
   return 0;
 }
 
-int cmd_chaos(const bench::Args& args) {
+/// Shared soak-scenario flags of `chaos` and `explain` (they differ only
+/// in default ambient fault rates).
+chaos::ChaosSoakConfig soak_config(const bench::Args& args,
+                                   double default_loss, double default_dup) {
   chaos::ChaosSoakConfig cfg;
   cfg.peers = static_cast<std::size_t>(args.get_int("peers", 12));
   cfg.groups = static_cast<std::size_t>(args.get_int("groups", 3));
@@ -186,8 +196,8 @@ int cmd_chaos(const bench::Args& args) {
   cfg.dim = static_cast<std::size_t>(args.get_int("dim", 8));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.round_interval = args.get_int("interval", 1000) * kMillisecond;
-  cfg.net.faults.drop_prob = args.get_double("loss", 0.05);
-  cfg.net.faults.duplicate_prob = args.get_double("dup", 0.05);
+  cfg.net.faults.drop_prob = args.get_double("loss", default_loss);
+  cfg.net.faults.duplicate_prob = args.get_double("dup", default_dup);
   const long reorder_ms = args.get_int("reorder-ms", 0);
   if (reorder_ms > 0) {
     cfg.net.faults.reorder_prob = 0.25;
@@ -197,6 +207,12 @@ int cmd_chaos(const bench::Args& args) {
   cfg.churn_mttr = args.get_int("churn-mttr", 1000) * kMillisecond;
   cfg.partition_at = args.get_int("partition-at", 0) * kMillisecond;
   cfg.heal_at = args.get_int("heal-at", 0) * kMillisecond;
+  return cfg;
+}
+
+int cmd_chaos(const bench::Args& args) {
+  chaos::ChaosSoakConfig cfg = soak_config(args, 0.05, 0.05);
+  const long reorder_ms = args.get_int("reorder-ms", 0);
 
   std::printf(
       "chaos soak: %zu peers in %zu groups, %zu rounds @ %.0f ms, seed "
@@ -241,12 +257,72 @@ int cmd_chaos(const bench::Args& args) {
   return ok ? 0 : 1;
 }
 
+int cmd_explain(const bench::Args& args) {
+  // Fault-free by default; any `chaos` fault flag turns the same scenario
+  // into a chaotic one (the spans and post-mortems tell the story).
+  chaos::ChaosSoakConfig cfg = soak_config(args, 0.0, 0.0);
+  cfg.capture_spans = true;
+
+  std::printf(
+      "explain: %zu peers in %zu groups, %zu rounds @ %.0f ms, seed %llu "
+      "(loss %.2f, dup %.2f, churn mttf %.0f ms)\n",
+      cfg.peers, cfg.groups, cfg.rounds, to_ms(cfg.round_interval),
+      static_cast<unsigned long long>(cfg.seed), cfg.net.faults.drop_prob,
+      cfg.net.faults.duplicate_prob, to_ms(cfg.churn_mttf));
+
+  const chaos::ChaosSoakResult res = chaos::run_chaos_soak(cfg);
+
+  std::uint64_t last_committed = 0;
+  for (const chaos::RoundOutcome& o : res.outcomes) {
+    std::printf("  round %llu: %s\n",
+                static_cast<unsigned long long>(o.round),
+                o.committed ? "committed" : "aborted");
+    if (o.committed) last_committed = o.round;
+  }
+
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      args.get_int("round", static_cast<long>(last_committed)));
+  const obs::CriticalPath* cp = nullptr;
+  for (const obs::CriticalPath& c : res.critical_paths) {
+    if (c.round == target) cp = &c;
+  }
+  std::printf("\n");
+  if (cp != nullptr) {
+    std::fputs(obs::critical_path_table(*cp).c_str(), stdout);
+  } else {
+    std::printf("round %llu has no critical path (never committed or not "
+                "retained)\n",
+                static_cast<unsigned long long>(target));
+  }
+  for (const obs::Postmortem& pm : res.postmortems) {
+    std::printf("\n");
+    std::fputs(pm.table.c_str(), stdout);
+  }
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    const std::string path = out + ".spans.jsonl";
+    if (obs::write_text_file(path, res.spans_jsonl)) {
+      std::printf("\nwrote %s (%zu spans)\n", path.c_str(),
+                  static_cast<std::size_t>(
+                      std::count(res.spans_jsonl.begin(),
+                                 res.spans_jsonl.end(), '\n')));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+  }
+
+  // Non-empty attribution is the contract CI's explain-smoke asserts.
+  return cp != nullptr && !cp->segments.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: p2pflctl <train|cost|recovery|trace|chaos> "
+                 "usage: p2pflctl <train|cost|recovery|trace|chaos|explain> "
                  "[--key=value...]\n");
     return 2;
   }
@@ -257,6 +333,7 @@ int main(int argc, char** argv) {
   if (cmd == "recovery") return cmd_recovery(args);
   if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "explain") return cmd_explain(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

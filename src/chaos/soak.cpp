@@ -19,6 +19,7 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
   P2PFL_CHECK(cfg.peers > 0 && cfg.groups > 0 && cfg.rounds > 0);
   sim::Simulator sim(cfg.seed);
   if (cfg.capture_trace) sim.obs().trace.set_enabled(true);
+  if (cfg.capture_spans) sim.obs().spans.set_enabled(true);
   net::Network net(sim, cfg.net);
 
   const core::Topology topo = core::Topology::even(cfg.peers, cfg.groups);
@@ -64,6 +65,14 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
     current->contributors = who.size();
     current->max_abs_error = err;
   };
+  if (cfg.capture_spans) {
+    // Abort flight recorder: dump the round's retained spans the moment
+    // the round is torn down (abort_round fires before the next round's
+    // spans open, so the dump is the abort-time snapshot).
+    agg.on_round_aborted = [&](std::uint64_t round) {
+      res.postmortems.push_back(obs::make_postmortem(sim.obs().spans, round));
+    };
+  }
 
   // Fault plan: ambient faults come from cfg.net.faults; the engine adds
   // churn and the partition window. Both end early enough that the tail
@@ -142,6 +151,19 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
     current.reset();
   }
 
+  if (cfg.capture_spans) {
+    // Tear down a trailing undecided round so its abort (and post-mortem)
+    // is recorded, then extract every committed round's critical path.
+    agg.abort_round();
+    obs::SpanRecorder& spans = sim.obs().spans;
+    for (const RoundOutcome& oc : res.outcomes) {
+      if (oc.committed) {
+        res.critical_paths.push_back(extract_critical_path(spans, oc.round));
+      }
+    }
+    res.spans_jsonl = obs::spans_jsonl(spans);
+  }
+
   res.crashes = engine.crashes();
   res.restarts = engine.restarts();
   res.traffic = net.stats();
@@ -153,7 +175,10 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
   }
   res.liveness_ok = res.rounds_committed > 0 && tail_commit;
   if (cfg.capture_trace) {
-    res.trace_json = obs::chrome_trace_json(sim.obs().trace);
+    res.trace_json =
+        cfg.capture_spans
+            ? obs::chrome_trace_json(sim.obs().trace, sim.obs().spans)
+            : obs::chrome_trace_json(sim.obs().trace);
   }
   return res;
 }

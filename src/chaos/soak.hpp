@@ -23,6 +23,7 @@
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "obs/critical_path.hpp"
 
 namespace p2pfl::chaos {
 
@@ -51,6 +52,11 @@ struct ChaosSoakConfig {
   double exact_tol = 5e-3;
   /// Record the full trace stream into ChaosSoakResult::trace_json.
   bool capture_trace = false;
+  /// Record causal spans: per-round critical paths for committed rounds,
+  /// an abort post-mortem whenever on_round_aborted fires, and the full
+  /// span dump. Also tears down a trailing undecided round at the end so
+  /// its abort reaches the flight recorder.
+  bool capture_spans = false;
 };
 
 struct RoundOutcome {
@@ -77,6 +83,13 @@ struct ChaosSoakResult {
   std::vector<RoundOutcome> outcomes;
   net::TrafficStats traffic;
   std::string trace_json;  // only when cfg.capture_trace
+  // --- only when cfg.capture_spans --------------------------------------
+  /// One JSON object per retained span (obs::spans_jsonl format).
+  std::string spans_jsonl;
+  /// Critical path of every committed round, in round order.
+  std::vector<obs::CriticalPath> critical_paths;
+  /// Flight-recorder dumps, one per aborted round, in abort order.
+  std::vector<obs::Postmortem> postmortems;
 };
 
 ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg);

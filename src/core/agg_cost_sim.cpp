@@ -91,7 +91,8 @@ AggCostBreakdown simulate_aggregation_cost(
 AggLatency simulate_two_layer_latency(std::span<const std::size_t> groups,
                                       std::size_t dropout_tolerance,
                                       std::uint64_t model_wire_bytes,
-                                      std::uint64_t egress_bytes_per_sec) {
+                                      std::uint64_t egress_bytes_per_sec,
+                                      const AggSimHooks& hooks) {
   constexpr std::size_t kDim = 4;
   sim::Simulator sim(77);
   net::NetworkConfig ncfg;
@@ -141,8 +142,10 @@ AggLatency simulate_two_layer_latency(std::span<const std::size_t> groups,
   RoundLeadership lead;
   lead.subgroup_leaders = topo.designated_leaders();
   lead.fedavg_leader = lead.subgroup_leaders.front();
+  if (hooks.on_start) hooks.on_start(sim);
   agg.begin_round(1, lead, [&](PeerId) { return secagg::Vector(kDim, 1.0f); });
   sim.run();
+  if (hooks.on_finish) hooks.on_finish(sim);
   return out;
 }
 

@@ -65,10 +65,13 @@ struct AggLatency {
 /// the latency counterpart of the byte-count analysis: with a finite
 /// NIC, the one-layer SAC leader serializes O(N) model transfers while
 /// the two-layer system fans them out across subgroup leaders.
+/// `hooks` observe the internally owned Simulator, e.g. to enable span
+/// recording before the round and extract the critical path after it.
 AggLatency simulate_two_layer_latency(std::span<const std::size_t> groups,
                                       std::size_t dropout_tolerance,
                                       std::uint64_t model_wire_bytes,
-                                      std::uint64_t egress_bytes_per_sec);
+                                      std::uint64_t egress_bytes_per_sec,
+                                      const AggSimHooks& hooks = {});
 
 /// One one-layer SAC round (Alg. 2, broadcast subtotals) over N peers
 /// under the same link model; returns time until all peers hold the

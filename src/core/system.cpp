@@ -80,6 +80,8 @@ void P2pFlSystem::crash_peer(PeerId peer) {
   PeerRuntime& rt = peers_.at(peer);
   rt.trainer_done->cancel();
   rt.training = false;
+  net_.simulator().obs().spans.close_aborted(rt.train_span);
+  rt.train_span = obs::kNoSpan;
   // The driver timer keeps ticking but drive_round() checks leadership
   // and crash state before acting.
 }
@@ -131,7 +133,7 @@ void P2pFlSystem::drive_round(PeerId self) {
   });
 }
 
-void P2pFlSystem::model_received(std::uint64_t /*round*/, PeerId peer,
+void P2pFlSystem::model_received(std::uint64_t round, PeerId peer,
                                  const secagg::Vector& global) {
   if (net_.crashed(peer)) return;
   PeerRuntime& rt = peers_.at(peer);
@@ -139,6 +141,13 @@ void P2pFlSystem::model_received(std::uint64_t /*round*/, PeerId peer,
   rt.trainer->set_weights(global);
   if (!rt.training) {
     rt.training = true;
+    obs::SpanRecorder& sr = net_.simulator().obs().spans;
+    if (sr.enabled() && rt.train_span == obs::kNoSpan) {
+      // Training is caused by the arrival of the round's global model
+      // (current() is the delivering link span); it completes next round.
+      rt.train_span =
+          sr.open(obs::SpanKind::kLocalTrain, "fl/local_train", peer, round);
+    }
     rt.trainer_done->arm(cfg_.train_duration);  // models compute time
   }
 }
@@ -146,9 +155,16 @@ void P2pFlSystem::model_received(std::uint64_t /*round*/, PeerId peer,
 void P2pFlSystem::begin_local_training(PeerId peer) {
   PeerRuntime& rt = peers_.at(peer);
   rt.training = false;
-  if (net_.crashed(peer)) return;
+  obs::SpanRecorder& sr0 = net_.simulator().obs().spans;
+  if (net_.crashed(peer)) {
+    sr0.close_aborted(rt.train_span);
+    rt.train_span = obs::kNoSpan;
+    return;
+  }
   rt.trainer->train_round(cfg_.train);
   rt.current_weights = rt.trainer->weights();
+  sr0.close(rt.train_span);
+  rt.train_span = obs::kNoSpan;
 }
 
 }  // namespace p2pfl::core

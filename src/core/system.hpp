@@ -87,6 +87,8 @@ class P2pFlSystem {
     std::unique_ptr<sim::Timer> driver;   // round driver (acts if leader)
     std::unique_ptr<sim::Timer> trainer_done;  // models compute time
     bool training = false;
+    /// Causal span covering the simulated local-training pass.
+    obs::SpanId train_span = obs::kNoSpan;
   };
 
   void drive_round(PeerId self);

@@ -122,6 +122,17 @@ void TwoLayerAggregator::begin_round(RoundId round,
                      {"live_groups", live_groups},
                      {"quorum", fed_->quorum}});
   }
+  if (o.spans.enabled()) {
+    // Root of the round's causal DAG, plus the FedAvg-leader collect
+    // window that the round's commit (or abort) eventually closes.
+    fed_->round_span = o.spans.open(obs::SpanKind::kRound, "agg/round",
+                                    leadership.fedavg_leader, round);
+    fed_->collect_span =
+        o.spans.open(obs::SpanKind::kFedCollect, "agg/collect",
+                     leadership.fedavg_leader, round, fed_->round_span);
+  }
+  // SAC kickoff runs under the round span so share phases chain to it.
+  obs::SpanStackScope round_scope(o.spans, fed_->round_span);
 
   // Kick off SAC in every live subgroup.
   for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
@@ -143,12 +154,17 @@ void TwoLayerAggregator::begin_round(RoundId round,
 }
 
 void TwoLayerAggregator::abort_round() {
+  obs::SpanRecorder& sr = net_.simulator().obs().spans;
   for (auto& [id, p] : peers_) {
     p.sac->halt();
     p.pending_upload.reset();
     if (p.upload_timer) p.upload_timer->cancel();
+    sr.close_aborted(p.upload_span);
+    p.upload_span = obs::kNoSpan;
   }
   if (fed_ && !fed_->done) {
+    sr.close_aborted(fed_->collect_span);
+    sr.close_aborted(fed_->round_span);
     // The round was still undecided: superseded by a newer one or torn
     // down by the system (e.g. the FedAvg layer lost its leader under a
     // partition).
@@ -178,6 +194,14 @@ void TwoLayerAggregator::sac_complete(PeerState& p, RoundId round,
     handle_upload(p, msg);  // local, no wire transfer
     return;
   }
+  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  if (sr.enabled()) {
+    // Open at upload, closed when this round's result (or a supersession)
+    // settles it; the upload link chains to it below.
+    p.upload_span = sr.open(obs::SpanKind::kUpload, "agg/upload_wait", p.id,
+                            round);
+  }
+  obs::SpanStackScope upload_scope(sr, p.upload_span);
   const std::uint64_t wire = model_wire(avg.size());
   p.pending_upload = msg;
   p.upload_attempts = 0;
@@ -190,7 +214,10 @@ void TwoLayerAggregator::retry_upload(PeerState& p) {
   if (!p.pending_upload || p.pending_upload->round != round_) return;
   if (net_.crashed(p.id)) return;
   if (p.upload_attempts >= cfg_.upload_retry_limit) {
-    net_.simulator().obs().metrics.counter("agg.uploads_abandoned").add(1);
+    obs::Observability& ob = net_.simulator().obs();
+    ob.metrics.counter("agg.uploads_abandoned").add(1);
+    ob.spans.close_aborted(p.upload_span);
+    p.upload_span = obs::kNoSpan;
     p.pending_upload.reset();
     return;
   }
@@ -202,6 +229,11 @@ void TwoLayerAggregator::retry_upload(PeerState& p) {
                     {{"round", p.pending_upload->round},
                      {"attempt", p.upload_attempts}});
   }
+  // Retry fires from a timer (empty span stack): parent the resend burst
+  // explicitly onto the pending upload wait.
+  obs::ScopedSpan retry_span(o.spans, obs::SpanKind::kRetry,
+                             "agg/upload_retry", p.id,
+                             p.pending_upload->round, p.upload_span);
   UploadMsg copy = *p.pending_upload;
   const std::uint64_t wire = model_wire(copy.model.size());
   net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(copy),
@@ -218,6 +250,12 @@ void TwoLayerAggregator::settle_upload(PeerState& p, RoundId round) {
   if (p.pending_upload && p.pending_upload->round == round) {
     p.pending_upload.reset();
     p.upload_timer->cancel();
+  }
+  if (p.upload_span != obs::kNoSpan) {
+    // Closed by the link that delivered the round's result.
+    obs::SpanRecorder& sr = net_.simulator().obs().spans;
+    sr.close(p.upload_span, sr.current());
+    p.upload_span = obs::kNoSpan;
   }
 }
 
@@ -256,6 +294,8 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
     P2PFL_WARN() << "aggregation round " << fed_->round
                  << " produced no subgroup models";
     o.metrics.counter("agg.rounds_failed").add(1);
+    o.spans.close_aborted(fed_->collect_span);
+    o.spans.close_aborted(fed_->round_span);
     if (o.trace.category_enabled("agg")) {
       o.trace.instant("agg", "agg.round_failed", p.id,
                       {{"round", fed_->round}});
@@ -265,6 +305,19 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
   }
   fed_->done = true;
   collect_timer_.cancel();
+  // Close the collect window, crediting the link whose delivery reached
+  // quorum (timeout commits have no closer and attribute the wait to the
+  // collect window itself); the merge span it causes closes the round.
+  obs::SpanId merge_span = obs::kNoSpan;
+  if (o.spans.enabled()) {
+    obs::SpanId closer = o.spans.current();
+    if (closer == fed_->collect_span) closer = obs::kNoSpan;
+    o.spans.close(fed_->collect_span, closer);
+    merge_span = o.spans.open(
+        obs::SpanKind::kFedMerge, "agg/merge", p.id, fed_->round,
+        closer != obs::kNoSpan ? closer : fed_->collect_span);
+  }
+  obs::SpanStackScope merge_scope(o.spans, merge_span);
   o.metrics.counter("agg.rounds_completed").add(1);
   const double latency_ms =
       static_cast<double>(net_.simulator().now() - round_start_) /
@@ -305,11 +358,18 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
     ResultMsg msg{fed_->round, global};
     net_.send(p.id, leader, "agg/result", std::move(msg), wire);
   }
+  p.result_round = fed_->round;
   distribute(p, fed_->round, global);
+  if (o.spans.enabled()) {
+    o.spans.close(merge_span);
+    o.spans.close(fed_->round_span, merge_span);
+  }
 }
 
 void TwoLayerAggregator::handle_result(PeerState& p, const ResultMsg& msg) {
   if (msg.round != round_) return;
+  if (p.result_round == msg.round) return;  // duplicate delivery
+  p.result_round = msg.round;
   // The round is decided: any still-pending upload can stop retrying
   // (the FedAvg leader either used it or closed the round without it).
   settle_upload(p, msg.round);

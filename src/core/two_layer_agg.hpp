@@ -139,6 +139,12 @@ class TwoLayerAggregator {
     std::optional<UploadMsg> pending_upload;
     std::size_t upload_attempts = 0;
     std::unique_ptr<sim::Timer> upload_timer;
+    /// Last round whose result this peer acted on. Results can arrive
+    /// more than once (chaos duplication, upload-retry crossings); the
+    /// relay/deliver must run exactly once per round.
+    RoundId result_round = 0;
+    /// Wait span covering upload sent -> round result received.
+    obs::SpanId upload_span = obs::kNoSpan;
   };
 
   struct FedState {
@@ -147,6 +153,9 @@ class TwoLayerAggregator {
     std::size_t quorum = 0;
     std::map<SubgroupId, UploadMsg> uploads;
     bool done = false;
+    /// Causal root of the round and the FedAvg leader's collect window.
+    obs::SpanId round_span = obs::kNoSpan;
+    obs::SpanId collect_span = obs::kNoSpan;
   };
 
   std::uint64_t model_wire(std::size_t dim) const;

@@ -22,6 +22,15 @@ void TrafficStats::record_delivered(const std::string& kind,
   c.bytes += bytes;
 }
 
+void TrafficStats::record_duplicate_delivered(const std::string& kind,
+                                              std::uint64_t bytes) {
+  duplicated.messages += 1;
+  duplicated.bytes += bytes;
+  auto& c = delivered_by_kind["dup:" + kind];
+  c.messages += 1;
+  c.bytes += bytes;
+}
+
 Network::Network(sim::Simulator& sim, NetworkConfig cfg)
     : sim_(sim),
       cfg_(cfg),
@@ -153,8 +162,17 @@ void Network::send(Envelope env) {
     return;
   }
 
+  obs::SpanRecorder& sr = sim_.obs().spans;
+  if (sr.enabled() && env.span.span == obs::kNoSpan) {
+    env.span = sr.current_ctx();
+  }
+
   const bool self = env.from == env.to;
   if (self) {
+    if (sr.enabled()) {
+      env.span.span = sr.open(obs::SpanKind::kLink, env.kind, env.from,
+                              env.span.round, env.span.span);
+    }
     sim_.schedule_after(0, [this, env = std::move(env)]() mutable {
       deliver_now(env);
     });
@@ -191,38 +209,87 @@ void Network::send(Envelope env) {
       tr.instant("net", "net.chaos_dup " + env.kind, env.from,
                  {{"to", env.to}});
     }
-    schedule_delivery(env, env.from, env.to);
+    // Duplicate copy scheduled first to keep the fault-RNG draw order of
+    // schedule_delivery (reorder jitter) identical to the pre-span code.
+    Envelope dup = env;
+    dup.chaos_duplicate = true;
+    if (sr.enabled()) {
+      dup.span.span = sr.open(obs::SpanKind::kLink, dup.kind, dup.from,
+                              dup.span.round, dup.span.span);
+    }
+    schedule_delivery(dup, dup.from, dup.to);
+  }
+  if (sr.enabled()) {
+    // Each in-flight copy gets its own link span: open at send, closed at
+    // delivery, parented to whatever span the sender was inside.
+    env.span.span = sr.open(obs::SpanKind::kLink, env.kind, env.from,
+                            env.span.round, env.span.span);
   }
   schedule_delivery(env, env.from, env.to);
 }
 
 void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
                    std::uint64_t wire_bytes) {
-  send(Envelope{from, to, std::move(kind), std::move(body), wire_bytes});
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.kind = std::move(kind);
+  env.body = std::move(body);
+  env.wire_bytes = wire_bytes;
+  send(std::move(env));
 }
 
 void Network::deliver_now(const Envelope& env) {
+  obs::SpanRecorder& sr = sim_.obs().spans;
+  const obs::SpanId link = sr.enabled() ? env.span.span : obs::kNoSpan;
   if (crashed_.count(env.to) > 0) {  // lost in flight
     count_drop("receiver_crashed");
+    if (link != obs::kNoSpan) sr.close_aborted(link);
     return;
   }
   auto it = endpoints_.find(env.to);
   if (it == endpoints_.end()) {  // nobody listening
     count_drop("unattached");
+    if (link != obs::kNoSpan) sr.close_aborted(link);
     return;
   }
   if (env.from != env.to) {
-    stats_.record_delivered(env.kind, env.wire_bytes);
-    m_delivered_msgs_.add(1);
-    m_delivered_bytes_.add(env.wire_bytes);
-    sim_.obs()
-        .metrics.counter("net.delivered.bytes." + env.kind)
-        .add(env.wire_bytes);
-    obs::TraceStream& tr = sim_.obs().trace;
-    if (tr.category_enabled("net")) {
-      tr.instant("net", "net.deliver " + env.kind, env.to,
-                 {{"from", env.from}, {"bytes", env.wire_bytes}});
+    if (env.chaos_duplicate) {
+      // Chaos duplicate: delivered to the actor like any message, but
+      // accounted under a distinct label so per-kind delivered bytes
+      // stay equal to the Eq. (4)/(5) protocol counts.
+      stats_.record_duplicate_delivered(env.kind, env.wire_bytes);
+      sim_.obs().metrics.counter("net.delivered.dup.messages").add(1);
+      sim_.obs().metrics.counter("net.delivered.dup.bytes")
+          .add(env.wire_bytes);
+      obs::TraceStream& tr = sim_.obs().trace;
+      if (tr.category_enabled("net")) {
+        tr.instant("net", "net.deliver_dup " + env.kind, env.to,
+                   {{"from", env.from}, {"bytes", env.wire_bytes}});
+      }
+    } else {
+      stats_.record_delivered(env.kind, env.wire_bytes);
+      m_delivered_msgs_.add(1);
+      m_delivered_bytes_.add(env.wire_bytes);
+      sim_.obs()
+          .metrics.counter("net.delivered.bytes." + env.kind)
+          .add(env.wire_bytes);
+      obs::TraceStream& tr = sim_.obs().trace;
+      if (tr.category_enabled("net")) {
+        tr.instant("net", "net.deliver " + env.kind, env.to,
+                   {{"from", env.from}, {"bytes", env.wire_bytes}});
+      }
     }
+  }
+  if (link != obs::kNoSpan) {
+    // Close the wire span, then run the handler with it on the context
+    // stack: spans the handler opens become children of this delivery,
+    // and waits the handler resolves can record it as their closer.
+    sr.close(link);
+    sr.push(link);
+    it->second->deliver(env);
+    sr.pop();
+    return;
   }
   it->second->deliver(env);
 }

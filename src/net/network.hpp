@@ -37,6 +37,13 @@ struct Envelope {
   std::string kind;
   std::any body;
   std::uint64_t wire_bytes = 0;
+  /// Causal context (round id + span id). Stamped by the sender's
+  /// current span at send time when unset; in flight it names the
+  /// delivery's own link span (the parent chain lives in the recorder).
+  obs::SpanContext span;
+  /// Chaos-duplicated copy: delivered normally but accounted under a
+  /// distinct label so per-kind byte counts stay Eq. (4)/(5)-exact.
+  bool chaos_duplicate = false;
 };
 
 /// Protocol actors implement Endpoint to receive messages.
@@ -53,7 +60,12 @@ struct TrafficStats {
     std::uint64_t bytes = 0;
   };
   Counter sent;       // accepted for transmission
-  Counter delivered;  // actually handed to a live endpoint
+  Counter delivered;  // actually handed to a live endpoint (originals)
+  /// Chaos-duplicated copies handed to a live endpoint. Kept out of
+  /// `delivered` and filed under "dup:<kind>" in delivered_by_kind, so
+  /// per-kind delivered bytes match the paper's Eq. (4)/(5) counts even
+  /// with duplication enabled.
+  Counter duplicated;
   std::map<std::string, Counter> sent_by_kind;
   std::map<std::string, Counter> delivered_by_kind;
   /// Message counts per drop reason, mirroring the obs
@@ -63,6 +75,8 @@ struct TrafficStats {
 
   void record_sent(const std::string& kind, std::uint64_t bytes);
   void record_delivered(const std::string& kind, std::uint64_t bytes);
+  void record_duplicate_delivered(const std::string& kind,
+                                  std::uint64_t bytes);
 };
 
 /// Stochastic link-imperfection knobs. All draws come from the network's

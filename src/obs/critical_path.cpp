@@ -1,0 +1,258 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/export.hpp"
+
+namespace p2pfl::obs {
+
+namespace {
+
+std::int64_t peer_for_json(PeerId p) {
+  return p == kNoPeer ? -1 : static_cast<std::int64_t>(p);
+}
+
+void append_span_json(std::string& out, const SpanRecord& s) {
+  out += "{\"id\":" + std::to_string(s.id) +
+         ",\"parent\":" + std::to_string(s.parent) +
+         ",\"closed_by\":" + std::to_string(s.closed_by) +
+         ",\"round\":" + std::to_string(s.round) +
+         ",\"kind\":" + json_quote(span_kind_name(s.kind)) +
+         ",\"name\":" + json_quote(s.name) +
+         ",\"peer\":" + std::to_string(peer_for_json(s.peer)) +
+         ",\"start\":" + std::to_string(s.start) +
+         ",\"end\":" + std::to_string(s.end) +
+         ",\"open\":" + (s.open ? "true" : "false") +
+         ",\"aborted\":" + (s.aborted ? "true" : "false") + "}\n";
+}
+
+}  // namespace
+
+std::string normalize_kind(std::string_view kind) {
+  std::string out;
+  out.reserve(kind.size());
+  for (std::size_t i = 0; i < kind.size();) {
+    const bool at_sg =
+        kind[i] == 's' && i + 2 < kind.size() && kind[i + 1] == 'g' &&
+        std::isdigit(static_cast<unsigned char>(kind[i + 2])) &&
+        (i == 0 || kind[i - 1] == '/');
+    if (at_sg) {
+      out += "sg*";
+      i += 2;
+      while (i < kind.size() &&
+             std::isdigit(static_cast<unsigned char>(kind[i]))) {
+        ++i;
+      }
+    } else {
+      out.push_back(kind[i++]);
+    }
+  }
+  return out;
+}
+
+std::string phase_label(const SpanRecord& s) {
+  if (s.kind == SpanKind::kLink) return "link:" + normalize_kind(s.name);
+  return span_kind_name(s.kind);
+}
+
+CriticalPath extract_critical_path(const SpanRecorder& rec,
+                                   std::uint64_t round) {
+  CriticalPath cp;
+  cp.round = round;
+  const std::vector<SpanId>* ids = rec.round_spans(round);
+  if (ids == nullptr) return cp;
+  const SpanRecord* root = nullptr;
+  for (SpanId id : *ids) {
+    const SpanRecord* s = rec.find(id);
+    if (s != nullptr && s->kind == SpanKind::kRound && !s->open &&
+        !s->aborted) {
+      root = s;  // a re-begun round id keeps the latest commit
+    }
+  }
+  if (root == nullptr) return cp;
+  cp.found = true;
+  cp.start = root->start;
+  cp.end = root->end;
+
+  const SimTime t0 = root->start;
+  SimTime frontier = root->end;
+  const SpanRecord* cur = root;
+  std::set<SpanId> hopped;
+  std::vector<PathSegment> segs;  // built commit -> start
+  // Termination: parent hops strictly decrease span ids, closed_by hops
+  // are deduplicated, and the step cap backstops both.
+  for (std::size_t steps = 0;
+       cur != nullptr && frontier > t0 && steps < 1'000'000; ++steps) {
+    // (a) If the event that closed `cur` coincides with the frontier,
+    // the closer's causal chain explains the latency better: hop.
+    const SpanRecord* closer =
+        cur->closed_by != kNoSpan ? rec.find(cur->closed_by) : nullptr;
+    if (closer != nullptr && !closer->open && !closer->aborted &&
+        closer->end == frontier && hopped.insert(closer->id).second) {
+      cur = closer;
+      continue;
+    }
+    // (b) Attribute [start(cur), frontier] to cur and move to its cause.
+    const SimTime lo = std::max(cur->start, t0);
+    if (lo < frontier) {
+      segs.push_back({cur->id, cur->kind, phase_label(*cur), cur->peer, lo,
+                      frontier});
+      frontier = lo;
+    }
+    cur = cur->parent != kNoSpan ? rec.find(cur->parent) : nullptr;
+  }
+  cp.complete = frontier <= t0;
+  if (!cp.complete) {
+    // Keep the tiling exact even when the chain is broken (evicted
+    // spans, an open parent): surface the gap instead of hiding it.
+    segs.push_back({kNoSpan, SpanKind::kRound, "(unattributed)", kNoPeer,
+                    t0, frontier});
+  }
+  std::reverse(segs.begin(), segs.end());
+  cp.segments = std::move(segs);
+
+  std::map<std::string, SimDuration> totals;
+  for (const PathSegment& s : cp.segments) {
+    totals[s.phase] += s.end - s.start;
+  }
+  cp.phase_totals.assign(totals.begin(), totals.end());
+  return cp;
+}
+
+std::string critical_path_table(const CriticalPath& cp) {
+  std::string out;
+  char buf[256];
+  if (!cp.found) {
+    std::snprintf(buf, sizeof buf,
+                  "critical path — round %llu: no committed round span "
+                  "retained\n",
+                  static_cast<unsigned long long>(cp.round));
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "critical path — round %llu: %.2f ms "
+                "(t=%.2f..%.2f ms, %zu segments%s)\n",
+                static_cast<unsigned long long>(cp.round),
+                to_ms(cp.total()), to_ms(cp.start), to_ms(cp.end),
+                cp.segments.size(), cp.complete ? "" : ", INCOMPLETE");
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %3s %12s %10s %6s  %-28s %s\n", "#",
+                "start ms", "dur ms", "peer", "phase", "span");
+  out += buf;
+  std::size_t i = 0;
+  for (const PathSegment& s : cp.segments) {
+    char peer[16];
+    if (s.peer == kNoPeer) {
+      std::snprintf(peer, sizeof peer, "%6s", "-");
+    } else {
+      std::snprintf(peer, sizeof peer, "%6u", s.peer);
+    }
+    std::snprintf(buf, sizeof buf, "  %3zu %12.2f %10.2f %s  %-28s #%llu\n",
+                  ++i, to_ms(s.start), to_ms(s.end - s.start), peer,
+                  s.phase.c_str(), static_cast<unsigned long long>(s.span));
+    out += buf;
+  }
+  out += "phase attribution (sums exactly to round latency):\n";
+  SimDuration sum = 0;
+  for (const auto& [phase, dur] : cp.phase_totals) {
+    sum += dur;
+    const double pct = cp.total() > 0 ? 100.0 * static_cast<double>(dur) /
+                                            static_cast<double>(cp.total())
+                                      : 0.0;
+    std::snprintf(buf, sizeof buf, "  %-32s %10.2f ms %5.1f%%\n",
+                  phase.c_str(), to_ms(dur), pct);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-32s %10.2f ms %s\n", "total",
+                to_ms(sum),
+                sum == cp.total() ? "(= round latency)" : "(MISMATCH)");
+  out += buf;
+  return out;
+}
+
+std::string spans_jsonl(const SpanRecorder& rec) {
+  std::string out;
+  for (const auto& [id, s] : rec.all()) append_span_json(out, s);
+  return out;
+}
+
+std::string round_spans_jsonl(const SpanRecorder& rec, std::uint64_t round) {
+  std::string out;
+  const std::vector<SpanId>* ids = rec.round_spans(round);
+  if (ids == nullptr) return out;
+  for (SpanId id : *ids) {
+    const SpanRecord* s = rec.find(id);
+    if (s != nullptr) append_span_json(out, *s);
+  }
+  return out;
+}
+
+Postmortem make_postmortem(const SpanRecorder& rec, std::uint64_t round) {
+  Postmortem pm;
+  pm.round = round;
+  pm.jsonl = round_spans_jsonl(rec, round);
+  const std::vector<SpanId>* ids = rec.round_spans(round);
+  char buf[256];
+  if (ids == nullptr || ids->empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "post-mortem — round %llu: no spans retained (ring "
+                  "evicted or recording disabled)\n",
+                  static_cast<unsigned long long>(round));
+    pm.table = buf;
+    return pm;
+  }
+  std::size_t open = 0, aborted = 0;
+  for (SpanId id : *ids) {
+    const SpanRecord* s = rec.find(id);
+    if (s == nullptr) continue;
+    if (s->open) ++open;
+    if (s->aborted) ++aborted;
+  }
+  std::snprintf(buf, sizeof buf,
+                "post-mortem — round %llu aborted: %zu spans retained "
+                "(%zu open, %zu aborted)\n",
+                static_cast<unsigned long long>(round), ids->size(), open,
+                aborted);
+  pm.table = buf;
+
+  auto row = [&](const SpanRecord& s) {
+    char peer[16];
+    if (s.peer == kNoPeer) {
+      std::snprintf(peer, sizeof peer, "%5s", "-");
+    } else {
+      std::snprintf(peer, sizeof peer, "%5u", s.peer);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  #%-6llu %-14s %-24s %s [%9.2f ..%9.2f ms]%s%s "
+                  "parent #%llu\n",
+                  static_cast<unsigned long long>(s.id),
+                  span_kind_name(s.kind), s.name.c_str(), peer,
+                  to_ms(s.start), to_ms(s.end), s.open ? " OPEN" : "",
+                  s.aborted ? " ABORTED" : "",
+                  static_cast<unsigned long long>(s.parent));
+    pm.table += buf;
+  };
+
+  if (open + aborted > 0) {
+    pm.table += " unfinished work at abort:\n";
+    for (SpanId id : *ids) {
+      const SpanRecord* s = rec.find(id);
+      if (s != nullptr && (s->open || s->aborted)) row(*s);
+    }
+  }
+  constexpr std::size_t kTail = 24;
+  const std::size_t from = ids->size() > kTail ? ids->size() - kTail : 0;
+  std::snprintf(buf, sizeof buf, " last %zu spans:\n", ids->size() - from);
+  pm.table += buf;
+  for (std::size_t i = from; i < ids->size(); ++i) {
+    const SpanRecord* s = rec.find((*ids)[i]);
+    if (s != nullptr) row(*s);
+  }
+  return pm;
+}
+
+}  // namespace p2pfl::obs

@@ -1,0 +1,85 @@
+// Per-round critical-path extraction over a SpanRecorder's causal DAG,
+// plus the serializers built on it: span JSONL dumps, human-readable
+// attribution tables, and the abort post-mortem.
+//
+// The extractor walks backward from the round's commit: starting at the
+// closed round span, it repeatedly (a) hops to the span whose completion
+// closed the current one when that completion coincides with the
+// unattributed frontier, else (b) attributes the interval between the
+// current span's start and the frontier to the current span and moves to
+// its parent. The produced segments tile [round start, commit] with no
+// gaps or overlaps, so the per-phase durations sum *exactly* to the
+// measured round latency — an invariant the deterministic simulator
+// makes testable (see tests/span_test.cpp). Any causally unexplained
+// remainder is attributed to an explicit "(unattributed)" phase rather
+// than silently dropped, and `complete` reports whether one was needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace p2pfl::obs {
+
+/// One tile of the round's latency, attributed to one span.
+struct PathSegment {
+  SpanId span = kNoSpan;
+  SpanKind kind = SpanKind::kLink;
+  std::string phase;  // attribution label (see phase_label)
+  PeerId peer = kNoPeer;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+struct CriticalPath {
+  std::uint64_t round = 0;
+  SimTime start = 0;  // round span open (round begin)
+  SimTime end = 0;    // round span close (commit)
+  /// A closed, non-aborted round span existed for this round.
+  bool found = false;
+  /// Every microsecond was causally attributed (no "(unattributed)").
+  bool complete = false;
+  /// Chronological tiles of [start, end].
+  std::vector<PathSegment> segments;
+  /// Per-phase totals, ordered by phase name; sums exactly to total().
+  std::vector<std::pair<std::string, SimDuration>> phase_totals;
+
+  SimDuration total() const { return end - start; }
+};
+
+/// Attribution label of one span: the kind name, except links which are
+/// labeled "link:<normalized message kind>".
+std::string phase_label(const SpanRecord& s);
+
+/// Collapse per-subgroup message kinds for attribution grouping:
+/// "sac/sg3/share" -> "sac/sg*/share", "raft/sg0/ae" -> "raft/sg*/ae".
+std::string normalize_kind(std::string_view kind);
+
+/// Extract the critical path of `round`. `found == false` (empty path)
+/// when the round never committed or its spans were evicted.
+CriticalPath extract_critical_path(const SpanRecorder& rec,
+                                   std::uint64_t round);
+
+/// Human-readable rendering: the segment walk plus the phase table.
+std::string critical_path_table(const CriticalPath& cp);
+
+/// One JSON object per retained span (all rounds, id order).
+std::string spans_jsonl(const SpanRecorder& rec);
+/// One JSON object per span of one round (id order).
+std::string round_spans_jsonl(const SpanRecorder& rec, std::uint64_t round);
+
+/// Abort post-mortem: the structured dump the flight recorder emits when
+/// `on_round_aborted` fires. `jsonl` is the round's span dump; `table`
+/// is the human-readable summary (open/aborted spans first).
+struct Postmortem {
+  std::uint64_t round = 0;
+  std::string jsonl;
+  std::string table;
+};
+Postmortem make_postmortem(const SpanRecorder& rec, std::uint64_t round);
+
+}  // namespace p2pfl::obs

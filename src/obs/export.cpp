@@ -86,7 +86,13 @@ std::string metrics_jsonl(const MetricsRegistry& registry) {
   return out;
 }
 
-std::string chrome_trace_json(const TraceStream& trace) {
+namespace {
+
+std::uint32_t span_tid(PeerId peer) { return peer == kNoPeer ? 0 : peer; }
+
+/// Shared body of the two chrome_trace_json overloads; `spans` optional.
+std::string chrome_trace_json_impl(const TraceStream& trace,
+                                   const SpanRecorder* spans) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   auto sep = [&] {
@@ -101,6 +107,9 @@ std::string chrome_trace_json(const TraceStream& trace) {
          "\"args\":{\"name\":\"p2pfl simulation (virtual time)\"}}";
   std::set<std::uint32_t> tids;
   for (const TraceEvent& ev : trace.events()) tids.insert(ev.tid);
+  if (spans != nullptr) {
+    for (const auto& [id, s] : spans->all()) tids.insert(span_tid(s.peer));
+  }
   for (std::uint32_t tid : tids) {
     sep();
     out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
@@ -120,8 +129,64 @@ std::string chrome_trace_json(const TraceStream& trace) {
     append_args(out, ev.args);
     out += '}';
   }
+
+  if (trace.dropped() > 0) {
+    // Surface ring evictions in the viewer; absent when under the cap so
+    // bounded runs keep byte-identical golden traces.
+    sep();
+    out += "{\"name\":\"trace.dropped_events\",\"cat\":\"sim\",\"ph\":\"i\","
+           "\"ts\":0,\"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{\"count\":" +
+           std::to_string(trace.dropped()) + "}}";
+  }
+
+  if (spans != nullptr) {
+    for (const auto& [id, s] : spans->all()) {
+      sep();
+      out += "{\"name\":" + json_quote(s.name) +
+             ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" +
+             std::to_string(s.start) +
+             ",\"dur\":" + std::to_string(s.end - s.start) +
+             ",\"pid\":1,\"tid\":" + std::to_string(span_tid(s.peer)) +
+             ",\"args\":{\"id\":" + std::to_string(s.id) +
+             ",\"parent\":" + std::to_string(s.parent) +
+             ",\"closed_by\":" + std::to_string(s.closed_by) +
+             ",\"round\":" + std::to_string(s.round) + ",\"kind\":" +
+             json_quote(span_kind_name(s.kind)) +
+             ",\"aborted\":" + (s.aborted ? "true" : "false") + "}}";
+    }
+    // Flow events: one arrow per parent -> child edge, drawn from the
+    // child's start on the parent's track to the child's track.
+    for (const auto& [id, s] : spans->all()) {
+      const SpanRecord* parent =
+          s.parent != kNoSpan ? spans->find(s.parent) : nullptr;
+      if (parent == nullptr) continue;
+      const std::string flow_id = std::to_string(s.id);
+      sep();
+      out += "{\"name\":\"causes\",\"cat\":\"span\",\"ph\":\"s\",\"id\":" +
+             flow_id + ",\"ts\":" + std::to_string(s.start) +
+             ",\"pid\":1,\"tid\":" + std::to_string(span_tid(parent->peer)) +
+             ",\"args\":{}}";
+      sep();
+      out += "{\"name\":\"causes\",\"cat\":\"span\",\"ph\":\"f\",\"bp\":"
+             "\"e\",\"id\":" +
+             flow_id + ",\"ts\":" + std::to_string(s.start) +
+             ",\"pid\":1,\"tid\":" + std::to_string(span_tid(s.peer)) +
+             ",\"args\":{}}";
+    }
+  }
   out += "\n]}\n";
   return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceStream& trace) {
+  return chrome_trace_json_impl(trace, nullptr);
+}
+
+std::string chrome_trace_json(const TraceStream& trace,
+                              const SpanRecorder& spans) {
+  return chrome_trace_json_impl(trace, &spans);
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

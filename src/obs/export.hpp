@@ -17,6 +17,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace p2pfl::obs {
@@ -29,6 +30,12 @@ std::string metrics_jsonl(const MetricsRegistry& registry);
 
 /// Full Chrome trace_event JSON document ({"traceEvents": [...]}).
 std::string chrome_trace_json(const TraceStream& trace);
+
+/// Same document with the recorder's spans appended as complete ('X')
+/// events plus flow ('s'/'f') events linking each parent span to its
+/// children, so Perfetto draws the causal chain across peer tracks.
+std::string chrome_trace_json(const TraceStream& trace,
+                              const SpanRecorder& spans);
 
 /// Write `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

@@ -1,23 +1,27 @@
 // Observability bundle owned by the Simulator.
 //
-// One MetricsRegistry plus one TraceStream per simulation, both sampled
-// on virtual time through the simulator's clock — the single place all
-// instrumented layers (sim, net, raft, secagg, core) report to.
+// One MetricsRegistry, one TraceStream and one SpanRecorder per
+// simulation, all sampled on virtual time through the simulator's
+// clock — the single place all instrumented layers (sim, net, raft,
+// secagg, core) report to.
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace p2pfl::obs {
 
 struct Observability {
-  explicit Observability(const SimTime* clock) : trace(clock) {}
+  explicit Observability(const SimTime* clock)
+      : trace(clock), spans(clock) {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
   MetricsRegistry metrics;
   TraceStream trace;
+  SpanRecorder spans;
 };
 
 }  // namespace p2pfl::obs

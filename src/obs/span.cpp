@@ -1,0 +1,119 @@
+#include "obs/span.hpp"
+
+namespace p2pfl::obs {
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRound: return "round";
+    case SpanKind::kLocalTrain: return "local_train";
+    case SpanKind::kSacShare: return "sac_share";
+    case SpanKind::kSacSubtotal: return "sac_subtotal";
+    case SpanKind::kUpload: return "upload";
+    case SpanKind::kFedCollect: return "fed_collect";
+    case SpanKind::kFedMerge: return "fed_merge";
+    case SpanKind::kRaftReplicate: return "raft_replicate";
+    case SpanKind::kRetry: return "retry";
+    case SpanKind::kRecovery: return "recovery";
+    case SpanKind::kLink: return "link";
+  }
+  return "?";
+}
+
+void SpanRecorder::evict_if_needed(std::uint64_t incoming_round) {
+  // Ring semantics over rounds: opening a span for a round not yet in
+  // the ring evicts the oldest retained round. Round 0 — the ambient
+  // bucket for Raft traffic and other out-of-round work — is exempt
+  // (its growth is bounded by the per-round cap instead).
+  if (incoming_round == 0 || rounds_.count(incoming_round) > 0) return;
+  const std::size_t nonzero = rounds_.size() - rounds_.count(0);
+  if (nonzero < max_rounds_) return;
+  auto oldest = rounds_.begin();
+  if (oldest->first == 0) ++oldest;
+  for (SpanId id : oldest->second) spans_.erase(id);
+  rounds_.erase(oldest);
+  ++evicted_rounds_;
+}
+
+SpanId SpanRecorder::open(SpanKind kind, std::string name, PeerId peer,
+                          std::uint64_t round, SpanId parent) {
+  if (!enabled_) return kNoSpan;
+  evict_if_needed(round);
+  std::vector<SpanId>& bucket = rounds_[round];
+  if (bucket.size() >= max_spans_per_round_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  if (parent == kNoSpan) parent = current();
+  const SpanId id = next_id_++;
+  SpanRecord rec;
+  rec.id = id;
+  rec.parent = parent;
+  rec.round = round;
+  rec.kind = kind;
+  rec.name = std::move(name);
+  rec.peer = peer;
+  rec.start = *clock_;
+  rec.end = rec.start;
+  spans_.emplace(id, std::move(rec));
+  bucket.push_back(id);
+  return id;
+}
+
+void SpanRecorder::close(SpanId id, SpanId closed_by) {
+  if (id == kNoSpan) return;
+  auto it = spans_.find(id);
+  if (it == spans_.end() || !it->second.open) return;
+  it->second.open = false;
+  it->second.end = *clock_;
+  if (closed_by != kNoSpan && closed_by != id) {
+    it->second.closed_by = closed_by;
+  }
+}
+
+void SpanRecorder::close_aborted(SpanId id) {
+  if (id == kNoSpan) return;
+  auto it = spans_.find(id);
+  if (it == spans_.end() || !it->second.open) return;
+  it->second.open = false;
+  it->second.end = *clock_;
+  it->second.aborted = true;
+}
+
+void SpanRecorder::push(SpanId id) {
+  if (id == kNoSpan) return;
+  const SpanRecord* rec = find(id);
+  stack_.emplace_back(id, rec != nullptr ? rec->round : 0);
+}
+
+void SpanRecorder::pop() {
+  if (!stack_.empty()) stack_.pop_back();
+}
+
+const SpanRecord* SpanRecorder::find(SpanId id) const {
+  auto it = spans_.find(id);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+const std::vector<SpanId>* SpanRecorder::round_spans(
+    std::uint64_t round) const {
+  auto it = rounds_.find(round);
+  return it == rounds_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> SpanRecorder::rounds() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(rounds_.size());
+  for (const auto& [r, ids] : rounds_) out.push_back(r);
+  return out;
+}
+
+void SpanRecorder::clear() {
+  spans_.clear();
+  rounds_.clear();
+  stack_.clear();
+  dropped_ = 0;
+  evicted_rounds_ = 0;
+  next_id_ = 1;
+}
+
+}  // namespace p2pfl::obs

@@ -1,0 +1,204 @@
+// Causal span recording on virtual time.
+//
+// A Span is one timed interval of protocol work attributed to a peer —
+// a SAC share phase, one message's network flight, a FedAvg collect
+// window — linked to the span that *caused* it. Together the spans of
+// one aggregation round form a causal DAG rooted at the round span, and
+// src/obs/critical_path.hpp walks that DAG backward from the commit to
+// attribute the round's end-to-end latency to phases, links and retry
+// loops exactly.
+//
+// Causality is propagated two ways:
+//  * a current-span stack: the simulator is single-threaded, so the
+//    span whose handler is currently executing is simply the top of a
+//    stack (net::Network pushes the delivery's link span around each
+//    endpoint dispatch). A span opened with no explicit parent adopts
+//    the current span.
+//  * an explicit SpanContext carried by net::Envelope: the network
+//    stamps outgoing messages with the sender's current span and opens
+//    one kLink span per scheduled delivery, so a handler's spans chain
+//    through the message that triggered them.
+//
+// Wait spans (a leader collecting subtotals, the FedAvg collect window)
+// additionally record `closed_by`: the span whose completion ended the
+// wait. The critical-path walk hops through it to find the true cause
+// of each completion instead of attributing the whole wait to the
+// waiter.
+//
+// The recorder doubles as the abort flight recorder: it keeps a bounded
+// ring of recent rounds (plus the round-0 ambient bucket used by Raft
+// and other non-round work) and a per-round span cap, so a long chaos
+// soak records the latest rounds only; when a round aborts, everything
+// needed for the post-mortem is still in the ring. Recording is off by
+// default and costs one branch per call site; span ids are allocated
+// deterministically, so identical seeds produce byte-identical span
+// dumps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p2pfl::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+enum class SpanKind : std::uint8_t {
+  kRound,          // one aggregation round, open on the FedAvg leader
+  kLocalTrain,     // one peer's local training pass
+  kSacShare,       // SAC share phase on one peer
+  kSacSubtotal,    // subtotal collection window (SAC leader / broadcast)
+  kUpload,         // subgroup leader's upload awaiting the round result
+  kFedCollect,     // FedAvg leader's quorum-collect window
+  kFedMerge,       // FedAvg merge + result fan-out
+  kRaftReplicate,  // log entry proposed -> applied on the leader
+  kRetry,          // a retransmission burst (share_req / upload resend)
+  kRecovery,       // Alg. 4 subtotal recovery requests
+  kLink,           // one message's network flight
+};
+
+const char* span_kind_name(SpanKind k);
+
+/// Causal context carried by every net::Envelope.
+struct SpanContext {
+  std::uint64_t round = 0;
+  SpanId span = kNoSpan;
+};
+
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  /// Wait spans: the span whose completion closed this one.
+  SpanId closed_by = kNoSpan;
+  std::uint64_t round = 0;
+  SpanKind kind = SpanKind::kLink;
+  std::string name;
+  PeerId peer = kNoPeer;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool open = true;
+  /// Closed abnormally: round superseded, receiver crashed, upload
+  /// abandoned. Aborted spans never extend a critical path.
+  bool aborted = false;
+};
+
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(const SimTime* clock) : clock_(clock) {}
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Flight-recorder bounds: rounds retained (round 0, the ambient
+  /// bucket, is never evicted) and spans recorded per round.
+  void set_max_rounds(std::size_t n) { max_rounds_ = n; }
+  void set_max_spans_per_round(std::size_t n) { max_spans_per_round_ = n; }
+
+  /// Open a span. `parent == kNoSpan` adopts the current span. Returns
+  /// kNoSpan when disabled or when the round's span budget is spent.
+  SpanId open(SpanKind kind, std::string name, PeerId peer,
+              std::uint64_t round, SpanId parent = kNoSpan);
+
+  /// Close at the current virtual time. `closed_by` names the span whose
+  /// completion ended this wait (ignored if it names `id` itself).
+  void close(SpanId id, SpanId closed_by = kNoSpan);
+  /// Close with the aborted flag (crash, supersession, abandonment).
+  void close_aborted(SpanId id);
+
+  // --- current-span stack (single-threaded simulator) -------------------
+  void push(SpanId id);
+  void pop();
+  SpanId current() const {
+    return stack_.empty() ? kNoSpan : stack_.back().first;
+  }
+  SpanContext current_ctx() const {
+    if (stack_.empty()) return {};
+    return {stack_.back().second, stack_.back().first};
+  }
+
+  // --- queries ----------------------------------------------------------
+  const SpanRecord* find(SpanId id) const;
+  /// Span ids of one round, in id (= open) order.
+  const std::vector<SpanId>* round_spans(std::uint64_t round) const;
+  /// Rounds currently retained, ascending.
+  std::vector<std::uint64_t> rounds() const;
+  std::size_t size() const { return spans_.size(); }
+  /// Spans discarded by the per-round cap (ring evictions not counted).
+  std::uint64_t dropped_spans() const { return dropped_; }
+  /// Rounds evicted from the ring so far.
+  std::uint64_t evicted_rounds() const { return evicted_rounds_; }
+  const std::map<SpanId, SpanRecord>& all() const { return spans_; }
+
+  void clear();
+
+ private:
+  void evict_if_needed(std::uint64_t incoming_round);
+
+  const SimTime* clock_;
+  bool enabled_ = false;
+  SpanId next_id_ = 1;
+  std::map<SpanId, SpanRecord> spans_;
+  std::map<std::uint64_t, std::vector<SpanId>> rounds_;
+  /// (span id, round) — round cached so current_ctx() survives eviction.
+  std::vector<std::pair<SpanId, std::uint64_t>> stack_;
+  std::size_t max_rounds_ = 64;
+  std::size_t max_spans_per_round_ = 1u << 16;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t evicted_rounds_ = 0;
+};
+
+/// RAII: push an already-open span for the scope (no close on exit).
+class SpanStackScope {
+ public:
+  SpanStackScope(SpanRecorder& rec, SpanId id) : rec_(rec), id_(id) {
+    if (id_ != kNoSpan) rec_.push(id_);
+  }
+  ~SpanStackScope() {
+    if (id_ != kNoSpan) rec_.pop();
+  }
+  SpanStackScope(const SpanStackScope&) = delete;
+  SpanStackScope& operator=(const SpanStackScope&) = delete;
+
+ private:
+  SpanRecorder& rec_;
+  SpanId id_;
+};
+
+/// RAII: open a span, keep it current for the scope, close it on exit.
+/// Used for bursts (retry fan-outs, merge + result sends) whose child
+/// links must re-root onto a specific parent.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanRecorder& rec, SpanKind kind, std::string name, PeerId peer,
+             std::uint64_t round, SpanId parent = kNoSpan)
+      : rec_(rec) {
+    if (rec_.enabled()) {
+      id_ = rec_.open(kind, std::move(name), peer, round, parent);
+      if (id_ != kNoSpan) rec_.push(id_);
+    }
+  }
+  ~ScopedSpan() {
+    if (id_ != kNoSpan) {
+      rec_.pop();
+      rec_.close(id_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const { return id_; }
+
+ private:
+  SpanRecorder& rec_;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace p2pfl::obs

@@ -18,7 +18,11 @@ ArgValue::ArgValue(double v) {
 }
 
 bool TraceStream::push(TraceEvent ev) {
-  if (events_.size() >= capacity_) {
+  while (events_.size() >= capacity_ && !events_.empty()) {
+    events_.pop_front();  // ring: the newest events win
+    ++dropped_;
+  }
+  if (capacity_ == 0) {
     ++dropped_;
     return false;
   }

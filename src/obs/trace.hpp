@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <set>
 #include <string>
 #include <string_view>
@@ -83,9 +84,10 @@ class TraceStream {
   void counter(std::string_view cat, std::string_view name,
                std::int64_t value);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
-  /// Events discarded after the capacity cap was hit.
+  /// Oldest events evicted after the capacity cap was hit (ring
+  /// semantics: the newest `capacity` events are always retained).
   std::uint64_t dropped() const { return dropped_; }
   void set_capacity(std::size_t cap) { capacity_ = cap; }
   void clear() {
@@ -99,7 +101,10 @@ class TraceStream {
   const SimTime* clock_;
   bool enabled_ = false;
   std::set<std::string> categories_;
-  std::vector<TraceEvent> events_;
+  /// Ring buffer: at the cap, each push evicts the oldest event. Under
+  /// the cap the stream is identical to an unbounded one, so bounded
+  /// runs keep their golden traces byte-identical.
+  std::deque<TraceEvent> events_;
   /// Memory backstop for long traced runs (~1M events ≈ a few hundred MB
   /// of JSON; deterministic because it depends only on the event count).
   std::size_t capacity_ = 1u << 20;

@@ -73,6 +73,9 @@ void RaftNode::stop() {
   if (role_ == Role::kLeader) {
     net_.simulator().obs().metrics.gauge("raft.leaders." + channel_).add(-1);
   }
+  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  for (const auto& [idx, span] : replicate_spans_) sr.close_aborted(span);
+  replicate_spans_.clear();
   role_ = Role::kFollower;
   leader_hint_ = kNoPeer;
   last_leader_contact_ = -1;
@@ -137,6 +140,10 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
     P2PFL_DEBUG() << channel_ << " peer " << id_ << " stepped down (term "
                   << term_ << ")";
     obs::Observability& o = net_.simulator().obs();
+    for (const auto& [idx, span] : replicate_spans_) {
+      o.spans.close_aborted(span);
+    }
+    replicate_spans_.clear();
     o.metrics.counter("raft.stepdowns").add(1);
     o.metrics.gauge("raft.leaders." + channel_).add(-1);
     if (o.trace.category_enabled("raft")) {
@@ -513,6 +520,18 @@ void RaftNode::apply_committed() {
     const LogEntry& e = log_.at(applied_);
     ++metrics_.entries_applied;
     applied_counter.add(1);
+    if (!replicate_spans_.empty()) {
+      auto sit = replicate_spans_.find(applied_);
+      if (sit != replicate_spans_.end()) {
+        // Credit the AppendEntries reply (or quorum-forming link) whose
+        // arrival advanced the commit index past this entry.
+        obs::SpanRecorder& sr = net_.simulator().obs().spans;
+        obs::SpanId closer = sr.current();
+        if (closer == sit->second) closer = obs::kNoSpan;
+        sr.close(sit->second, closer);
+        replicate_spans_.erase(sit);
+      }
+    }
     if (e.kind == EntryKind::kConfig) {
       if (pending_config_ == applied_) pending_config_ = 0;
       // A leader that committed its own removal steps down (§4.2.2).
@@ -674,10 +693,21 @@ void RaftNode::adopt_latest_config() {
 std::optional<Index> RaftNode::propose(Bytes command) {
   if (!is_leader()) return std::nullopt;
   log_.append(LogEntry{term_, EntryKind::kCommand, std::move(command)});
-  match_index_[id_] = log_.last_index();
+  const Index idx = log_.last_index();
+  match_index_[id_] = idx;
+  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  obs::SpanId rep = obs::kNoSpan;
+  if (sr.enabled()) {
+    // Propose -> applied-on-this-leader; the AppendEntries fan-out below
+    // chains to it through the stack scope.
+    rep = sr.open(obs::SpanKind::kRaftReplicate, channel_ + "/replicate",
+                  id_, sr.current_ctx().round);
+    replicate_spans_[idx] = rep;
+  }
+  obs::SpanStackScope rep_scope(sr, rep);
   broadcast_append();
   advance_commit();  // single-member clusters commit immediately
-  return log_.last_index();
+  return idx;
 }
 
 std::optional<Index> RaftNode::propose_add_server(PeerId server) {

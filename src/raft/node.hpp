@@ -223,6 +223,9 @@ class RaftNode {
   std::map<PeerId, Index> next_index_;
   std::map<PeerId, Index> match_index_;
   Index pending_config_ = 0;  // index of uncommitted config change, 0 = none
+  /// Leader-side causal spans: log index proposed -> applied here.
+  /// Aborted (and cleared) on step-down.
+  std::map<Index, obs::SpanId> replicate_spans_;
   /// Simulated time of the last valid leader contact (-1 = never).
   SimTime last_leader_contact_ = -1;
   bool first_timeout_pending_ = false;

@@ -53,6 +53,11 @@ SimDuration SacPeer::backoff(SimDuration base, std::size_t step) const {
 }
 
 void SacPeer::halt() {
+  if (round_) {
+    obs::SpanRecorder& sr = net_.simulator().obs().spans;
+    sr.close_aborted(round_->share_span);
+    sr.close_aborted(round_->subtotal_span);
+  }
   round_.reset();
   share_timer_.cancel();
   subtotal_timer_.cancel();
@@ -93,6 +98,13 @@ void SacPeer::begin_round(RoundId round, Vector model,
                      {"n", round_->n},
                      {"k", round_->k}});
   }
+  if (o.spans.enabled()) {
+    round_->share_span = o.spans.open(obs::SpanKind::kSacShare,
+                                      channel_ + "/share_phase", id_, round);
+  }
+  // Keep the share span current for the rest of begin_round: outgoing
+  // share links and any synchronous completion chain to it.
+  obs::SpanStackScope share_scope(o.spans, round_->share_span);
 
   round_->shares = divide(model, round_->n, rng_, opts_.split);
   const std::vector<Vector>& shares = round_->shares;
@@ -225,10 +237,18 @@ void SacPeer::maybe_finish_share_phase() {
   }
   st.share_phase_done = true;
   share_timer_.cancel();
-  obs::TraceStream& tr = net_.simulator().obs().trace;
-  if (tr.category_enabled("agg")) {
-    tr.instant("agg", "sac.subtotal_phase", id_,
-               {{"channel", channel_}, {"round", st.round}});
+  obs::Observability& o = net_.simulator().obs();
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "sac.subtotal_phase", id_,
+                    {{"channel", channel_}, {"round", st.round}});
+  }
+  if (st.share_span != obs::kNoSpan) {
+    // The closer is the link span that delivered the final share (unless
+    // we finished synchronously inside begin_round, where current() is
+    // the share span itself).
+    obs::SpanId closer = o.spans.current();
+    if (closer == st.share_span) closer = obs::kNoSpan;
+    o.spans.close(st.share_span, closer);
   }
   emit_subtotals();
 }
@@ -236,8 +256,16 @@ void SacPeer::maybe_finish_share_phase() {
 void SacPeer::emit_subtotals() {
   RoundState& st = *round_;
   const std::size_t n = st.n;
+  obs::SpanRecorder& sr = net_.simulator().obs().spans;
   if (opts_.broadcast_subtotals) {
     // Alg. 2 line 7: broadcast the primary subtotal to every other peer.
+    // Every peer waits for all n subtotals; the wait span is closed by
+    // the link that delivers the last one (maybe_complete).
+    if (sr.enabled()) {
+      st.subtotal_span = sr.open(obs::SpanKind::kSacSubtotal,
+                                 channel_ + "/subtotal_wait", id_, st.round);
+    }
+    obs::SpanStackScope wait_scope(sr, st.subtotal_span);
     const Vector& mine = st.subtotal.at(st.my_pos);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == st.my_pos) continue;
@@ -250,6 +278,11 @@ void SacPeer::emit_subtotals() {
     return;
   }
   if (is_leader()) {
+    if (sr.enabled()) {
+      st.subtotal_span = sr.open(obs::SpanKind::kSacSubtotal,
+                                 channel_ + "/subtotal_wait", id_, st.round);
+    }
+    obs::SpanStackScope wait_scope(sr, st.subtotal_span);
     for (const auto& [idx, value] : st.subtotal) leader_collect(idx, value);
     subtotal_timer_.arm(opts_.subtotal_timeout);
     return;
@@ -295,6 +328,13 @@ void SacPeer::maybe_complete() {
   share_timer_.cancel();
   subtotal_timer_.cancel();
   obs::Observability& o = net_.simulator().obs();
+  if (st.subtotal_span != obs::kNoSpan) {
+    // Closed by the link that delivered the final subtotal (or nothing,
+    // when the wait resolved synchronously at open).
+    obs::SpanId closer = o.spans.current();
+    if (closer == st.subtotal_span) closer = obs::kNoSpan;
+    o.spans.close(st.subtotal_span, closer);
+  }
   o.metrics.counter("sac.rounds_completed").add(1);
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "sac.reveal", id_,
@@ -342,11 +382,19 @@ void SacPeer::on_share_timer() {
     }
   }
   std::size_t requested = 0;
-  for (std::size_t p = 0; p < st.n; ++p) {
-    if (!want[p]) continue;
-    SacShareReq req{st.round, static_cast<std::uint32_t>(st.my_pos)};
-    net_.send(id_, st.group[p], channel_ + "/share_req", req, kControlBytes);
-    ++requested;
+  {
+    // Timer context has an empty span stack; parent the burst explicitly
+    // onto the share phase it is trying to finish.
+    obs::ScopedSpan retry_span(o.spans, obs::SpanKind::kRetry,
+                               channel_ + "/share_retry", id_, st.round,
+                               st.share_span);
+    for (std::size_t p = 0; p < st.n; ++p) {
+      if (!want[p]) continue;
+      SacShareReq req{st.round, static_cast<std::uint32_t>(st.my_pos)};
+      net_.send(id_, st.group[p], channel_ + "/share_req", req,
+                kControlBytes);
+      ++requested;
+    }
   }
   if (requested > 0) {
     o.metrics.counter("sac.share_retries").add(requested);
@@ -368,6 +416,12 @@ void SacPeer::on_subtotal_timer() {
 
 void SacPeer::request_missing_subtotals() {
   RoundState& st = *round_;
+  // Alg. 4 recovery burst, fired from a timer (empty span stack): parent
+  // explicitly onto the subtotal wait it is trying to resolve.
+  obs::ScopedSpan recovery_span(net_.simulator().obs().spans,
+                                obs::SpanKind::kRecovery,
+                                channel_ + "/recovery", id_, st.round,
+                                st.subtotal_span);
   bool any_pending = false;
   for (std::size_t idx = 0; idx < st.n; ++idx) {
     if (st.collected.count(idx) > 0) continue;

@@ -161,6 +161,11 @@ class SacPeer {
     std::size_t recovery_rounds = 0;
     bool share_phase_done = false;
     bool completed = false;
+    /// Causal spans (kNoSpan when span recording is disabled): the share
+    /// phase from begin_round to the last needed share, and the subtotal
+    /// wait (leader collect window / broadcast completion wait).
+    obs::SpanId share_span = obs::kNoSpan;
+    obs::SpanId subtotal_span = obs::kNoSpan;
   };
 
   bool is_leader() const;

@@ -17,6 +17,7 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/cost_model.hpp"
 #include "chaos/engine.hpp"
 #include "chaos/plan.hpp"
 #include "chaos/soak.hpp"
@@ -387,6 +388,78 @@ TEST(ChaosSac, TotalDuplicationNeverDoubleCounts) {
   }
   EXPECT_EQ(counter_value(s.sim, "net.chaos.duplicates"),
             counter_value(s.sim, "net.sent.messages"));
+}
+
+TEST(ChaosAgg, DuplicationKeepsDeliveredBytesAtPaperCounts) {
+  // Eq. (4) regression: with every message duplicated in flight
+  // (duplicate_prob = 1, no loss) the *delivered* per-kind accounting
+  // must still equal the paper's protocol byte counts exactly. The
+  // duplicated copies are real deliveries — the actors see them — but
+  // they ride under distinct "dup:<kind>" labels and the `duplicated`
+  // counter, never under `delivered`.
+  constexpr std::uint64_t kWire = 1u << 20;
+  sim::Simulator sim(21);
+  net::NetworkConfig ncfg{.base_latency = 15 * kMillisecond};
+  ncfg.faults.duplicate_prob = 1.0;
+  net::Network net(sim, ncfg);
+  const core::Topology topo = core::Topology::even(9, 3);
+  std::map<PeerId, std::unique_ptr<net::PeerHost>> hosts;
+  for (PeerId id : topo.all_peers()) {
+    auto host = std::make_unique<net::PeerHost>();
+    net.attach(id, host.get());
+    hosts.emplace(id, std::move(host));
+  }
+  core::AggregationConfig cfg;
+  cfg.model_wire_bytes = kWire;
+  core::TwoLayerAggregator agg(
+      topo, cfg, net, [&](PeerId id) -> net::PeerHost& {
+        return *hosts.at(id);
+      });
+  std::optional<secagg::Vector> global;
+  agg.on_global_model = [&](std::uint64_t, const secagg::Vector& g,
+                            std::size_t) { global = g; };
+  core::RoundLeadership lead;
+  lead.subgroup_leaders = {0, 3, 6};
+  lead.fedavg_leader = 0;
+  agg.begin_round(1, lead, [](PeerId id) {
+    return secagg::Vector(4, static_cast<float>(id + 1));
+  });
+  sim.run();
+  ASSERT_TRUE(global.has_value());
+  for (float v : *global) EXPECT_NEAR(v, 5.0f, 1e-4f);  // mean of 1..9
+
+  const net::TrafficStats& st = net.stats();
+  // No loss: every original arrives, so delivered == sent, per kind and
+  // byte-exactly, despite the duplicate deliveries.
+  EXPECT_EQ(st.delivered.messages, st.sent.messages);
+  EXPECT_EQ(st.delivered.bytes, st.sent.bytes);
+  for (const auto& [kind, sent] : st.sent_by_kind) {
+    ASSERT_TRUE(st.delivered_by_kind.count(kind)) << kind;
+    EXPECT_EQ(st.delivered_by_kind.at(kind).messages, sent.messages)
+        << kind;
+    EXPECT_EQ(st.delivered_by_kind.at(kind).bytes, sent.bytes) << kind;
+  }
+  // Each non-self message was duplicated exactly once; the copies are
+  // all accounted under "dup:" labels.
+  EXPECT_EQ(st.duplicated.messages, st.sent.messages);
+  EXPECT_EQ(st.duplicated.bytes, st.sent.bytes);
+  std::uint64_t dup_msgs = 0;
+  for (const auto& [kind, c] : st.delivered_by_kind) {
+    if (kind.rfind("dup:", 0) == 0) dup_msgs += c.messages;
+  }
+  EXPECT_EQ(dup_msgs, st.duplicated.messages);
+  EXPECT_EQ(counter_value(sim, "net.delivered.dup.messages"),
+            st.duplicated.messages);
+  EXPECT_EQ(counter_value(sim, "net.delivered.dup.bytes"),
+            st.duplicated.bytes);
+  // The headline number: delivered protocol traffic still sums to the
+  // paper's Eq. (4) cost, mn^2 + mn - 2 model transfers for m = n = 3.
+  double units = 0.0;
+  for (const auto& [kind, c] : st.delivered_by_kind) {
+    if (kind.rfind("dup:", 0) != 0) units += static_cast<double>(c.bytes);
+  }
+  units /= static_cast<double>(kWire);
+  EXPECT_DOUBLE_EQ(units, analysis::two_layer_cost_eq4(3, 3));
 }
 
 TEST(ChaosAgg, UploadRetryRecoversFromUploadLossWindow) {

@@ -13,6 +13,17 @@
 namespace p2pfl {
 namespace {
 
+net::Envelope make_env(PeerId from, PeerId to, std::string kind,
+                       std::any body, std::uint64_t wire_bytes) {
+  net::Envelope env;
+  env.from = from;
+  env.to = to;
+  env.kind = std::move(kind);
+  env.body = std::move(body);
+  env.wire_bytes = wire_bytes;
+  return env;
+}
+
 TEST(Parallel, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
@@ -93,10 +104,10 @@ TEST(PeerHost, PrefixBoundaryMatching) {
   host.route("agg/upload", [&](const net::Envelope& e) {
     hits.push_back("up:" + e.kind);
   });
-  host.deliver(net::Envelope{0, 1, "agg/upload", {}, 0});   // longest wins
-  host.deliver(net::Envelope{0, 1, "agg/result", {}, 0});   // falls to "agg"
-  host.deliver(net::Envelope{0, 1, "aggregate", {}, 0});    // prefix "agg"
-  host.deliver(net::Envelope{0, 1, "ag", {}, 0});           // no match
+  host.deliver(make_env(0, 1, "agg/upload", {}, 0));   // longest wins
+  host.deliver(make_env(0, 1, "agg/result", {}, 0));   // falls to "agg"
+  host.deliver(make_env(0, 1, "aggregate", {}, 0));    // prefix "agg"
+  host.deliver(make_env(0, 1, "ag", {}, 0));           // no match
   ASSERT_EQ(hits.size(), 3u);
   EXPECT_EQ(hits[0], "up:agg/upload");
   EXPECT_EQ(hits[1], "agg:agg/result");
@@ -108,7 +119,7 @@ TEST(PeerHost, ReRouteReplacesHandler) {
   int a = 0, b = 0;
   host.route("x/", [&](const net::Envelope&) { ++a; });
   host.route("x/", [&](const net::Envelope&) { ++b; });
-  host.deliver(net::Envelope{0, 1, "x/y", {}, 0});
+  host.deliver(make_env(0, 1, "x/y", {}, 0));
   EXPECT_EQ(a, 0);
   EXPECT_EQ(b, 1);
 }

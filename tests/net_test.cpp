@@ -6,6 +6,17 @@
 namespace p2pfl::net {
 namespace {
 
+Envelope make_env(PeerId from, PeerId to, std::string kind, std::any body,
+                  std::uint64_t wire_bytes) {
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.kind = std::move(kind);
+  env.body = std::move(body);
+  env.wire_bytes = wire_bytes;
+  return env;
+}
+
 struct Recorder : Endpoint {
   std::vector<Envelope> received;
   std::vector<SimTime> times;
@@ -189,10 +200,10 @@ TEST(PeerHost, RoutesByLongestPrefix) {
   host.route("raft/sg1/", [&](const Envelope& e) { hits.push_back("sg1:" + e.kind); });
   host.route("sac/", [&](const Envelope& e) { hits.push_back("sac:" + e.kind); });
 
-  host.deliver(Envelope{0, 1, "raft/sg1/ae", {}, 0});
-  host.deliver(Envelope{0, 1, "raft/fed/rv", {}, 0});
-  host.deliver(Envelope{0, 1, "sac/share", {}, 0});
-  host.deliver(Envelope{0, 1, "unknown/x", {}, 0});
+  host.deliver(make_env(0, 1, "raft/sg1/ae", {}, 0));
+  host.deliver(make_env(0, 1, "raft/fed/rv", {}, 0));
+  host.deliver(make_env(0, 1, "sac/share", {}, 0));
+  host.deliver(make_env(0, 1, "unknown/x", {}, 0));
 
   ASSERT_EQ(hits.size(), 3u);
   EXPECT_EQ(hits[0], "sg1:raft/sg1/ae");
@@ -204,9 +215,9 @@ TEST(PeerHost, UnrouteStopsDelivery) {
   PeerHost host;
   int hits = 0;
   host.route("a/", [&](const Envelope&) { ++hits; });
-  host.deliver(Envelope{0, 1, "a/x", {}, 0});
+  host.deliver(make_env(0, 1, "a/x", {}, 0));
   host.unroute("a/");
-  host.deliver(Envelope{0, 1, "a/x", {}, 0});
+  host.deliver(make_env(0, 1, "a/x", {}, 0));
   EXPECT_EQ(hits, 1);
 }
 

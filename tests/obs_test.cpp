@@ -153,12 +153,28 @@ TEST(TraceStream, CapacityCapCountsDrops) {
   TraceStream tr(&clock);
   tr.set_enabled(true);
   tr.set_capacity(3);
-  for (int i = 0; i < 10; ++i) tr.instant("sim", "e", 0);
-  EXPECT_EQ(tr.size(), 3u);
+  for (int i = 0; i < 10; ++i) {
+    clock = i;
+    tr.instant("sim", "e" + std::to_string(i), 0);
+  }
+  // Ring semantics: the cap evicts the *oldest* events, so the stream
+  // always holds the newest `capacity` in arrival order.
+  ASSERT_EQ(tr.size(), 3u);
   EXPECT_EQ(tr.dropped(), 7u);
+  EXPECT_EQ(tr.events()[0].name, "e7");
+  EXPECT_EQ(tr.events()[1].name, "e8");
+  EXPECT_EQ(tr.events()[2].name, "e9");
+  EXPECT_EQ(tr.events()[0].ts, 7);
+  // The exporter surfaces the loss: a trace.dropped_events instant is
+  // present exactly when events were evicted.
+  EXPECT_NE(chrome_trace_json(tr).find("trace.dropped_events"),
+            std::string::npos);
   tr.clear();
   EXPECT_EQ(tr.size(), 0u);
   EXPECT_EQ(tr.dropped(), 0u);
+  tr.instant("sim", "fresh", 0);
+  EXPECT_EQ(chrome_trace_json(tr).find("trace.dropped_events"),
+            std::string::npos);
 }
 
 TEST(Export, JsonQuoteEscapes) {

@@ -9,10 +9,12 @@
 //                     [--out=BASE] [--categories=sim,net,raft,agg]
 //   p2pflctl chaos    [--peers=N --groups=m --rounds=R --seed=S]
 //                     [--loss=P --dup=P --reorder-ms=J]
+//                     [--corrupt=P --truncate=P]
 //                     [--churn-mttf=MS --churn-mttr=MS]
 //                     [--partition-at=MS --heal-at=MS --interval=MS]
 //   p2pflctl explain  [same scenario flags as chaos, fault-free default]
 //                     [--round=N] [--out=BASE]
+//   p2pflctl wire     [--dim=D --n=N --k=K --seed=S] [--dump=KEY]
 //
 // Everything runs on the deterministic simulator; identical flags give
 // identical results. `trace` replays the recovery scenario with the
@@ -25,7 +27,9 @@
 // same scenario with causal span recording on and prints the chosen
 // round's critical path — which phases, links and retries the
 // end-to-end latency is attributable to — plus an abort post-mortem for
-// every round that died.
+// every round that died. `wire` prints the codec catalog: every
+// registered protocol message kind with its encoded size for the given
+// deployment shape, plus a hex dump of one sample encoding.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -37,7 +41,11 @@
 #include "chaos/soak.hpp"
 #include "core/fl_experiment.hpp"
 #include "core/two_layer_raft.hpp"
+#include "core/wire.hpp"
 #include "fl/checkpoint.hpp"
+#include "net/codec.hpp"
+#include "raft/wire.hpp"
+#include "secagg/wire.hpp"
 
 using namespace p2pfl;
 
@@ -198,6 +206,8 @@ chaos::ChaosSoakConfig soak_config(const bench::Args& args,
   cfg.round_interval = args.get_int("interval", 1000) * kMillisecond;
   cfg.net.faults.drop_prob = args.get_double("loss", default_loss);
   cfg.net.faults.duplicate_prob = args.get_double("dup", default_dup);
+  cfg.net.faults.corrupt_prob = args.get_double("corrupt", 0.0);
+  cfg.net.faults.truncate_prob = args.get_double("truncate", 0.0);
   const long reorder_ms = args.get_int("reorder-ms", 0);
   if (reorder_ms > 0) {
     cfg.net.faults.reorder_prob = 0.25;
@@ -220,9 +230,11 @@ int cmd_chaos(const bench::Args& args) {
       cfg.peers, cfg.groups, cfg.rounds, to_ms(cfg.round_interval),
       static_cast<unsigned long long>(cfg.seed));
   std::printf(
-      "faults: loss %.2f, dup %.2f, reorder jitter %ld ms, churn "
-      "mttf/mttr %.0f/%.0f ms, partition [%.0f, %.0f) ms\n",
-      cfg.net.faults.drop_prob, cfg.net.faults.duplicate_prob, reorder_ms,
+      "faults: loss %.2f, dup %.2f, corrupt %.2f, truncate %.2f, reorder "
+      "jitter %ld ms, churn mttf/mttr %.0f/%.0f ms, partition [%.0f, %.0f) "
+      "ms\n",
+      cfg.net.faults.drop_prob, cfg.net.faults.duplicate_prob,
+      cfg.net.faults.corrupt_prob, cfg.net.faults.truncate_prob, reorder_ms,
       to_ms(cfg.churn_mttf), to_ms(cfg.churn_mttr), to_ms(cfg.partition_at),
       to_ms(cfg.heal_at));
 
@@ -250,10 +262,18 @@ int cmd_chaos(const bench::Args& args) {
               res.restarts);
   bench::print_traffic(res.traffic);
 
-  const bool ok = res.liveness_ok && res.all_commits_exact;
+  // Bit flips have no checksum to catch them in a float payload, so
+  // exactness is only promised when corrupt_prob is zero (truncation is
+  // fine: every truncated frame is rejected and retried).
+  const bool exact_ok =
+      res.all_commits_exact || cfg.net.faults.corrupt_prob > 0.0;
+  const bool ok = res.liveness_ok && exact_ok;
   std::printf("liveness: %s, exactness: %s (max error %.2e)\n",
               res.liveness_ok ? "OK" : "FAILED",
-              res.all_commits_exact ? "OK" : "FAILED", res.max_abs_error);
+              res.all_commits_exact
+                  ? "OK"
+                  : (exact_ok ? "degraded (bit flips)" : "FAILED"),
+              res.max_abs_error);
   return ok ? 0 : 1;
 }
 
@@ -317,12 +337,63 @@ int cmd_explain(const bench::Args& args) {
   return cp != nullptr && !cp->segments.empty() ? 0 : 1;
 }
 
+int cmd_wire(const bench::Args& args) {
+  raft::wire::register_codecs();
+  secagg::wire::register_codecs("sac");
+  secagg::wire::register_codecs("ml");
+  core::wire::register_codecs();
+
+  net::WireSample shape;
+  shape.dim = static_cast<std::size_t>(args.get_int("dim", 8));
+  shape.n = static_cast<std::size_t>(args.get_int("n", 4));
+  shape.k = static_cast<std::size_t>(
+      args.get_int("k", static_cast<long>(shape.n - 1)));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  std::printf("codec catalog for dim=%zu, n=%zu, k=%zu:\n", shape.dim,
+              shape.n, shape.k);
+  std::printf("  %-14s %14s\n", "key", "sample bytes");
+  for (const net::Codec* c : net::CodecRegistry::global().all()) {
+    const std::optional<Bytes> encoded = c->encode(c->sample(rng, shape));
+    if (!encoded.has_value()) {
+      std::fprintf(stderr, "codec %s failed to encode its own sample\n",
+                   c->key.c_str());
+      return 1;
+    }
+    std::printf("  %-14s %14zu\n", c->key.c_str(), encoded->size());
+  }
+
+  const std::string dump = args.get("dump", "join");
+  const net::Codec* c = net::CodecRegistry::global().find_key(dump);
+  if (c == nullptr) {
+    std::fprintf(stderr, "no codec registered under key '%s'\n",
+                 dump.c_str());
+    return 1;
+  }
+  const std::optional<Bytes> encoded = c->encode(c->sample(rng, shape));
+  if (!encoded.has_value()) return 1;
+  constexpr std::size_t kDumpLimit = 64;
+  std::printf("\nsample encoding of %s (%zu bytes%s):\n", c->key.c_str(),
+              encoded->size(),
+              encoded->size() > kDumpLimit ? ", first 64 shown" : "");
+  const std::size_t shown = std::min(encoded->size(), kDumpLimit);
+  for (std::size_t i = 0; i < shown; i += 16) {
+    std::printf("  %04zx ", i);
+    for (std::size_t j = i; j < std::min(i + 16, shown); ++j) {
+      std::printf(" %02x", (*encoded)[j]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: p2pflctl <train|cost|recovery|trace|chaos|explain> "
+                 "usage: p2pflctl "
+                 "<train|cost|recovery|trace|chaos|explain|wire> "
                  "[--key=value...]\n");
     return 2;
   }
@@ -334,6 +405,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "wire") return cmd_wire(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

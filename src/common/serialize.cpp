@@ -1,7 +1,5 @@
 #include "common/serialize.hpp"
 
-#include <stdexcept>
-
 namespace p2pfl {
 
 void ByteWriter::u32(std::uint32_t v) {
@@ -10,6 +8,13 @@ void ByteWriter::u32(std::uint32_t v) {
 
 void ByteWriter::u64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
 }
 
 void ByteWriter::f64(double v) {
@@ -24,28 +29,47 @@ void ByteWriter::str(const std::string& s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
-void ByteReader::need(std::size_t n) {
-  if (pos_ + n > buf_.size()) {
-    throw std::out_of_range("ByteReader: truncated buffer");
+void ByteWriter::blob(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteWriter::vec_f32(const std::vector<float>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (float x : v) f32(x);
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (!ok_ || n > buf_.size() - pos_) {
+    ok_ = false;
+    return false;
   }
+  return true;
 }
 
 std::uint8_t ByteReader::u8() {
-  need(1);
+  if (!need(1)) return 0;
   return buf_[pos_++];
 }
 
 std::uint32_t ByteReader::u32() {
-  need(4);
+  if (!need(4)) return 0;
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
   return v;
 }
 
 std::uint64_t ByteReader::u64() {
-  need(8);
+  if (!need(8)) return 0;
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
   return v;
 }
 
@@ -58,11 +82,29 @@ double ByteReader::f64() {
 
 std::string ByteReader::str() {
   const std::uint32_t n = u32();
-  need(n);
+  if (!need(n)) return {};
   std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return s;
+}
+
+Bytes ByteReader::blob() {
+  const std::uint32_t n = u32();
+  if (!need(n)) return {};
+  Bytes b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+std::vector<float> ByteReader::vec_f32() {
+  const std::uint32_t n = u32();
+  if (!need(static_cast<std::size_t>(n) * 4)) return {};
+  std::vector<float> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(f32());
+  return v;
 }
 
 }  // namespace p2pfl

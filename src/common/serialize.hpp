@@ -1,14 +1,23 @@
-// Tiny binary serialization used for Raft log commands.
+// Tiny binary serialization used for every protocol wire format.
 //
-// Raft replicates opaque byte strings; the two-layer system stores the
-// FedAvg-layer configuration (peer ids + "addresses") in subgroup logs.
-// This writer/reader pair gives a fixed little-endian wire format so a
-// restarted or newly elected peer decodes exactly what was committed.
+// The writer/reader pair gives a fixed little-endian encoding shared by
+// the Raft log commands, the Raft RPC codecs (raft/wire) and the
+// SAC / aggregation-layer codecs (secagg/wire, core/wire), so a restarted
+// or newly elected peer decodes exactly what was committed and the
+// network's byte accounting can be checked against real encodings.
+//
+// ByteReader is strict and non-throwing: every read is bounds-checked,
+// and the first out-of-range read latches a sticky failure (`ok()`
+// becomes false, subsequent reads return zero values). Decoders accept a
+// buffer only when `ok() && exhausted()` — truncated, oversized or
+// length-corrupted input can never read out of bounds or allocate from
+// an unvalidated length field.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace p2pfl {
@@ -20,11 +29,19 @@ class ByteWriter {
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
+  void f32(float v);
   void f64(double v);
   void str(const std::string& s);
+  /// Length-prefixed byte string (u32 count + raw bytes).
+  void blob(const Bytes& b);
+  /// Length-prefixed f32 vector (u32 count + 4 bytes per element).
+  void vec_f32(const std::vector<float>& v);
 
   template <typename T>
   void vec_u32(const std::vector<T>& v) {
+    static_assert(sizeof(T) <= sizeof(std::uint32_t),
+                  "vec_u32 would silently narrow elements wider than 32 "
+                  "bits; add a wider vector encoding instead");
     u32(static_cast<std::uint32_t>(v.size()));
     for (const T& x : v) u32(static_cast<std::uint32_t>(x));
   }
@@ -43,25 +60,38 @@ class ByteReader {
   std::uint8_t u8();
   std::uint32_t u32();
   std::uint64_t u64();
+  float f32();
   double f64();
   std::string str();
+  Bytes blob();
+  std::vector<float> vec_f32();
 
   template <typename T>
   std::vector<T> vec_u32() {
     const std::uint32_t n = u32();
+    // Validate the claimed length against the remaining bytes BEFORE
+    // reserving: a corrupted count must not trigger a giant allocation.
+    if (!need(static_cast<std::size_t>(n) * 4)) return {};
     std::vector<T> v;
     v.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) v.push_back(static_cast<T>(u32()));
     return v;
   }
 
+  /// All reads so far were in bounds. Latches false on the first
+  /// truncated read; later reads return zero values.
+  bool ok() const { return ok_; }
   bool exhausted() const { return pos_ == buf_.size(); }
+  /// The decode contract: every byte consumed, no read out of bounds.
+  bool complete() const { return ok_ && exhausted(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
 
  private:
-  void need(std::size_t n);
+  bool need(std::size_t n);
 
   const Bytes& buf_;
   std::size_t pos_ = 0;
+  bool ok_ = true;
 };
 
 }  // namespace p2pfl

@@ -66,12 +66,14 @@ AggCostBreakdown simulate_aggregation_cost(
   sim.run();
   if (hooks.on_finish) hooks.on_finish(sim);
 
+  // Count the |w|-unit model payload of each transfer (the quantity the
+  // paper's Eqs. (4)/(5) model); real framing bytes ride in counter.bytes.
   const auto& by_kind = net.stats().sent_by_kind;
   auto units_of = [&](const char* prefix) {
     double bytes = 0.0;
     for (const auto& [kind, counter] : by_kind) {
       if (kind.rfind(prefix, 0) == 0) {
-        bytes += static_cast<double>(counter.bytes);
+        bytes += static_cast<double>(counter.payload);
       }
     }
     return bytes / static_cast<double>(kModelWire);

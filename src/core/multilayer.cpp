@@ -73,6 +73,7 @@ MultilayerAggregator::MultilayerAggregator(
     const MultilayerTopology& topo, MultilayerOptions opts,
     net::Network& net, std::function<net::PeerHost&(PeerId)> host_of)
     : topo_(topo), opts_(opts), net_(net) {
+  core::wire::register_codecs();
   runtimes_.resize(topo_.groups.size());
   secagg::SacActorOptions sac_opts;
   sac_opts.split = opts_.split;
@@ -93,10 +94,10 @@ MultilayerAggregator::MultilayerAggregator(
     }
   }
   for (PeerId p = 0; p < topo_.peer_count; ++p) {
-    host_of(p).route("ml/result",
-                     [this, p](const net::Envelope& env) {
-                       handle_result(p, env);
-                     });
+    host_of(p).route("ml/result", [this, p](const net::Envelope& env) {
+      const auto* msg = net::payload<ResultMsg>(env.body);
+      if (msg != nullptr) handle_result(p, *msg);
+    });
   }
 }
 
@@ -176,17 +177,17 @@ void MultilayerAggregator::group_complete(std::size_t group_idx,
 void MultilayerAggregator::distribute(std::size_t group_idx,
                                       const secagg::Vector& global) {
   const auto& group = topo_.groups[group_idx];
+  const net::WireSize size =
+      core::wire::result_wire(wire(global.size()), global.size());
   for (PeerId m : group.members) {
     if (m == group.leader) continue;
     ResultMsg msg{round_, global};
-    net_.send(group.leader, m, "ml/result", std::move(msg),
-              wire(global.size()));
+    net_.send(group.leader, m, "ml/result", std::move(msg), size);
   }
 }
 
 void MultilayerAggregator::handle_result(PeerId self,
-                                         const net::Envelope& env) {
-  const auto& msg = std::any_cast<const ResultMsg&>(env.body);
+                                         const ResultMsg& msg) {
   if (msg.round != round_) return;
   if (on_model_received) on_model_received(round_, self, msg.model);
   if (topo_.leads[self] != -1) {

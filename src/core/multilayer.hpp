@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/wire.hpp"
 #include "net/mux.hpp"
 #include "net/network.hpp"
 #include "secagg/sac_actor.hpp"
@@ -86,10 +87,7 @@ class MultilayerAggregator {
       on_model_received;
 
  private:
-  struct ResultMsg {
-    RoundId round = 0;
-    secagg::Vector model;
-  };
+  using ResultMsg = wire::AggResultMsg;
 
   struct GroupRuntime {
     /// One SAC actor per member, keyed by peer.
@@ -100,7 +98,7 @@ class MultilayerAggregator {
                    secagg::Vector value);
   void group_complete(std::size_t group_idx, const secagg::Vector& avg);
   void distribute(std::size_t group_idx, const secagg::Vector& global);
-  void handle_result(PeerId self, const net::Envelope& env);
+  void handle_result(PeerId self, const ResultMsg& msg);
   std::uint64_t wire(std::size_t dim) const;
 
   const MultilayerTopology& topo_;

@@ -11,7 +11,6 @@ namespace p2pfl::core {
 
 namespace {
 std::string sac_channel(SubgroupId g) { return "sac/sg" + std::to_string(g); }
-const char* kAggPrefix = "agg/";
 }  // namespace
 
 TwoLayerAggregator::TwoLayerAggregator(
@@ -30,6 +29,7 @@ TwoLayerAggregator::TwoLayerAggregator(
           },
           "agg.collect_timeout") {
   P2PFL_CHECK(cfg_.fraction_p > 0.0 && cfg_.fraction_p <= 1.0);
+  wire::register_codecs();
   secagg::SacActorOptions sac_opts;
   sac_opts.k = 0;  // per-round thresholds are passed to begin_round
   sac_opts.split = cfg_.split;
@@ -46,8 +46,19 @@ TwoLayerAggregator::TwoLayerAggregator(
     st.group = topology_.subgroup_of(id);
     st.sac = std::make_unique<secagg::SacPeer>(
         id, sac_channel(st.group), sac_opts, net_, host);
-    host.route(kAggPrefix, [this, id](const net::Envelope& env) {
-      handle_agg(id, env);
+    host.route("agg/upload", [this, id](const net::Envelope& env) {
+      const auto* msg = net::payload<UploadMsg>(env.body);
+      auto it = peers_.find(id);
+      if (msg != nullptr && it != peers_.end()) {
+        handle_upload(it->second, *msg);
+      }
+    });
+    host.route("agg/result", [this, id](const net::Envelope& env) {
+      const auto* msg = net::payload<ResultMsg>(env.body);
+      auto it = peers_.find(id);
+      if (msg != nullptr && it != peers_.end()) {
+        handle_result(it->second, *msg);
+      }
     });
     auto [it, inserted] = peers_.emplace(id, std::move(st));
     P2PFL_CHECK(inserted);
@@ -202,11 +213,12 @@ void TwoLayerAggregator::sac_complete(PeerState& p, RoundId round,
                             round);
   }
   obs::SpanStackScope upload_scope(sr, p.upload_span);
-  const std::uint64_t wire = model_wire(avg.size());
+  const net::WireSize size =
+      wire::upload_wire(model_wire(avg.size()), avg.size());
   p.pending_upload = msg;
   p.upload_attempts = 0;
   net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(msg),
-            wire);
+            size);
   p.upload_timer->arm(cfg_.upload_retry);
 }
 
@@ -235,9 +247,10 @@ void TwoLayerAggregator::retry_upload(PeerState& p) {
                              "agg/upload_retry", p.id,
                              p.pending_upload->round, p.upload_span);
   UploadMsg copy = *p.pending_upload;
-  const std::uint64_t wire = model_wire(copy.model.size());
+  const net::WireSize size =
+      wire::upload_wire(model_wire(copy.model.size()), copy.model.size());
   net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(copy),
-            wire);
+            size);
   SimDuration delay = cfg_.upload_retry;
   for (std::size_t i = 0; i < p.upload_attempts && delay < 8 * cfg_.upload_retry;
        ++i) {
@@ -256,16 +269,6 @@ void TwoLayerAggregator::settle_upload(PeerState& p, RoundId round) {
     obs::SpanRecorder& sr = net_.simulator().obs().spans;
     sr.close(p.upload_span, sr.current());
     p.upload_span = obs::kNoSpan;
-  }
-}
-
-void TwoLayerAggregator::handle_agg(PeerId self, const net::Envelope& env) {
-  auto it = peers_.find(self);
-  if (it == peers_.end()) return;
-  if (env.kind == "agg/upload") {
-    handle_upload(it->second, std::any_cast<const UploadMsg&>(env.body));
-  } else if (env.kind == "agg/result") {
-    handle_result(it->second, std::any_cast<const ResultMsg&>(env.body));
   }
 }
 
@@ -350,13 +353,14 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
   }
 
   // Return the global model to the other subgroup leaders.
-  const std::uint64_t wire = model_wire(global.size());
+  const net::WireSize size =
+      wire::result_wire(model_wire(global.size()), global.size());
   for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
     const PeerId leader = leadership_.subgroup_leaders[g];
     if (leader == p.id || net_.crashed(leader)) continue;
     if (round_groups_[g].empty()) continue;
     ResultMsg msg{fed_->round, global};
-    net_.send(p.id, leader, "agg/result", std::move(msg), wire);
+    net_.send(p.id, leader, "agg/result", std::move(msg), size);
   }
   p.result_round = fed_->round;
   distribute(p, fed_->round, global);
@@ -385,11 +389,12 @@ void TwoLayerAggregator::handle_result(PeerState& p, const ResultMsg& msg) {
 void TwoLayerAggregator::distribute(PeerState& leader, RoundId round,
                                     const secagg::Vector& global) {
   // Fan the global model out inside the subgroup, then deliver locally.
-  const std::uint64_t wire = model_wire(global.size());
+  const net::WireSize size =
+      wire::result_wire(model_wire(global.size()), global.size());
   for (PeerId id : round_groups_[leader.group]) {
     if (id == leader.id) continue;
     ResultMsg msg{round, global};
-    net_.send(leader.id, id, "agg/result", std::move(msg), wire);
+    net_.send(leader.id, id, "agg/result", std::move(msg), size);
   }
   if (on_model_received) on_model_received(round, leader.id, global);
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/topology.hpp"
+#include "core/wire.hpp"
 #include "net/mux.hpp"
 #include "net/network.hpp"
 #include "secagg/sac_actor.hpp"
@@ -118,16 +119,8 @@ class TwoLayerAggregator {
   std::function<void(RoundId)> on_round_aborted;
 
  private:
-  struct UploadMsg {
-    RoundId round = 0;
-    SubgroupId group = 0;
-    std::uint32_t weight = 0;  // peers aggregated in the subgroup
-    secagg::Vector model;
-  };
-  struct ResultMsg {
-    RoundId round = 0;
-    secagg::Vector model;
-  };
+  using UploadMsg = wire::AggUploadMsg;
+  using ResultMsg = wire::AggResultMsg;
 
   struct PeerState {
     PeerId id = kNoPeer;
@@ -159,7 +152,6 @@ class TwoLayerAggregator {
   };
 
   std::uint64_t model_wire(std::size_t dim) const;
-  void handle_agg(PeerId self, const net::Envelope& env);
   void handle_upload(PeerState& p, const UploadMsg& msg);
   void handle_result(PeerState& p, const ResultMsg& msg);
   void sac_complete(PeerState& p, RoundId round, const secagg::Vector& avg,

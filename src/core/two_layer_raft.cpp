@@ -11,7 +11,6 @@ namespace p2pfl::core {
 namespace {
 
 constexpr std::uint8_t kFedConfigCommand = 1;
-constexpr std::uint64_t kJoinWireBytes = 24;
 
 std::string subgroup_channel(SubgroupId g) {
   return "raft/sg" + std::to_string(g);
@@ -30,7 +29,9 @@ Bytes encode_fed_config(const std::vector<PeerId>& members) {
 std::optional<std::vector<PeerId>> decode_fed_config(const Bytes& data) {
   ByteReader r(data);
   if (r.u8() != kFedConfigCommand) return std::nullopt;
-  return r.vec_u32<PeerId>();
+  auto members = r.vec_u32<PeerId>();
+  if (!r.complete()) return std::nullopt;
+  return members;
 }
 
 }  // namespace
@@ -39,6 +40,7 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
                                        TwoLayerRaftOptions opts,
                                        net::Network& net)
     : topology_(std::move(topology)), opts_(opts), net_(net) {
+  wire::register_codecs();
   const auto designated = topology_.designated_leaders();
   for (PeerId id : topology_.all_peers()) {
     auto peer = std::make_unique<Peer>();
@@ -53,7 +55,8 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
         "fed.join_retry");
     peer->host.route(kJoinChannel, [this, p = peer.get()](
                                        const net::Envelope& env) {
-      handle_join_request(*p, std::any_cast<const JoinRequest&>(env.body));
+      const auto* req = net::payload<JoinRequest>(env.body);
+      if (req != nullptr) handle_join_request(*p, *req);
     });
     net_.attach(id, &peer->host);
     peers_.emplace(id, std::move(peer));
@@ -198,7 +201,7 @@ void TwoLayerRaftSystem::send_join_request(Peer& p) {
   }
   if (target != kNoPeer && target != p.id) {
     net_.simulator().obs().metrics.counter("fed.join_requests").add(1);
-    net_.send(p.id, target, kJoinChannel, req, kJoinWireBytes);
+    net_.send(p.id, target, kJoinChannel, req, wire::kJoinWire);
   }
   // §V-B1: keep polling for a FedAvg leader until the join completes.
   p.join_timer->arm(opts_.fedavg_presence_poll);
@@ -212,7 +215,7 @@ void TwoLayerRaftSystem::handle_join_request(Peer& p,
     // Redirect toward the leader we know of; the joiner also retries.
     const PeerId hint = fed.leader_hint();
     if (hint != kNoPeer && hint != p.id && hint != req.candidate) {
-      net_.send(p.id, hint, kJoinChannel, req, kJoinWireBytes);
+      net_.send(p.id, hint, kJoinChannel, req, wire::kJoinWire);
     }
     return;
   }

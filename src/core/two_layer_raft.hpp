@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/topology.hpp"
+#include "core/wire.hpp"
 #include "net/mux.hpp"
 #include "net/network.hpp"
 #include "raft/node.hpp"
@@ -102,10 +103,7 @@ class TwoLayerRaftSystem {
   std::function<void(PeerId)> on_fedavg_joined;
 
  private:
-  struct JoinRequest {
-    PeerId candidate = kNoPeer;
-    PeerId stale_representative = kNoPeer;
-  };
+  using JoinRequest = wire::JoinRequestMsg;
 
   struct Peer {
     PeerId id = kNoPeer;

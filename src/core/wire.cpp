@@ -1,0 +1,179 @@
+#include "core/wire.hpp"
+
+namespace p2pfl::core::wire {
+
+namespace {
+
+template <typename T, typename Fn>
+std::optional<T> guarded(const Bytes& b, Fn fn) {
+  ByteReader r(b);
+  T out = fn(r);
+  if (!r.complete()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+Bytes encode(const AggUploadMsg& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.u32(m.group);
+  w.u32(m.weight);
+  w.vec_f32(m.model);
+  return w.take();
+}
+
+std::optional<AggUploadMsg> decode_upload(const Bytes& b) {
+  return guarded<AggUploadMsg>(b, [](ByteReader& r) {
+    AggUploadMsg m;
+    m.round = r.u64();
+    m.group = r.u32();
+    m.weight = r.u32();
+    m.model = r.vec_f32();
+    return m;
+  });
+}
+
+Bytes encode(const AggResultMsg& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.vec_f32(m.model);
+  return w.take();
+}
+
+std::optional<AggResultMsg> decode_result(const Bytes& b) {
+  return guarded<AggResultMsg>(b, [](ByteReader& r) {
+    AggResultMsg m;
+    m.round = r.u64();
+    m.model = r.vec_f32();
+    return m;
+  });
+}
+
+Bytes encode(const JoinRequestMsg& m) {
+  ByteWriter w;
+  w.u32(m.candidate);
+  w.u32(m.stale_representative);
+  return w.take();
+}
+
+std::optional<JoinRequestMsg> decode_join(const Bytes& b) {
+  return guarded<JoinRequestMsg>(b, [](ByteReader& r) {
+    JoinRequestMsg m;
+    m.candidate = r.u32();
+    m.stale_representative = r.u32();
+    return m;
+  });
+}
+
+net::WireSize upload_wire(std::uint64_t payload, std::size_t dim) {
+  net::WireSize s;
+  s.payload = payload;
+  s.wire = kUploadHeader + payload;
+  s.modeled = static_cast<std::int64_t>(payload) -
+              static_cast<std::int64_t>(4 * dim);
+  return s;
+}
+
+net::WireSize result_wire(std::uint64_t payload, std::size_t dim) {
+  net::WireSize s;
+  s.payload = payload;
+  s.wire = kResultHeader + payload;
+  s.modeled = static_cast<std::int64_t>(payload) -
+              static_cast<std::int64_t>(4 * dim);
+  return s;
+}
+
+namespace {
+
+secagg::Vector sample_vector(Rng& rng, std::size_t dim) {
+  secagg::Vector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+AggUploadMsg sample_upload(Rng& rng, const net::WireSample& s) {
+  AggUploadMsg m;
+  m.round = s.round;
+  m.group = static_cast<SubgroupId>(rng.index(s.n));
+  m.weight = static_cast<std::uint32_t>(rng.index(s.n) + 1);
+  m.model = sample_vector(rng, s.dim);
+  return m;
+}
+
+AggResultMsg sample_result(Rng& rng, const net::WireSample& s) {
+  AggResultMsg m;
+  m.round = s.round;
+  m.model = sample_vector(rng, s.dim);
+  return m;
+}
+
+JoinRequestMsg sample_join(Rng& rng, const net::WireSample& s) {
+  JoinRequestMsg m;
+  m.candidate = static_cast<PeerId>(rng.index(s.n));
+  m.stale_representative =
+      rng.chance(0.5) ? static_cast<PeerId>(rng.index(s.n)) : kNoPeer;
+  return m;
+}
+
+bool eq_upload(const AggUploadMsg& a, const AggUploadMsg& b) {
+  return a.round == b.round && a.group == b.group && a.weight == b.weight &&
+         a.model == b.model;
+}
+
+bool eq_result(const AggResultMsg& a, const AggResultMsg& b) {
+  return a.round == b.round && a.model == b.model;
+}
+
+bool eq_join(const JoinRequestMsg& a, const JoinRequestMsg& b) {
+  return a.candidate == b.candidate &&
+         a.stale_representative == b.stale_representative;
+}
+
+template <typename T>
+net::Codec make_codec(std::string key,
+                      std::optional<T> (*decode_fn)(const Bytes&),
+                      T (*sample_fn)(Rng&, const net::WireSample&),
+                      bool (*eq_fn)(const T&, const T&)) {
+  net::Codec c;
+  c.key = std::move(key);
+  c.encode = [](const std::any& body) -> std::optional<Bytes> {
+    const T* m = net::payload<T>(body);
+    if (m == nullptr) return std::nullopt;
+    return encode(*m);
+  };
+  c.decode = [decode_fn](const Bytes& b) -> std::optional<std::any> {
+    std::optional<T> m = decode_fn(b);
+    if (!m.has_value()) return std::nullopt;
+    return std::any(std::move(*m));
+  };
+  c.sample = [sample_fn](Rng& rng, const net::WireSample& s) -> std::any {
+    return sample_fn(rng, s);
+  };
+  c.equals = [eq_fn](const std::any& a, const std::any& b) {
+    const T* x = net::payload<T>(a);
+    const T* y = net::payload<T>(b);
+    return x != nullptr && y != nullptr && eq_fn(*x, *y);
+  };
+  return c;
+}
+
+}  // namespace
+
+void register_codecs() {
+  static const bool once = [] {
+    auto& reg = net::CodecRegistry::global();
+    reg.add(make_codec<AggUploadMsg>("agg:upload", &decode_upload,
+                                     &sample_upload, &eq_upload));
+    reg.add(make_codec<AggResultMsg>("agg:result", &decode_result,
+                                     &sample_result, &eq_result));
+    reg.add(make_codec<AggResultMsg>("ml:result", &decode_result,
+                                     &sample_result, &eq_result));
+    reg.add(make_codec<JoinRequestMsg>("join", &decode_join, &sample_join,
+                                       &eq_join));
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace p2pfl::core::wire

@@ -1,0 +1,68 @@
+// Binary wire codec for the core aggregation-layer messages.
+//
+// The typed structs that ride net::Envelope between the core actors —
+// the subgroup-leader upload, the global-model result (two-layer "agg/*"
+// and multilayer "ml/result" flavors), and the FedAvg-layer join request
+// — with their canonical little-endian encodings. The charged WireSize
+// helpers split each charge into the real framing plus the |w|-unit
+// model payload the paper's cost analysis counts (and the declared
+// modeled-CNN delta when model_wire_bytes overrides the real vector
+// size).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "net/codec.hpp"
+#include "net/network.hpp"
+#include "secagg/sac.hpp"
+
+namespace p2pfl::core::wire {
+
+/// Subgroup leader -> FedAvg leader: the subgroup's SAC average,
+/// weighted by how many peers it aggregates ("agg/upload").
+struct AggUploadMsg {
+  std::uint64_t round = 0;
+  SubgroupId group = 0;
+  std::uint32_t weight = 0;  // peers aggregated in the subgroup
+  secagg::Vector model;
+};
+
+/// Global model fanned back down ("agg/result" / "ml/result").
+struct AggResultMsg {
+  std::uint64_t round = 0;
+  secagg::Vector model;
+};
+
+/// New subgroup representative asking the FedAvg leader to swap it in
+/// for its subgroup's stale predecessor (kind "join").
+struct JoinRequestMsg {
+  PeerId candidate = kNoPeer;
+  PeerId stale_representative = kNoPeer;
+};
+
+Bytes encode(const AggUploadMsg& m);
+Bytes encode(const AggResultMsg& m);
+Bytes encode(const JoinRequestMsg& m);
+
+std::optional<AggUploadMsg> decode_upload(const Bytes& b);
+std::optional<AggResultMsg> decode_result(const Bytes& b);
+std::optional<JoinRequestMsg> decode_join(const Bytes& b);
+
+/// Framing: upload = round + group + weight + element count; result =
+/// round + element count; join = candidate + stale representative.
+inline constexpr std::uint64_t kUploadHeader = 20;
+inline constexpr std::uint64_t kResultHeader = 12;
+inline constexpr std::uint64_t kJoinWire = 8;
+
+/// Charged size of one model upload / result accounted as `payload`
+/// model bytes while actually carrying `dim` floats.
+net::WireSize upload_wire(std::uint64_t payload, std::size_t dim);
+net::WireSize result_wire(std::uint64_t payload, std::size_t dim);
+
+/// Register the core codecs ("agg:upload", "agg:result", "ml:result",
+/// "join"). Idempotent; called by the core actor constructors.
+void register_codecs();
+
+}  // namespace p2pfl::core::wire

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <stdexcept>
 
 namespace p2pfl::fl {
 
@@ -38,24 +37,22 @@ Bytes encode_checkpoint(std::span<const float> weights) {
 }
 
 std::optional<std::vector<float>> decode_checkpoint(const Bytes& data) {
-  try {
-    ByteReader r(data);
-    if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
-    const std::uint64_t count = r.u64();
-    const std::uint64_t checksum = r.u64();
-    constexpr std::size_t kHeader = 4 + 4 + 8 + 8;
-    if (data.size() != kHeader + count * sizeof(float)) return std::nullopt;
-    const std::span<const std::uint8_t> payload(data.data() + kHeader,
-                                                count * sizeof(float));
-    if (fnv1a(payload) != checksum) return std::nullopt;
-    std::vector<float> weights(count);
-    if (count > 0) {
-      std::memcpy(weights.data(), payload.data(), payload.size());
-    }
-    return weights;
-  } catch (const std::out_of_range&) {
-    return std::nullopt;
+  ByteReader r(data);
+  if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
+  const std::uint64_t count = r.u64();
+  const std::uint64_t checksum = r.u64();
+  if (!r.ok()) return std::nullopt;
+  constexpr std::size_t kHeader = 4 + 4 + 8 + 8;
+  if (count > data.size() / sizeof(float)) return std::nullopt;
+  if (data.size() != kHeader + count * sizeof(float)) return std::nullopt;
+  const std::span<const std::uint8_t> payload(data.data() + kHeader,
+                                              count * sizeof(float));
+  if (fnv1a(payload) != checksum) return std::nullopt;
+  std::vector<float> weights(count);
+  if (count > 0) {
+    std::memcpy(weights.data(), payload.data(), payload.size());
   }
+  return weights;
 }
 
 bool save_checkpoint(const std::string& path,

@@ -1,0 +1,91 @@
+// Codec registry: one canonical binary codec per protocol message kind.
+//
+// Every message that crosses net::Network rides as a typed std::any for
+// speed, but its accounted wire size must be honest. Each protocol layer
+// (raft/wire, secagg/wire, core/wire) registers a Codec here for every
+// message it sends; the network consults the registry to
+//
+//  * encode-verify: at send time, encode the payload and assert the
+//    charged wire_bytes equals the encoded length (plus the declared
+//    modeled-payload delta, see Envelope::modeled_delta), and
+//  * corruption faults: chaos bit-flips/truncations operate on the real
+//    encoding, and the receiver-side decode either recovers a typed
+//    message or drops the envelope with reason "corrupt".
+//
+// Kinds are channel-qualified ("sac/sg2/share", "raft/fed/ae"), so the
+// registry is keyed by the channel-independent codec key
+// "<family>:<op>" — the kind's first path segment plus its last
+// ("raft/sg0/rv" -> "raft:rv", "join" -> "join"). The sample/equals
+// hooks drive the exhaustive round-trip + truncation-fuzz property test
+// and the `p2pflctl wire` catalog.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace p2pfl::net {
+
+struct Envelope;
+
+/// Shape parameters for Codec::sample: a plausible random instance for a
+/// deployment with `dim`-parameter models in subgroups of `n` with
+/// reconstruction threshold `k`.
+struct WireSample {
+  std::size_t dim = 8;
+  std::size_t n = 4;
+  std::size_t k = 3;
+  std::uint64_t round = 1;
+};
+
+struct Codec {
+  /// Channel-independent key, e.g. "raft:ae" or "sac:share".
+  std::string key;
+  /// Encode the std::any payload; nullopt if the body is not this type.
+  std::function<std::optional<Bytes>(const std::any&)> encode;
+  /// Strict decode; nullopt on truncated / malformed / trailing input.
+  std::function<std::optional<std::any>(const Bytes&)> decode;
+  /// Random plausible instance for the given shape (fuzz + catalog).
+  std::function<std::any(Rng&, const WireSample&)> sample;
+  /// Deep equality of two payloads of this type (round-trip checks).
+  std::function<bool(const std::any&, const std::any&)> equals;
+};
+
+class CodecRegistry {
+ public:
+  /// The process-wide registry every protocol layer registers into.
+  static CodecRegistry& global();
+
+  /// Register (or replace) a codec under codec.key.
+  void add(Codec codec);
+
+  /// Codec key for a channel-qualified kind: first path segment + ":" +
+  /// last path segment ("raft/sg1/ae" -> "raft:ae"); a kind without '/'
+  /// is its own key ("join" -> "join").
+  static std::string key_of_kind(const std::string& kind);
+
+  const Codec* find_key(const std::string& key) const;
+  const Codec* find_kind(const std::string& kind) const;
+
+  /// All registered codecs, ordered by key.
+  std::vector<const Codec*> all() const;
+
+ private:
+  std::map<std::string, Codec> codecs_;
+};
+
+/// Typed payload access: nullptr when the body holds a different type
+/// (never throws, unlike std::any_cast on a reference).
+template <typename T>
+const T* payload(const std::any& body) {
+  return std::any_cast<T>(&body);
+}
+
+}  // namespace p2pfl::net

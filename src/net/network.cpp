@@ -5,30 +5,39 @@
 
 namespace p2pfl::net {
 
-void TrafficStats::record_sent(const std::string& kind, std::uint64_t bytes) {
+void TrafficStats::record_sent(const std::string& kind, std::uint64_t bytes,
+                               std::uint64_t payload) {
   sent.messages += 1;
   sent.bytes += bytes;
+  sent.payload += payload;
   auto& c = sent_by_kind[kind];
   c.messages += 1;
   c.bytes += bytes;
+  c.payload += payload;
 }
 
 void TrafficStats::record_delivered(const std::string& kind,
-                                    std::uint64_t bytes) {
+                                    std::uint64_t bytes,
+                                    std::uint64_t payload) {
   delivered.messages += 1;
   delivered.bytes += bytes;
+  delivered.payload += payload;
   auto& c = delivered_by_kind[kind];
   c.messages += 1;
   c.bytes += bytes;
+  c.payload += payload;
 }
 
 void TrafficStats::record_duplicate_delivered(const std::string& kind,
-                                              std::uint64_t bytes) {
+                                              std::uint64_t bytes,
+                                              std::uint64_t payload) {
   duplicated.messages += 1;
   duplicated.bytes += bytes;
+  duplicated.payload += payload;
   auto& c = delivered_by_kind["dup:" + kind];
   c.messages += 1;
   c.bytes += bytes;
+  c.payload += payload;
 }
 
 Network::Network(sim::Simulator& sim, NetworkConfig cfg)
@@ -38,8 +47,11 @@ Network::Network(sim::Simulator& sim, NetworkConfig cfg)
       fault_rng_(sim.rng().fork(0x6368'616fULL /*"chao"*/)),
       m_sent_msgs_(sim.obs().metrics.counter("net.sent.messages")),
       m_sent_bytes_(sim.obs().metrics.counter("net.sent.bytes")),
+      m_sent_payload_(sim.obs().metrics.counter("net.sent.payload")),
       m_delivered_msgs_(sim.obs().metrics.counter("net.delivered.messages")),
-      m_delivered_bytes_(sim.obs().metrics.counter("net.delivered.bytes")) {
+      m_delivered_bytes_(sim.obs().metrics.counter("net.delivered.bytes")),
+      m_delivered_payload_(
+          sim.obs().metrics.counter("net.delivered.payload")) {
   P2PFL_CHECK(cfg_.base_latency >= 0);
   P2PFL_CHECK(cfg_.latency_jitter >= 0);
 }
@@ -161,6 +173,7 @@ void Network::send(Envelope env) {
     count_drop("partitioned");
     return;
   }
+  if (cfg_.encode_verify) verify_encoding(env);
 
   obs::SpanRecorder& sr = sim_.obs().spans;
   if (sr.enabled() && env.span.span == obs::kNoSpan) {
@@ -179,9 +192,10 @@ void Network::send(Envelope env) {
     return;
   }
 
-  stats_.record_sent(env.kind, env.wire_bytes);
+  stats_.record_sent(env.kind, env.wire_bytes, env.payload_bytes);
   m_sent_msgs_.add(1);
   m_sent_bytes_.add(env.wire_bytes);
+  m_sent_payload_.add(env.payload_bytes);
   sim_.obs()
       .metrics.counter("net.sent.bytes." + env.kind)
       .add(env.wire_bytes);
@@ -201,6 +215,13 @@ void Network::send(Envelope env) {
     }
     return;
   }
+  // Corruption damages the real encoding; a later duplicate draw copies
+  // the damaged envelope, so both copies carry the same broken bytes.
+  const bool flip =
+      f.corrupt_prob > 0.0 && fault_rng_.chance(f.corrupt_prob);
+  const bool trunc =
+      f.truncate_prob > 0.0 && fault_rng_.chance(f.truncate_prob);
+  if (flip || trunc) maybe_corrupt(env, flip, trunc);
   const bool duplicate =
       f.duplicate_prob > 0.0 && fault_rng_.chance(f.duplicate_prob);
   if (duplicate) {
@@ -239,6 +260,59 @@ void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
   send(std::move(env));
 }
 
+void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
+                   const WireSize& size) {
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.kind = std::move(kind);
+  env.body = std::move(body);
+  env.wire_bytes = size.wire;
+  env.payload_bytes = size.payload;
+  env.modeled_delta = size.modeled;
+  send(std::move(env));
+}
+
+void Network::verify_encoding(const Envelope& env) const {
+  const Codec* codec = CodecRegistry::global().find_kind(env.kind);
+  if (codec == nullptr) return;  // raw / test-only kind: nothing to check
+  std::optional<Bytes> encoded = codec->encode(env.body);
+  P2PFL_CHECK_MSG(encoded.has_value(),
+                  "payload type does not match the codec for kind '" +
+                      env.kind + "'");
+  const std::int64_t charged = static_cast<std::int64_t>(env.wire_bytes);
+  const std::int64_t actual =
+      static_cast<std::int64_t>(encoded->size()) + env.modeled_delta;
+  P2PFL_CHECK_MSG(charged == actual,
+                  "charged wire_bytes " + std::to_string(env.wire_bytes) +
+                      " for kind '" + env.kind + "' != encoded size " +
+                      std::to_string(encoded->size()) + " + modeled_delta " +
+                      std::to_string(env.modeled_delta));
+}
+
+void Network::maybe_corrupt(Envelope& env, bool flip, bool truncate) {
+  const Codec* codec = CodecRegistry::global().find_kind(env.kind);
+  if (codec == nullptr) return;  // only real encodings can be damaged
+  std::optional<Bytes> encoded = codec->encode(env.body);
+  if (!encoded.has_value()) return;
+  Bytes wire = std::move(*encoded);
+  if (truncate && !wire.empty()) {
+    // Random strict prefix (possibly empty) — strict decoders reject it.
+    wire.resize(fault_rng_.index(wire.size()));
+  }
+  if (flip && !wire.empty()) {
+    const std::size_t bit = fault_rng_.index(wire.size() * 8);
+    wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  env.body = CorruptPayload{std::move(wire)};
+  sim_.obs().metrics.counter("net.chaos.corrupted").add(1);
+  obs::TraceStream& tr = sim_.obs().trace;
+  if (tr.category_enabled("net")) {
+    tr.instant("net", "net.chaos_corrupt " + env.kind, env.from,
+               {{"to", env.to}});
+  }
+}
+
 void Network::deliver_now(const Envelope& env) {
   obs::SpanRecorder& sr = sim_.obs().spans;
   const obs::SpanId link = sr.enabled() ? env.span.span : obs::kNoSpan;
@@ -253,12 +327,37 @@ void Network::deliver_now(const Envelope& env) {
     if (link != obs::kNoSpan) sr.close_aborted(link);
     return;
   }
+  // A chaos-corrupted message carries its damaged real encoding; the
+  // receiving side of the network decodes it back to a typed payload.
+  // Failure means the receiver rejected the frame: dropped before any
+  // delivered accounting, under its own drop reason.
+  const Envelope* msg = &env;
+  Envelope repaired;
+  if (const CorruptPayload* cp = payload<CorruptPayload>(env.body)) {
+    const Codec* codec = CodecRegistry::global().find_kind(env.kind);
+    std::optional<std::any> decoded =
+        codec != nullptr ? codec->decode(cp->wire) : std::nullopt;
+    if (!decoded.has_value()) {
+      count_drop("corrupt");
+      obs::TraceStream& tr = sim_.obs().trace;
+      if (tr.category_enabled("net")) {
+        tr.instant("net", "net.drop_corrupt " + env.kind, env.to,
+                   {{"from", env.from}});
+      }
+      if (link != obs::kNoSpan) sr.close_aborted(link);
+      return;
+    }
+    repaired = env;
+    repaired.body = std::move(*decoded);
+    msg = &repaired;
+  }
   if (env.from != env.to) {
     if (env.chaos_duplicate) {
       // Chaos duplicate: delivered to the actor like any message, but
       // accounted under a distinct label so per-kind delivered bytes
       // stay equal to the Eq. (4)/(5) protocol counts.
-      stats_.record_duplicate_delivered(env.kind, env.wire_bytes);
+      stats_.record_duplicate_delivered(env.kind, env.wire_bytes,
+                                        env.payload_bytes);
       sim_.obs().metrics.counter("net.delivered.dup.messages").add(1);
       sim_.obs().metrics.counter("net.delivered.dup.bytes")
           .add(env.wire_bytes);
@@ -268,9 +367,10 @@ void Network::deliver_now(const Envelope& env) {
                    {{"from", env.from}, {"bytes", env.wire_bytes}});
       }
     } else {
-      stats_.record_delivered(env.kind, env.wire_bytes);
+      stats_.record_delivered(env.kind, env.wire_bytes, env.payload_bytes);
       m_delivered_msgs_.add(1);
       m_delivered_bytes_.add(env.wire_bytes);
+      m_delivered_payload_.add(env.payload_bytes);
       sim_.obs()
           .metrics.counter("net.delivered.bytes." + env.kind)
           .add(env.wire_bytes);
@@ -287,11 +387,11 @@ void Network::deliver_now(const Envelope& env) {
     // and waits the handler resolves can record it as their closer.
     sr.close(link);
     sr.push(link);
-    it->second->deliver(env);
+    it->second->deliver(*msg);
     sr.pop();
     return;
   }
-  it->second->deliver(env);
+  it->second->deliver(*msg);
 }
 
 void Network::crash(PeerId peer) { crashed_.insert(peer); }

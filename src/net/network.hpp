@@ -23,20 +23,34 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "net/codec.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2pfl::net {
 
-/// One message on the wire. `body` is a typed payload (receivers
-/// any_cast it); `wire_bytes` is the size accounted for cost analysis —
-/// kept explicit so experiments can model e.g. a 1.25M-parameter CNN
-/// without materializing 5 MB buffers per message.
+/// One message on the wire. `body` is a typed payload (receivers access
+/// it through net::payload<T>); `wire_bytes` is the size accounted for
+/// cost analysis. When the network's encode-verify mode is on (the
+/// default) and a codec is registered for the kind, the charge is
+/// asserted against the real encoding at send time:
+///   wire_bytes == encoded-length + modeled_delta.
 struct Envelope {
   PeerId from = kNoPeer;
   PeerId to = kNoPeer;
   std::string kind;
   std::any body;
   std::uint64_t wire_bytes = 0;
+  /// Model-data portion of wire_bytes, in the |w|-unit accounting of the
+  /// paper's Eq. (4)/(5) (0 for pure control messages). The closed-form
+  /// cost models count these bytes; wire_bytes additionally carries the
+  /// codec's framing overhead.
+  std::uint64_t payload_bytes = 0;
+  /// Bytes the charge models beyond the real encoding: experiments
+  /// simulate e.g. a 1.25M-parameter CNN (5 MB per transfer) while
+  /// computing on tiny vectors, so the charged wire size exceeds the
+  /// materialized encoding by exactly this declared amount (negative if
+  /// the modeled payload is smaller). 0 = the charge is byte-exact.
+  std::int64_t modeled_delta = 0;
   /// Causal context (round id + span id). Stamped by the sender's
   /// current span at send time when unset; in flight it names the
   /// delivery's own link span (the parent chain lives in the recorder).
@@ -53,11 +67,31 @@ class Endpoint {
   virtual void deliver(const Envelope& env) = 0;
 };
 
+/// Charged sizes of one message: the full on-the-wire size, the
+/// |w|-unit model-data portion, and the declared modeled-payload delta
+/// (see the Envelope fields of the same names).
+struct WireSize {
+  std::uint64_t wire = 0;
+  std::uint64_t payload = 0;
+  std::int64_t modeled = 0;
+};
+
+/// A chaos-corrupted payload in flight: the message's real encoding with
+/// bits flipped or bytes truncated. The receiving side of the network
+/// decodes it through the codec registry — a surviving decode is
+/// delivered typed, a failing one is dropped with reason "corrupt".
+struct CorruptPayload {
+  Bytes wire;
+};
+
 /// Aggregate traffic counters, split by message kind.
 struct TrafficStats {
   struct Counter {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
+    /// Model-data (|w|-unit) portion of `bytes` — what the paper's
+    /// closed-form cost models count (framing overhead excluded).
+    std::uint64_t payload = 0;
   };
   Counter sent;       // accepted for transmission
   Counter delivered;  // actually handed to a live endpoint (originals)
@@ -73,10 +107,13 @@ struct TrafficStats {
   /// partitioned, chaos_loss, receiver_crashed, unattached).
   std::map<std::string, std::uint64_t> dropped_by_reason;
 
-  void record_sent(const std::string& kind, std::uint64_t bytes);
-  void record_delivered(const std::string& kind, std::uint64_t bytes);
+  void record_sent(const std::string& kind, std::uint64_t bytes,
+                   std::uint64_t payload);
+  void record_delivered(const std::string& kind, std::uint64_t bytes,
+                        std::uint64_t payload);
   void record_duplicate_delivered(const std::string& kind,
-                                  std::uint64_t bytes);
+                                  std::uint64_t bytes,
+                                  std::uint64_t payload);
 };
 
 /// Stochastic link-imperfection knobs. All draws come from the network's
@@ -92,10 +129,20 @@ struct LinkFaults {
   /// latency in [0, reorder_jitter], letting later sends overtake it.
   double reorder_prob = 0.0;
   SimDuration reorder_jitter = 0;
+  /// Probability a message's encoding has one random bit flipped in
+  /// flight. Applies only to kinds with a registered codec; the receiver
+  /// decodes the damaged bytes and drops the message (reason "corrupt")
+  /// unless the decode still yields a well-formed value.
+  double corrupt_prob = 0.0;
+  /// Probability a message arrives truncated to a random strict prefix
+  /// of its encoding (always dropped: the strict decoders reject every
+  /// proper prefix).
+  double truncate_prob = 0.0;
 
   bool any() const {
     return drop_prob > 0.0 || duplicate_prob > 0.0 ||
-           (reorder_prob > 0.0 && reorder_jitter > 0);
+           (reorder_prob > 0.0 && reorder_jitter > 0) ||
+           corrupt_prob > 0.0 || truncate_prob > 0.0;
   }
 };
 
@@ -113,6 +160,13 @@ struct NetworkConfig {
   /// Default stochastic imperfection applied to every inter-peer message
   /// (overridable per link and per message-kind prefix).
   LinkFaults faults = {};
+  /// Encode every payload whose kind has a registered codec at send time
+  /// and assert the charged wire_bytes equals the encoded length (plus
+  /// the envelope's declared modeled_delta). On by default so every test
+  /// run cross-checks the Eq. (4)/(5) byte accounting against real
+  /// encodings; turn off only to send raw un-encodable bodies on
+  /// protocol kinds (some fault-injection tests do).
+  bool encode_verify = true;
 };
 
 class Network {
@@ -137,9 +191,14 @@ class Network {
   /// lost to a crash that happens while it is in flight.
   void send(Envelope env);
 
-  /// Convenience wrapper building the envelope.
+  /// Convenience wrapper building the envelope (pure control message:
+  /// no model payload, byte-exact charge).
   void send(PeerId from, PeerId to, std::string kind, std::any body,
             std::uint64_t wire_bytes);
+
+  /// Convenience wrapper carrying the full charged-size breakdown.
+  void send(PeerId from, PeerId to, std::string kind, std::any body,
+            const WireSize& size);
 
   // --- fault injection -------------------------------------------------
   /// Crash a peer: it neither sends nor receives until restore().
@@ -199,6 +258,12 @@ class Network {
   void schedule_delivery(const Envelope& env, PeerId from, PeerId to);
   void deliver_now(const Envelope& env);
   void count_drop(const char* reason);
+  /// Encode-verify: charge must equal real encoding + modeled_delta.
+  void verify_encoding(const Envelope& env) const;
+  /// Damage the message's real encoding in flight (bit flip and/or
+  /// truncation); the body becomes a CorruptPayload the receiving side
+  /// must decode. No-op for kinds without a registered codec.
+  void maybe_corrupt(Envelope& env, bool flip, bool truncate);
 
   sim::Simulator& sim_;
   NetworkConfig cfg_;
@@ -208,8 +273,10 @@ class Network {
   Rng fault_rng_;
   obs::Counter& m_sent_msgs_;
   obs::Counter& m_sent_bytes_;
+  obs::Counter& m_sent_payload_;
   obs::Counter& m_delivered_msgs_;
   obs::Counter& m_delivered_bytes_;
+  obs::Counter& m_delivered_payload_;
   std::unordered_map<PeerId, Endpoint*> endpoints_;
   std::unordered_set<PeerId> crashed_;
   std::unordered_set<Link> blocked_;

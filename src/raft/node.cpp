@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "raft/wire.hpp"
 
 namespace p2pfl::raft {
 
@@ -46,11 +47,35 @@ RaftNode::RaftNode(PeerId id, std::string channel,
   P2PFL_CHECK(opts_.election_timeout_max >= opts_.election_timeout_min);
   std::sort(config_.begin(), config_.end());
   snapshot_members_ = config_;
-  host_.route(channel_ + "/",
-              [this](const net::Envelope& env) { dispatch(env); });
+  wire::register_codecs();
+  // One typed route per RPC kind: the payload arrives as the exact
+  // struct the codec registry knows for that kind, no string dispatch.
+  route_rpc<RequestVoteArgs>(
+      "/rv", [this](const RequestVoteArgs& m) { handle_request_vote(m); });
+  route_rpc<RequestVoteReply>("/rvr", [this](const RequestVoteReply& m) {
+    handle_request_vote_reply(m);
+  });
+  route_rpc<AppendEntriesArgs>("/ae", [this](const AppendEntriesArgs& m) {
+    handle_append_entries(m);
+  });
+  route_rpc<AppendEntriesReply>("/aer", [this](const AppendEntriesReply& m) {
+    handle_append_entries_reply(m);
+  });
+  route_rpc<InstallSnapshotArgs>("/is", [this](const InstallSnapshotArgs& m) {
+    handle_install_snapshot(m);
+  });
+  route_rpc<InstallSnapshotReply>(
+      "/isr",
+      [this](const InstallSnapshotReply& m) { handle_install_snapshot_reply(m); });
+  route_rpc<TimeoutNowArgs>(
+      "/tn", [this](const TimeoutNowArgs& m) { handle_timeout_now(m); });
 }
 
-RaftNode::~RaftNode() { host_.unroute(channel_ + "/"); }
+RaftNode::~RaftNode() {
+  for (const char* suffix : {"/rv", "/rvr", "/ae", "/aer", "/is", "/isr", "/tn"}) {
+    host_.unroute(channel_ + suffix);
+  }
+}
 
 bool RaftNode::in_config() const {
   return std::find(config_.begin(), config_.end(), id_) != config_.end();
@@ -294,31 +319,6 @@ void RaftNode::broadcast_append() {
 }
 
 // --- receive side -------------------------------------------------------------
-
-void RaftNode::dispatch(const net::Envelope& env) {
-  if (!running_) return;
-  const std::string_view kind = env.kind;
-  const std::string_view suffix = kind.substr(channel_.size());
-  if (suffix == "/rv") {
-    handle_request_vote(std::any_cast<const RequestVoteArgs&>(env.body));
-  } else if (suffix == "/rvr") {
-    handle_request_vote_reply(
-        std::any_cast<const RequestVoteReply&>(env.body));
-  } else if (suffix == "/ae") {
-    handle_append_entries(std::any_cast<const AppendEntriesArgs&>(env.body));
-  } else if (suffix == "/aer") {
-    handle_append_entries_reply(
-        std::any_cast<const AppendEntriesReply&>(env.body));
-  } else if (suffix == "/is") {
-    handle_install_snapshot(
-        std::any_cast<const InstallSnapshotArgs&>(env.body));
-  } else if (suffix == "/isr") {
-    handle_install_snapshot_reply(
-        std::any_cast<const InstallSnapshotReply&>(env.body));
-  } else if (suffix == "/tn") {
-    handle_timeout_now(std::any_cast<const TimeoutNowArgs&>(env.body));
-  }
-}
 
 void RaftNode::handle_request_vote(const RequestVoteArgs& args) {
   if (args.pre_vote) {

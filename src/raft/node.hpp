@@ -171,8 +171,17 @@ class RaftNode {
   void send_append(PeerId to);
   void broadcast_append();
 
-  // RPC receive side.
-  void dispatch(const net::Envelope& env);
+  // RPC receive side. Each RPC kind has its own typed route; the
+  // handler fires only while running and only for the exact payload type
+  // (a mismatched body — impossible through the codecs — is ignored).
+  template <typename T, typename Fn>
+  void route_rpc(const char* suffix, Fn handler) {
+    host_.route(channel_ + suffix,
+                [this, handler](const net::Envelope& env) {
+                  if (!running_) return;
+                  if (const T* m = net::payload<T>(env.body)) handler(*m);
+                });
+  }
   void handle_request_vote(const RequestVoteArgs& args);
   void handle_request_vote_reply(const RequestVoteReply& reply);
   void handle_append_entries(const AppendEntriesArgs& args);

@@ -33,4 +33,8 @@ std::optional<InstallSnapshotReply> decode_install_snapshot_reply(
     const Bytes& b);
 std::optional<TimeoutNowArgs> decode_timeout_now(const Bytes& b);
 
+/// Register the Raft RPC codecs ("raft:rv" ... "raft:tn") in the global
+/// net::CodecRegistry. Idempotent; called by every RaftNode constructor.
+void register_codecs();
+
 }  // namespace p2pfl::raft::wire

@@ -4,12 +4,20 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "secagg/wire.hpp"
 
 namespace p2pfl::secagg {
 
 namespace {
-constexpr std::uint64_t kControlBytes = 16;
+
+/// Kind family of a channel ("ml/g3" -> "ml"): the codec-registry key
+/// prefix shared by every channel of the same protocol.
+std::string family_of(const std::string& channel) {
+  const std::size_t slash = channel.find('/');
+  return slash == std::string::npos ? channel : channel.substr(0, slash);
 }
+
+}  // namespace
 
 SacPeer::SacPeer(PeerId id, std::string channel, SacActorOptions opts,
                  net::Network& net, net::PeerHost& host)
@@ -23,11 +31,23 @@ SacPeer::SacPeer(PeerId id, std::string channel, SacActorOptions opts,
                    channel_ + ".share_timeout"),
       subtotal_timer_(net.simulator(), [this] { on_subtotal_timer(); },
                       channel_ + ".subtotal_timeout") {
-  host_.route(channel_ + "/",
-              [this](const net::Envelope& env) { dispatch(env); });
+  wire::register_codecs(family_of(channel_));
+  route_msg<SacShareMsg>(
+      "/share", [this](const SacShareMsg& m) { handle_share(m); });
+  route_msg<SacSubtotalMsg>(
+      "/subtotal", [this](const SacSubtotalMsg& m) { handle_subtotal(m); });
+  route_msg<SacSubtotalReq>(
+      "/request", [this](const SacSubtotalReq& m) { handle_request(m); });
+  route_msg<SacShareReq>("/share_req", [this](const SacShareReq& m) {
+    handle_share_request(m);
+  });
 }
 
-SacPeer::~SacPeer() { host_.unroute(channel_ + "/"); }
+SacPeer::~SacPeer() {
+  for (const char* suffix : {"/share", "/subtotal", "/request", "/share_req"}) {
+    host_.unroute(channel_ + suffix);
+  }
+}
 
 std::optional<RoundId> SacPeer::active_round() const {
   if (round_ && !round_->completed) return round_->round;
@@ -120,7 +140,8 @@ void SacPeer::begin_round(RoundId round, Vector model,
     for (std::size_t s : replica_share_indices(j, n, k)) {
       msg.parts.emplace_back(static_cast<std::uint32_t>(s), shares[s]);
     }
-    const std::uint64_t wire = msg.parts.size() * round_->share_bytes;
+    const net::WireSize wire = wire::share_wire(
+        msg.parts.size(), round_->share_bytes, model.size());
     net_.send(id_, round_->group[j], channel_ + "/share", std::move(msg),
               wire);
   }
@@ -135,49 +156,16 @@ void SacPeer::begin_round(RoundId round, Vector model,
   share_timer_.arm(opts_.share_timeout);
   maybe_finish_share_phase();
 
-  // Replay any messages for this round that arrived before we started it.
+  // Replay any messages for this round that arrived before we started
+  // it: re-deliver through the host so each lands on its typed route.
   auto stash = std::move(stash_);
   stash_.clear();
   for (auto& [r, env] : stash) {
     if (r == round) {
-      dispatch(env);
+      host_.deliver(env);
     } else if (r > round) {
       stash_.emplace_back(r, std::move(env));
     }
-  }
-}
-
-void SacPeer::dispatch(const net::Envelope& env) {
-  const std::string_view suffix =
-      std::string_view(env.kind).substr(channel_.size());
-  RoundId msg_round = 0;
-  if (suffix == "/share") {
-    msg_round = std::any_cast<const SacShareMsg&>(env.body).round;
-  } else if (suffix == "/subtotal") {
-    msg_round = std::any_cast<const SacSubtotalMsg&>(env.body).round;
-  } else if (suffix == "/request") {
-    msg_round = std::any_cast<const SacSubtotalReq&>(env.body).round;
-  } else if (suffix == "/share_req") {
-    msg_round = std::any_cast<const SacShareReq&>(env.body).round;
-  } else {
-    return;
-  }
-  const RoundId current = round_ ? round_->round : 0;
-  if (!round_ || msg_round > current) {
-    // Round not started here yet: keep the message for begin_round.
-    stash_.emplace_back(msg_round, env);
-    return;
-  }
-  if (msg_round < current) return;  // stale
-
-  if (suffix == "/share") {
-    handle_share(std::any_cast<const SacShareMsg&>(env.body));
-  } else if (suffix == "/subtotal") {
-    handle_subtotal(std::any_cast<const SacSubtotalMsg&>(env.body));
-  } else if (suffix == "/request") {
-    handle_request(std::any_cast<const SacSubtotalReq&>(env.body));
-  } else {
-    handle_share_request(std::any_cast<const SacShareReq&>(env.body));
   }
 }
 
@@ -204,7 +192,8 @@ void SacPeer::handle_share_request(const SacShareReq& msg) {
     out.parts.emplace_back(static_cast<std::uint32_t>(s), st.shares[s]);
   }
   net_.simulator().obs().metrics.counter("sac.share_resends").add(1);
-  const std::uint64_t wire = out.parts.size() * st.share_bytes;
+  const net::WireSize wire = wire::share_wire(
+      out.parts.size(), st.share_bytes, out.parts.front().second.size());
   net_.send(id_, st.group[msg.reply_to_pos], channel_ + "/share",
             std::move(out), wire);
 }
@@ -213,6 +202,11 @@ void SacPeer::contribute(std::size_t from_pos, std::size_t idx,
                          const Vector& share) {
   RoundState& st = *round_;
   if (idx >= st.n) return;
+  // A share whose dimension disagrees with what this index already
+  // accumulated is damaged (or from a mismatched config): ignore it
+  // rather than corrupt the running subtotal.
+  auto prev = st.acc.find(idx);
+  if (prev != st.acc.end() && prev->second.size() != share.size()) return;
   st.got_share_from[from_pos] = true;
   auto [cit, inserted] =
       st.contributed.try_emplace(idx, std::vector<bool>(st.n, false));
@@ -272,7 +266,7 @@ void SacPeer::emit_subtotals() {
       SacSubtotalMsg msg{st.round, static_cast<std::uint32_t>(st.my_pos),
                          mine};
       net_.send(id_, st.group[j], channel_ + "/subtotal", std::move(msg),
-                st.share_bytes);
+                wire::subtotal_wire(st.share_bytes, mine.size()));
     }
     leader_collect(st.my_pos, mine);
     return;
@@ -293,8 +287,9 @@ void SacPeer::emit_subtotals() {
   if (dist > n - st.k) {
     SacSubtotalMsg msg{st.round, static_cast<std::uint32_t>(st.my_pos),
                        st.subtotal.at(st.my_pos)};
+    const std::size_t dim = msg.value.size();
     net_.send(id_, st.group[st.leader_pos], channel_ + "/subtotal",
-              std::move(msg), st.share_bytes);
+              std::move(msg), wire::subtotal_wire(st.share_bytes, dim));
   }
 }
 
@@ -311,12 +306,19 @@ void SacPeer::handle_request(const SacSubtotalReq& msg) {
   auto it = st.subtotal.find(msg.idx);
   if (it == st.subtotal.end()) return;  // not (yet) available here
   SacSubtotalMsg reply{st.round, msg.idx, it->second};
+  const std::size_t dim = reply.value.size();
   net_.send(id_, st.group[msg.reply_to_pos], channel_ + "/subtotal",
-            std::move(reply), st.share_bytes);
+            std::move(reply), wire::subtotal_wire(st.share_bytes, dim));
 }
 
 void SacPeer::leader_collect(std::size_t idx, const Vector& value) {
   RoundState& st = *round_;
+  // Reject a subtotal whose dimension disagrees with the ones already
+  // collected (damaged or mismatched-config message).
+  if (!st.collected.empty() &&
+      st.collected.begin()->second.size() != value.size()) {
+    return;
+  }
   st.collected.emplace(idx, value);
   maybe_complete();
 }
@@ -392,7 +394,7 @@ void SacPeer::on_share_timer() {
       if (!want[p]) continue;
       SacShareReq req{st.round, static_cast<std::uint32_t>(st.my_pos)};
       net_.send(id_, st.group[p], channel_ + "/share_req", req,
-                kControlBytes);
+                wire::kShareReqWire);
       ++requested;
     }
   }
@@ -452,7 +454,7 @@ void SacPeer::request_missing_subtotals() {
     SacSubtotalReq req{st.round, static_cast<std::uint32_t>(idx),
                        static_cast<std::uint32_t>(st.my_pos)};
     net_.send(id_, st.group[target], channel_ + "/request", req,
-              kControlBytes);
+              wire::kSubtotalReqWire);
     ++attempt;
     any_pending = true;
   }

@@ -169,7 +169,24 @@ class SacPeer {
   };
 
   bool is_leader() const;
-  void dispatch(const net::Envelope& env);
+  /// One typed route per message kind. The shared gate keeps the old
+  /// dispatch semantics: messages for a round this peer has not begun
+  /// yet are stashed for begin_round, stale rounds are dropped.
+  template <typename T, typename Fn>
+  void route_msg(const char* suffix, Fn handler) {
+    host_.route(channel_ + suffix,
+                [this, handler](const net::Envelope& env) {
+                  const T* msg = net::payload<T>(env.body);
+                  if (msg == nullptr) return;
+                  const RoundId current = round_ ? round_->round : 0;
+                  if (!round_ || msg->round > current) {
+                    stash_.emplace_back(msg->round, env);
+                    return;
+                  }
+                  if (msg->round < current) return;  // stale
+                  handler(*msg);
+                });
+  }
   void handle_share(const SacShareMsg& msg);
   void handle_subtotal(const SacSubtotalMsg& msg);
   void handle_request(const SacSubtotalReq& msg);

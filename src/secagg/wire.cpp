@@ -1,0 +1,227 @@
+#include "secagg/wire.hpp"
+
+#include <set>
+
+namespace p2pfl::secagg::wire {
+
+namespace {
+
+template <typename T, typename Fn>
+std::optional<T> guarded(const Bytes& b, Fn fn) {
+  ByteReader r(b);
+  T out = fn(r);
+  if (!r.complete()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+Bytes encode(const SacShareMsg& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.u32(m.from_pos);
+  w.u32(static_cast<std::uint32_t>(m.parts.size()));
+  for (const auto& [idx, data] : m.parts) {
+    w.u32(idx);
+    w.vec_f32(data);
+  }
+  return w.take();
+}
+
+std::optional<SacShareMsg> decode_share(const Bytes& b) {
+  return guarded<SacShareMsg>(b, [](ByteReader& r) {
+    SacShareMsg m;
+    m.round = r.u64();
+    m.from_pos = r.u32();
+    const std::uint32_t parts = r.u32();
+    // Gate on ok(): each successful part consumes >= 8 bytes, so a
+    // corrupted count cannot drive an unbounded loop.
+    for (std::uint32_t i = 0; i < parts && r.ok(); ++i) {
+      const std::uint32_t idx = r.u32();
+      m.parts.emplace_back(idx, r.vec_f32());
+    }
+    return m;
+  });
+}
+
+Bytes encode(const SacSubtotalMsg& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.u32(m.idx);
+  w.vec_f32(m.value);
+  return w.take();
+}
+
+std::optional<SacSubtotalMsg> decode_subtotal(const Bytes& b) {
+  return guarded<SacSubtotalMsg>(b, [](ByteReader& r) {
+    SacSubtotalMsg m;
+    m.round = r.u64();
+    m.idx = r.u32();
+    m.value = r.vec_f32();
+    return m;
+  });
+}
+
+Bytes encode(const SacSubtotalReq& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.u32(m.idx);
+  w.u32(m.reply_to_pos);
+  return w.take();
+}
+
+std::optional<SacSubtotalReq> decode_subtotal_req(const Bytes& b) {
+  return guarded<SacSubtotalReq>(b, [](ByteReader& r) {
+    SacSubtotalReq m;
+    m.round = r.u64();
+    m.idx = r.u32();
+    m.reply_to_pos = r.u32();
+    return m;
+  });
+}
+
+Bytes encode(const SacShareReq& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.u32(m.reply_to_pos);
+  return w.take();
+}
+
+std::optional<SacShareReq> decode_share_req(const Bytes& b) {
+  return guarded<SacShareReq>(b, [](ByteReader& r) {
+    SacShareReq m;
+    m.round = r.u64();
+    m.reply_to_pos = r.u32();
+    return m;
+  });
+}
+
+net::WireSize share_wire(std::size_t parts, std::uint64_t payload_each,
+                         std::size_t dim) {
+  net::WireSize s;
+  s.payload = parts * payload_each;
+  s.wire = kShareHeader + parts * kPerPartHeader + s.payload;
+  // Real encoding carries 4*dim data bytes per part; the charge carries
+  // payload_each (they differ only under the modeled-CNN override).
+  s.modeled = static_cast<std::int64_t>(parts) *
+              (static_cast<std::int64_t>(payload_each) -
+               static_cast<std::int64_t>(4 * dim));
+  return s;
+}
+
+net::WireSize subtotal_wire(std::uint64_t payload, std::size_t dim) {
+  net::WireSize s;
+  s.payload = payload;
+  s.wire = kSubtotalHeader + payload;
+  s.modeled = static_cast<std::int64_t>(payload) -
+              static_cast<std::int64_t>(4 * dim);
+  return s;
+}
+
+namespace {
+
+Vector sample_vector(Rng& rng, std::size_t dim) {
+  Vector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+SacShareMsg sample_share(Rng& rng, const net::WireSample& s) {
+  SacShareMsg m;
+  m.round = s.round;
+  m.from_pos = static_cast<std::uint32_t>(rng.index(s.n));
+  const std::size_t parts = s.n >= s.k ? s.n - s.k + 1 : 1;
+  for (std::size_t i = 0; i < parts; ++i) {
+    m.parts.emplace_back(static_cast<std::uint32_t>(rng.index(s.n)),
+                         sample_vector(rng, s.dim));
+  }
+  return m;
+}
+
+SacSubtotalMsg sample_subtotal(Rng& rng, const net::WireSample& s) {
+  SacSubtotalMsg m;
+  m.round = s.round;
+  m.idx = static_cast<std::uint32_t>(rng.index(s.n));
+  m.value = sample_vector(rng, s.dim);
+  return m;
+}
+
+SacSubtotalReq sample_subtotal_req(Rng& rng, const net::WireSample& s) {
+  SacSubtotalReq m;
+  m.round = s.round;
+  m.idx = static_cast<std::uint32_t>(rng.index(s.n));
+  m.reply_to_pos = static_cast<std::uint32_t>(rng.index(s.n));
+  return m;
+}
+
+SacShareReq sample_share_req(Rng& rng, const net::WireSample& s) {
+  SacShareReq m;
+  m.round = s.round;
+  m.reply_to_pos = static_cast<std::uint32_t>(rng.index(s.n));
+  return m;
+}
+
+bool eq_share(const SacShareMsg& a, const SacShareMsg& b) {
+  return a.round == b.round && a.from_pos == b.from_pos &&
+         a.parts == b.parts;
+}
+
+bool eq_subtotal(const SacSubtotalMsg& a, const SacSubtotalMsg& b) {
+  return a.round == b.round && a.idx == b.idx && a.value == b.value;
+}
+
+bool eq_subtotal_req(const SacSubtotalReq& a, const SacSubtotalReq& b) {
+  return a.round == b.round && a.idx == b.idx &&
+         a.reply_to_pos == b.reply_to_pos;
+}
+
+bool eq_share_req(const SacShareReq& a, const SacShareReq& b) {
+  return a.round == b.round && a.reply_to_pos == b.reply_to_pos;
+}
+
+template <typename T>
+net::Codec make_codec(std::string key,
+                      std::optional<T> (*decode_fn)(const Bytes&),
+                      T (*sample_fn)(Rng&, const net::WireSample&),
+                      bool (*eq_fn)(const T&, const T&)) {
+  net::Codec c;
+  c.key = std::move(key);
+  c.encode = [](const std::any& body) -> std::optional<Bytes> {
+    const T* m = net::payload<T>(body);
+    if (m == nullptr) return std::nullopt;
+    return encode(*m);
+  };
+  c.decode = [decode_fn](const Bytes& b) -> std::optional<std::any> {
+    std::optional<T> m = decode_fn(b);
+    if (!m.has_value()) return std::nullopt;
+    return std::any(std::move(*m));
+  };
+  c.sample = [sample_fn](Rng& rng, const net::WireSample& s) -> std::any {
+    return sample_fn(rng, s);
+  };
+  c.equals = [eq_fn](const std::any& a, const std::any& b) {
+    const T* x = net::payload<T>(a);
+    const T* y = net::payload<T>(b);
+    return x != nullptr && y != nullptr && eq_fn(*x, *y);
+  };
+  return c;
+}
+
+}  // namespace
+
+void register_codecs(const std::string& family) {
+  static std::set<std::string> done;
+  if (!done.insert(family).second) return;
+  auto& reg = net::CodecRegistry::global();
+  reg.add(make_codec<SacShareMsg>(family + ":share", &decode_share,
+                                  &sample_share, &eq_share));
+  reg.add(make_codec<SacSubtotalMsg>(family + ":subtotal", &decode_subtotal,
+                                     &sample_subtotal, &eq_subtotal));
+  reg.add(make_codec<SacSubtotalReq>(family + ":request",
+                                     &decode_subtotal_req,
+                                     &sample_subtotal_req, &eq_subtotal_req));
+  reg.add(make_codec<SacShareReq>(family + ":share_req", &decode_share_req,
+                                  &sample_share_req, &eq_share_req));
+}
+
+}  // namespace p2pfl::secagg::wire

@@ -1,0 +1,55 @@
+// Binary wire codec for the SAC protocol messages.
+//
+// Canonical little-endian encoding for the four SacPeer message types
+// (share bundle, subtotal, subtotal request, share retransmission
+// request). The network's encode-verify mode checks every charge against
+// these encodings; the charged WireSize helpers below also expose the
+// |w|-unit payload portion the paper's Eq. (4)/(5) cost analysis counts
+// and, when a round models a large CNN on tiny vectors
+// (wire_bytes_per_share override), the declared modeled-payload delta.
+#pragma once
+
+#include <optional>
+
+#include "net/codec.hpp"
+#include "net/network.hpp"
+#include "secagg/sac_actor.hpp"
+
+namespace p2pfl::secagg::wire {
+
+Bytes encode(const SacShareMsg& m);
+Bytes encode(const SacSubtotalMsg& m);
+Bytes encode(const SacSubtotalReq& m);
+Bytes encode(const SacShareReq& m);
+
+std::optional<SacShareMsg> decode_share(const Bytes& b);
+std::optional<SacSubtotalMsg> decode_subtotal(const Bytes& b);
+std::optional<SacSubtotalReq> decode_subtotal_req(const Bytes& b);
+std::optional<SacShareReq> decode_share_req(const Bytes& b);
+
+/// Fixed encoded sizes of the control messages (u64 round + u32 fields).
+inline constexpr std::uint64_t kSubtotalReqWire = 16;
+inline constexpr std::uint64_t kShareReqWire = 12;
+/// Framing of a share bundle: 16-byte header (round + from_pos + part
+/// count) plus 8 bytes per part (share index + element count).
+inline constexpr std::uint64_t kShareHeader = 16;
+inline constexpr std::uint64_t kPerPartHeader = 8;
+/// Framing of a subtotal: round + idx + element count.
+inline constexpr std::uint64_t kSubtotalHeader = 16;
+
+/// Charged size of a share bundle of `parts` shares, each accounted as
+/// `payload_each` model bytes while actually holding `dim` floats.
+net::WireSize share_wire(std::size_t parts, std::uint64_t payload_each,
+                         std::size_t dim);
+
+/// Charged size of one subtotal accounted as `payload` model bytes while
+/// actually holding `dim` floats.
+net::WireSize subtotal_wire(std::uint64_t payload, std::size_t dim);
+
+/// Register the SAC codecs for one kind family ("<family>:share" ...),
+/// e.g. "sac" for the two-layer subgroups and "ml" for the multilayer
+/// tree. Idempotent per family; called by every SacPeer constructor with
+/// the first path segment of its channel.
+void register_codecs(const std::string& family);
+
+}  // namespace p2pfl::secagg::wire

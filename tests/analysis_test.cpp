@@ -171,28 +171,33 @@ TEST(ModelSizeUnits, PaperCnnIs40MbPerTransfer) {
 
 // --- closed form vs the metrics registry -----------------------------------
 
-TEST(CostModelVsMetrics, Eq4MatchesNetSentBytesCounter) {
+TEST(CostModelVsMetrics, Eq4MatchesNetSentPayloadCounter) {
   // Third, independent measurement of the Fig. 13 byte counts: the
-  // network's metrics-registry counter (not TrafficStats) must equal
-  // Eq. (4)'s closed form times the synthetic |w| in a fault-free round.
+  // network's metrics-registry payload counter (not TrafficStats) must
+  // equal Eq. (4)'s closed form times the synthetic |w| in a fault-free
+  // round. The total wire counter additionally carries the per-message
+  // framing, so it strictly exceeds the model payload.
   for (const auto& [m, n] : std::vector<std::pair<std::size_t, std::size_t>>{
            {2, 3}, {5, 5}, {6, 4}}) {
     const std::vector<std::size_t> groups(m, n);
-    std::uint64_t metered_bytes = 0;
+    std::uint64_t metered_payload = 0;
+    std::uint64_t metered_wire = 0;
     core::AggSimHooks hooks;
     hooks.on_finish = [&](sim::Simulator& s) {
-      metered_bytes = s.obs().metrics.counter("net.sent.bytes").value();
+      metered_payload = s.obs().metrics.counter("net.sent.payload").value();
+      metered_wire = s.obs().metrics.counter("net.sent.bytes").value();
     };
     const auto breakdown = core::simulate_aggregation_cost(groups, 0, hooks);
     ASSERT_TRUE(breakdown.completed) << "m=" << m << " n=" << n;
     const double expected_units = two_layer_cost_eq4(m, n);
-    EXPECT_EQ(metered_bytes,
+    EXPECT_EQ(metered_payload,
               static_cast<std::uint64_t>(expected_units) *
                   core::kCostSimModelWire)
         << "m=" << m << " n=" << n;
+    EXPECT_GT(metered_wire, metered_payload) << "m=" << m << " n=" << n;
     // And the registry agrees with the per-kind TrafficStats total.
     EXPECT_DOUBLE_EQ(breakdown.total_units,
-                     static_cast<double>(metered_bytes) /
+                     static_cast<double>(metered_payload) /
                          static_cast<double>(core::kCostSimModelWire));
   }
 }

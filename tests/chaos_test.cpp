@@ -23,6 +23,7 @@
 #include "chaos/soak.hpp"
 #include "core/topology.hpp"
 #include "core/two_layer_agg.hpp"
+#include "core/wire.hpp"
 #include "net/mux.hpp"
 #include "net/network.hpp"
 #include "secagg/sac_actor.hpp"
@@ -125,7 +126,11 @@ TEST(ChaosNet, PerLinkFaultsOverrideDefaults) {
 
 TEST(ChaosNet, KindPrefixFaultsLongestPrefixWins) {
   sim::Simulator sim(7);
-  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  // Raw int bodies on protocol kinds: disable encode verification, which
+  // would otherwise reject bodies the registered codecs cannot encode.
+  net::NetworkConfig ncfg{.base_latency = 10 * kMillisecond};
+  ncfg.encode_verify = false;
+  net::Network net(sim, ncfg);
   Recorder r1;
   net.attach(0, &r1);
   net.attach(1, &r1);
@@ -390,6 +395,140 @@ TEST(ChaosSac, TotalDuplicationNeverDoubleCounts) {
             counter_value(s.sim, "net.sent.messages"));
 }
 
+// --- corruption faults ------------------------------------------------------
+
+TEST(ChaosCorrupt, TruncationAlwaysDropsWithCorruptReason) {
+  // Strict decoders reject every proper prefix, so a truncated frame
+  // can never reach the actor: it is dropped under its own reason,
+  // before any delivered accounting.
+  core::wire::register_codecs();  // "join" codec
+  sim::Simulator sim(7);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.truncate_prob = 1.0;
+  net::Network net(sim, cfg);
+  Recorder r0, r1;
+  net.attach(0, &r0);
+  net.attach(1, &r1);
+  for (int i = 0; i < 10; ++i) {
+    net.send(0, 1, "join", core::wire::JoinRequestMsg{0, kNoPeer},
+             core::wire::kJoinWire);
+  }
+  sim.run();
+  EXPECT_TRUE(r1.got.empty());
+  EXPECT_EQ(net.stats().sent.messages, 10u);
+  EXPECT_EQ(net.stats().delivered.messages, 0u);
+  EXPECT_EQ(net.stats().dropped_by_reason.at("corrupt"), 10u);
+  EXPECT_EQ(counter_value(sim, "net.chaos.corrupted"), 10u);
+  EXPECT_EQ(counter_value(sim, "net.dropped.corrupt"), 10u);
+}
+
+TEST(ChaosCorrupt, BitFlipDeliversTypedPayloadOrDrops) {
+  // A single flipped bit either survives strict decoding — in which
+  // case the actor receives a well-formed *typed* payload, never raw
+  // bytes — or the frame is dropped as corrupt. Nothing else.
+  core::wire::register_codecs();
+  sim::Simulator sim(8);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.corrupt_prob = 1.0;
+  net::Network net(sim, cfg);
+  Recorder r0, r1;
+  net.attach(0, &r0);
+  net.attach(1, &r1);
+  const int kSends = 200;
+  for (int i = 0; i < kSends; ++i) {
+    net.send(0, 1, "join", core::wire::JoinRequestMsg{5, 9},
+             core::wire::kJoinWire);
+  }
+  sim.run();
+  EXPECT_EQ(counter_value(sim, "net.chaos.corrupted"),
+            static_cast<std::uint64_t>(kSends));
+  const auto& dropped = net.stats().dropped_by_reason;
+  const std::uint64_t corrupt_drops =
+      dropped.count("corrupt") ? dropped.at("corrupt") : 0;
+  EXPECT_EQ(r1.got.size() + corrupt_drops,
+            static_cast<std::size_t>(kSends));
+  // An 8-byte join frame has no length fields, so every flip decodes —
+  // into a value that differs from the original in exactly one bit.
+  for (const auto& env : r1.got) {
+    const auto* req = net::payload<core::wire::JoinRequestMsg>(env.body);
+    ASSERT_NE(req, nullptr);
+    EXPECT_TRUE(req->candidate != 5 || req->stale_representative != 9);
+  }
+}
+
+TEST(ChaosCorrupt, KindsWithoutCodecsPassThroughUndamaged) {
+  // Corruption operates on real encodings; a raw test kind has none, so
+  // the fault leaves it untouched rather than guessing at its bytes.
+  sim::Simulator sim(9);
+  net::NetworkConfig cfg{.base_latency = 10 * kMillisecond};
+  cfg.faults.corrupt_prob = 1.0;
+  cfg.faults.truncate_prob = 1.0;
+  net::Network net(sim, cfg);
+  Recorder r0, r1;
+  net.attach(0, &r0);
+  net.attach(1, &r1);
+  for (int i = 0; i < 5; ++i) net.send(0, 1, "msg", i, 100);
+  sim.run();
+  ASSERT_EQ(r1.got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::any_cast<int>(r1.got[static_cast<std::size_t>(i)].body),
+              i);
+  }
+  EXPECT_EQ(counter_value(sim, "net.chaos.corrupted"), 0u);
+}
+
+TEST(ChaosCorrupt, SacRoundsCompleteAndStayExactUnderTruncation) {
+  // Truncated frames are always rejected by the strict decoders, so the
+  // retry machinery sees them as ordinary losses: rounds still converge
+  // to the exact average.
+  for (std::uint64_t seed : {5u, 23u}) {
+    secagg::SacActorOptions opts;
+    opts.k = 4;
+    opts.share_timeout = 100 * kMillisecond;
+    opts.subtotal_timeout = 100 * kMillisecond;
+    opts.share_retry_limit = 10;
+    net::LinkFaults faults;
+    faults.truncate_prob = 0.15;
+    LossySac s(6, opts, faults, seed);
+    s.begin(1, 2);
+    s.sim.run_for(60 * kSecond);
+    ASSERT_TRUE(s.results.count(2)) << "round never completed, seed "
+                                    << seed;
+    for (float v : s.results[2].second) {
+      EXPECT_NEAR(v, 3.5f, 1e-3f) << "seed " << seed;
+    }
+    EXPECT_GT(counter_value(s.sim, "net.chaos.corrupted"), 0u)
+        << "seed " << seed;
+    EXPECT_GT(counter_value(s.sim, "net.dropped.corrupt"), 0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(ChaosCorrupt, SacRoundsCompleteUnderLowRateBitFlips) {
+  // Bit flips are nastier than truncation: a flip in a float payload
+  // decodes fine and delivers a damaged value (there is no checksum —
+  // exactness is out of reach, like UDP without one), while a flip in a
+  // framing field is rejected and retried. Either way liveness holds:
+  // the round terminates with a well-formed result vector.
+  for (std::uint64_t seed : {5u, 23u}) {
+    secagg::SacActorOptions opts;
+    opts.k = 4;
+    opts.share_timeout = 100 * kMillisecond;
+    opts.subtotal_timeout = 100 * kMillisecond;
+    opts.share_retry_limit = 10;
+    net::LinkFaults faults;
+    faults.corrupt_prob = 0.10;
+    LossySac s(6, opts, faults, seed);
+    s.begin(1, 2);
+    s.sim.run_for(60 * kSecond);
+    ASSERT_TRUE(s.results.count(2)) << "round never completed, seed "
+                                    << seed;
+    EXPECT_EQ(s.results[2].second.size(), 8u) << "seed " << seed;
+    EXPECT_GT(counter_value(s.sim, "net.chaos.corrupted"), 0u)
+        << "seed " << seed;
+  }
+}
+
 TEST(ChaosAgg, DuplicationKeepsDeliveredBytesAtPaperCounts) {
   // Eq. (4) regression: with every message duplicated in flight
   // (duplicate_prob = 1, no loss) the *delivered* per-kind accounting
@@ -452,11 +591,11 @@ TEST(ChaosAgg, DuplicationKeepsDeliveredBytesAtPaperCounts) {
             st.duplicated.messages);
   EXPECT_EQ(counter_value(sim, "net.delivered.dup.bytes"),
             st.duplicated.bytes);
-  // The headline number: delivered protocol traffic still sums to the
+  // The headline number: the delivered model payload still sums to the
   // paper's Eq. (4) cost, mn^2 + mn - 2 model transfers for m = n = 3.
   double units = 0.0;
   for (const auto& [kind, c] : st.delivered_by_kind) {
-    if (kind.rfind("dup:", 0) != 0) units += static_cast<double>(c.bytes);
+    if (kind.rfind("dup:", 0) != 0) units += static_cast<double>(c.payload);
   }
   units /= static_cast<double>(kWire);
   EXPECT_DOUBLE_EQ(units, analysis::two_layer_cost_eq4(3, 3));
@@ -535,6 +674,46 @@ TEST(ChaosSoak, FastSoakStaysLiveAndExact) {
     EXPECT_EQ(res.rounds_started,
               res.rounds_committed + res.rounds_aborted);
   }
+}
+
+TEST(ChaosSoak, SoakStaysLiveAndExactUnderTruncation) {
+  // Loss + duplication + churn + truncation all at once: truncated
+  // frames never survive the strict decoders, so committed rounds stay
+  // exact and the rejects land in the drop table.
+  for (std::uint64_t seed : {1u, 6u}) {
+    ChaosSoakConfig cfg = fast_soak_config(seed);
+    cfg.net.faults.truncate_prob = 0.03;
+    const ChaosSoakResult res = run_chaos_soak(cfg);
+    EXPECT_TRUE(res.liveness_ok) << "seed " << seed;
+    EXPECT_TRUE(res.all_commits_exact)
+        << "seed " << seed << " max error " << res.max_abs_error;
+    EXPECT_GE(res.rounds_committed, 3u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSoak, SoakStaysLiveUnderBitFlips) {
+  // Bit flips can silently damage float payloads (no checksum), so
+  // exactness is not promised — but every round still terminates and
+  // the system keeps committing.
+  for (std::uint64_t seed : {1u, 6u}) {
+    ChaosSoakConfig cfg = fast_soak_config(seed);
+    cfg.net.faults.corrupt_prob = 0.03;
+    const ChaosSoakResult res = run_chaos_soak(cfg);
+    EXPECT_TRUE(res.liveness_ok) << "seed " << seed;
+    EXPECT_GE(res.rounds_committed, 3u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSoak, CorruptionSoakIsByteIdenticalForSameSeed) {
+  ChaosSoakConfig cfg = fast_soak_config(14);
+  cfg.rounds = 5;
+  cfg.net.faults.corrupt_prob = 0.05;
+  cfg.net.faults.truncate_prob = 0.03;
+  cfg.capture_trace = true;
+  const ChaosSoakResult a = run_chaos_soak(cfg);
+  const ChaosSoakResult b = run_chaos_soak(cfg);
+  EXPECT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
 }
 
 TEST(ChaosSoak, PartitionDegradesThenHeals) {

@@ -95,13 +95,32 @@ TEST(Serialize, RoundTripU32Vector) {
   EXPECT_EQ(r.vec_u32<std::uint32_t>(), v);
 }
 
-TEST(Serialize, TruncatedBufferThrows) {
+TEST(Serialize, TruncatedBufferFailsSoftly) {
+  // A short read must not throw or touch out-of-range memory: it yields
+  // a zero value and latches the reader into the failed state.
   ByteWriter w;
   w.u32(42);
   Bytes buf = w.take();
   buf.pop_back();
   ByteReader r(buf);
-  EXPECT_THROW(r.u32(), std::out_of_range);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.complete());
+  // Every further read keeps failing, including on a fresh field.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.vec_f32().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, HostileLengthPrefixRejected) {
+  // A corrupted element count far beyond the buffer must fail cleanly
+  // instead of attempting a huge allocation.
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);  // claims 4G elements, no data follows
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.vec_f32().empty());
+  EXPECT_FALSE(r.ok());
 }
 
 TEST(Serialize, EmptyString) {

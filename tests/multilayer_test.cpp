@@ -133,7 +133,7 @@ TEST_P(MultilayerShape, WireBytesMatchEq10Exactly) {
   h.run_round();
   const double expected_units = analysis::multilayer_cost(n, layers);
   const double measured_units =
-      static_cast<double>(h.net.stats().sent.bytes) /
+      static_cast<double>(h.net.stats().sent.payload) /
       static_cast<double>(Harness::kWire);
   EXPECT_DOUBLE_EQ(measured_units, expected_units)
       << "n=" << n << " X=" << layers;

@@ -84,7 +84,7 @@ TEST(SacActor, BroadcastCostIs2NNminus1) {
   SacNet s(n, opts);
   s.begin(1, 0);
   s.sim.run();
-  EXPECT_EQ(s.net.stats().sent.bytes, 2u * n * (n - 1) * 1000u);
+  EXPECT_EQ(s.net.stats().sent.payload, 2u * n * (n - 1) * 1000u);
 }
 
 TEST(SacActor, LeaderCollectCostIsN2Minus1) {
@@ -94,7 +94,7 @@ TEST(SacActor, LeaderCollectCostIsN2Minus1) {
   SacNet s(n, opts);
   s.begin(1, 3);
   s.sim.run();
-  EXPECT_EQ(s.net.stats().sent.bytes, (n * n - 1) * 1000u);
+  EXPECT_EQ(s.net.stats().sent.payload, (n * n - 1) * 1000u);
 }
 
 TEST(SacActor, FaultTolerantCostMatchesAnalysis) {
@@ -109,7 +109,7 @@ TEST(SacActor, FaultTolerantCostMatchesAnalysis) {
       s.sim.run();
       const std::uint64_t expected =
           (n * (n - 1) * (n - k + 1) + (k - 1)) * 1000u;
-      EXPECT_EQ(s.net.stats().sent.bytes, expected)
+      EXPECT_EQ(s.net.stats().sent.payload, expected)
           << "n=" << n << " k=" << k;
       ASSERT_TRUE(s.results.count(0)) << "n=" << n << " k=" << k;
     }
@@ -243,7 +243,7 @@ TEST(SacActor, PerRoundKOverrideApplies) {
   }
   s.sim.run();
   const std::uint64_t expected = (4u * 3u * 2u + 2u) * 1000u;
-  EXPECT_EQ(s.net.stats().sent.bytes, expected);
+  EXPECT_EQ(s.net.stats().sent.payload, expected);
   ASSERT_TRUE(s.results.count(0));
 }
 

@@ -4,6 +4,8 @@
 //                     [--rounds=R --tolerance=F --fraction=P --seed=S]
 //                     [--weighted] [--checkpoint=FILE]
 //   p2pflctl cost     [--peers=N --n=K --k=K2 --params=P]
+//   p2pflctl health   [--peers=N --groups=m --timeout-ms=T --tolerance=F]
+//                     [--amnesia] [--seed=S]
 //   p2pflctl recovery [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
 //   p2pflctl trace    [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
 //                     [--out=BASE] [--categories=sim,net,raft,agg]
@@ -23,7 +25,12 @@
 // `chaos` runs two-layer aggregation rounds under a scripted fault plan
 // (message loss, duplication, reordering, crash/restart churn and an
 // optional partition window) and checks that every committed round is
-// the exact average of its contributing peers. `explain` replays the
+// the exact average of its contributing peers. `health` exercises the
+// self-healing membership path end to end — stabilize, crash a peer,
+// watch it get suspected and evicted, restart it (optionally with
+// amnesia) and watch it rejoin — printing the live membership table at
+// each stage; exit status reflects whether the final state is fully
+// healed. `explain` replays the
 // same scenario with causal span recording on and prints the chosen
 // round's critical path — which phases, links and retries the
 // end-to-end latency is attributable to — plus an abort post-mortem for
@@ -191,6 +198,134 @@ int cmd_recovery(const bench::Args& args, bool traced = false) {
     bench::export_observability(sim, args.get("out", "p2pfl"));
   }
   return 0;
+}
+
+std::string peer_list(const std::vector<PeerId>& v) {
+  if (v.empty()) return "-";
+  std::string s;
+  for (PeerId p : v) {
+    if (!s.empty()) s += ",";
+    s += std::to_string(p);
+  }
+  return s;
+}
+
+void print_health(const sim::Simulator& sim,
+                  const core::HealthReport& hr) {
+  std::printf("[%7.0fms] FedAvg leader %s, %zu fed members [%s]\n",
+              to_ms(sim.now()),
+              hr.fedavg_leader == kNoPeer
+                  ? "-"
+                  : std::to_string(hr.fedavg_leader).c_str(),
+              hr.fedavg_members.size(),
+              peer_list(hr.fedavg_members).c_str());
+  std::printf("  %3s %6s  %-12s %-12s %-10s %-8s %5s  %s\n", "sg", "leader",
+              "config", "live", "suspected", "evicted", "k", "state");
+  for (const core::SubgroupHealth& h : hr.subgroups) {
+    std::printf("  %3u %6s  %-12s %-12s %-10s %-8s %2zu/%-2zu  %s\n",
+                h.subgroup,
+                h.leader == kNoPeer ? "-"
+                                    : std::to_string(h.leader).c_str(),
+                peer_list(h.config).c_str(), peer_list(h.live).c_str(),
+                peer_list(h.suspected).c_str(),
+                peer_list(h.evicted).c_str(), h.effective_k, h.nominal_k,
+                h.parked ? "PARKED" : (h.degraded ? "DEGRADED" : "ok"));
+  }
+}
+
+bool fully_healed(const core::HealthReport& hr) {
+  if (hr.fedavg_leader == kNoPeer) return false;
+  for (const core::SubgroupHealth& h : hr.subgroups) {
+    if (h.leader == kNoPeer || h.parked) return false;
+    if (!h.suspected.empty() || !h.evicted.empty()) return false;
+    // The FedAvg layer is representative-based: every subgroup's leader
+    // must hold a seat there.
+    if (std::find(hr.fedavg_members.begin(), hr.fedavg_members.end(),
+                  h.leader) == hr.fedavg_members.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_health(const bench::Args& args) {
+  const std::size_t peers =
+      static_cast<std::size_t>(args.get_int("peers", 12));
+  const std::size_t groups =
+      static_cast<std::size_t>(args.get_int("groups", 3));
+  const SimDuration T = args.get_int("timeout-ms", 100) * kMillisecond;
+  const std::size_t tolerance =
+      static_cast<std::size_t>(args.get_int("tolerance", 1));
+  const bool amnesia = args.has("amnesia");
+
+  sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  core::TwoLayerRaftOptions opts;
+  opts.raft.election_timeout_min = T;
+  opts.raft.election_timeout_max = 2 * T;
+  core::TwoLayerRaftSystem sys(core::Topology::even(peers, groups), opts,
+                               net);
+  sys.start_all();
+  while (!sys.stabilized() && sim.now() < 30 * kSecond) {
+    sim.run_for(20 * kMillisecond);
+  }
+  if (!sys.stabilized()) {
+    std::printf("failed to stabilize\n");
+    return 1;
+  }
+  std::printf("--- stabilized ---\n");
+  print_health(sim, sys.health(tolerance));
+
+  // Crash a pure subgroup follower so both layers must notice and evict.
+  PeerId victim = kNoPeer;
+  for (PeerId p : sys.topology().all_peers()) {
+    bool leads = p == sys.fedavg_leader();
+    for (SubgroupId g = 0; g < groups; ++g) {
+      if (sys.subgroup_leader(g) == p) leads = true;
+    }
+    if (!leads) {
+      victim = p;
+      break;
+    }
+  }
+  std::printf("\n--- crashing peer %u ---\n", victim);
+  sys.crash_peer(victim);
+  const SimTime t0 = sim.now();
+  auto evicted = [&] {
+    const core::HealthReport hr = sys.health(tolerance);
+    const SubgroupId g = sys.topology().subgroup_of(victim);
+    const auto& ev = hr.subgroups[g].evicted;
+    return std::find(ev.begin(), ev.end(), victim) != ev.end();
+  };
+  while (!evicted() && sim.now() < t0 + 60 * kSecond) {
+    sim.run_for(50 * kMillisecond);
+  }
+  print_health(sim, sys.health(tolerance));
+  if (!evicted()) {
+    std::printf("peer %u was never evicted\n", victim);
+    return 1;
+  }
+
+  std::printf("\n--- restarting peer %u%s ---\n", victim,
+              amnesia ? " (amnesia)" : "");
+  if (amnesia) {
+    sys.restart_peer_amnesia(victim);
+  } else {
+    sys.restart_peer(victim);
+  }
+  const SimTime t1 = sim.now();
+  while ((!sys.stabilized() || !fully_healed(sys.health(tolerance))) &&
+         sim.now() < t1 + 120 * kSecond) {
+    sim.run_for(50 * kMillisecond);
+  }
+  print_health(sim, sys.health(tolerance));
+  const bool healed =
+      sys.stabilized() && fully_healed(sys.health(tolerance));
+  std::printf("\nself-healing: %s (evict %.0f ms after crash, heal %.0f ms "
+              "after restart)\n",
+              healed ? "OK" : "FAILED", to_ms(sim.now() - t0),
+              to_ms(sim.now() - t1));
+  return healed ? 0 : 1;
 }
 
 /// Shared soak-scenario flags of `chaos` and `explain` (they differ only
@@ -393,7 +528,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: p2pflctl "
-                 "<train|cost|recovery|trace|chaos|explain|wire> "
+                 "<train|cost|health|recovery|trace|chaos|explain|wire> "
                  "[--key=value...]\n");
     return 2;
   }
@@ -401,6 +536,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "train") return cmd_train(args);
   if (cmd == "cost") return cmd_cost(args);
+  if (cmd == "health") return cmd_health(args);
   if (cmd == "recovery") return cmd_recovery(args);
   if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
   if (cmd == "chaos") return cmd_chaos(args);

@@ -17,6 +17,7 @@ ChaosEngine::ChaosEngine(net::Network& net, ChaosPlan plan,
       rng_(sim_.rng().fork(0x6368'616f'7321ULL /*"chaos!"*/)) {
   if (!hooks_.crash) hooks_.crash = [this](PeerId p) { net_.crash(p); };
   if (!hooks_.restart) hooks_.restart = [this](PeerId p) { net_.restore(p); };
+  if (!hooks_.restart_amnesia) hooks_.restart_amnesia = hooks_.restart;
 }
 
 SimDuration ChaosEngine::exp_draw(SimDuration mean) {
@@ -38,20 +39,46 @@ void ChaosEngine::trace_fault(const char* name, std::uint32_t tid,
   }
 }
 
+void ChaosEngine::redundant(const char* op, PeerId peer) {
+  // Double crash / double restart (overlapping plan entries, or a plan
+  // restart racing a churn restart): the request is already satisfied.
+  // Re-running the hooks would double-fire crash/restart side effects in
+  // the system under test, so record the redundancy and do nothing.
+  // Deliberately not a fault: faults_injected_ stays untouched.
+  ++redundant_faults_;
+  obs::Observability& o = sim_.obs();
+  o.metrics.counter("chaos.redundant").add(1);
+  if (o.trace.category_enabled("chaos")) {
+    o.trace.instant("chaos", "chaos.redundant", peer, {{"op", op}});
+  }
+}
+
 void ChaosEngine::do_crash(PeerId peer, const char* cause) {
-  if (down_.count(peer) > 0) return;  // already down (double plan entry)
+  if (down_.count(peer) > 0) {
+    redundant("crash", peer);
+    return;
+  }
   down_.insert(peer);
   ++crashes_;
   trace_fault("crash", peer, {{"cause", cause}});
   hooks_.crash(peer);
 }
 
-void ChaosEngine::do_restart(PeerId peer, const char* cause) {
-  if (down_.count(peer) == 0) return;
+void ChaosEngine::do_restart(PeerId peer, const char* cause, bool amnesia) {
+  if (down_.count(peer) == 0) {
+    redundant("restart", peer);
+    return;
+  }
   down_.erase(peer);
   ++restarts_;
-  trace_fault("restart", peer, {{"cause", cause}});
-  hooks_.restart(peer);
+  if (amnesia) {
+    ++amnesia_restarts_;
+    trace_fault("amnesia_restart", peer, {{"cause", cause}});
+    hooks_.restart_amnesia(peer);
+  } else {
+    trace_fault("restart", peer, {{"cause", cause}});
+    hooks_.restart(peer);
+  }
 }
 
 void ChaosEngine::churn_fail(const ChurnSpec& spec, PeerId peer) {
@@ -66,7 +93,12 @@ void ChaosEngine::churn_fail(const ChurnSpec& spec, PeerId peer) {
   do_crash(peer, "churn");
   const SimTime back_at = sim_.now() + exp_draw(spec.mttr);
   sim_.schedule_at(back_at, [this, &spec, peer] {
-    do_restart(peer, "churn");
+    // Drawn only when requested so amnesia-free plans keep the exact
+    // RNG sequence (and thus trace stream) they had before this knob.
+    const bool amnesia =
+        spec.amnesia_prob > 0 &&
+        rng_.uniform(0.0, 1.0) < spec.amnesia_prob;
+    do_restart(peer, "churn", amnesia);
     const SimTime next_fail = sim_.now() + exp_draw(spec.mttf);
     if (next_fail < spec.end) schedule_churn_failure(spec, peer, next_fail);
   });
@@ -86,7 +118,8 @@ void ChaosEngine::start() {
     sim_.schedule_at(e.at, [this, e] { do_crash(e.peer, "plan"); });
   }
   for (const RestartEvent& e : plan_.restarts()) {
-    sim_.schedule_at(e.at, [this, e] { do_restart(e.peer, "plan"); });
+    sim_.schedule_at(e.at,
+                     [this, e] { do_restart(e.peer, "plan", e.amnesia); });
   }
   for (const PartitionEvent& e : plan_.partitions()) {
     sim_.schedule_at(e.at, [this, &e] {

@@ -27,6 +27,10 @@ struct ChaosEngineHooks {
   /// Take a peer down / bring it back. Defaults: net.crash/net.restore.
   std::function<void(PeerId)> crash;
   std::function<void(PeerId)> restart;
+  /// Bring a peer back with its persistent state wiped (amnesia
+  /// restart). Defaults to `restart` when unset, so plans that request
+  /// amnesia still work against systems without durable state.
+  std::function<void(PeerId)> restart_amnesia;
 };
 
 class ChaosEngine {
@@ -45,12 +49,17 @@ class ChaosEngine {
   std::size_t faults_injected() const { return faults_injected_; }
   std::size_t crashes() const { return crashes_; }
   std::size_t restarts() const { return restarts_; }
+  std::size_t amnesia_restarts() const { return amnesia_restarts_; }
+  /// Crash/restart requests that were already satisfied (peer already
+  /// down / already up); they no-op instead of re-running hooks.
+  std::size_t redundant_faults() const { return redundant_faults_; }
   bool peer_down(PeerId p) const { return down_.count(p) > 0; }
   std::size_t peers_down() const { return down_.size(); }
 
  private:
   void do_crash(PeerId peer, const char* cause);
-  void do_restart(PeerId peer, const char* cause);
+  void do_restart(PeerId peer, const char* cause, bool amnesia = false);
+  void redundant(const char* op, PeerId peer);
   void schedule_churn_failure(const ChurnSpec& spec, PeerId peer,
                               SimTime at);
   void churn_fail(const ChurnSpec& spec, PeerId peer);
@@ -68,6 +77,8 @@ class ChaosEngine {
   std::size_t faults_injected_ = 0;
   std::size_t crashes_ = 0;
   std::size_t restarts_ = 0;
+  std::size_t amnesia_restarts_ = 0;
+  std::size_t redundant_faults_ = 0;
   bool started_ = false;
 };
 

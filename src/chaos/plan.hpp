@@ -25,10 +25,14 @@ struct CrashEvent {
   PeerId peer = kNoPeer;
 };
 
-/// Restart (restore) one peer at an absolute simulated time.
+/// Restart (restore) one peer at an absolute simulated time. With
+/// `amnesia` the peer comes back with its persistent state wiped (the
+/// engine dispatches to the restart_amnesia hook) — the paper's
+/// worst-case rejoin: a machine replaced rather than rebooted.
 struct RestartEvent {
   SimTime at = 0;
   PeerId peer = kNoPeer;
+  bool amnesia = false;
 };
 
 /// Split the network into groups at `at`; heal at `heal_at` (0 = never).
@@ -71,6 +75,10 @@ struct ChurnSpec {
   /// Liveness guard: a failure draw that would exceed this many
   /// simultaneously-down peers is postponed by one MTTR.
   std::size_t max_concurrent_down = static_cast<std::size_t>(-1);
+  /// Probability that a churn restart is an amnesia restart (persistent
+  /// state wiped). The draw happens only when > 0, so plans without
+  /// amnesia keep their exact historical RNG sequences.
+  double amnesia_prob = 0.0;
 };
 
 class ChaosPlan {
@@ -79,14 +87,15 @@ class ChaosPlan {
     crashes_.push_back({t, peer});
     return *this;
   }
-  ChaosPlan& restart_at(SimTime t, PeerId peer) {
-    restarts_.push_back({t, peer});
+  ChaosPlan& restart_at(SimTime t, PeerId peer, bool amnesia = false) {
+    restarts_.push_back({t, peer, amnesia});
     return *this;
   }
   /// Crash at `t` and restart `downtime` later.
-  ChaosPlan& crash_for(SimTime t, PeerId peer, SimDuration downtime) {
+  ChaosPlan& crash_for(SimTime t, PeerId peer, SimDuration downtime,
+                       bool amnesia = false) {
     crash_at(t, peer);
-    return restart_at(t + downtime, peer);
+    return restart_at(t + downtime, peer, amnesia);
   }
   ChaosPlan& partition_window(SimTime at, SimTime heal_at,
                               std::vector<std::vector<PeerId>> groups) {

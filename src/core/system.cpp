@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "fl/checkpoint.hpp"
 #include "fl/optimizer.hpp"
 
 namespace p2pfl::core {
@@ -27,22 +28,38 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
   fl::Model init_model = model_builder();
   Rng init_rng = root.fork(1);
   init_model.init(init_rng);
-  const std::vector<float> w0 = init_model.get_params();
+  w0_ = init_model.get_params();
+  parked_.assign(topology_.subgroup_count(), 0);
 
   for (PeerId id : topology_.all_peers()) {
     PeerRuntime rt;
     fl::Model m = model_builder();
-    m.set_params(w0);
+    m.set_params(w0_);
     rt.trainer = std::make_unique<fl::PeerTrainer>(
         std::move(m), std::make_unique<fl::Adam>(cfg_.learning_rate), data,
         parts[id], root.fork(1000 + id));
-    rt.current_weights = w0;
-    rt.latest_global = w0;
+    rt.current_weights = w0_;
+    rt.latest_global = w0_;
     rt.driver = std::make_unique<sim::Timer>(
         net_.simulator(), [this, id] { drive_round(id); }, "fl.round_driver");
     rt.trainer_done = std::make_unique<sim::Timer>(
         net_.simulator(), [this, id] { begin_local_training(id); },
         "fl.trainer_done");
+    rt.catchup_timer = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, id] { send_model_pull(id); },
+        "fl.catchup_retry");
+    // State-transfer catch-up: a rejoined or fresh peer pulls the latest
+    // global model from its subgroup leader instead of waiting a full
+    // round out of date.
+    net::PeerHost& host = raft_.host(id);
+    host.route("member/pull", [this, id](const net::Envelope& env) {
+      const auto* msg = net::payload<wire::ModelPullMsg>(env.body);
+      if (msg != nullptr) handle_model_pull(id, *msg);
+    });
+    host.route("member/push", [this, id](const net::Envelope& env) {
+      const auto* msg = net::payload<wire::ModelPushMsg>(env.body);
+      if (msg != nullptr) handle_model_push(id, *msg);
+    });
     peers_.emplace(id, std::move(rt));
   }
 
@@ -79,6 +96,7 @@ void P2pFlSystem::crash_peer(PeerId peer) {
   raft_.crash_peer(peer);
   PeerRuntime& rt = peers_.at(peer);
   rt.trainer_done->cancel();
+  rt.catchup_timer->cancel();
   rt.training = false;
   net_.simulator().obs().spans.close_aborted(rt.train_span);
   rt.train_span = obs::kNoSpan;
@@ -86,7 +104,25 @@ void P2pFlSystem::crash_peer(PeerId peer) {
   // and crash state before acting.
 }
 
-void P2pFlSystem::restart_peer(PeerId peer) { raft_.restart_peer(peer); }
+void P2pFlSystem::restart_peer(PeerId peer) {
+  raft_.restart_peer(peer);
+  // Rounds moved on while this peer was down; pull the newest global
+  // model rather than rejoining a full round stale.
+  peers_.at(peer).catchup_timer->arm(cfg_.catchup_retry);
+}
+
+void P2pFlSystem::restart_peer_amnesia(PeerId peer) {
+  PeerRuntime& rt = peers_.at(peer);
+  // Model state is wiped along with the Raft state: back to w0.
+  rt.trainer->set_weights(w0_);
+  rt.current_weights = w0_;
+  rt.latest_global = w0_;
+  rt.last_global_round = 0;
+  rt.training = false;
+  rt.trainer_done->cancel();
+  raft_.restart_peer_amnesia(peer);
+  rt.catchup_timer->arm(cfg_.catchup_retry);
+}
 
 const std::vector<float>& P2pFlSystem::global_model_at(PeerId peer) const {
   return peers_.at(peer).latest_global;
@@ -106,22 +142,47 @@ void P2pFlSystem::drive_round(PeerId self) {
 
   // Snapshot current leadership from the Raft backend; skip the tick if
   // any live subgroup is still electing (Raft repairs, we retry next
-  // interval — the paper's timeout-and-continue behaviour).
+  // interval — the paper's timeout-and-continue behaviour). A subgroup
+  // that structurally CANNOT elect (its live members are below the
+  // quorum of its configuration) is parked out of the round instead, so
+  // the FedAvg layer keeps making progress with the remaining groups;
+  // it is un-parked automatically once repair gives it a leader again.
+  obs::Observability& o = net_.simulator().obs();
+  std::optional<HealthReport> health;
   RoundLeadership lead;
   lead.fedavg_leader = self;
   lead.subgroup_leaders.resize(topology_.subgroup_count(), kNoPeer);
   for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
     const PeerId l = raft_.subgroup_leader(g);
+    if (l != kNoPeer && parked_[g]) {
+      parked_[g] = 0;
+      o.metrics.counter("subgroup.unparked").add(1);
+      if (o.trace.category_enabled("agg")) {
+        o.trace.instant("agg", "subgroup.unparked", self, {{"group", g}});
+      }
+    }
     bool any_alive = false;
     for (PeerId p : topology_.group(g)) {
       if (!net_.crashed(p)) any_alive = true;
     }
     if (any_alive && l == kNoPeer) {
-      P2PFL_DEBUG() << "round driver: subgroup " << g
-                    << " has no leader yet, postponing round";
-      return;
+      if (!health.has_value()) {
+        health = raft_.health(cfg_.agg.sac_dropout_tolerance);
+      }
+      if (!health->subgroups[g].parked) {
+        P2PFL_DEBUG() << "round driver: subgroup " << g
+                      << " has no leader yet, postponing round";
+        return;
+      }
+      if (!parked_[g]) {
+        parked_[g] = 1;
+        o.metrics.counter("subgroup.parked").add(1);
+        if (o.trace.category_enabled("agg")) {
+          o.trace.instant("agg", "subgroup.parked", self, {{"group", g}});
+        }
+      }
     }
-    lead.subgroup_leaders[g] = l == kNoPeer ? topology_.group(g).front() : l;
+    lead.subgroup_leaders[g] = l;
   }
 
   const std::uint64_t round =
@@ -138,6 +199,9 @@ void P2pFlSystem::model_received(std::uint64_t round, PeerId peer,
   if (net_.crashed(peer)) return;
   PeerRuntime& rt = peers_.at(peer);
   rt.latest_global = global;
+  if (round > rt.last_global_round) rt.last_global_round = round;
+  // A live round reached this peer: any catch-up pull is now redundant.
+  rt.catchup_timer->cancel();
   rt.trainer->set_weights(global);
   if (!rt.training) {
     rt.training = true;
@@ -165,6 +229,70 @@ void P2pFlSystem::begin_local_training(PeerId peer) {
   rt.current_weights = rt.trainer->weights();
   sr0.close(rt.train_span);
   rt.train_span = obs::kNoSpan;
+}
+
+// --- state-transfer catch-up -----------------------------------------------
+
+void P2pFlSystem::send_model_pull(PeerId peer) {
+  if (net_.crashed(peer)) return;
+  PeerRuntime& rt = peers_.at(peer);
+  const PeerId leader =
+      raft_.subgroup_leader(topology_.subgroup_of(peer));
+  if (leader != kNoPeer && leader != peer) {
+    wire::ModelPullMsg msg;
+    msg.peer = peer;
+    msg.last_round = rt.last_global_round;
+    net_.simulator().obs().metrics.counter("fl.catchup_pulls").add(1);
+    net_.send(peer, leader, "member/pull", msg, wire::kPullWire);
+  }
+  // No leader yet (or we are it): retry until a push or a live round
+  // result cancels the timer.
+  rt.catchup_timer->arm(cfg_.catchup_retry);
+}
+
+void P2pFlSystem::handle_model_pull(PeerId peer,
+                                    const wire::ModelPullMsg& msg) {
+  if (net_.crashed(peer) || msg.peer == peer) return;
+  const PeerRuntime& rt = peers_.at(peer);
+  wire::ModelPushMsg reply;
+  if (rt.last_global_round > msg.last_round) {
+    reply.round = rt.last_global_round;
+    reply.checkpoint = fl::encode_checkpoint(rt.latest_global);
+  } else {
+    // Nothing newer here; an empty push tells the puller to stand down
+    // (the next live round will reach it through normal distribution).
+    reply.round = msg.last_round;
+  }
+  net_.send(peer, msg.peer, "member/push", std::move(reply),
+            wire::push_wire(reply.checkpoint.size()));
+}
+
+void P2pFlSystem::handle_model_push(PeerId peer,
+                                    const wire::ModelPushMsg& msg) {
+  if (net_.crashed(peer)) return;
+  PeerRuntime& rt = peers_.at(peer);
+  rt.catchup_timer->cancel();
+  if (msg.checkpoint.empty() || msg.round <= rt.last_global_round) return;
+  auto weights = fl::decode_checkpoint(msg.checkpoint);
+  // decode_push() already validated the frame, but guard a model of the
+  // wrong dimensionality all the same.
+  if (!weights.has_value() || weights->size() != w0_.size()) return;
+  rt.last_global_round = msg.round;
+  rt.latest_global = *weights;
+  rt.current_weights = *weights;
+  rt.trainer->set_weights(*weights);
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("fl.catchup_applied").add(1);
+  if (o.trace.category_enabled("agg")) {
+    o.trace.instant("agg", "fl.catchup_applied", peer,
+                    {{"round", msg.round}});
+  }
+  // Train on the recovered model so this peer contributes to the next
+  // round instead of uploading w0-grade weights.
+  if (!rt.training) {
+    rt.training = true;
+    rt.trainer_done->arm(cfg_.train_duration);
+  }
 }
 
 }  // namespace p2pfl::core

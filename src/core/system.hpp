@@ -39,6 +39,8 @@ struct SystemConfig {
   SimDuration round_interval = 2 * kSecond;
   /// Simulated compute time of one local training pass.
   SimDuration train_duration = 200 * kMillisecond;
+  /// Retry cadence of a restarted peer's model catch-up pull.
+  SimDuration catchup_retry = 300 * kMillisecond;
   std::uint64_t seed = 42;
 };
 
@@ -57,6 +59,11 @@ class P2pFlSystem {
   // --- fault injection (delegates to the Raft backend) --------------------
   void crash_peer(PeerId peer);
   void restart_peer(PeerId peer);
+  /// Restart with persistent Raft state AND model state wiped: the peer
+  /// re-enters from w0, rejoins its subgroup (see
+  /// TwoLayerRaftSystem::restart_peer_amnesia) and pulls the latest
+  /// global model from its leader to catch up.
+  void restart_peer_amnesia(PeerId peer);
 
   // --- observation ----------------------------------------------------------
   TwoLayerRaftSystem& raft() { return raft_; }
@@ -86,7 +93,11 @@ class P2pFlSystem {
     std::vector<float> latest_global;     // last received global model
     std::unique_ptr<sim::Timer> driver;   // round driver (acts if leader)
     std::unique_ptr<sim::Timer> trainer_done;  // models compute time
+    /// Retries the model pull until a push (or a live round) arrives.
+    std::unique_ptr<sim::Timer> catchup_timer;
     bool training = false;
+    /// Round of the newest global model this peer holds (0 = only w0).
+    std::uint64_t last_global_round = 0;
     /// Causal span covering the simulated local-training pass.
     obs::SpanId train_span = obs::kNoSpan;
   };
@@ -95,6 +106,9 @@ class P2pFlSystem {
   void model_received(std::uint64_t round, PeerId peer,
                       const secagg::Vector& global);
   void begin_local_training(PeerId peer);
+  void send_model_pull(PeerId peer);
+  void handle_model_pull(PeerId peer, const wire::ModelPullMsg& msg);
+  void handle_model_push(PeerId peer, const wire::ModelPushMsg& msg);
 
   Topology topology_;
   SystemConfig cfg_;
@@ -109,6 +123,10 @@ class P2pFlSystem {
   std::uint64_t rounds_completed_ = 0;
   std::uint64_t rounds_aborted_ = 0;
   std::vector<float> freshest_global_;
+  /// Shared initial weights, the reset point for amnesia restarts.
+  std::vector<float> w0_;
+  /// Subgroups currently parked out of rounds (no electable leader).
+  std::vector<char> parked_;
 };
 
 }  // namespace p2pfl::core

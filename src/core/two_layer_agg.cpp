@@ -101,7 +101,10 @@ void TwoLayerAggregator::begin_round(RoundId round,
     for (PeerId id : topology_.group(g)) {
       if (!net_.crashed(id)) round_groups_[g].push_back(id);
     }
+    // A parked subgroup (no electable leader, kNoPeer) contributes
+    // nothing this round and must not count toward the FedAvg quorum.
     if (!round_groups_[g].empty() &&
+        leadership.subgroup_leaders[g] != kNoPeer &&
         !net_.crashed(leadership.subgroup_leaders[g])) {
       ++live_groups;
     }
@@ -150,13 +153,32 @@ void TwoLayerAggregator::begin_round(RoundId round,
     const auto& group = round_groups_[g];
     if (group.empty()) continue;
     const PeerId leader = leadership.subgroup_leaders[g];
+    if (leader == kNoPeer) continue;  // parked: skipped until repaired
     const auto pos = std::find(group.begin(), group.end(), leader);
     if (pos == group.end()) continue;  // leader crashed: Raft's problem
     const std::size_t leader_pos =
         static_cast<std::size_t>(pos - group.begin());
-    const std::size_t k = group.size() > cfg_.sac_dropout_tolerance
-                              ? group.size() - cfg_.sac_dropout_tolerance
-                              : 1;
+    // The SAC threshold is fixed by the full-strength topology (k = n -
+    // tolerance); a subgroup that cannot field that many live members
+    // runs degraded, clamped to its live size, rather than sitting the
+    // round out.
+    const std::size_t full = topology_.group(g).size();
+    const std::size_t nominal_k = full > cfg_.sac_dropout_tolerance
+                                      ? full - cfg_.sac_dropout_tolerance
+                                      : 1;
+    std::size_t k = nominal_k;
+    if (group.size() < nominal_k) {
+      k = std::max<std::size_t>(1, group.size());
+      o.metrics.counter("subgroup.degraded").add(1);
+      if (o.trace.category_enabled("agg")) {
+        o.trace.instant("agg", "subgroup.degraded", leader,
+                        {{"round", round},
+                         {"group", g},
+                         {"live", group.size()},
+                         {"nominal_k", nominal_k},
+                         {"effective_k", k}});
+      }
+    }
     for (PeerId id : group) {
       peers_.at(id).sac->begin_round(round, model_of(id), group, leader_pos,
                                      k);
@@ -357,7 +379,7 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
       wire::result_wire(model_wire(global.size()), global.size());
   for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
     const PeerId leader = leadership_.subgroup_leaders[g];
-    if (leader == p.id || net_.crashed(leader)) continue;
+    if (leader == kNoPeer || leader == p.id || net_.crashed(leader)) continue;
     if (round_groups_[g].empty()) continue;
     ResultMsg msg{fed_->round, global};
     net_.send(p.id, leader, "agg/result", std::move(msg), size);

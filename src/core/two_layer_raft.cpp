@@ -18,6 +18,7 @@ std::string subgroup_channel(SubgroupId g) {
 
 const char* kFedChannel = "raft/fed";
 const char* kJoinChannel = "join";
+const char* kRejoinChannel = "member/rejoin";
 
 Bytes encode_fed_config(const std::vector<PeerId>& members) {
   ByteWriter w;
@@ -53,10 +54,21 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
     peer->join_timer = std::make_unique<sim::Timer>(
         net_.simulator(), [this, p = peer.get()] { send_join_request(*p); },
         "fed.join_retry");
+    peer->supervise_timer = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, p = peer.get()] { supervise(*p); },
+        "member.supervise");
+    peer->rejoin_timer = std::make_unique<sim::Timer>(
+        net_.simulator(), [this, p = peer.get()] { send_rejoin_request(*p); },
+        "member.rejoin_retry");
     peer->host.route(kJoinChannel, [this, p = peer.get()](
                                        const net::Envelope& env) {
       const auto* req = net::payload<JoinRequest>(env.body);
       if (req != nullptr) handle_join_request(*p, *req);
+    });
+    peer->host.route(kRejoinChannel, [this, p = peer.get()](
+                                         const net::Envelope& env) {
+      const auto* req = net::payload<wire::RejoinRequestMsg>(env.body);
+      if (req != nullptr) handle_rejoin_request(*p, *req);
     });
     net_.attach(id, &peer->host);
     peers_.emplace(id, std::move(peer));
@@ -106,6 +118,9 @@ void TwoLayerRaftSystem::wire_subgroup_node(Peer& p) {
   raft::RaftNode& node = *p.sg_node;
   node.on_become_leader = [this, &p] { handle_subgroup_leadership(p); };
   node.on_step_down = [this, &p] { handle_subgroup_stepdown(p); };
+  node.on_config_adopted = [this, &p](const std::vector<PeerId>& cfg) {
+    handle_subgroup_config(p, cfg);
+  };
   node.on_apply = [this, &p](raft::Index, const raft::LogEntry& e) {
     if (auto cfg = decode_fed_config(e.data)) {
       p.known_fed_cfg = std::move(*cfg);
@@ -136,7 +151,17 @@ void TwoLayerRaftSystem::ensure_fed_node(Peer& p) {
                                      &p](const std::vector<PeerId>& cfg) {
       // Track the layer's membership for subgroup-log commits.
       p.known_fed_cfg = cfg;
-      check_join_complete(p);
+      const bool member =
+          std::find(cfg.begin(), cfg.end(), p.id) != cfg.end();
+      if (member) {
+        check_join_complete(p);
+      } else if (p.sg_node->is_leader() && !net_.crashed(p.id)) {
+        // The layer evicted this representative while it was out (e.g.
+        // the fed supervisor saw it silent during a crash window it has
+        // since recovered from): run the §V-B1 join handshake again.
+        p.announced_join = false;
+        send_join_request(p);
+      }
     };
     p.fed_node->start();
   } else if (!p.fed_node->running()) {
@@ -219,6 +244,9 @@ void TwoLayerRaftSystem::handle_join_request(Peer& p,
     }
     return;
   }
+  // A join request proves the candidate is alive; drop any suspicion the
+  // fed-layer failure detector holds against it.
+  p.fed_suspected.erase(req.candidate);
   const auto& cfg = fed.members();
   const bool candidate_in =
       std::find(cfg.begin(), cfg.end(), req.candidate) != cfg.end();
@@ -252,8 +280,361 @@ void TwoLayerRaftSystem::check_join_complete(Peer& p) {
   }
 }
 
+// --- self-healing membership -------------------------------------------
+
+void TwoLayerRaftSystem::supervise(Peer& p) {
+  if (!opts_.self_healing || net_.crashed(p.id)) return;
+  const SimTime now = net_.simulator().now();
+  if (p.sg_node->running() && p.sg_node->is_leader()) {
+    supervise_layer(p, *p.sg_node, p.sg_suspected, /*fed_layer=*/false);
+  } else {
+    // Lost leadership: the successor's detector re-establishes its own
+    // suspicion clocks.
+    p.sg_suspected.clear();
+  }
+  // Follower-side stale-config watch (subgroup layer): a member whose
+  // own log still names it cannot see its removal — the leader simply
+  // stops talking to it. A full grace window of leader silence is the
+  // signal; the probe it triggers is idempotent if we are still in.
+  if (p.sg_node->running() && !p.sg_node->is_leader() &&
+      p.sg_node->in_config() && (!p.rejoining || p.stale_probe)) {
+    p.sg_contact_mark =
+        std::max(p.sg_contact_mark, p.sg_node->last_leader_contact());
+    if (p.sg_contact_mark >= 0 &&
+        now - p.sg_contact_mark > opts_.suspicion_grace) {
+      probe_stale_membership(p);
+    } else if (p.stale_probe) {
+      // Leader contact resumed without a config change reaching us:
+      // either the silence was a false alarm or the re-add left the
+      // configuration order untouched. Both mean we are a member in
+      // contact again — the handshake achieved its goal.
+      finish_rejoin(p);
+    }
+  } else {
+    p.sg_contact_mark = now;
+    if (p.stale_probe && p.sg_node->is_leader()) finish_rejoin(p);
+  }
+  if (p.fed_node && p.fed_node->running() && p.fed_node->is_leader()) {
+    supervise_layer(p, *p.fed_node, p.fed_suspected, /*fed_layer=*/true);
+  } else {
+    p.fed_suspected.clear();
+  }
+  // Same watch for the FedAvg layer; only a current subgroup leader has
+  // any business being a member there.
+  if (p.fed_node && p.fed_node->running() && !p.fed_node->is_leader() &&
+      p.fed_node->in_config() && p.sg_node->is_leader()) {
+    p.fed_contact_mark =
+        std::max(p.fed_contact_mark, p.fed_node->last_leader_contact());
+    if (p.fed_contact_mark >= 0 &&
+        now - p.fed_contact_mark > opts_.suspicion_grace) {
+      JoinRequest req;
+      req.candidate = p.id;
+      req.stale_representative = kNoPeer;
+      const std::vector<PeerId>& members = p.fed_node->members();
+      PeerId target = p.fed_node->leader_hint();
+      if (target == kNoPeer || target == p.id) {
+        std::vector<PeerId> others;
+        for (PeerId m : members) {
+          if (m != p.id) others.push_back(m);
+        }
+        if (!others.empty()) {
+          target = others[p.probe_attempts % others.size()];
+        }
+      }
+      ++p.probe_attempts;
+      if (target != kNoPeer && target != p.id) {
+        net_.simulator().obs().metrics.counter("fed.stale_probes").add(1);
+        p.announced_join = false;
+        net_.send(p.id, target, kJoinChannel, req, wire::kJoinWire);
+      }
+    }
+  } else {
+    p.fed_contact_mark = now;
+  }
+}
+
+void TwoLayerRaftSystem::probe_stale_membership(Peer& p) {
+  obs::Observability& o = net_.simulator().obs();
+  if (!p.rejoining) {
+    // A probe is a full rejoin handshake whose happy ending may simply
+    // be "the leader talks to us again" — open it as one so the
+    // eviction/rejoin bookkeeping pairs up even when the evicted node
+    // never observes its own removal.
+    p.rejoining = true;
+    p.stale_probe = true;
+    p.rejoin_attempts = 0;
+    o.metrics.counter("membership.rejoin_started").add(1);
+    if (o.trace.category_enabled("raft")) {
+      o.trace.instant("raft", "membership.rejoin_start", p.id,
+                      {{"subgroup", p.subgroup}, {"stale_probe", true}});
+    }
+    if (o.spans.enabled() && p.rejoin_span == obs::kNoSpan) {
+      p.rejoin_span =
+          o.spans.open(obs::SpanKind::kRejoin, "member/rejoin", p.id, 0);
+    }
+  }
+  wire::RejoinRequestMsg req;
+  req.peer = p.id;
+  req.subgroup = p.subgroup;
+  req.incarnation = net_.incarnation(p.id);
+  const PeerId target = rejoin_target(p, p.probe_attempts);
+  ++p.probe_attempts;
+  if (target != kNoPeer && target != p.id) {
+    o.metrics.counter("membership.stale_probes").add(1);
+    obs::SpanStackScope scope(o.spans, p.rejoin_span);
+    net_.send(p.id, target, kRejoinChannel, req, wire::kRejoinWire);
+  }
+}
+
+PeerId TwoLayerRaftSystem::rejoin_target(const Peer& p,
+                                         std::size_t attempt) const {
+  // Prefer the leader we last heard from; otherwise walk the static
+  // topology round-robin (leadership may have moved while we were out).
+  PeerId target = p.sg_node->leader_hint();
+  if (target == kNoPeer || target == p.id) {
+    std::vector<PeerId> others;
+    for (PeerId m : topology_.group(p.subgroup)) {
+      if (m != p.id) others.push_back(m);
+    }
+    if (!others.empty()) target = others[attempt % others.size()];
+  }
+  return target;
+}
+
+void TwoLayerRaftSystem::supervise_layer(
+    Peer& p, raft::RaftNode& node, std::map<PeerId, SimTime>& suspected,
+    bool fed_layer) {
+  const SimTime now = net_.simulator().now();
+  obs::Observability& o = net_.simulator().obs();
+  const char* layer = fed_layer ? "fed" : "sg";
+  // Confirmed evictions first: a suspect missing from the adopted
+  // configuration has been removed (adopt-at-append on this leader).
+  const std::vector<PeerId>& cfg = node.members();
+  for (auto it = suspected.begin(); it != suspected.end();) {
+    if (std::find(cfg.begin(), cfg.end(), it->first) == cfg.end()) {
+      o.metrics.counter("membership.evicted").add(1);
+      o.metrics
+          .histogram("membership.eviction_latency_ms",
+                     obs::Histogram::exponential_bounds(1.0, 2.0, 16))
+          .record(static_cast<double>(now - it->second) /
+                  static_cast<double>(kMillisecond));
+      if (o.trace.category_enabled("raft")) {
+        o.trace.instant("raft", "membership.evicted", p.id,
+                        {{"peer", it->first}, {"layer", layer}});
+      }
+      if (on_peer_evicted) on_peer_evicted(it->first, fed_layer);
+      it = suspected.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (PeerId m : cfg) {
+    if (m == p.id) continue;
+    const SimTime last = node.follower_last_contact(m);
+    if (last < 0) continue;
+    if (now - last <= opts_.suspicion_grace) {
+      if (suspected.erase(m) > 0) {
+        o.metrics.counter("membership.suspicion_cleared").add(1);
+      }
+      continue;
+    }
+    if (suspected.emplace(m, now).second) {
+      o.metrics.counter("membership.suspected").add(1);
+      // Detector delay: silence beyond the grace window until this tick
+      // noticed it.
+      o.metrics
+          .histogram("membership.suspicion_latency_ms",
+                     obs::Histogram::exponential_bounds(1.0, 2.0, 16))
+          .record(static_cast<double>(now - last) /
+                  static_cast<double>(kMillisecond));
+      if (o.trace.category_enabled("raft")) {
+        o.trace.instant("raft", "membership.suspect", p.id,
+                        {{"peer", m}, {"layer", layer}});
+      }
+    }
+    // One single-server change at a time: a busy pending change makes
+    // this a no-op and the next tick retries.
+    node.propose_remove_server(m);
+  }
+}
+
+void TwoLayerRaftSystem::handle_subgroup_config(
+    Peer& p, const std::vector<PeerId>& cfg) {
+  if (!opts_.self_healing) return;
+  const bool member = std::find(cfg.begin(), cfg.end(), p.id) != cfg.end();
+  if (member) {
+    if (p.rejoining) finish_rejoin(p);
+  } else if (p.sg_node->running() && !net_.crashed(p.id)) {
+    if (p.stale_probe) {
+      // The stale belief is gone — our own removal finally reached us.
+      // Degrade the probe into the regular retrying handshake.
+      p.stale_probe = false;
+      send_rejoin_request(p);
+    } else {
+      // Evicted while alive (wrongly suspected under a partition, or the
+      // eviction landed before this restart was noticed): ask back in.
+      start_rejoin(p);
+    }
+  }
+}
+
+void TwoLayerRaftSystem::start_rejoin(Peer& p) {
+  if (!opts_.self_healing || p.rejoining) return;
+  if (p.sg_node->in_config()) return;
+  p.rejoining = true;
+  p.rejoin_attempts = 0;
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("membership.rejoin_started").add(1);
+  if (o.trace.category_enabled("raft")) {
+    o.trace.instant("raft", "membership.rejoin_start", p.id,
+                    {{"subgroup", p.subgroup}});
+  }
+  if (o.spans.enabled()) {
+    p.rejoin_span =
+        o.spans.open(obs::SpanKind::kRejoin, "member/rejoin", p.id, 0);
+  }
+  send_rejoin_request(p);
+}
+
+void TwoLayerRaftSystem::send_rejoin_request(Peer& p) {
+  if (net_.crashed(p.id) || !p.sg_node->running()) return;
+  if (p.sg_node->in_config()) {
+    finish_rejoin(p);
+    return;
+  }
+  wire::RejoinRequestMsg req;
+  req.peer = p.id;
+  req.subgroup = p.subgroup;
+  req.incarnation = net_.incarnation(p.id);
+  const PeerId target = rejoin_target(p, p.rejoin_attempts);
+  ++p.rejoin_attempts;
+  if (target != kNoPeer && target != p.id) {
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("membership.rejoin_requests").add(1);
+    obs::SpanStackScope scope(o.spans, p.rejoin_span);
+    net_.send(p.id, target, kRejoinChannel, req, wire::kRejoinWire);
+  }
+  p.rejoin_timer->arm(opts_.rejoin_retry);
+}
+
+void TwoLayerRaftSystem::handle_rejoin_request(
+    Peer& p, const wire::RejoinRequestMsg& req) {
+  if (!opts_.self_healing) return;
+  if (net_.crashed(p.id) || !p.sg_node->running()) return;
+  if (req.subgroup != p.subgroup || req.peer == p.id) return;
+  raft::RaftNode& sg = *p.sg_node;
+  if (!sg.is_leader()) {
+    // Redirect toward the leader we know of; the joiner also retries.
+    const PeerId hint = sg.leader_hint();
+    if (hint != kNoPeer && hint != p.id && hint != req.peer) {
+      net_.send(p.id, hint, kRejoinChannel, req, wire::kRejoinWire);
+    }
+    return;
+  }
+  // The requester is demonstrably alive: lift any standing suspicion and
+  // configure it back in. The add is rejected if it is still a member
+  // (replication resumes by itself) or while another change is in
+  // flight — the joiner's retries sequence those cases.
+  p.sg_suspected.erase(req.peer);
+  sg.propose_add_server(req.peer);
+}
+
+void TwoLayerRaftSystem::finish_rejoin(Peer& p) {
+  if (!p.rejoining) return;
+  p.rejoining = false;
+  p.stale_probe = false;
+  p.rejoin_timer->cancel();
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("membership.rejoined").add(1);
+  if (o.trace.category_enabled("raft")) {
+    o.trace.instant("raft", "membership.rejoined", p.id,
+                    {{"subgroup", p.subgroup}});
+  }
+  if (o.spans.enabled() && p.rejoin_span != obs::kNoSpan) {
+    // Closed by whatever delivery carried the configuration in.
+    obs::SpanId closer = o.spans.current();
+    if (closer == p.rejoin_span) closer = obs::kNoSpan;
+    o.spans.close(p.rejoin_span, closer);
+  }
+  p.rejoin_span = obs::kNoSpan;
+  if (on_peer_rejoined) on_peer_rejoined(p.id);
+}
+
+void TwoLayerRaftSystem::abort_rejoin(Peer& p) {
+  if (!p.rejoining) return;
+  p.rejoining = false;
+  p.stale_probe = false;
+  p.rejoin_timer->cancel();
+  net_.simulator().obs().spans.close_aborted(p.rejoin_span);
+  p.rejoin_span = obs::kNoSpan;
+}
+
+HealthReport TwoLayerRaftSystem::health(
+    std::size_t sac_dropout_tolerance) const {
+  HealthReport report;
+  report.fedavg_leader = fedavg_leader();
+  report.fedavg_members = fedavg_members();
+  for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
+    SubgroupHealth h;
+    h.subgroup = g;
+    h.leader = subgroup_leader(g);
+    const std::vector<PeerId>& group = topology_.group(g);
+    // Configuration view: the leader's if one exists, else any live
+    // running member's, else any member's surviving persistent state.
+    const Peer* view =
+        h.leader != kNoPeer ? &peer_ref(h.leader) : nullptr;
+    if (view == nullptr) {
+      for (PeerId id : group) {
+        const Peer& cand = peer_ref(id);
+        if (!net_.crashed(id) && cand.sg_node->running()) {
+          view = &cand;
+          break;
+        }
+      }
+    }
+    if (view == nullptr && !group.empty()) view = &peer_ref(group.front());
+    if (view != nullptr) h.config = view->sg_node->members();
+    for (PeerId id : group) {
+      if (!net_.crashed(id)) h.live.push_back(id);
+      if (std::find(h.config.begin(), h.config.end(), id) ==
+          h.config.end()) {
+        h.evicted.push_back(id);
+      }
+    }
+    if (h.leader != kNoPeer) {
+      for (const auto& [m, t] : peer_ref(h.leader).sg_suspected) {
+        h.suspected.push_back(m);
+      }
+    }
+    h.nominal_k = group.size() > sac_dropout_tolerance
+                      ? group.size() - sac_dropout_tolerance
+                      : 1;
+    h.effective_k =
+        std::max<std::size_t>(1, std::min(h.nominal_k, h.live.size()));
+    h.degraded = h.live.size() < h.nominal_k;
+    // Parked: leaderless and structurally unable to elect — the live
+    // members cannot form a quorum of the current configuration.
+    std::size_t live_in_cfg = 0;
+    for (PeerId id : h.config) {
+      if (!net_.crashed(id)) ++live_in_cfg;
+    }
+    const std::size_t q = h.config.size() / 2 + 1;
+    h.parked =
+        h.leader == kNoPeer && (h.config.empty() || live_in_cfg < q);
+    report.subgroups.push_back(std::move(h));
+  }
+  return report;
+}
+
 void TwoLayerRaftSystem::start_all() {
-  for (auto& [id, peer] : peers_) peer->sg_node->start();
+  for (auto& [id, peer] : peers_) {
+    peer->sg_node->start();
+    if (opts_.self_healing) {
+      peer->sg_contact_mark = net_.simulator().now();
+      peer->fed_contact_mark = net_.simulator().now();
+      peer->supervise_timer->arm_periodic(opts_.membership_poll);
+    }
+  }
 }
 
 void TwoLayerRaftSystem::crash_peer(PeerId peer) {
@@ -263,6 +644,10 @@ void TwoLayerRaftSystem::crash_peer(PeerId peer) {
   if (p.fed_node) p.fed_node->stop();
   p.cfg_commit_timer->cancel();
   p.join_timer->cancel();
+  p.supervise_timer->cancel();
+  p.sg_suspected.clear();
+  p.fed_suspected.clear();
+  abort_rejoin(p);
 }
 
 void TwoLayerRaftSystem::restart_peer(PeerId peer) {
@@ -272,6 +657,47 @@ void TwoLayerRaftSystem::restart_peer(PeerId peer) {
   // A previous FedAvg instance comes back passively; if the layer has
   // already replaced this peer it simply never campaigns again.
   if (p.fed_node) p.fed_node->restart();
+  if (opts_.self_healing) {
+    p.sg_contact_mark = net_.simulator().now();
+    p.fed_contact_mark = net_.simulator().now();
+    p.supervise_timer->arm_periodic(opts_.membership_poll);
+    // Evicted while down: the surviving log no longer names this peer.
+    if (!p.sg_node->in_config()) start_rejoin(p);
+  }
+}
+
+void TwoLayerRaftSystem::restart_peer_amnesia(PeerId peer) {
+  Peer& p = peer_ref(peer);
+  P2PFL_CHECK_MSG(net_.crashed(peer),
+                  "amnesia restart requires a crashed peer");
+  net_.restore(peer);
+  // Wipe persistent Raft state. The successor instance boots with an
+  // empty configuration: it can neither campaign nor vote (no
+  // split-brain from the forgotten term/vote), and waits for its leader
+  // to configure it back in and replicate (or snapshot-install) history.
+  p.fed_node.reset();
+  p.announced_join = false;
+  p.known_fed_cfg = topology_.designated_leaders();
+  raft::RaftOptions sg_opts = opts_.raft;
+  sg_opts.compaction_threshold = opts_.log_compaction_threshold;
+  p.sg_node.reset();  // unroutes the dead instance's channels first
+  p.sg_node = std::make_unique<raft::RaftNode>(
+      peer, subgroup_channel(p.subgroup), std::vector<PeerId>{}, sg_opts,
+      net_, p.host);
+  wire_subgroup_node(p);
+  p.sg_node->start();
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("membership.amnesia_restarts").add(1);
+  if (o.trace.category_enabled("raft")) {
+    o.trace.instant("raft", "membership.amnesia_restart", peer,
+                    {{"subgroup", p.subgroup}});
+  }
+  if (opts_.self_healing) {
+    p.sg_contact_mark = net_.simulator().now();
+    p.fed_contact_mark = net_.simulator().now();
+    p.supervise_timer->arm_periodic(opts_.membership_poll);
+    start_rejoin(p);
+  }
 }
 
 bool TwoLayerRaftSystem::peer_crashed(PeerId peer) const {

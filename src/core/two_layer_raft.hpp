@@ -35,6 +35,7 @@
 #include "core/wire.hpp"
 #include "net/mux.hpp"
 #include "net/network.hpp"
+#include "obs/span.hpp"
 #include "raft/node.hpp"
 #include "sim/timer.hpp"
 
@@ -50,6 +51,41 @@ struct TwoLayerRaftOptions {
   /// Snapshot the config logs after this many applied entries (they grow
   /// forever otherwise — one config commit every interval). 0 disables.
   std::size_t log_compaction_threshold = 64;
+
+  // --- self-healing membership -------------------------------------------
+  /// Master switch for the membership supervisor: leaders suspect and
+  /// evict silent members; evicted (or wiped) peers run the rejoin
+  /// handshake to be configured back in.
+  bool self_healing = true;
+  /// A member whose AppendEntries/InstallSnapshot replies have been
+  /// silent for longer than this is suspected and proposed for removal.
+  /// Must be well above the election timeout, or a transient hiccup
+  /// triggers eviction instead of a retry.
+  SimDuration suspicion_grace = 1 * kSecond;
+  /// Cadence of the leader-side failure-detector tick.
+  SimDuration membership_poll = 250 * kMillisecond;
+  /// Retry interval of an evicted peer's rejoin handshake.
+  SimDuration rejoin_retry = 200 * kMillisecond;
+};
+
+/// Point-in-time membership health of one subgroup (see health()).
+struct SubgroupHealth {
+  SubgroupId subgroup = 0;
+  PeerId leader = kNoPeer;        // live leader, kNoPeer if none
+  std::vector<PeerId> config;     // current Raft configuration
+  std::vector<PeerId> live;       // topology members currently up
+  std::vector<PeerId> suspected;  // leader's standing suspicions
+  std::vector<PeerId> evicted;    // topology members outside config
+  std::size_t nominal_k = 0;      // full-strength SAC threshold
+  std::size_t effective_k = 0;    // threshold after live clamping
+  bool degraded = false;          // live members < nominal_k
+  bool parked = false;  // leaderless and live members below config quorum
+};
+
+struct HealthReport {
+  std::vector<SubgroupHealth> subgroups;
+  PeerId fedavg_leader = kNoPeer;
+  std::vector<PeerId> fedavg_members;
 };
 
 class TwoLayerRaftSystem {
@@ -67,6 +103,12 @@ class TwoLayerRaftSystem {
   // --- fault injection ---------------------------------------------------
   void crash_peer(PeerId peer);
   void restart_peer(PeerId peer);
+  /// Restart with persistent Raft state wiped (term, vote, log, FedAvg
+  /// instance). The blank node comes back with an empty configuration —
+  /// it can neither campaign nor vote, so no split-brain is possible —
+  /// and runs the rejoin handshake until its subgroup leader configures
+  /// it back in and replication (or a snapshot install) catches it up.
+  void restart_peer_amnesia(PeerId peer);
   bool peer_crashed(PeerId peer) const;
 
   // --- observation --------------------------------------------------------
@@ -95,12 +137,25 @@ class TwoLayerRaftSystem {
   /// designated bootstrap list until something newer commits).
   const std::vector<PeerId>& known_fedavg_config(PeerId peer) const;
 
+  /// Membership health snapshot per subgroup plus the FedAvg layer.
+  /// `sac_dropout_tolerance` reproduces the aggregation layer's
+  /// k = n - tolerance policy so the report carries the SAC threshold
+  /// each subgroup would run with.
+  HealthReport health(std::size_t sac_dropout_tolerance = 0) const;
+
   // --- hooks (timestamp with net.simulator().now()) -----------------------
   std::function<void(SubgroupId, PeerId)> on_subgroup_leader;
   std::function<void(PeerId)> on_fedavg_leader;
   /// New subgroup leader completed its FedAvg-layer join (it appears in
   /// the configuration adopted by its own FedAvg instance).
   std::function<void(PeerId)> on_fedavg_joined;
+  /// A leader's failure detector saw its suspicion confirmed: the peer
+  /// is out of the adopted configuration. `fed_layer` distinguishes the
+  /// FedAvg layer from the peer's subgroup cluster.
+  std::function<void(PeerId, bool fed_layer)> on_peer_evicted;
+  /// An evicted peer's rejoin handshake completed (it is back in its
+  /// subgroup's configuration).
+  std::function<void(PeerId)> on_peer_rejoined;
 
  private:
   using JoinRequest = wire::JoinRequestMsg;
@@ -115,6 +170,24 @@ class TwoLayerRaftSystem {
     std::unique_ptr<sim::Timer> cfg_commit_timer;
     std::unique_ptr<sim::Timer> join_timer;
     bool announced_join = false;
+    // Self-healing state.
+    std::unique_ptr<sim::Timer> supervise_timer;
+    std::unique_ptr<sim::Timer> rejoin_timer;
+    /// While this peer leads a layer: member -> time suspicion began.
+    std::map<PeerId, SimTime> sg_suspected;
+    std::map<PeerId, SimTime> fed_suspected;
+    bool rejoining = false;
+    /// The active rejoin is a stale-config probe: our log still names us,
+    /// so the handshake finishes on resumed leader contact rather than on
+    /// a configuration change.
+    bool stale_probe = false;
+    std::size_t rejoin_attempts = 0;
+    obs::SpanId rejoin_span = obs::kNoSpan;
+    /// Stale-config probe clocks: latest proof the layer's leader still
+    /// talks to us (or that no leader is owed, e.g. we are the leader).
+    SimTime sg_contact_mark = -1;
+    SimTime fed_contact_mark = -1;
+    std::size_t probe_attempts = 0;
   };
 
   Peer& peer_ref(PeerId id);
@@ -127,6 +200,18 @@ class TwoLayerRaftSystem {
   void send_join_request(Peer& p);
   void handle_join_request(Peer& p, const JoinRequest& req);
   void check_join_complete(Peer& p);
+  // Self-healing membership.
+  void supervise(Peer& p);
+  void supervise_layer(Peer& p, raft::RaftNode& node,
+                       std::map<PeerId, SimTime>& suspected, bool fed_layer);
+  void handle_subgroup_config(Peer& p, const std::vector<PeerId>& cfg);
+  void probe_stale_membership(Peer& p);
+  PeerId rejoin_target(const Peer& p, std::size_t attempt) const;
+  void start_rejoin(Peer& p);
+  void send_rejoin_request(Peer& p);
+  void handle_rejoin_request(Peer& p, const wire::RejoinRequestMsg& req);
+  void finish_rejoin(Peer& p);
+  void abort_rejoin(Peer& p);
 
   Topology topology_;
   TwoLayerRaftOptions opts_;

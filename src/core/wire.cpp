@@ -1,5 +1,7 @@
 #include "core/wire.hpp"
 
+#include "fl/checkpoint.hpp"
+
 namespace p2pfl::core::wire {
 
 namespace {
@@ -66,6 +68,64 @@ std::optional<JoinRequestMsg> decode_join(const Bytes& b) {
   });
 }
 
+Bytes encode(const RejoinRequestMsg& m) {
+  ByteWriter w;
+  w.u32(m.peer);
+  w.u32(m.subgroup);
+  w.u64(m.incarnation);
+  return w.take();
+}
+
+std::optional<RejoinRequestMsg> decode_rejoin(const Bytes& b) {
+  return guarded<RejoinRequestMsg>(b, [](ByteReader& r) {
+    RejoinRequestMsg m;
+    m.peer = r.u32();
+    m.subgroup = r.u32();
+    m.incarnation = r.u64();
+    return m;
+  });
+}
+
+Bytes encode(const ModelPullMsg& m) {
+  ByteWriter w;
+  w.u32(m.peer);
+  w.u64(m.last_round);
+  return w.take();
+}
+
+std::optional<ModelPullMsg> decode_pull(const Bytes& b) {
+  return guarded<ModelPullMsg>(b, [](ByteReader& r) {
+    ModelPullMsg m;
+    m.peer = r.u32();
+    m.last_round = r.u64();
+    return m;
+  });
+}
+
+Bytes encode(const ModelPushMsg& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.blob(m.checkpoint);
+  return w.take();
+}
+
+std::optional<ModelPushMsg> decode_push(const Bytes& b) {
+  std::optional<ModelPushMsg> m = guarded<ModelPushMsg>(b, [](ByteReader& r) {
+    ModelPushMsg out;
+    out.round = r.u64();
+    out.checkpoint = r.blob();
+    return out;
+  });
+  if (!m.has_value()) return std::nullopt;
+  // The checkpoint must itself be well-formed (magic + checksum); a
+  // damaged model is rejected here, at the frame boundary.
+  if (!m->checkpoint.empty() &&
+      !fl::decode_checkpoint(m->checkpoint).has_value()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
 net::WireSize upload_wire(std::uint64_t payload, std::size_t dim) {
   net::WireSize s;
   s.payload = payload;
@@ -81,6 +141,12 @@ net::WireSize result_wire(std::uint64_t payload, std::size_t dim) {
   s.wire = kResultHeader + payload;
   s.modeled = static_cast<std::int64_t>(payload) -
               static_cast<std::int64_t>(4 * dim);
+  return s;
+}
+
+net::WireSize push_wire(std::size_t checkpoint_bytes) {
+  net::WireSize s;
+  s.wire = kPushHeader + checkpoint_bytes;
   return s;
 }
 
@@ -130,6 +196,42 @@ bool eq_join(const JoinRequestMsg& a, const JoinRequestMsg& b) {
          a.stale_representative == b.stale_representative;
 }
 
+RejoinRequestMsg sample_rejoin(Rng& rng, const net::WireSample& s) {
+  RejoinRequestMsg m;
+  m.peer = static_cast<PeerId>(rng.index(s.n));
+  m.subgroup = static_cast<SubgroupId>(rng.index(s.k > 0 ? s.k : 1));
+  m.incarnation = rng.index(8);
+  return m;
+}
+
+ModelPullMsg sample_pull(Rng& rng, const net::WireSample& s) {
+  ModelPullMsg m;
+  m.peer = static_cast<PeerId>(rng.index(s.n));
+  m.last_round = s.round > 0 ? rng.index(s.round) : 0;
+  return m;
+}
+
+ModelPushMsg sample_push(Rng& rng, const net::WireSample& s) {
+  ModelPushMsg m;
+  m.round = s.round;
+  const secagg::Vector v = sample_vector(rng, s.dim);
+  m.checkpoint = fl::encode_checkpoint(v);
+  return m;
+}
+
+bool eq_rejoin(const RejoinRequestMsg& a, const RejoinRequestMsg& b) {
+  return a.peer == b.peer && a.subgroup == b.subgroup &&
+         a.incarnation == b.incarnation;
+}
+
+bool eq_pull(const ModelPullMsg& a, const ModelPullMsg& b) {
+  return a.peer == b.peer && a.last_round == b.last_round;
+}
+
+bool eq_push(const ModelPushMsg& a, const ModelPushMsg& b) {
+  return a.round == b.round && a.checkpoint == b.checkpoint;
+}
+
 template <typename T>
 net::Codec make_codec(std::string key,
                       std::optional<T> (*decode_fn)(const Bytes&),
@@ -171,6 +273,12 @@ void register_codecs() {
                                      &sample_result, &eq_result));
     reg.add(make_codec<JoinRequestMsg>("join", &decode_join, &sample_join,
                                        &eq_join));
+    reg.add(make_codec<RejoinRequestMsg>("member:rejoin", &decode_rejoin,
+                                         &sample_rejoin, &eq_rejoin));
+    reg.add(make_codec<ModelPullMsg>("member:pull", &decode_pull,
+                                     &sample_pull, &eq_pull));
+    reg.add(make_codec<ModelPushMsg>("member:push", &decode_push,
+                                     &sample_push, &eq_push));
     return true;
   }();
   (void)once;

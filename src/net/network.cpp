@@ -174,6 +174,7 @@ void Network::send(Envelope env) {
     return;
   }
   if (cfg_.encode_verify) verify_encoding(env);
+  env.dest_incarnation = incarnation(env.to);
 
   obs::SpanRecorder& sr = sim_.obs().spans;
   if (sr.enabled() && env.span.span == obs::kNoSpan) {
@@ -321,6 +322,14 @@ void Network::deliver_now(const Envelope& env) {
     if (link != obs::kNoSpan) sr.close_aborted(link);
     return;
   }
+  if (env.dest_incarnation != incarnation(env.to)) {
+    // Addressed to a process that has since died: even though a
+    // same-numbered peer is back (possibly with wiped state), this
+    // message belongs to its predecessor's TCP connections.
+    count_drop("stale_incarnation");
+    if (link != obs::kNoSpan) sr.close_aborted(link);
+    return;
+  }
   auto it = endpoints_.find(env.to);
   if (it == endpoints_.end()) {  // nobody listening
     count_drop("unattached");
@@ -394,7 +403,14 @@ void Network::deliver_now(const Envelope& env) {
   it->second->deliver(*msg);
 }
 
-void Network::crash(PeerId peer) { crashed_.insert(peer); }
+void Network::crash(PeerId peer) {
+  if (crashed_.insert(peer).second) incarnation_[peer] += 1;
+}
+
+std::uint64_t Network::incarnation(PeerId peer) const {
+  auto it = incarnation_.find(peer);
+  return it == incarnation_.end() ? 0 : it->second;
+}
 
 void Network::restore(PeerId peer) { crashed_.erase(peer); }
 

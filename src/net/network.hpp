@@ -58,6 +58,12 @@ struct Envelope {
   /// Chaos-duplicated copy: delivered normally but accounted under a
   /// distinct label so per-kind byte counts stay Eq. (4)/(5)-exact.
   bool chaos_duplicate = false;
+  /// Incarnation of the destination peer this message was addressed to,
+  /// stamped by the network at send time. A crash bumps the target's
+  /// incarnation, so messages still in flight toward the dead process
+  /// are never delivered to its successor (dropped with reason
+  /// "stale_incarnation") — the property amnesia restarts rely on.
+  std::uint64_t dest_incarnation = 0;
 };
 
 /// Protocol actors implement Endpoint to receive messages.
@@ -207,6 +213,11 @@ class Network {
   bool crashed(PeerId peer) const;
   std::size_t crashed_count() const { return crashed_.size(); }
 
+  /// Current incarnation number of a peer (starts at 0, bumped by every
+  /// crash()). Messages are stamped with the destination's incarnation
+  /// at send time and dropped at delivery on mismatch.
+  std::uint64_t incarnation(PeerId peer) const;
+
   /// Block / unblock a directed link (both calls are cheap).
   void block_link(PeerId from, PeerId to);
   void unblock_link(PeerId from, PeerId to);
@@ -279,6 +290,7 @@ class Network {
   obs::Counter& m_delivered_payload_;
   std::unordered_map<PeerId, Endpoint*> endpoints_;
   std::unordered_set<PeerId> crashed_;
+  std::unordered_map<PeerId, std::uint64_t> incarnation_;
   std::unordered_set<Link> blocked_;
   std::unordered_map<Link, SimDuration> extra_delay_;
   std::unordered_map<Link, LinkFaults> link_faults_;

@@ -15,6 +15,7 @@ const char* span_kind_name(SpanKind k) {
     case SpanKind::kRetry: return "retry";
     case SpanKind::kRecovery: return "recovery";
     case SpanKind::kLink: return "link";
+    case SpanKind::kRejoin: return "rejoin";
   }
   return "?";
 }

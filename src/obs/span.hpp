@@ -60,6 +60,7 @@ enum class SpanKind : std::uint8_t {
   kRetry,          // a retransmission burst (share_req / upload resend)
   kRecovery,       // Alg. 4 subtotal recovery requests
   kLink,           // one message's network flight
+  kRejoin,         // evicted peer's rejoin handshake (request -> re-add)
 };
 
 const char* span_kind_name(SpanKind k);

@@ -81,6 +81,22 @@ bool RaftNode::in_config() const {
   return std::find(config_.begin(), config_.end(), id_) != config_.end();
 }
 
+SimTime RaftNode::follower_last_contact(PeerId follower) const {
+  if (!is_leader()) return -1;
+  auto it = follower_contact_.find(follower);
+  return it == follower_contact_.end() ? -1 : it->second;
+}
+
+bool RaftNode::quorum_contact_recent() const {
+  if (!in_config()) return false;
+  std::size_t fresh = 1;  // self
+  const SimTime now = net_.simulator().now();
+  for (const auto& [m, t] : follower_contact_) {
+    if (m != id_ && now - t < opts_.election_timeout_min) ++fresh;
+  }
+  return fresh >= quorum();
+}
+
 void RaftNode::start() {
   if (running_) return;
   running_ = true;
@@ -169,6 +185,7 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
       o.spans.close_aborted(span);
     }
     replicate_spans_.clear();
+    follower_contact_.clear();
     o.metrics.counter("raft.stepdowns").add(1);
     o.metrics.gauge("raft.leaders." + channel_).add(-1);
     if (o.trace.category_enabled("raft")) {
@@ -257,9 +274,11 @@ void RaftNode::become_leader() {
   }
   next_index_.clear();
   match_index_.clear();
+  follower_contact_.clear();
   for (PeerId p : config_) {
     next_index_[p] = log_.last_index() + 1;
     match_index_[p] = p == id_ ? log_.last_index() : 0;
+    if (p != id_) follower_contact_[p] = net_.simulator().now();
   }
   // §5.4.2: a fresh leader cannot directly commit entries from previous
   // terms; appending a current-term no-op lets them commit transitively.
@@ -342,12 +361,18 @@ void RaftNode::handle_request_vote(const RequestVoteArgs& args) {
   // §4.2.3 stickiness: while we have heard from a live leader recently,
   // drop vote requests entirely (without even adopting the term), so a
   // server removed from the configuration — or one with a stale config —
-  // cannot depose a healthy leader by inflating terms.
-  if (opts_.leader_stickiness && role_ == Role::kFollower &&
-      last_leader_contact_ >= 0 &&
-      net_.simulator().now() - last_leader_contact_ <
-          opts_.election_timeout_min) {
-    return;
+  // cannot depose a healthy leader by inflating terms. The leader itself
+  // applies the check-quorum form: while a quorum of its followers is in
+  // active contact it ignores vote requests too, closing the hole where
+  // the removed server's inflated term deposes the leader directly.
+  if (opts_.leader_stickiness) {
+    const bool follower_sticky =
+        role_ == Role::kFollower && last_leader_contact_ >= 0 &&
+        net_.simulator().now() - last_leader_contact_ <
+            opts_.election_timeout_min;
+    const bool leader_sticky =
+        role_ == Role::kLeader && quorum_contact_recent();
+    if (follower_sticky || leader_sticky) return;
   }
   if (args.term > term_) become_follower(args.term, kNoPeer);
 
@@ -476,6 +501,7 @@ void RaftNode::handle_append_entries_reply(const AppendEntriesReply& reply) {
   if (role_ != Role::kLeader || reply.term != term_) return;
   auto nit = next_index_.find(reply.follower);
   if (nit == next_index_.end()) return;  // no longer a member
+  follower_contact_[reply.follower] = net_.simulator().now();
 
   if (reply.success) {
     match_index_[reply.follower] =
@@ -638,6 +664,7 @@ void RaftNode::handle_install_snapshot_reply(
   if (role_ != Role::kLeader || reply.term != term_) return;
   auto it = next_index_.find(reply.follower);
   if (it == next_index_.end()) return;
+  follower_contact_[reply.follower] = net_.simulator().now();
   match_index_[reply.follower] =
       std::max(match_index_[reply.follower], reply.match_index);
   it->second = std::max(it->second, reply.match_index + 1);
@@ -666,12 +693,14 @@ void RaftNode::adopt_latest_config() {
       if (next_index_.count(p) == 0) {
         next_index_[p] = log_.last_index() + 1;
         match_index_[p] = 0;
+        follower_contact_[p] = net_.simulator().now();
       }
     }
     for (auto it = next_index_.begin(); it != next_index_.end();) {
       if (std::find(config_.begin(), config_.end(), it->first) ==
           config_.end()) {
         match_index_.erase(it->first);
+        follower_contact_.erase(it->first);
         it = next_index_.erase(it);
       } else {
         ++it;

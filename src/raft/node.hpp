@@ -118,6 +118,23 @@ class RaftNode {
   const std::vector<PeerId>& members() const { return config_; }
   bool in_config() const;
   const RaftMetrics& metrics() const { return metrics_; }
+  /// True while a proposed membership change is still uncommitted.
+  bool config_change_in_flight() const { return pending_config_ != 0; }
+  /// Leader-side failure detector input: simulated time of the last
+  /// AppendEntries/InstallSnapshot reply received from `follower` this
+  /// term. Members that have never replied report the moment they were
+  /// first tracked (election or config adoption), so the suspicion grace
+  /// window starts counting from there. Returns -1 when not leader or
+  /// the peer is not a tracked member.
+  SimTime follower_last_contact(PeerId follower) const;
+  /// Follower-side counterpart: simulated time this node last accepted a
+  /// message from a current leader (-1 before any contact or after
+  /// stop()). A member whose log predates its own removal can use a long
+  /// silence here as the only available eviction signal.
+  SimTime last_leader_contact() const { return last_leader_contact_; }
+  /// Check-quorum (leader side): true while a quorum of the current
+  /// configuration has replied within the minimum election timeout.
+  bool quorum_contact_recent() const;
 
   // --- client operations (leader only; nullopt when not leader) ---------
   /// Replicate an opaque command. Returns its log index.
@@ -232,6 +249,9 @@ class RaftNode {
   std::map<PeerId, Index> next_index_;
   std::map<PeerId, Index> match_index_;
   Index pending_config_ = 0;  // index of uncommitted config change, 0 = none
+  /// Leader-only: last reply time per follower (feeds the membership
+  /// supervisor's suspicion clock). Cleared on step-down.
+  std::map<PeerId, SimTime> follower_contact_;
   /// Leader-side causal spans: log index proposed -> applied here.
   /// Aborted (and cleared) on step-down.
   std::map<Index, obs::SpanId> replicate_spans_;

@@ -315,6 +315,111 @@ TEST(ChaosEngineTest, ChurnRespectsConcurrencyGuard) {
   EXPECT_LE(max_down, 3u);
 }
 
+TEST(ChaosEngineTest, RedundantCrashAndRestartNoOpInsteadOfRefiring) {
+  // Overlapping plan entries must not re-run the crash/restart hooks:
+  // double-crashing a system peer would cancel its timers twice and
+  // double-restarting would re-arm them, so the engine records the
+  // redundancy and does nothing.
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  std::size_t crash_calls = 0, restart_calls = 0;
+  ChaosEngineHooks hooks;
+  hooks.crash = [&](PeerId p) {
+    ++crash_calls;
+    net.crash(p);
+  };
+  hooks.restart = [&](PeerId p) {
+    ++restart_calls;
+    net.restore(p);
+  };
+  ChaosPlan plan;
+  plan.crash_at(100 * kMillisecond, 3)
+      .crash_at(150 * kMillisecond, 3)   // redundant: already down
+      .restart_at(300 * kMillisecond, 3)
+      .restart_at(350 * kMillisecond, 3)  // redundant: already up
+      .restart_at(400 * kMillisecond, 5);  // redundant: never crashed
+  ChaosEngine engine(net, plan, hooks);
+  engine.start();
+  sim.run_for(1 * kSecond);
+  EXPECT_EQ(crash_calls, 1u);
+  EXPECT_EQ(restart_calls, 1u);
+  EXPECT_EQ(engine.crashes(), 1u);
+  EXPECT_EQ(engine.restarts(), 1u);
+  EXPECT_EQ(engine.redundant_faults(), 3u);
+  EXPECT_EQ(counter_value(sim, "chaos.redundant"), 3u);
+  // Redundant requests are not injected faults.
+  EXPECT_EQ(engine.faults_injected(), 2u);
+}
+
+TEST(ChaosEngineTest, AmnesiaRestartDispatchesToTheAmnesiaHook) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  std::vector<std::pair<PeerId, bool>> restarts;  // (peer, amnesia)
+  ChaosEngineHooks hooks;
+  hooks.restart = [&](PeerId p) {
+    restarts.emplace_back(p, false);
+    net.restore(p);
+  };
+  hooks.restart_amnesia = [&](PeerId p) {
+    restarts.emplace_back(p, true);
+    net.restore(p);
+  };
+  ChaosPlan plan;
+  plan.crash_for(100 * kMillisecond, 1, 200 * kMillisecond);
+  plan.crash_for(100 * kMillisecond, 2, 200 * kMillisecond,
+                 /*amnesia=*/true);
+  ChaosEngine engine(net, plan, hooks);
+  engine.start();
+  sim.run_for(1 * kSecond);
+  ASSERT_EQ(restarts.size(), 2u);
+  EXPECT_EQ(engine.restarts(), 2u);
+  EXPECT_EQ(engine.amnesia_restarts(), 1u);
+  for (const auto& [peer, amnesia] : restarts) {
+    EXPECT_EQ(amnesia, peer == 2) << "peer " << peer;
+  }
+  EXPECT_EQ(counter_value(sim, "chaos.restart"), 1u);
+  EXPECT_EQ(counter_value(sim, "chaos.amnesia_restart"), 1u);
+}
+
+TEST(ChaosEngineTest, AmnesiaFallsBackToPlainRestartWithoutAHook) {
+  sim::Simulator sim(7);
+  net::Network net(sim, {.base_latency = 10 * kMillisecond});
+  ChaosPlan plan;
+  plan.crash_for(100 * kMillisecond, 4, 200 * kMillisecond,
+                 /*amnesia=*/true);
+  ChaosEngine engine(net, plan);  // default hooks: net.crash/net.restore
+  engine.start();
+  sim.run_for(1 * kSecond);
+  EXPECT_FALSE(net.crashed(4));
+  EXPECT_EQ(engine.amnesia_restarts(), 1u);
+}
+
+TEST(ChaosEngineTest, ChurnAmnesiaProbabilityControlsRestartKind) {
+  auto churn_with = [](double amnesia_prob) {
+    sim::Simulator sim(5);
+    net::Network net(sim, {.base_latency = 10 * kMillisecond});
+    ChurnSpec churn;
+    churn.start = 0;
+    churn.end = 5 * kSecond;
+    churn.mttf = 300 * kMillisecond;
+    churn.mttr = 100 * kMillisecond;
+    churn.peers = {0, 1, 2, 3};
+    churn.amnesia_prob = amnesia_prob;
+    ChaosPlan plan;
+    plan.churn(churn);
+    ChaosEngine engine(net, plan);
+    engine.start();
+    sim.run_for(6 * kSecond);
+    return std::make_pair(engine.restarts(), engine.amnesia_restarts());
+  };
+  const auto [plain_total, plain_amnesia] = churn_with(0.0);
+  EXPECT_GT(plain_total, 0u);
+  EXPECT_EQ(plain_amnesia, 0u);
+  const auto [always_total, always_amnesia] = churn_with(1.0);
+  EXPECT_GT(always_total, 0u);
+  EXPECT_EQ(always_amnesia, always_total);
+}
+
 // --- protocol hardening ----------------------------------------------------
 
 // A subgroup of SacPeers over a faulty network; peer i contributes

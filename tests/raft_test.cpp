@@ -367,6 +367,48 @@ TEST(Raft, OnlyOneConfigChangeInFlight) {
   EXPECT_FALSE(leader->propose_remove_server(7).has_value());
 }
 
+TEST(Raft, AddOfPresentMemberAndRemoveOfStrangerAreRejected) {
+  Cluster c(3);
+  c.start_all();
+  c.run_for(2 * kSecond);
+  RaftNode* leader = c.leader();
+  ASSERT_NE(leader, nullptr);
+  // Both proposals are vacuous; accepting them would burn the one
+  // change-in-flight slot on a config entry that changes nothing.
+  EXPECT_FALSE(leader->propose_add_server(leader->id()).has_value());
+  EXPECT_FALSE(leader->propose_add_server(1).has_value());
+  EXPECT_FALSE(leader->propose_remove_server(42).has_value());
+  EXPECT_EQ(leader->members().size(), 3u);
+  // The slot stays free for a real change.
+  EXPECT_TRUE(leader->propose_remove_server(
+                        leader->id() == 2 ? 1 : 2).has_value());
+}
+
+TEST(Raft, RemovingCurrentLeaderMakesItStepDownAfterCommit) {
+  Cluster c(3);
+  c.start_all();
+  c.run_for(2 * kSecond);
+  RaftNode* old_leader = c.leader();
+  ASSERT_NE(old_leader, nullptr);
+  const PeerId removed = old_leader->id();
+  // §4.2.2: the leader may commit a configuration that excludes itself;
+  // it keeps leading until the entry commits, then steps down.
+  ASSERT_TRUE(old_leader->propose_remove_server(removed).has_value());
+  c.run_for(2 * kSecond);
+  EXPECT_FALSE(old_leader->is_leader());
+  EXPECT_FALSE(old_leader->in_config());
+  // The surviving pair elects a successor and still commits.
+  RaftNode* next = c.leader();
+  ASSERT_NE(next, nullptr);
+  EXPECT_NE(next->id(), removed);
+  EXPECT_EQ(next->members().size(), 2u);
+  ASSERT_TRUE(next->propose(cmd(5)).has_value());
+  c.run_for(500 * kMillisecond);
+  EXPECT_EQ(c.applied[next->id()].back().second, cmd(5));
+  // The removed server never applies past its own removal entry.
+  c.expect_election_safety();
+}
+
 TEST(Raft, NonMemberNeverCampaigns) {
   // A node whose configuration does not include itself stays follower.
   sim::Simulator sim(1);

@@ -36,7 +36,9 @@ const std::set<std::string> kExpectedKeys = {
     "sac:share", "sac:subtotal", "sac:request", "sac:share_req",
     "ml:share", "ml:subtotal", "ml:request", "ml:share_req",
     // Core aggregation layer.
-    "agg:upload", "agg:result", "ml:result", "join"};
+    "agg:upload", "agg:result", "ml:result", "join",
+    // Self-healing membership: rejoin handshake + model catch-up.
+    "member:rejoin", "member:pull", "member:push"};
 
 TEST(CodecRegistry, KeyOfKindUsesFirstAndLastSegment) {
   EXPECT_EQ(CodecRegistry::key_of_kind("raft/sg0/rv"), "raft:rv");

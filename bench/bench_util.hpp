@@ -27,9 +27,16 @@ class Args {
   }
 
   std::string get(const std::string& key, const std::string& def) const {
-    const std::string prefix = "--" + key + "=";
-    for (const auto& a : args_) {
+    const std::string flag = "--" + key;
+    const std::string prefix = flag + "=";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
       if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+      // Also accept the space-separated form: `--key value`.
+      if (a == flag && i + 1 < args_.size() &&
+          args_[i + 1].rfind("--", 0) != 0) {
+        return args_[i + 1];
+      }
     }
     return def;
   }

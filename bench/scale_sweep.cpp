@@ -1,0 +1,230 @@
+// Kernel scalability sweep (ROADMAP item 1 — OLYMPIA-style concrete
+// scalability measurement of the secure-aggregation stack).
+//
+// Drives full two-layer aggregation rounds (SAC inside every subgroup,
+// FedAvg across subgroup leaders, result fan-out) at large N on the
+// pooled timer-wheel kernel and reports peers/sec, events/sec and wire
+// bytes/sec as a JSON document (stdout + --out file, BENCH_-style
+// machine-readable). A second section microbenchmarks raw kernel
+// schedule/cancel and schedule/fire throughput against the retained
+// naive binary-heap reference (src/sim/reference_queue.hpp) — the
+// before/after numbers for the kernel swap.
+//
+// CI runs `scale_sweep --n 1000` as a smoke test; the 10k/100k points
+// run in the nightly scale job (see .github/workflows/ci.yml).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/topology.hpp"
+#include "core/two_layer_agg.hpp"
+#include "net/mux.hpp"
+#include "net/network.hpp"
+#include "sim/reference_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace p2pfl;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct SweepResult {
+  std::size_t peers = 0;
+  std::size_t groups = 0;
+  std::size_t rounds = 0;
+  bool completed = false;
+  double wall_s = 0.0;
+  double sim_ms = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t envelope_pool = 0;
+  std::uint64_t event_pool = 0;
+};
+
+/// Full two-layer rounds at N peers: every subgroup runs SAC, leaders
+/// FedAvg, the global model fans back out. Models are tiny vectors (the
+/// kernel, not the arithmetic, is under test); byte accounting and
+/// encode-verify stay on, so the wire numbers are the real protocol's.
+SweepResult run_sweep(std::size_t n, std::size_t group_size,
+                      std::size_t rounds, std::uint64_t seed) {
+  sim::Simulator sim(seed);
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  const core::Topology topo = core::Topology::by_group_size(n, group_size);
+
+  std::vector<std::unique_ptr<net::PeerHost>> hosts(topo.peer_count());
+  for (PeerId id : topo.all_peers()) {
+    hosts[id] = std::make_unique<net::PeerHost>();
+    net.attach(id, hosts[id].get());
+  }
+
+  core::AggregationConfig cfg;
+  core::TwoLayerAggregator agg(topo, cfg, net,
+                               [&](PeerId id) -> net::PeerHost& {
+                                 return *hosts[id];
+                               });
+
+  SweepResult out;
+  out.peers = topo.peer_count();
+  out.groups = topo.subgroup_count();
+  out.rounds = rounds;
+
+  std::size_t completed_rounds = 0;
+  agg.on_global_model = [&](core::TwoLayerAggregator::RoundId,
+                            const secagg::Vector&,
+                            std::size_t) { ++completed_rounds; };
+
+  core::RoundLeadership lead;
+  lead.subgroup_leaders = topo.designated_leaders();
+  lead.fedavg_leader = lead.subgroup_leaders.front();
+
+  constexpr std::size_t kDim = 4;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    agg.begin_round(r, lead, [&](PeerId p) {
+      secagg::Vector v(kDim);
+      for (std::size_t i = 0; i < kDim; ++i) {
+        v[i] = static_cast<float>((p + i) % 17) * 0.25f;
+      }
+      return v;
+    });
+    sim.run();
+  }
+  out.wall_s = seconds_since(t0);
+  out.completed = completed_rounds == rounds;
+  out.sim_ms = to_ms(sim.now());
+  out.events = sim.obs().metrics.counter("sim.events_dispatched").value();
+  out.wire_bytes = net.stats().sent.bytes;
+  out.envelope_pool = net.envelope_pool_slots();
+  out.event_pool = sim.pool_slot_count();
+  return out;
+}
+
+/// Raw kernel churn: a ring of outstanding timers, each new schedule
+/// cancelling the oldest — the Raft election-timeout reset pattern.
+template <class Kernel>
+double schedule_cancel_ops_per_sec(Kernel& k, std::size_t ops) {
+  constexpr std::size_t kRing = 1024;
+  std::vector<std::uint64_t> ring(kRing, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const SimDuration delay =
+        static_cast<SimDuration>((i * 131) % (150 * kMillisecond));
+    const std::size_t at = i % kRing;
+    if (ring[at] != 0) k.cancel(ring[at]);
+    ring[at] = k.schedule_after(delay, [] {});
+    if (i % 8192 == 8191) k.run_for(kMillisecond);
+  }
+  k.run();
+  return static_cast<double>(ops) / seconds_since(t0);
+}
+
+/// Raw kernel dispatch: schedule a batch at mixed horizons, drain it.
+template <class Kernel>
+double schedule_fire_ops_per_sec(Kernel& k, std::size_t ops) {
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr std::size_t kBatch = 65536;
+  std::size_t done = 0;
+  while (done < ops) {
+    const std::size_t batch = std::min(kBatch, ops - done);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const SimDuration delay =
+          static_cast<SimDuration>((i * 977) % (400 * kMillisecond));
+      k.schedule_after(delay, [] {});
+    }
+    k.run();
+    done += batch;
+  }
+  return static_cast<double>(ops) / seconds_since(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1000));
+  const std::size_t group_size =
+      static_cast<std::size_t>(args.get_int("group-size", 32));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 1));
+  const std::size_t micro_ops =
+      static_cast<std::size_t>(args.get_int("micro-ops", 1'000'000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string out_path = args.get("out", "");
+
+  std::fprintf(stderr, "scale_sweep: N=%zu group_size=%zu rounds=%zu ...\n",
+               n, group_size, rounds);
+  const SweepResult s = run_sweep(n, group_size, rounds, seed);
+
+  double micro_wheel_sc = 0, micro_wheel_sf = 0;
+  double micro_naive_sc = 0, micro_naive_sf = 0;
+  if (micro_ops > 0) {
+    sim::Simulator wheel_a(1);
+    micro_wheel_sc = schedule_cancel_ops_per_sec(wheel_a, micro_ops);
+    sim::Simulator wheel_b(1);
+    micro_wheel_sf = schedule_fire_ops_per_sec(wheel_b, micro_ops);
+    sim::ReferenceQueue naive_a;
+    micro_naive_sc = schedule_cancel_ops_per_sec(naive_a, micro_ops);
+    sim::ReferenceQueue naive_b;
+    micro_naive_sf = schedule_fire_ops_per_sec(naive_b, micro_ops);
+  }
+
+  std::string json;
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"scale_sweep\",\"n\":%zu,\"group_size\":%zu,"
+      "\"groups\":%zu,\"rounds\":%zu,\"completed\":%s,"
+      "\"wall_s\":%.6f,\"sim_ms\":%.3f,"
+      "\"peers_per_sec\":%.1f,"
+      "\"events\":%llu,\"events_per_sec\":%.1f,"
+      "\"wire_bytes\":%llu,\"wire_bytes_per_sec\":%.1f,"
+      "\"event_pool_slots\":%llu,\"envelope_pool_slots\":%llu,"
+      "\"micro\":{\"ops\":%zu,"
+      "\"wheel\":{\"schedule_cancel_per_sec\":%.1f,"
+      "\"schedule_fire_per_sec\":%.1f},"
+      "\"naive_heap\":{\"schedule_cancel_per_sec\":%.1f,"
+      "\"schedule_fire_per_sec\":%.1f},"
+      "\"speedup\":{\"schedule_cancel\":%.2f,\"schedule_fire\":%.2f}}}",
+      s.peers, group_size, s.groups, s.rounds,
+      s.completed ? "true" : "false", s.wall_s, s.sim_ms,
+      static_cast<double>(s.peers * s.rounds) / s.wall_s,
+      static_cast<unsigned long long>(s.events),
+      static_cast<double>(s.events) / s.wall_s,
+      static_cast<unsigned long long>(s.wire_bytes),
+      static_cast<double>(s.wire_bytes) / s.wall_s,
+      static_cast<unsigned long long>(s.event_pool),
+      static_cast<unsigned long long>(s.envelope_pool), micro_ops,
+      micro_wheel_sc, micro_wheel_sf, micro_naive_sc, micro_naive_sf,
+      micro_naive_sc > 0 ? micro_wheel_sc / micro_naive_sc : 0.0,
+      micro_naive_sf > 0 ? micro_wheel_sf / micro_naive_sf : 0.0);
+  json = buf;
+
+  std::printf("%s\n", json.c_str());
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "scale_sweep: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  if (!s.completed) {
+    std::fprintf(stderr,
+                 "scale_sweep: round did not complete (%zu peers)\n",
+                 s.peers);
+    return 1;
+  }
+  return 0;
+}

@@ -409,7 +409,10 @@ void TwoLayerRaftSystem::supervise_layer(
   const char* layer = fed_layer ? "fed" : "sg";
   // Confirmed evictions first: a suspect missing from the adopted
   // configuration has been removed (adopt-at-append on this leader).
-  const std::vector<PeerId>& cfg = node.members();
+  // Copy, not reference: on_peer_evicted below may start an eviction
+  // whose config append makes the node adopt a new membership vector,
+  // which would leave a reference dangling mid-iteration.
+  const std::vector<PeerId> cfg = node.members();
   for (auto it = suspected.begin(); it != suspected.end();) {
     if (std::find(cfg.begin(), cfg.end(), it->first) == cfg.end()) {
       o.metrics.counter("membership.evicted").add(1);

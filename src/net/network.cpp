@@ -139,7 +139,28 @@ bool Network::partitioned(PeerId from, PeerId to) const {
   return gf != gt;
 }
 
-void Network::schedule_delivery(const Envelope& env, PeerId from, PeerId to) {
+std::uint32_t Network::acquire_envelope(Envelope&& env) {
+  std::uint32_t slot;
+  if (env_free_head_ != kNoEnvSlot) {
+    slot = env_free_head_;
+    env_free_head_ = env_pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(env_pool_.size());
+    env_pool_.emplace_back();
+  }
+  env_pool_[slot].env = std::move(env);
+  return slot;
+}
+
+void Network::deliver_pooled(std::uint32_t slot) {
+  deliver_now(env_pool_[slot].env);
+  PooledEnvelope& rec = env_pool_[slot];
+  rec.env = Envelope{};  // drop the body/kind allocations eagerly
+  rec.next_free = env_free_head_;
+  env_free_head_ = slot;
+}
+
+void Network::schedule_delivery(Envelope env, PeerId from, PeerId to) {
   SimDuration delay = latency_for(from, to);
   const LinkFaults& f = faults_for(from, to, env.kind);
   if (f.reorder_prob > 0.0 && f.reorder_jitter > 0 &&
@@ -157,7 +178,8 @@ void Network::schedule_delivery(const Envelope& env, PeerId from, PeerId to) {
     free_at = start + tx;
     delay += (free_at - sim_.now());
   }
-  sim_.schedule_after(delay, [this, env]() { deliver_now(env); });
+  const std::uint32_t slot = acquire_envelope(std::move(env));
+  sim_.schedule_after(delay, [this, slot] { deliver_pooled(slot); });
 }
 
 void Network::send(Envelope env) {
@@ -187,9 +209,8 @@ void Network::send(Envelope env) {
       env.span.span = sr.open(obs::SpanKind::kLink, env.kind, env.from,
                               env.span.round, env.span.span);
     }
-    sim_.schedule_after(0, [this, env = std::move(env)]() mutable {
-      deliver_now(env);
-    });
+    const std::uint32_t slot = acquire_envelope(std::move(env));
+    sim_.schedule_after(0, [this, slot] { deliver_pooled(slot); });
     return;
   }
 
@@ -239,7 +260,9 @@ void Network::send(Envelope env) {
       dup.span.span = sr.open(obs::SpanKind::kLink, dup.kind, dup.from,
                               dup.span.round, dup.span.span);
     }
-    schedule_delivery(dup, dup.from, dup.to);
+    const PeerId dup_from = dup.from;
+    const PeerId dup_to = dup.to;
+    schedule_delivery(std::move(dup), dup_from, dup_to);
   }
   if (sr.enabled()) {
     // Each in-flight copy gets its own link span: open at send, closed at
@@ -247,7 +270,9 @@ void Network::send(Envelope env) {
     env.span.span = sr.open(obs::SpanKind::kLink, env.kind, env.from,
                             env.span.round, env.span.span);
   }
-  schedule_delivery(env, env.from, env.to);
+  const PeerId env_from = env.from;
+  const PeerId env_to = env.to;
+  schedule_delivery(std::move(env), env_from, env_to);
 }
 
 void Network::send(PeerId from, PeerId to, std::string kind, std::any body,

@@ -15,6 +15,7 @@
 
 #include <any>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -257,16 +258,35 @@ class Network {
   const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Pooled in-flight envelope records ever allocated (high-water of
+  /// simultaneously in-flight messages). Records are recycled through
+  /// an intrusive free list, so steady traffic allocates no new ones.
+  std::size_t envelope_pool_slots() const { return env_pool_.size(); }
+
  private:
   using Link = std::uint64_t;
   static Link link_key(PeerId from, PeerId to) {
     return (static_cast<Link>(from) << 32) | to;
   }
 
+  /// In-flight messages ride in a pooled record instead of being copied
+  /// into each delivery closure: the scheduled lambda captures only
+  /// (this, slot) — small enough for std::function's inline storage —
+  /// so a send costs no per-message function-node allocation and no
+  /// Envelope copy. `next_free` intrusively links free records.
+  struct PooledEnvelope {
+    Envelope env;
+    std::uint32_t next_free = kNoEnvSlot;
+  };
+  static constexpr std::uint32_t kNoEnvSlot = 0xffffffffu;
+
+  std::uint32_t acquire_envelope(Envelope&& env);
+  void deliver_pooled(std::uint32_t slot);
+
   SimDuration latency_for(PeerId from, PeerId to);
   const LinkFaults& faults_for(PeerId from, PeerId to,
                                const std::string& kind) const;
-  void schedule_delivery(const Envelope& env, PeerId from, PeerId to);
+  void schedule_delivery(Envelope env, PeerId from, PeerId to);
   void deliver_now(const Envelope& env);
   void count_drop(const char* reason);
   /// Encode-verify: charge must equal real encoding + modeled_delta.
@@ -299,6 +319,10 @@ class Network {
   std::unordered_map<PeerId, int> partition_group_;
   /// Per-sender time at which its egress link becomes idle again.
   std::unordered_map<PeerId, SimTime> egress_free_at_;
+  /// Deque so records stay address-stable while a delivery handler
+  /// (which may send, acquiring fresh slots) holds a reference.
+  std::deque<PooledEnvelope> env_pool_;
+  std::uint32_t env_free_head_ = kNoEnvSlot;
   TrafficStats stats_;
 };
 

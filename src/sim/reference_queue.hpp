@@ -1,0 +1,121 @@
+// Naive binary-heap event queue, retained as the determinism oracle for
+// the pooled timer-wheel kernel in simulator.hpp.
+//
+// This is (a header-only copy of) the original Simulator core: one
+// std::priority_queue ordered by (time, insertion sequence) with a
+// tombstone set for lazy cancellation. It has no pooling, no wheel and
+// no observability hooks — just the exact event semantics. The oracle
+// test (tests/sim_wheel_oracle_test.cpp) drives identical operation
+// sequences through this queue and the real Simulator and asserts
+// identical firing orders, timestamps and pending() counts; the
+// schedule/cancel/fire microbench in bench/scale_sweep.cpp uses it as
+// the "before" baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace p2pfl::sim {
+
+class ReferenceQueue {
+ public:
+  using EventFn = std::function<void()>;
+  using RefEventId = std::uint64_t;
+  static constexpr RefEventId kNone = 0;
+
+  SimTime now() const { return now_; }
+
+  RefEventId schedule_at(SimTime t, EventFn fn) {
+    P2PFL_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+    const RefEventId id = next_id_++;
+    queue_.push(Event{t, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+  }
+
+  RefEventId schedule_after(SimDuration delay, EventFn fn) {
+    P2PFL_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Matches Simulator::cancel semantics exactly: true only for a
+  /// genuinely pending event (not fired, not already cancelled).
+  bool cancel(RefEventId id) {
+    if (live_.erase(id) == 0) return false;
+    cancelled_.insert(id);  // tombstone, skipped at the heap top
+    return true;
+  }
+
+  std::size_t run() {
+    stopped_ = false;
+    std::size_t n = 0;
+    while (!stopped_ && pop_and_run()) ++n;
+    return n;
+  }
+
+  std::size_t run_until(SimTime t) {
+    P2PFL_CHECK(t >= now_);
+    stopped_ = false;
+    std::size_t n = 0;
+    while (!stopped_) {
+      while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+        cancelled_.erase(queue_.top().id);
+        queue_.pop();
+      }
+      if (queue_.empty() || queue_.top().t > t) break;
+      if (pop_and_run()) ++n;
+    }
+    if (!stopped_ && now_ < t) now_ = t;
+    return n;
+  }
+
+  std::size_t run_for(SimDuration d) { return run_until(now_ + d); }
+
+  bool step() { return pop_and_run(); }
+
+  void stop() { stopped_ = true; }
+
+  /// Live events only, same semantics as Simulator::pending().
+  std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    RefEventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.id > b.id;
+    }
+  };
+
+  bool pop_and_run() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      if (cancelled_.erase(ev.id) > 0) continue;
+      P2PFL_CHECK(ev.t >= now_);
+      now_ = ev.t;
+      live_.erase(ev.id);
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  SimTime now_ = 0;
+  RefEventId next_id_ = 1;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<RefEventId> cancelled_;
+  std::unordered_set<RefEventId> live_;
+};
+
+}  // namespace p2pfl::sim

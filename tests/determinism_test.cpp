@@ -103,6 +103,55 @@ TEST(Determinism, GoldenTraceDiffersAcrossSeeds) {
   EXPECT_NE(a.second, b.second);
 }
 
+/// FNV-1a 64-bit, used to pin serialized artifacts without embedding
+/// the full byte stream in the test source.
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Fixed-seed 2-subgroup scenario for the kernel event-order golden:
+/// both Raft layers electing, heartbeating and recovering from a FedAvg
+/// leader crash — every event class (election timers, heartbeats, link
+/// deliveries) crosses the simulator queue.
+std::pair<std::string, std::string> run_kernel_golden() {
+  sim::Simulator sim(90210);
+  sim.obs().trace.set_enabled(true);
+  net::Network net(sim, {.base_latency = 15 * kMillisecond});
+  core::TwoLayerRaftOptions opts;
+  opts.raft.election_timeout_min = 50 * kMillisecond;
+  opts.raft.election_timeout_max = 100 * kMillisecond;
+  core::TwoLayerRaftSystem sys(core::Topology::even(10, 2), opts, net);
+  sys.start_all();
+  sim.run_for(3 * kSecond);
+  const PeerId fed = sys.fedavg_leader();
+  if (fed != kNoPeer) sys.crash_peer(fed);
+  sim.run_for(3 * kSecond);
+  return {obs::metrics_jsonl(sim.obs().metrics),
+          obs::chrome_trace_json(sim.obs().trace)};
+}
+
+// Captured on the pre-refactor binary-heap + tombstone kernel (commit
+// 3137914 lineage) before the pooled timer-wheel kernel replaced it.
+// The swap must preserve the exact (time, insertion-seq) firing order,
+// so this run's serialized metrics and trace must stay byte-identical.
+inline constexpr std::size_t kGoldenMetricsLen = 4153;
+inline constexpr std::uint64_t kGoldenMetricsHash = 6843579532486980710ull;
+inline constexpr std::size_t kGoldenTraceLen = 1831580;
+inline constexpr std::uint64_t kGoldenTraceHash = 5016380517358984212ull;
+
+TEST(Determinism, KernelEventOrderMatchesPreWheelGolden) {
+  const auto [metrics, trace] = run_kernel_golden();
+  EXPECT_EQ(metrics.size(), kGoldenMetricsLen);
+  EXPECT_EQ(fnv1a64(metrics), kGoldenMetricsHash);
+  EXPECT_EQ(trace.size(), kGoldenTraceLen);
+  EXPECT_EQ(fnv1a64(trace), kGoldenTraceHash);
+}
+
 TEST(Determinism, FlExperimentBitExactAcrossRuns) {
   core::FlExperimentConfig cfg;
   cfg.peers = 6;

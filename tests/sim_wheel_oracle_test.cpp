@@ -1,0 +1,192 @@
+// Randomized oracle for the pooled timer-wheel kernel: identical
+// schedule/cancel/run_until/step sequences run through the new kernel
+// (sim::Simulator) and the retained naive binary-heap reference
+// (sim::ReferenceQueue) must produce identical firing orders, firing
+// timestamps, cancel results, clocks and pending() counts.
+//
+// The operation stream is generated up front from one seeded RNG so both
+// kernels see byte-identical operations; callbacks derive everything
+// they do from their event token, never from the RNG, so in-callback
+// scheduling and cancelling stay symmetric too. Delays are drawn from
+// every wheel class: same-bucket (< 4 ms), in-wheel (< 4.2 s horizon)
+// and far-future overflow, plus exact ties to stress the insertion-
+// sequence tiebreak.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/reference_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2pfl::sim {
+namespace {
+
+struct Op {
+  enum Kind { kSchedule, kCancel, kRunUntil, kStep, kRun } kind;
+  SimDuration delay = 0;    // kSchedule
+  int chain = 0;            // kSchedule: follow-ups scheduled in-callback
+  std::uint64_t pick = 0;   // kCancel: outstanding-index selector
+  SimDuration advance = 0;  // kRunUntil
+};
+
+/// Delay a chained (in-callback) schedule uses, derived from the token
+/// so both kernels compute the same value. Mixes all wheel classes.
+SimDuration chained_delay(std::uint64_t token) {
+  const std::uint64_t h = token * 2654435761ull + 0x9e3779b9ull;
+  switch (h % 4) {
+    case 0:
+      return static_cast<SimDuration>(h % 512);  // same-bucket
+    case 1:
+      return static_cast<SimDuration>(h % (100 * kMillisecond));
+    case 2:
+      return static_cast<SimDuration>(h % (3 * kSecond));  // in-wheel
+    default:  // beyond the ~4.2 s horizon: far-future overflow heap
+      return 5 * kSecond + static_cast<SimDuration>(h % (600 * kSecond));
+  }
+}
+
+template <class Kernel>
+struct Driver {
+  explicit Driver(Kernel& kernel) : k(kernel) {}
+
+  Kernel& k;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> outstanding;  // token, id
+  std::vector<std::pair<std::uint64_t, SimTime>> fired;  // token, fire time
+  std::vector<bool> cancel_results;
+  std::uint64_t next_token = 0;
+
+  void remove_token(std::uint64_t token) {
+    for (auto it = outstanding.begin(); it != outstanding.end(); ++it) {
+      if (it->first == token) {
+        outstanding.erase(it);
+        return;
+      }
+    }
+  }
+
+  void schedule(SimDuration delay, int chain) {
+    const std::uint64_t token = next_token++;
+    const std::uint64_t id = k.schedule_after(delay, [this, token, chain] {
+      fired.emplace_back(token, k.now());
+      remove_token(token);
+      if (chain > 0) schedule(chained_delay(token), chain - 1);
+      // Some callbacks also cancel a pending event (timer-reset idiom).
+      if (token % 7 == 3 && !outstanding.empty()) {
+        cancel_pick(token);
+      }
+    });
+    outstanding.emplace_back(token, id);
+  }
+
+  void cancel_pick(std::uint64_t pick) {
+    if (outstanding.empty()) {
+      cancel_results.push_back(false);
+      return;
+    }
+    const std::size_t at = static_cast<std::size_t>(pick % outstanding.size());
+    const std::uint64_t id = outstanding[at].second;
+    outstanding.erase(outstanding.begin() + at);
+    cancel_results.push_back(k.cancel(id));
+  }
+
+  void apply(const Op& op) {
+    switch (op.kind) {
+      case Op::kSchedule:
+        schedule(op.delay, op.chain);
+        break;
+      case Op::kCancel:
+        cancel_pick(op.pick);
+        break;
+      case Op::kRunUntil:
+        k.run_until(k.now() + op.advance);
+        break;
+      case Op::kStep:
+        k.step();
+        break;
+      case Op::kRun:
+        k.run();
+        break;
+    }
+  }
+};
+
+std::vector<Op> make_ops(std::uint64_t seed, std::size_t count) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Op op;
+    const std::uint64_t r = rng() % 100;
+    if (r < 45) {
+      op.kind = Op::kSchedule;
+      switch (rng() % 5) {
+        case 0:
+          op.delay = 0;  // immediate: FIFO tiebreak at the current time
+          break;
+        case 1:
+          op.delay = static_cast<SimDuration>(rng() % 4096);  // same bucket
+          break;
+        case 2:
+          op.delay = static_cast<SimDuration>(rng() % (200 * kMillisecond));
+          break;
+        case 3:
+          op.delay = static_cast<SimDuration>(rng() % (4 * kSecond));
+          break;
+        default:  // far beyond the wheel horizon
+          op.delay =
+              5 * kSecond + static_cast<SimDuration>(rng() % (3600 * kSecond));
+          break;
+      }
+      op.chain = (rng() % 4 == 0) ? static_cast<int>(rng() % 3) : 0;
+    } else if (r < 65) {
+      op.kind = Op::kCancel;
+      op.pick = rng();
+    } else if (r < 85) {
+      op.kind = Op::kRunUntil;
+      op.advance = (rng() % 10 == 0)
+                       ? static_cast<SimDuration>(rng() % (20 * kSecond))
+                       : static_cast<SimDuration>(rng() % (700 * kMillisecond));
+    } else if (r < 97) {
+      op.kind = Op::kStep;
+    } else {
+      op.kind = Op::kRun;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+TEST(SimWheelOracle, MatchesNaiveHeapAcrossSeeds) {
+  constexpr std::uint64_t kSeeds = 36;  // >= 32 per the kernel battery spec
+  constexpr std::size_t kOpsPerSeed = 1500;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Simulator wheel(seed);
+    ReferenceQueue naive;
+    Driver<Simulator> dw(wheel);
+    Driver<ReferenceQueue> dn(naive);
+    const std::vector<Op> ops = make_ops(seed, kOpsPerSeed);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      dw.apply(ops[i]);
+      dn.apply(ops[i]);
+      ASSERT_EQ(wheel.now(), naive.now()) << "seed " << seed << " op " << i;
+      ASSERT_EQ(wheel.pending(), naive.pending())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(dw.fired.size(), dn.fired.size())
+          << "seed " << seed << " op " << i;
+    }
+    // Drain both and compare the complete histories.
+    wheel.run();
+    naive.run();
+    EXPECT_EQ(wheel.now(), naive.now()) << "seed " << seed;
+    EXPECT_EQ(wheel.pending(), naive.pending()) << "seed " << seed;
+    EXPECT_EQ(dw.fired, dn.fired) << "seed " << seed;
+    EXPECT_EQ(dw.cancel_results, dn.cancel_results) << "seed " << seed;
+    EXPECT_EQ(wheel.pending(), 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace p2pfl::sim

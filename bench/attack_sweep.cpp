@@ -1,0 +1,231 @@
+// Byzantine attack sweep: accuracy vs Byzantine fraction for each
+// attack x defense pair (the robustness tentpole's headline evidence).
+//
+// Runs the math-path federated experiment (core/fl_experiment) with a
+// byzantine_fraction of peers captured subgroup-by-subgroup, under each
+// model-poisoning / lying-aggregator attack, defended by each FedAvg-
+// layer robust rule, and emits a machine-readable JSON grid
+// (BENCH_attack.json at the repo root by default, scale_sweep-style).
+//
+// The run doubles as its own acceptance test: with 20% Byzantine peers
+// under sign_flip and scaled_update, naive mean must visibly degrade
+// (accuracy drop > --gate-drop vs its clean run) while trimmed mean and
+// median must stay within --gate-drop of theirs — otherwise the
+// process exits nonzero. CI runs `attack_sweep --quick` as a smoke.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "bench/fl_series_common.hpp"
+#include "core/fl_experiment.hpp"
+#include "robust/attack.hpp"
+#include "robust/rules.hpp"
+
+namespace {
+
+using namespace p2pfl;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+struct Cell {
+  robust::AttackKind attack = robust::AttackKind::kNone;
+  robust::RobustRule defense = robust::RobustRule::kMean;
+  double fraction = 0.0;
+  double accuracy = 0.0;
+  double test_loss = 0.0;
+  std::size_t byzantine_peers = 0;
+};
+
+Cell run_cell(core::FlExperimentConfig cfg, robust::AttackKind attack,
+              robust::RobustRule defense, double fraction,
+              double magnitude) {
+  cfg.byzantine_fraction = fraction;
+  cfg.attack.kind = fraction > 0.0 ? attack : robust::AttackKind::kNone;
+  cfg.attack.magnitude = magnitude;
+  cfg.robust.rule = defense;
+  const core::FlExperimentResult r = core::run_fl_experiment(cfg);
+  Cell c;
+  c.attack = attack;
+  c.defense = defense;
+  c.fraction = fraction;
+  c.accuracy = r.final_accuracy;
+  c.test_loss = r.final_test_loss;
+  c.byzantine_peers = r.byzantine_peers;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2pfl;
+  bench::Args args(argc, argv);
+
+  // Grid geometry: 20 peers in 5 subgroups of 4 means fraction 0.2
+  // captures exactly one whole subgroup — the concentrated adversary
+  // the FedAvg-layer rules are built for (trim 1-of-5 covers it).
+  core::FlExperimentConfig base = bench::base_config_from_args(args);
+  base.peers = static_cast<std::size_t>(args.get_int("peers", 20));
+  base.subgroups =
+      static_cast<std::size_t>(args.get_int("subgroups", 5));
+  base.aggregation = core::AggregationKind::kTwoLayerSac;
+  base.rounds = static_cast<std::size_t>(
+      args.get_int("rounds", args.has("quick") ? 10 : 25));
+  base.data.train_samples =
+      static_cast<std::size_t>(args.get_int("samples", 2000));
+  base.eval_every = base.rounds + 1;  // final accuracy only
+  const double magnitude = args.get_double("magnitude", 10.0);
+  const double gate_drop = args.get_double("gate-drop", 0.10);
+  const std::string out_path =
+      args.get("out", P2PFL_REPO_ROOT "/BENCH_attack.json");
+
+  std::vector<robust::AttackKind> attacks;
+  for (const std::string& name : split_csv(args.get(
+           "attacks", args.has("quick")
+                          ? "sign_flip,scaled_update"
+                          : "sign_flip,scaled_update,random_noise,"
+                            "constant_drift,subtotal_lie"))) {
+    robust::AttackKind k;
+    if (!robust::attack_from_name(name, k)) {
+      std::fprintf(stderr, "attack_sweep: unknown attack %s\n",
+                   name.c_str());
+      return 2;
+    }
+    attacks.push_back(k);
+  }
+  std::vector<robust::RobustRule> defenses;
+  for (const std::string& name : split_csv(
+           args.get("defenses", "mean,trimmed_mean,median"))) {
+    robust::RobustRule r;
+    if (!robust::rule_from_name(name, r)) {
+      std::fprintf(stderr, "attack_sweep: unknown defense %s\n",
+                   name.c_str());
+      return 2;
+    }
+    defenses.push_back(r);
+  }
+  std::vector<double> fractions;
+  for (const std::string& f : split_csv(
+           args.get("fractions", args.has("quick") ? "0.2" : "0.1,0.2,0.3"))) {
+    fractions.push_back(std::stod(f));
+  }
+
+  // Clean baseline per defense (fraction 0, no attack). With kMean this
+  // is bit-exact with the historical federated_average run.
+  std::vector<Cell> clean;
+  for (robust::RobustRule d : defenses) {
+    std::fprintf(stderr, "attack_sweep: clean %s ...\n",
+                 robust::rule_name(d));
+    clean.push_back(
+        run_cell(base, robust::AttackKind::kNone, d, 0.0, magnitude));
+  }
+  auto clean_accuracy = [&](robust::RobustRule d) {
+    for (const Cell& c : clean) {
+      if (c.defense == d) return c.accuracy;
+    }
+    return 0.0;
+  };
+
+  std::vector<Cell> cells;
+  for (robust::AttackKind a : attacks) {
+    for (robust::RobustRule d : defenses) {
+      for (double f : fractions) {
+        std::fprintf(stderr, "attack_sweep: %s vs %s @ %.2f ...\n",
+                     robust::attack_name(a), robust::rule_name(d), f);
+        cells.push_back(run_cell(base, a, d, f, magnitude));
+      }
+    }
+  }
+
+  // Acceptance gate: at 20% Byzantine, sign_flip/scaled_update must
+  // break naive mean and bounce off trimmed mean and median.
+  std::size_t gate_checked = 0, gate_failed = 0;
+  std::string gate_log;
+  for (const Cell& c : cells) {
+    const bool gated_attack =
+        c.attack == robust::AttackKind::kSignFlip ||
+        c.attack == robust::AttackKind::kScaledUpdate;
+    if (!gated_attack || c.fraction != 0.2) continue;
+    const double drop = clean_accuracy(c.defense) - c.accuracy;
+    const bool want_broken = c.defense == robust::RobustRule::kMean;
+    const bool ok = want_broken ? drop > gate_drop : drop <= gate_drop;
+    ++gate_checked;
+    if (!ok) ++gate_failed;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-13s %-12s drop %+.3f (%s, want %s)\n",
+                  robust::attack_name(c.attack),
+                  robust::rule_name(c.defense), drop, ok ? "ok" : "FAIL",
+                  want_broken ? "broken" : "robust");
+    gate_log += line;
+  }
+
+  std::string json = "{\"bench\":\"attack_sweep\"";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                ",\"peers\":%zu,\"subgroups\":%zu,\"rounds\":%zu,"
+                "\"samples\":%zu,\"magnitude\":%.3f,\"seed\":%llu,"
+                "\"gate_drop\":%.3f",
+                base.peers, base.subgroups, base.rounds,
+                base.data.train_samples, magnitude,
+                static_cast<unsigned long long>(base.seed), gate_drop);
+  json += buf;
+  json += ",\"clean\":{";
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.4f", i > 0 ? "," : "",
+                  robust::rule_name(clean[i].defense), clean[i].accuracy);
+    json += buf;
+  }
+  json += "},\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"attack\":\"%s\",\"defense\":\"%s\","
+                  "\"fraction\":%.2f,\"byzantine_peers\":%zu,"
+                  "\"accuracy\":%.4f,\"test_loss\":%.4f}",
+                  i > 0 ? "," : "", robust::attack_name(c.attack),
+                  robust::rule_name(c.defense), c.fraction,
+                  c.byzantine_peers, c.accuracy, c.test_loss);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"gate\":{\"checked\":%zu,\"failed\":%zu}}",
+                gate_checked, gate_failed);
+  json += buf;
+
+  std::printf("%s\n", json.c_str());
+  if (!gate_log.empty()) {
+    std::fprintf(stderr, "attack_sweep gate (fraction 0.2):\n%s",
+                 gate_log.c_str());
+  }
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "attack_sweep: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  if (gate_failed > 0) {
+    std::fprintf(stderr, "attack_sweep: %zu gate check(s) failed\n",
+                 gate_failed);
+    return 1;
+  }
+  return 0;
+}

@@ -159,7 +159,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("micro-ops", 1'000'000));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const std::string out_path = args.get("out", "");
+  const std::string out_path =
+      args.get("out", P2PFL_REPO_ROOT "/BENCH_scale.json");
 
   std::fprintf(stderr, "scale_sweep: N=%zu group_size=%zu rounds=%zu ...\n",
                n, group_size, rounds);

@@ -6,6 +6,8 @@
 //   p2pflctl cost     [--peers=N --n=K --k=K2 --params=P]
 //   p2pflctl health   [--peers=N --groups=m --timeout-ms=T --tolerance=F]
 //                     [--amnesia] [--seed=S]
+//   p2pflctl attack   [--peers=N --groups=m --attack=KIND --defense=RULE]
+//                     [--magnitude=M --strike-limit=K --loss=P --seed=S]
 //   p2pflctl recovery [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
 //   p2pflctl trace    [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
 //                     [--out=BASE] [--categories=sim,net,raft,agg]
@@ -30,7 +32,13 @@
 // watch it get suspected and evicted, restart it (optionally with
 // amnesia) and watch it rejoin — printing the live membership table at
 // each stage; exit status reflects whether the final state is fully
-// healed. `explain` replays the
+// healed. `attack` turns one subgroup follower adversarial mid-run
+// (inconsistent SAC shares by default; any robust::AttackKind by flag)
+// with Byzantine detection on, then reports the detection → strikes →
+// denounce → eviction chain and the membership table with its banned
+// column; exit 0 means the adversary was contained (or, for attacks SAC
+// masking makes undetectable, tolerated) with zero honest suspects.
+// `explain` replays the
 // same scenario with causal span recording on and prints the chosen
 // round's critical path — which phases, links and retries the
 // end-to-end latency is attributable to — plus an abort post-mortem for
@@ -47,6 +55,7 @@
 #include "bench/obs_util.hpp"
 #include "chaos/soak.hpp"
 #include "core/fl_experiment.hpp"
+#include "core/system.hpp"
 #include "core/two_layer_raft.hpp"
 #include "core/wire.hpp"
 #include "fl/checkpoint.hpp"
@@ -219,16 +228,18 @@ void print_health(const sim::Simulator& sim,
                   : std::to_string(hr.fedavg_leader).c_str(),
               hr.fedavg_members.size(),
               peer_list(hr.fedavg_members).c_str());
-  std::printf("  %3s %6s  %-12s %-12s %-10s %-8s %5s  %s\n", "sg", "leader",
-              "config", "live", "suspected", "evicted", "k", "state");
+  std::printf("  %3s %6s  %-12s %-12s %-10s %-8s %-7s %5s  %s\n", "sg",
+              "leader", "config", "live", "suspected", "evicted", "banned",
+              "k", "state");
   for (const core::SubgroupHealth& h : hr.subgroups) {
-    std::printf("  %3u %6s  %-12s %-12s %-10s %-8s %2zu/%-2zu  %s\n",
+    std::printf("  %3u %6s  %-12s %-12s %-10s %-8s %-7s %2zu/%-2zu  %s\n",
                 h.subgroup,
                 h.leader == kNoPeer ? "-"
                                     : std::to_string(h.leader).c_str(),
                 peer_list(h.config).c_str(), peer_list(h.live).c_str(),
                 peer_list(h.suspected).c_str(),
-                peer_list(h.evicted).c_str(), h.effective_k, h.nominal_k,
+                peer_list(h.evicted).c_str(), peer_list(h.banned).c_str(),
+                h.effective_k, h.nominal_k,
                 h.parked ? "PARKED" : (h.degraded ? "DEGRADED" : "ok"));
   }
 }
@@ -326,6 +337,161 @@ int cmd_health(const bench::Args& args) {
               healed ? "OK" : "FAILED", to_ms(sim.now() - t0),
               to_ms(sim.now() - t1));
   return healed ? 0 : 1;
+}
+
+int cmd_attack(const bench::Args& args) {
+  const std::size_t peers =
+      static_cast<std::size_t>(args.get_int("peers", 12));
+  const std::size_t groups =
+      static_cast<std::size_t>(args.get_int("groups", 3));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const SimDuration horizon = args.get_int("seconds", 90) * kSecond;
+
+  robust::AttackKind kind;
+  const std::string attack = args.get("attack", "inconsistent_shares");
+  if (!robust::attack_from_name(attack, kind) ||
+      kind == robust::AttackKind::kNone) {
+    std::fprintf(stderr, "unknown attack '%s'\n", attack.c_str());
+    return 2;
+  }
+  robust::RobustRule rule;
+  const std::string defense = args.get("defense", "trimmed_mean");
+  if (!robust::rule_from_name(defense, rule)) {
+    std::fprintf(stderr, "unknown defense '%s'\n", defense.c_str());
+    return 2;
+  }
+  // Equivocation only manifests on retries, so give it a lossy network
+  // by default (retries carry the divergent payloads).
+  const bool detectable =
+      kind == robust::AttackKind::kInconsistentShares ||
+      kind == robust::AttackKind::kEquivocate;
+  const double loss = args.get_double(
+      "loss", kind == robust::AttackKind::kEquivocate ? 0.15 : 0.0);
+
+  sim::Simulator sim(seed);
+  net::NetworkConfig nopts;
+  nopts.base_latency = 15 * kMillisecond;
+  nopts.faults.drop_prob = loss;
+  net::Network net(sim, nopts);
+
+  fl::SyntheticSpec spec;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 400;
+  spec.test_samples = 120;
+  spec.noise_scale = 0.6;
+  Rng data_rng(seed);
+  const fl::TrainTest data = fl::make_synthetic(spec, data_rng);
+  const fl::PeerIndices parts =
+      fl::partition_iid(data.train, peers, data_rng);
+
+  robust::ByzantineRegistry registry;
+  core::SystemConfig cfg;
+  cfg.raft.raft.election_timeout_min = 50 * kMillisecond;
+  cfg.raft.raft.election_timeout_max = 100 * kMillisecond;
+  cfg.raft.fedavg_presence_poll = 100 * kMillisecond;
+  cfg.round_interval = 1 * kSecond;
+  cfg.train_duration = 100 * kMillisecond;
+  cfg.learning_rate = 3e-3f;
+  cfg.seed = seed;
+  cfg.suspect_strike_limit =
+      static_cast<std::size_t>(args.get_int("strike-limit", 2));
+  cfg.agg.detect_byzantine = true;
+  cfg.agg.byzantine = &registry;
+  cfg.agg.robust.rule = rule;
+  cfg.agg.robust.trim_fraction = args.get_double("trim", 0.2);
+  core::P2pFlSystem sys(core::Topology::even(peers, groups), cfg, net,
+                        data.train, data.test, parts,
+                        [] { return fl::Model::mlp(64, {16}); });
+  sys.start();
+  while (sys.rounds_completed() < 2 && sim.now() < 30 * kSecond) {
+    sim.run_for(100 * kMillisecond);
+  }
+  if (sys.rounds_completed() < 2) {
+    std::printf("rounds never started\n");
+    return 1;
+  }
+
+  // Turn a pure subgroup follower adversarial: its SAC leader must
+  // catch it from the share evidence alone.
+  PeerId victim = kNoPeer;
+  for (PeerId p : sys.raft().topology().all_peers()) {
+    bool leads = p == sys.raft().fedavg_leader();
+    for (SubgroupId g = 0; g < groups; ++g) {
+      if (sys.raft().subgroup_leader(g) == p) leads = true;
+    }
+    if (!leads) {
+      victim = p;
+      break;
+    }
+  }
+  registry.activate(victim,
+                    {kind, args.get_double("magnitude", 10.0)});
+  std::printf("[%7.0fms] *** peer %u turns Byzantine: %s (defense %s, "
+              "loss %.2f, strike limit %zu) ***\n",
+              to_ms(sim.now()), victim, robust::attack_name(kind),
+              robust::rule_name(rule), loss, cfg.suspect_strike_limit);
+
+  const SimTime t0 = sim.now();
+  auto evicted = [&] {
+    const core::HealthReport hr = sys.raft().health(1);
+    const SubgroupId g = sys.raft().topology().subgroup_of(victim);
+    const auto& ev = hr.subgroups[g].evicted;
+    return std::find(ev.begin(), ev.end(), victim) != ev.end();
+  };
+  auto finished = [&] {
+    return detectable ? sys.raft().is_banned(victim) && evicted()
+                      : sim.now() >= t0 + 20 * kSecond;
+  };
+  while (!finished() && sim.now() < t0 + horizon) {
+    sim.run_for(100 * kMillisecond);
+  }
+  print_health(sim, sys.raft().health(1));
+
+  auto& metrics = sim.obs().metrics;
+  std::printf("\ndetection:\n");
+  for (const char* key :
+       {"byzantine.models_poisoned", "byzantine.inconsistent_bundles_sent",
+        "byzantine.equivocations_sent", "byzantine.share_check_failed",
+        "byzantine.upload_equivocations", "byzantine.suspected",
+        "byzantine.strikes", "membership.denounced",
+        "membership.evicted"}) {
+    std::printf("  %-36s %6llu\n", key,
+                static_cast<unsigned long long>(
+                    metrics.counter(key).value()));
+  }
+  std::printf("strikes:");
+  for (const auto& [p, s] : sys.strikes()) {
+    std::printf(" peer %u x%zu", p, s);
+  }
+  std::printf("%s\n", sys.strikes().empty() ? " none" : "");
+
+  // Honest peers must never be suspected, whatever the attack.
+  bool honest_struck = false;
+  for (const auto& [p, s] : sys.strikes()) {
+    if (p != victim) honest_struck = true;
+  }
+  const std::size_t completed = sys.rounds_completed();
+  bool ok;
+  if (detectable) {
+    ok = !honest_struck && sys.raft().is_banned(victim) && evicted();
+    std::printf("\nattack: %s (adversary %u %s, %s honest strikes)\n",
+                ok ? "CONTAINED" : "NOT CONTAINED", victim,
+                sys.raft().is_banned(victim) ? "denounced + evicted"
+                                             : "still a member",
+                honest_struck ? "WITH" : "no");
+  } else {
+    // Poisoning is invisible under SAC masking by design; the win here
+    // is that rounds keep completing, nobody honest is framed, and the
+    // chosen robust rule is what stands between the lie and the model.
+    ok = !honest_struck && completed >= 10;
+    std::printf("\nattack: %s (undetectable kind — %zu rounds completed, "
+                "%s honest strikes; defense %s is the only mitigation)\n",
+                ok ? "TOLERATED" : "NOT TOLERATED", completed,
+                honest_struck ? "WITH" : "no", robust::rule_name(rule));
+  }
+  return ok ? 0 : 1;
 }
 
 /// Shared soak-scenario flags of `chaos` and `explain` (they differ only
@@ -528,8 +694,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: p2pflctl "
-                 "<train|cost|health|recovery|trace|chaos|explain|wire> "
-                 "[--key=value...]\n");
+                 "<train|cost|health|attack|recovery|trace|chaos|explain|"
+                 "wire> [--key=value...]\n");
     return 2;
   }
   const bench::Args args(argc - 1, argv + 1);
@@ -537,6 +703,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return cmd_train(args);
   if (cmd == "cost") return cmd_cost(args);
   if (cmd == "health") return cmd_health(args);
+  if (cmd == "attack") return cmd_attack(args);
   if (cmd == "recovery") return cmd_recovery(args);
   if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
   if (cmd == "chaos") return cmd_chaos(args);

@@ -177,6 +177,28 @@ void ChaosEngine::start() {
       });
     }
   }
+  for (const ByzantineSpec& spec : plan_.byzantines()) {
+    P2PFL_CHECK_MSG(!spec.peers.empty(), "byzantine spec without peers");
+    sim_.schedule_at(spec.start, [this, &spec] {
+      for (PeerId p : spec.peers) {
+        registry_.activate(p, spec.attack);
+        ++byzantine_activations_;
+        trace_fault("byzantine_start", p,
+                    {{"attack", robust::attack_name(spec.attack.kind)},
+                     {"magnitude", spec.attack.magnitude}});
+        if (hooks_.byzantine_start) hooks_.byzantine_start(p, spec.attack);
+      }
+    });
+    if (spec.end > 0) {
+      sim_.schedule_at(spec.end, [this, &spec] {
+        for (PeerId p : spec.peers) {
+          registry_.deactivate(p);
+          trace_fault("byzantine_end", p, {});
+          if (hooks_.byzantine_end) hooks_.byzantine_end(p);
+        }
+      });
+    }
+  }
   for (const ChurnSpec& spec : plan_.churns()) {
     P2PFL_CHECK_MSG(!spec.peers.empty(), "churn spec without peers");
     P2PFL_CHECK(spec.end > spec.start);

@@ -31,6 +31,12 @@ struct ChaosEngineHooks {
   /// restart). Defaults to `restart` when unset, so plans that request
   /// amnesia still work against systems without durable state.
   std::function<void(PeerId)> restart_amnesia;
+  /// Fired when a ByzantineSpec window opens/closes for a peer, after
+  /// the engine's own registry was updated. Optional — the engine's
+  /// registry() is the canonical adversary set; systems that cache
+  /// per-peer attack state can mirror it here.
+  std::function<void(PeerId, const robust::AttackSpec&)> byzantine_start;
+  std::function<void(PeerId)> byzantine_end;
 };
 
 class ChaosEngine {
@@ -55,6 +61,13 @@ class ChaosEngine {
   std::size_t redundant_faults() const { return redundant_faults_; }
   bool peer_down(PeerId p) const { return down_.count(p) > 0; }
   std::size_t peers_down() const { return down_.size(); }
+  std::size_t byzantine_activations() const { return byzantine_activations_; }
+
+  /// The live adversary set, updated as ByzantineSpec windows open and
+  /// close. Protocol actors hold a const pointer to this and consult it
+  /// at their injection points.
+  robust::ByzantineRegistry& registry() { return registry_; }
+  const robust::ByzantineRegistry& registry() const { return registry_; }
 
  private:
   void do_crash(PeerId peer, const char* cause);
@@ -72,6 +85,7 @@ class ChaosEngine {
   ChaosPlan plan_;
   ChaosEngineHooks hooks_;
   Rng rng_;
+  robust::ByzantineRegistry registry_;
   std::set<PeerId> down_;
   net::LinkFaults saved_defaults_;
   std::size_t faults_injected_ = 0;
@@ -79,6 +93,7 @@ class ChaosEngine {
   std::size_t restarts_ = 0;
   std::size_t amnesia_restarts_ = 0;
   std::size_t redundant_faults_ = 0;
+  std::size_t byzantine_activations_ = 0;
   bool started_ = false;
 };
 

@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "robust/attack.hpp"
 
 namespace p2pfl::chaos {
 
@@ -81,6 +82,18 @@ struct ChurnSpec {
   double amnesia_prob = 0.0;
 };
 
+/// Turn `peers` adversarial during [start, end): the engine activates
+/// the given attack in the run's ByzantineRegistry at `start` and
+/// deactivates it at `end` (0 = stay adversarial forever). Which lies
+/// the attack tells is robust::AttackKind's business; this is only the
+/// *when* and *who*.
+struct ByzantineSpec {
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<PeerId> peers;
+  robust::AttackSpec attack;
+};
+
 class ChaosPlan {
  public:
   ChaosPlan& crash_at(SimTime t, PeerId peer) {
@@ -118,6 +131,16 @@ class ChaosPlan {
     churns_.push_back(std::move(spec));
     return *this;
   }
+  ChaosPlan& byzantine(ByzantineSpec spec) {
+    byzantines_.push_back(std::move(spec));
+    return *this;
+  }
+  ChaosPlan& byzantine_window(SimTime start, SimTime end,
+                              std::vector<PeerId> peers,
+                              robust::AttackSpec attack) {
+    byzantines_.push_back({start, end, std::move(peers), attack});
+    return *this;
+  }
 
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
   const std::vector<RestartEvent>& restarts() const { return restarts_; }
@@ -131,10 +154,12 @@ class ChaosPlan {
     return fault_windows_;
   }
   const std::vector<ChurnSpec>& churns() const { return churns_; }
+  const std::vector<ByzantineSpec>& byzantines() const { return byzantines_; }
 
   bool empty() const {
     return crashes_.empty() && restarts_.empty() && partitions_.empty() &&
-           slow_groups_.empty() && fault_windows_.empty() && churns_.empty();
+           slow_groups_.empty() && fault_windows_.empty() &&
+           churns_.empty() && byzantines_.empty();
   }
 
  private:
@@ -144,6 +169,7 @@ class ChaosPlan {
   std::vector<SlowGroupEvent> slow_groups_;
   std::vector<FaultWindowEvent> fault_windows_;
   std::vector<ChurnSpec> churns_;
+  std::vector<ByzantineSpec> byzantines_;
 };
 
 }  // namespace p2pfl::chaos

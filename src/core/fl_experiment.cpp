@@ -76,6 +76,7 @@ FlExperimentResult run_fl_experiment(const FlExperimentConfig& cfg,
   Rng sac_rng = root.fork(4);
   Rng sched_rng = root.fork(5);
   Rng eval_rng = root.fork(6);
+  Rng byz_rng = root.fork(7);
 
   const fl::TrainTest data = fl::make_synthetic(cfg.data, data_rng);
   const fl::PeerIndices parts = partition(cfg, data.train, part_rng);
@@ -89,6 +90,37 @@ FlExperimentResult run_fl_experiment(const FlExperimentConfig& cfg,
 
   FlExperimentResult result;
   result.model_params = global.size();
+
+  // Byzantine assignment: capture WHOLE subgroups first (peers in
+  // topology order). SAC masks individual updates, so a poisoner spread
+  // across honest subgroups is diluted into honest-majority subtotals;
+  // the adversary worth defending against at the FedAvg layer owns its
+  // subtotals outright.
+  std::vector<char> byzantine(cfg.peers, 0);
+  if (cfg.byzantine_fraction > 0.0 &&
+      cfg.attack.kind != robust::AttackKind::kNone) {
+    const auto want = static_cast<std::size_t>(
+        cfg.byzantine_fraction * static_cast<double>(cfg.peers) + 0.5);
+    std::size_t marked = 0;
+    for (std::size_t g = 0; g < topo.subgroup_count() && marked < want;
+         ++g) {
+      for (PeerId id : topo.group(g)) {
+        if (marked == want) break;
+        byzantine[id] = 1;
+        ++marked;
+      }
+    }
+    result.byzantine_peers = marked;
+  }
+  // Model-poisoning kinds perturb the peer's update before SAC; every
+  // other kind resolves to a lying aggregator here (the math path has
+  // no share/retry wire to equivocate on — those are actor-path
+  // attacks, exercised by the chaos engine + detection tests).
+  const bool model_poisoning =
+      cfg.attack.kind == robust::AttackKind::kSignFlip ||
+      cfg.attack.kind == robust::AttackKind::kScaledUpdate ||
+      cfg.attack.kind == robust::AttackKind::kRandomNoise ||
+      cfg.attack.kind == robust::AttackKind::kConstantDrift;
 
   std::vector<std::unique_ptr<fl::PeerTrainer>> peers;
   peers.reserve(cfg.peers);
@@ -136,9 +168,12 @@ FlExperimentResult run_fl_experiment(const FlExperimentConfig& cfg,
       std::vector<double> weights;
       for (std::size_t p = 0; p < cfg.peers; ++p) {
         models.push_back(peers[p]->weights());
+        if (byzantine[p] && model_poisoning) {
+          robust::poison(models.back(), cfg.attack, byz_rng);
+        }
         weights.push_back(static_cast<double>(peers[p]->sample_count()));
       }
-      global = fl::federated_average(models, weights);
+      global = robust::aggregate(models, weights, cfg.robust);
       group_order.clear();
     }
     for (std::size_t g : group_order) {
@@ -152,6 +187,9 @@ FlExperimentResult run_fl_experiment(const FlExperimentConfig& cfg,
       }
       for (PeerId id : members) {
         secagg::Vector w = peers[id]->weights();
+        if (byzantine[id] && model_poisoning) {
+          robust::poison(w, cfg.attack, byz_rng);
+        }
         if (cfg.weight_by_samples) {
           // Pre-scale by the (public) sample fraction; SAC's mean of the
           // scaled models times n is then the sample-weighted average.
@@ -165,6 +203,14 @@ FlExperimentResult run_fl_experiment(const FlExperimentConfig& cfg,
         models.push_back(std::move(w));
       }
       auto finish_group = [&](secagg::Vector avg) {
+        // A Byzantine subgroup aggregator (the first member runs SAC
+        // collection here) lies about the subtotal it forwards. SAC's
+        // masking means no subgroup member can audit the value — only
+        // the FedAvg-layer robust rule can reject it.
+        if (!model_poisoning && byzantine[members.front()] &&
+            cfg.attack.kind != robust::AttackKind::kNone) {
+          robust::poison(avg, cfg.attack, byz_rng);
+        }
         if (cfg.weight_by_samples) {
           for (float& x : avg) {
             x = static_cast<float>(static_cast<double>(x) *
@@ -196,7 +242,9 @@ FlExperimentResult run_fl_experiment(const FlExperimentConfig& cfg,
     }
 
     if (!group_avgs.empty()) {
-      global = fl::federated_average(group_avgs, group_weights);
+      // kMean delegates to fl::federated_average, so the default config
+      // is bit-exact with the pre-robust behaviour.
+      global = robust::aggregate(group_avgs, group_weights, cfg.robust);
     }
 
     RoundRecord rec;

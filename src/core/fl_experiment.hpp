@@ -25,6 +25,8 @@
 #include "core/topology.hpp"
 #include "fl/data.hpp"
 #include "fl/trainer.hpp"
+#include "robust/attack.hpp"
+#include "robust/rules.hpp"
 #include "secagg/shares.hpp"
 
 namespace p2pfl::core {
@@ -84,6 +86,23 @@ struct FlExperimentConfig {
   std::size_t eval_every = 5;
   std::size_t eval_samples = 0;  // 0 = full test set
   std::uint64_t seed = 42;
+
+  // --- Byzantine robustness (bench/attack_sweep) -------------------------
+  /// Fraction of peers turned adversarial, assigned to WHOLE subgroups
+  /// first (peers 0,1,... in topology order). Concentration matters:
+  /// SAC masks individual updates inside a subgroup, so a poisoner
+  /// spread thin is diluted into honest subtotals, while a captured
+  /// subgroup controls its subtotal outright — the threat the FedAvg-
+  /// layer robust rules defend against (see DESIGN.md).
+  double byzantine_fraction = 0.0;
+  /// What the Byzantine peers do. Model-poisoning kinds perturb the
+  /// peer's update before SAC; the subtotal/protocol kinds perturb the
+  /// subgroup's SAC average on its way up (a lying aggregator), applied
+  /// when the subgroup's first member — its aggregator here — is
+  /// Byzantine.
+  robust::AttackSpec attack;
+  /// FedAvg-layer aggregation rule over the subgroup subtotals.
+  robust::RobustConfig robust;
 };
 
 struct RoundRecord {
@@ -100,6 +119,8 @@ struct FlExperimentResult {
   double final_test_loss = 0.0;
   /// Rounds where a subgroup fell below quorum k and was skipped.
   std::size_t subgroup_quorum_failures = 0;
+  /// Peers that acted adversarially (byzantine_fraction of the peers).
+  std::size_t byzantine_peers = 0;
   std::size_t model_params = 0;
   /// The final global model (checkpointable via fl/checkpoint.hpp).
   std::vector<float> final_weights;

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/serialize.hpp"
 #include "fl/checkpoint.hpp"
 #include "fl/optimizer.hpp"
 
@@ -56,12 +57,56 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
       const auto* msg = net::payload<wire::ModelPullMsg>(env.body);
       if (msg != nullptr) handle_model_pull(id, *msg);
     });
-    host.route("member/push", [this, id](const net::Envelope& env) {
-      const auto* msg = net::payload<wire::ModelPushMsg>(env.body);
-      if (msg != nullptr) handle_model_push(id, *msg);
-    });
     peers_.emplace(id, std::move(rt));
   }
+
+  // Catch-up state transfer rides the Raft InstallSnapshot path: every
+  // subgroup snapshot carries (round, checkpoint) of the saver's newest
+  // global model next to the replicated FedAvg configuration, and a
+  // member/pull answers with a snapshot push instead of a bespoke model
+  // message. One mechanism serves amnesia recovery, slow-follower
+  // compaction catch-up, and explicit pulls.
+  raft_.app_snapshot_save = [this](PeerId id) -> Bytes {
+    const PeerRuntime& rt = peers_.at(id);
+    if (rt.last_global_round == 0) return {};
+    ByteWriter w;
+    w.u64(rt.last_global_round);
+    w.blob(fl::encode_checkpoint(rt.latest_global));
+    return w.take();
+  };
+  raft_.app_snapshot_install = [this](PeerId id, const Bytes& app) {
+    if (net_.crashed(id)) return;
+    ByteReader r(app);
+    const std::uint64_t round = r.u64();
+    const Bytes ckpt = r.blob();
+    if (!r.complete()) return;
+    PeerRuntime& rt = peers_.at(id);
+    if (round <= rt.last_global_round) return;  // apply-if-newer
+    auto weights = fl::decode_checkpoint(ckpt);
+    if (!weights.has_value() || weights->size() != w0_.size()) return;
+    rt.catchup_timer->cancel();
+    rt.last_global_round = round;
+    rt.latest_global = *weights;
+    rt.current_weights = *weights;
+    rt.trainer->set_weights(*weights);
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("fl.catchup_applied").add(1);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "fl.catchup_applied", id, {{"round", round}});
+    }
+    // Train on the recovered model so this peer contributes to the next
+    // round instead of uploading w0-grade weights.
+    if (!rt.training) {
+      rt.training = true;
+      rt.trainer_done->arm(cfg_.train_duration);
+    }
+  };
+  raft_.app_snapshot_payload = [this](const Bytes&) -> std::uint64_t {
+    // One model transfer in the Eq. (4)/(5) accounting.
+    return cfg_.agg.model_wire_bytes > 0
+               ? cfg_.agg.model_wire_bytes
+               : 4 * static_cast<std::uint64_t>(w0_.size());
+  };
 
   aggregator_ = std::make_unique<TwoLayerAggregator>(
       topology_, cfg_.agg, net_,
@@ -82,6 +127,25 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
   };
   aggregator_->on_round_aborted = [this](std::uint64_t) {
     ++rounds_aborted_;
+  };
+  // Detection -> eviction escalation: each attribution is one strike.
+  // Below the limit the suspect is forgiven (re-admitted next round — a
+  // persistent adversary immediately re-offends and earns the next
+  // strike); at the limit it is denounced into the self-healing
+  // membership path, which evicts it and refuses its rejoin handshakes.
+  aggregator_->on_suspect = [this](std::uint64_t round, PeerId peer) {
+    const std::size_t strikes = ++strikes_[peer];
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("byzantine.strikes").add(1);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "byzantine.strike", peer,
+                      {{"round", round}, {"strikes", strikes}});
+    }
+    if (strikes >= cfg_.suspect_strike_limit) {
+      raft_.denounce(peer);
+    } else {
+      aggregator_->clear_suspect(peer);
+    }
   };
 }
 
@@ -254,44 +318,18 @@ void P2pFlSystem::handle_model_pull(PeerId peer,
                                     const wire::ModelPullMsg& msg) {
   if (net_.crashed(peer) || msg.peer == peer) return;
   const PeerRuntime& rt = peers_.at(peer);
-  wire::ModelPushMsg reply;
-  if (rt.last_global_round > msg.last_round) {
-    reply.round = rt.last_global_round;
-    reply.checkpoint = fl::encode_checkpoint(rt.latest_global);
-  } else {
-    // Nothing newer here; an empty push tells the puller to stand down
-    // (the next live round will reach it through normal distribution).
-    reply.round = msg.last_round;
-  }
-  net_.send(peer, msg.peer, "member/push", std::move(reply),
-            wire::push_wire(reply.checkpoint.size()));
-}
-
-void P2pFlSystem::handle_model_push(PeerId peer,
-                                    const wire::ModelPushMsg& msg) {
-  if (net_.crashed(peer)) return;
-  PeerRuntime& rt = peers_.at(peer);
-  rt.catchup_timer->cancel();
-  if (msg.checkpoint.empty() || msg.round <= rt.last_global_round) return;
-  auto weights = fl::decode_checkpoint(msg.checkpoint);
-  // decode_push() already validated the frame, but guard a model of the
-  // wrong dimensionality all the same.
-  if (!weights.has_value() || weights->size() != w0_.size()) return;
-  rt.last_global_round = msg.round;
-  rt.latest_global = *weights;
-  rt.current_weights = *weights;
-  rt.trainer->set_weights(*weights);
-  obs::Observability& o = net_.simulator().obs();
-  o.metrics.counter("fl.catchup_applied").add(1);
-  if (o.trace.category_enabled("agg")) {
-    o.trace.instant("agg", "fl.catchup_applied", peer,
-                    {{"round", msg.round}});
-  }
-  // Train on the recovered model so this peer contributes to the next
-  // round instead of uploading w0-grade weights.
-  if (!rt.training) {
-    rt.training = true;
-    rt.trainer_done->arm(cfg_.train_duration);
+  // Nothing newer here: stay silent, the puller keeps polling until a
+  // live round (or a snapshot from a better-informed leader) reaches it.
+  if (rt.last_global_round <= msg.last_round) return;
+  // Answer by installing our subgroup snapshot on the puller — the
+  // composite blob carries the newest global model (app_snapshot_save).
+  if (raft_.push_state_snapshot(peer, msg.peer)) {
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("fl.catchup_snapshots").add(1);
+    if (o.trace.category_enabled("agg")) {
+      o.trace.instant("agg", "fl.catchup_snapshot", peer,
+                      {{"to", msg.peer}, {"round", rt.last_global_round}});
+    }
   }
 }
 

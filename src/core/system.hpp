@@ -41,6 +41,11 @@ struct SystemConfig {
   SimDuration train_duration = 200 * kMillisecond;
   /// Retry cadence of a restarted peer's model catch-up pull.
   SimDuration catchup_retry = 300 * kMillisecond;
+  /// Byzantine-detection attributions a peer survives before it is
+  /// denounced into membership eviction (agg.detect_byzantine). Below
+  /// the limit each attribution costs the peer one round (forgiven and
+  /// re-admitted); a persistent adversary re-offends and is evicted.
+  std::size_t suspect_strike_limit = 2;
   std::uint64_t seed = 42;
 };
 
@@ -80,6 +85,9 @@ class P2pFlSystem {
   /// Evaluate the freshest global model on the test set.
   fl::EvalResult evaluate_global();
 
+  /// Byzantine-detection strikes per peer (see suspect_strike_limit).
+  const std::map<PeerId, std::size_t>& strikes() const { return strikes_; }
+
   /// Fired on completion of each aggregation round (on the FedAvg
   /// leader), with the number of subgroup models aggregated.
   std::function<void(std::uint64_t round, const secagg::Vector&,
@@ -108,7 +116,6 @@ class P2pFlSystem {
   void begin_local_training(PeerId peer);
   void send_model_pull(PeerId peer);
   void handle_model_pull(PeerId peer, const wire::ModelPullMsg& msg);
-  void handle_model_push(PeerId peer, const wire::ModelPushMsg& msg);
 
   Topology topology_;
   SystemConfig cfg_;
@@ -127,6 +134,8 @@ class P2pFlSystem {
   std::vector<float> w0_;
   /// Subgroups currently parked out of rounds (no electable leader).
   std::vector<char> parked_;
+  /// Byzantine-detection strikes per peer (escalates to denounce()).
+  std::map<PeerId, std::size_t> strikes_;
 };
 
 }  // namespace p2pfl::core

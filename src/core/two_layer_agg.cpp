@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "fl/fedavg.hpp"
+#include "secagg/wire.hpp"
 
 namespace p2pfl::core {
 
@@ -19,6 +20,7 @@ TwoLayerAggregator::TwoLayerAggregator(
     : topology_(topology),
       cfg_(cfg),
       net_(net),
+      byz_rng_(net.simulator().rng().fork(0x62797a'6c696521ULL /*"byzlie!"*/)),
       collect_timer_(
           net.simulator(),
           [this] {
@@ -38,6 +40,8 @@ TwoLayerAggregator::TwoLayerAggregator(
   sac_opts.share_timeout = cfg_.sac_share_timeout;
   sac_opts.subtotal_timeout = cfg_.sac_subtotal_timeout;
   sac_opts.share_retry_limit = cfg_.sac_share_retry_limit;
+  sac_opts.detect_inconsistent_shares = cfg_.detect_byzantine;
+  sac_opts.byzantine = cfg_.byzantine;
 
   for (PeerId id : topology_.all_peers()) {
     net::PeerHost& host = host_of(id);
@@ -73,6 +77,16 @@ TwoLayerAggregator::TwoLayerAggregator(
           g < round_groups_.size() ? round_groups_[g].size() : 0;
       sac_complete(*ps, round, avg, size);
     };
+    ps->sac->on_byzantine = [this, ps](RoundId round,
+                                       const std::vector<std::size_t>& pos) {
+      // Positions are into the round's SAC group for this subgroup.
+      const std::size_t g = ps->group;
+      if (g >= round_groups_.size()) return;
+      const std::vector<PeerId>& group = round_groups_[g];
+      for (std::size_t s : pos) {
+        if (s < group.size()) mark_suspect(round, group[s], "shares");
+      }
+    };
   }
 }
 
@@ -82,6 +96,22 @@ std::uint64_t TwoLayerAggregator::model_wire(std::size_t dim) const {
   return cfg_.model_wire_bytes > 0
              ? cfg_.model_wire_bytes
              : 4 * static_cast<std::uint64_t>(dim);
+}
+
+const robust::AttackSpec* TwoLayerAggregator::attack_of(PeerId id) const {
+  return cfg_.byzantine == nullptr ? nullptr : cfg_.byzantine->spec(id);
+}
+
+void TwoLayerAggregator::mark_suspect(RoundId round, PeerId peer,
+                                      const char* how) {
+  if (!suspects_.insert(peer).second) return;
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("byzantine.suspects_marked").add(1);
+  if (o.trace.category_enabled("chaos")) {
+    o.trace.instant("chaos", "byzantine.suspect_marked", peer,
+                    {{"round", round}, {"how", how}});
+  }
+  if (on_suspect) on_suspect(round, peer);
 }
 
 void TwoLayerAggregator::begin_round(RoundId round,
@@ -99,13 +129,19 @@ void TwoLayerAggregator::begin_round(RoundId round,
   std::size_t live_groups = 0;
   for (SubgroupId g = 0; g < topology_.subgroup_count(); ++g) {
     for (PeerId id : topology_.group(g)) {
-      if (!net_.crashed(id)) round_groups_[g].push_back(id);
+      // Detection suspects sit out exactly like crashed peers: their
+      // shares are no longer accepted into any subtotal, and the SAC
+      // threshold clamps to the smaller group below — "excluded from
+      // the reconstruction threshold".
+      if (!net_.crashed(id) && suspects_.count(id) == 0) {
+        round_groups_[g].push_back(id);
+      }
     }
     // A parked subgroup (no electable leader, kNoPeer) contributes
     // nothing this round and must not count toward the FedAvg quorum.
-    if (!round_groups_[g].empty() &&
-        leadership.subgroup_leaders[g] != kNoPeer &&
-        !net_.crashed(leadership.subgroup_leaders[g])) {
+    const PeerId lead = leadership.subgroup_leaders[g];
+    if (!round_groups_[g].empty() && lead != kNoPeer &&
+        !net_.crashed(lead) && suspects_.count(lead) == 0) {
       ++live_groups;
     }
   }
@@ -180,8 +216,26 @@ void TwoLayerAggregator::begin_round(RoundId round,
       }
     }
     for (PeerId id : group) {
-      peers_.at(id).sac->begin_round(round, model_of(id), group, leader_pos,
-                                     k);
+      secagg::Vector model = model_of(id);
+      const robust::AttackSpec* atk = attack_of(id);
+      if (atk != nullptr) {
+        // Model poisoning happens at the source: the poisoned update
+        // enters SAC like any honest one and is invisible under the
+        // masking — only the FedAvg-layer robust rule can blunt it.
+        switch (atk->kind) {
+          case robust::AttackKind::kSignFlip:
+          case robust::AttackKind::kScaledUpdate:
+          case robust::AttackKind::kRandomNoise:
+          case robust::AttackKind::kConstantDrift:
+            robust::poison(model, *atk, byz_rng_);
+            o.metrics.counter("byzantine.models_poisoned").add(1);
+            break;
+          default:
+            break;  // protocol-level attacks inject elsewhere
+        }
+      }
+      peers_.at(id).sac->begin_round(round, std::move(model), group,
+                                     leader_pos, k);
     }
   }
 }
@@ -223,6 +277,15 @@ void TwoLayerAggregator::sac_complete(PeerState& p, RoundId round,
   msg.group = p.group;
   msg.weight = static_cast<std::uint32_t>(group_size);
   msg.model = avg;
+  const robust::AttackSpec* atk = attack_of(p.id);
+  if (atk != nullptr && atk->kind == robust::AttackKind::kSubtotalLie) {
+    // A lying subgroup aggregator: the SAC round below it was honest,
+    // but the subtotal it reports upward is not. Nothing inside the
+    // subgroup can notice; only cross-subtotal redundancy at the FedAvg
+    // layer (robust rule) defends.
+    robust::poison(msg.model, *atk, byz_rng_);
+    net_.simulator().obs().metrics.counter("byzantine.subtotal_lies").add(1);
+  }
   if (p.is_fed_leader) {
     handle_upload(p, msg);  // local, no wire transfer
     return;
@@ -269,6 +332,16 @@ void TwoLayerAggregator::retry_upload(PeerState& p) {
                              "agg/upload_retry", p.id,
                              p.pending_upload->round, p.upload_span);
   UploadMsg copy = *p.pending_upload;
+  const robust::AttackSpec* atk = attack_of(p.id);
+  if (atk != nullptr && atk->kind == robust::AttackKind::kEquivocate) {
+    // Equivocation across retries: every resend tells a different story
+    // than the original upload. The FedAvg leader's digest check
+    // (handle_upload) catches the disagreement.
+    robust::AttackSpec shifted = *atk;
+    shifted.magnitude *= static_cast<double>(p.upload_attempts);
+    robust::poison(copy.model, shifted, byz_rng_);
+    o.metrics.counter("byzantine.equivocations_sent").add(1);
+  }
   const net::WireSize size =
       wire::upload_wire(model_wire(copy.model.size()), copy.model.size());
   net_.send(p.id, leadership_.fedavg_leader, "agg/upload", std::move(copy),
@@ -303,6 +376,23 @@ void TwoLayerAggregator::handle_upload(PeerState& p, const UploadMsg& msg) {
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "agg.upload", p.id,
                     {{"round", msg.round}, {"group", msg.group}});
+  }
+  if (cfg_.detect_byzantine) {
+    // Upload-equivocation check: all sends of one round's subgroup
+    // subtotal must agree bit-for-bit (honest retries are copies).
+    const std::uint64_t digest = secagg::wire::share_digest(msg.model);
+    auto [it, first] = fed_->upload_digest.emplace(msg.group, digest);
+    if (!first && it->second != digest) {
+      o.metrics.counter("byzantine.upload_equivocations").add(1);
+      const PeerId uploader =
+          msg.group < leadership_.subgroup_leaders.size()
+              ? leadership_.subgroup_leaders[msg.group]
+              : kNoPeer;
+      if (uploader != kNoPeer) {
+        mark_suspect(msg.round, uploader, "upload_equivocation");
+      }
+      return;  // keep the first story, discard the conflicting one
+    }
   }
   fed_->uploads.emplace(msg.group, msg);
   fed_maybe_aggregate(p, /*timed_out=*/false);
@@ -355,6 +445,7 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
     o.trace.instant("agg", "agg.merge", p.id,
                     {{"round", fed_->round},
                      {"groups_used", fed_->uploads.size()},
+                     {"rule", robust::rule_name(cfg_.robust.rule)},
                      {"latency_ms", latency_ms}});
   }
 
@@ -369,7 +460,10 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
                               round_groups_[g].begin(),
                               round_groups_[g].end());
   }
-  const secagg::Vector global = fl::federated_average(models, weights);
+  // robust::aggregate(kMean) delegates to fl::federated_average, so the
+  // default configuration is bit-exact with the pre-robust behaviour.
+  const secagg::Vector global =
+      robust::aggregate(models, weights, cfg_.robust);
   if (on_global_model) {
     on_global_model(fed_->round, global, fed_->uploads.size());
   }

@@ -27,12 +27,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/topology.hpp"
 #include "core/wire.hpp"
 #include "net/mux.hpp"
 #include "net/network.hpp"
+#include "robust/rules.hpp"
 #include "secagg/sac_actor.hpp"
 #include "sim/timer.hpp"
 
@@ -64,6 +66,22 @@ struct AggregationConfig {
   /// cost is unchanged.
   SimDuration upload_retry = 1 * kSecond;
   std::size_t upload_retry_limit = 5;
+  /// FedAvg-layer aggregation rule over the subgroup subtotals. The
+  /// default (kMean) is the paper's plain weighted FedAvg, bit-exact
+  /// with every pre-Byzantine golden; trimmed mean / median / norm-clip
+  /// tolerate a bounded fraction of lying subgroups.
+  robust::RobustConfig robust;
+  /// Byzantine detection: share-consistency commitments inside every
+  /// subgroup's SAC round plus upload-equivocation hashing at the
+  /// FedAvg leader. Detected peers land in suspects() and are excluded
+  /// from later rounds' SAC groups (and the reconstruction threshold
+  /// clamps to the smaller group, like a degraded subgroup). Off by
+  /// default: it adds commitment/echo framing bytes to the share phase.
+  bool detect_byzantine = false;
+  /// Adversary registry consulted at every injection point (model
+  /// poisoning, subtotal lies, equivocating uploads, and — inside the
+  /// SAC actors — inconsistent shares). nullptr = everyone honest.
+  const robust::ByzantineRegistry* byzantine = nullptr;
 };
 
 /// Assigns per-round leadership (from Raft, or fixed for simulations).
@@ -105,6 +123,13 @@ class TwoLayerAggregator {
     return last_contributors_;
   }
 
+  /// Peers attributed as Byzantine by detection (detect_byzantine).
+  /// They stay out of every subsequent round's SAC groups until cleared
+  /// — the round controller decides whether to escalate to membership
+  /// eviction or to forgive (e.g. after an eviction completed).
+  const std::set<PeerId>& suspects() const { return suspects_; }
+  void clear_suspect(PeerId id) { suspects_.erase(id); }
+
   /// Fired on the FedAvg leader when the global model is computed.
   /// `groups_used` counts subgroup models that made the cut.
   std::function<void(RoundId, const secagg::Vector&, std::size_t)>
@@ -117,6 +142,11 @@ class TwoLayerAggregator {
   /// Fired when an undecided round is torn down (superseded or aborted
   /// under partition) before the FedAvg leader could aggregate.
   std::function<void(RoundId)> on_round_aborted;
+  /// Fired (on the attributing leader's aggregator) when detection
+  /// marks a peer as Byzantine: share inconsistency attributed by a SAC
+  /// leader, or an equivocating upload caught by the FedAvg leader.
+  /// Fires once per peer per detection site while the suspicion stands.
+  std::function<void(RoundId, PeerId)> on_suspect;
 
  private:
   using UploadMsg = wire::AggUploadMsg;
@@ -145,6 +175,10 @@ class TwoLayerAggregator {
     std::size_t expected_groups = 0;
     std::size_t quorum = 0;
     std::map<SubgroupId, UploadMsg> uploads;
+    /// Detection: digest of the first upload accepted per subgroup; a
+    /// later upload for the same round whose digest differs is an
+    /// equivocating subgroup leader.
+    std::map<SubgroupId, std::uint64_t> upload_digest;
     bool done = false;
     /// Causal root of the round and the FedAvg leader's collect window.
     obs::SpanId round_span = obs::kNoSpan;
@@ -161,10 +195,17 @@ class TwoLayerAggregator {
                   const secagg::Vector& global);
   void retry_upload(PeerState& p);
   void settle_upload(PeerState& p, RoundId round);
+  /// Active attack spec for `id`, or nullptr when honest/no registry.
+  const robust::AttackSpec* attack_of(PeerId id) const;
+  void mark_suspect(RoundId round, PeerId peer, const char* how);
 
   const Topology& topology_;
   AggregationConfig cfg_;
   net::Network& net_;
+  /// Byzantine transforms only (poisoned models, lie offsets); honest
+  /// rounds never draw from it, so enabling the machinery does not
+  /// shift any pre-existing RNG stream.
+  Rng byz_rng_;
   std::map<PeerId, PeerState> peers_;
   RoundLeadership leadership_;
   std::optional<FedState> fed_;
@@ -173,6 +214,8 @@ class TwoLayerAggregator {
   std::vector<std::vector<PeerId>> round_groups_;
   /// Peers behind the most recent global model (see last_contributors()).
   std::vector<PeerId> last_contributors_;
+  /// Detection-attributed Byzantine peers (see suspects()).
+  std::set<PeerId> suspects_;
   RoundId round_ = 0;
   /// Virtual time at which the current round started (latency metric).
   SimTime round_start_ = 0;

@@ -35,6 +35,37 @@ std::optional<std::vector<PeerId>> decode_fed_config(const Bytes& data) {
   return members;
 }
 
+// Composite subgroup snapshot: the replicated state machine (FedAvg
+// configuration) plus an opaque application blob piggy-backed for
+// state-transfer catch-up (the newest global model, see
+// app_snapshot_save). Tagged so a fed-config-only blob from an older
+// snapshot still decodes.
+constexpr std::uint8_t kCompositeSnapshot = 2;
+
+struct SnapshotState {
+  std::vector<PeerId> fed_cfg;
+  Bytes app;
+};
+
+Bytes encode_snapshot_state(const std::vector<PeerId>& members,
+                            const Bytes& app) {
+  ByteWriter w;
+  w.u8(kCompositeSnapshot);
+  w.vec_u32(members);
+  w.blob(app);
+  return w.take();
+}
+
+std::optional<SnapshotState> decode_snapshot_state(const Bytes& data) {
+  ByteReader r(data);
+  if (r.u8() != kCompositeSnapshot) return std::nullopt;
+  SnapshotState s;
+  s.fed_cfg = r.vec_u32<PeerId>();
+  s.app = r.blob();
+  if (!r.complete()) return std::nullopt;
+  return s;
+}
+
 }  // namespace
 
 TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
@@ -126,14 +157,31 @@ void TwoLayerRaftSystem::wire_subgroup_node(Peer& p) {
       p.known_fed_cfg = std::move(*cfg);
     }
   };
-  // The subgroup state machine is just the FedAvg-layer configuration,
-  // so snapshots are one encoded member list.
-  node.on_snapshot_save = [&p] { return encode_fed_config(p.known_fed_cfg); };
-  node.on_snapshot_install = [&p](raft::Index, const Bytes& state) {
+  // The subgroup state machine is the FedAvg-layer configuration; the
+  // snapshot additionally carries the application's catch-up blob so a
+  // far-behind (or amnesiac) member recovers config AND model state in
+  // one InstallSnapshot instead of a separate model push.
+  node.on_snapshot_save = [this, &p] {
+    const Bytes app = app_snapshot_save ? app_snapshot_save(p.id) : Bytes{};
+    return encode_snapshot_state(p.known_fed_cfg, app);
+  };
+  node.on_snapshot_install = [this, &p](raft::Index, const Bytes& state) {
     if (state.empty()) return;
-    if (auto cfg = decode_fed_config(state)) {
+    if (auto s = decode_snapshot_state(state)) {
+      p.known_fed_cfg = std::move(s->fed_cfg);
+      if (!s->app.empty() && app_snapshot_install) {
+        app_snapshot_install(p.id, s->app);
+      }
+    } else if (auto cfg = decode_fed_config(state)) {
+      // Pre-composite snapshot blob (restored at restart()).
       p.known_fed_cfg = std::move(*cfg);
     }
+  };
+  node.snapshot_payload = [this](const Bytes& state) -> std::uint64_t {
+    if (!app_snapshot_payload) return 0;
+    auto s = decode_snapshot_state(state);
+    if (!s || s->app.empty()) return 0;
+    return app_snapshot_payload(s->app);
   };
 }
 
@@ -242,6 +290,12 @@ void TwoLayerRaftSystem::handle_join_request(Peer& p,
     if (hint != kNoPeer && hint != p.id && hint != req.candidate) {
       net_.send(p.id, hint, kJoinChannel, req, wire::kJoinWire);
     }
+    return;
+  }
+  // Denounced peers are refused outright: liveness proof does not lift
+  // a Byzantine attribution.
+  if (banned_.count(req.candidate) > 0) {
+    net_.simulator().obs().metrics.counter("membership.join_refused").add(1);
     return;
   }
   // A join request proves the candidate is alive; drop any suspicion the
@@ -433,6 +487,20 @@ void TwoLayerRaftSystem::supervise_layer(
   }
   for (PeerId m : cfg) {
     if (m == p.id) continue;
+    if (banned_.count(m) > 0) {
+      // Standing eviction pressure on denounced members: liveness is
+      // irrelevant, the suspicion never clears, and the removal retries
+      // every tick until the configuration change lands.
+      if (suspected.emplace(m, now).second) {
+        o.metrics.counter("membership.suspected").add(1);
+        if (o.trace.category_enabled("raft")) {
+          o.trace.instant("raft", "membership.suspect", p.id,
+                          {{"peer", m}, {"layer", layer}, {"banned", true}});
+        }
+      }
+      node.propose_remove_server(m);
+      continue;
+    }
     const SimTime last = node.follower_last_contact(m);
     if (last < 0) continue;
     if (now - last <= opts_.suspicion_grace) {
@@ -534,6 +602,17 @@ void TwoLayerRaftSystem::handle_rejoin_request(
     }
     return;
   }
+  // Denounced peers stay out: the rejoin handshake heals crashes, not
+  // Byzantine attributions (lifted only by an explicit forgive()).
+  if (banned_.count(req.peer) > 0) {
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("membership.rejoin_refused").add(1);
+    if (o.trace.category_enabled("raft")) {
+      o.trace.instant("raft", "membership.rejoin_refused", p.id,
+                      {{"peer", req.peer}});
+    }
+    return;
+  }
   // The requester is demonstrably alive: lift any standing suspicion and
   // configure it back in. The add is rejected if it is still a member
   // (replication resumes by itself) or while another change is in
@@ -561,6 +640,65 @@ void TwoLayerRaftSystem::finish_rejoin(Peer& p) {
   }
   p.rejoin_span = obs::kNoSpan;
   if (on_peer_rejoined) on_peer_rejoined(p.id);
+}
+
+// --- Byzantine denunciation ------------------------------------------------
+
+void TwoLayerRaftSystem::denounce(PeerId peer) {
+  if (!banned_.insert(peer).second) return;
+  Peer& target = peer_ref(peer);
+  const SimTime now = net_.simulator().now();
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("membership.denounced").add(1);
+  if (o.trace.category_enabled("raft")) {
+    o.trace.instant("raft", "membership.denounced", peer,
+                    {{"subgroup", target.subgroup}});
+  }
+  // FedAvg layer first: a live FedAvg leader can remove the peer at once.
+  const PeerId fl = fedavg_leader();
+  if (fl != kNoPeer && fl != peer) {
+    Peer& f = peer_ref(fl);
+    f.fed_suspected.emplace(peer, now);
+    f.fed_node->propose_remove_server(peer);
+  }
+  // Subgroup layer. A denounced peer that currently LEADS its subgroup
+  // cannot be removed by anyone else (only the leader changes the
+  // configuration); honest followers refusing its authority would force
+  // an election — modelled here as a leadership transfer to an honest
+  // live member, after which the successor's supervisor evicts it.
+  PeerId sgl = subgroup_leader(target.subgroup);
+  if (sgl == peer) {
+    for (PeerId m : target.sg_node->members()) {
+      if (m != peer && !net_.crashed(m) && banned_.count(m) == 0) {
+        target.sg_node->transfer_leadership(m);
+        break;
+      }
+    }
+    sgl = kNoPeer;  // eviction proceeds once the successor supervises
+  }
+  if (sgl != kNoPeer) {
+    Peer& l = peer_ref(sgl);
+    l.sg_suspected.emplace(peer, now);
+    l.sg_node->propose_remove_server(peer);
+  }
+}
+
+void TwoLayerRaftSystem::forgive(PeerId peer) { banned_.erase(peer); }
+
+bool TwoLayerRaftSystem::push_state_snapshot(PeerId leader, PeerId to) {
+  if (net_.crashed(leader) || leader == to) return false;
+  Peer& p = peer_ref(leader);
+  if (topology_.subgroup_of(to) != p.subgroup) return false;
+  const bool sent = p.sg_node->push_snapshot(to);
+  if (sent) {
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("membership.state_snapshots_pushed").add(1);
+    if (o.trace.category_enabled("raft")) {
+      o.trace.instant("raft", "membership.state_snapshot_push", leader,
+                      {{"to", to}, {"subgroup", p.subgroup}});
+    }
+  }
+  return sent;
 }
 
 void TwoLayerRaftSystem::abort_rejoin(Peer& p) {
@@ -603,6 +741,7 @@ HealthReport TwoLayerRaftSystem::health(
           h.config.end()) {
         h.evicted.push_back(id);
       }
+      if (banned_.count(id) > 0) h.banned.push_back(id);
     }
     if (h.leader != kNoPeer) {
       for (const auto& [m, t] : peer_ref(h.leader).sg_suspected) {

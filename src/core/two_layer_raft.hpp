@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,7 @@ struct SubgroupHealth {
   std::vector<PeerId> live;       // topology members currently up
   std::vector<PeerId> suspected;  // leader's standing suspicions
   std::vector<PeerId> evicted;    // topology members outside config
+  std::vector<PeerId> banned;     // denounced (Byzantine) members
   std::size_t nominal_k = 0;      // full-strength SAC threshold
   std::size_t effective_k = 0;    // threshold after live clamping
   bool degraded = false;          // live members < nominal_k
@@ -110,6 +112,36 @@ class TwoLayerRaftSystem {
   /// it back in and replication (or a snapshot install) catches it up.
   void restart_peer_amnesia(PeerId peer);
   bool peer_crashed(PeerId peer) const;
+
+  // --- Byzantine denunciation --------------------------------------------
+  /// Ban a peer attributed as Byzantine by detection: its layers evict it
+  /// through the regular single-server membership path, every leader
+  /// refuses its join/rejoin handshakes from now on, and — if it
+  /// currently leads its subgroup — leadership is transferred to an
+  /// honest member first (modelling honest followers refusing a
+  /// denounced leader's authority). Idempotent.
+  void denounce(PeerId peer);
+  /// Lift a ban (the peer may rejoin through the normal handshake).
+  void forgive(PeerId peer);
+  bool is_banned(PeerId peer) const { return banned_.count(peer) > 0; }
+  const std::set<PeerId>& banned() const { return banned_; }
+
+  // --- state-transfer catch-up hooks (set before start_all) ---------------
+  /// Application state folded into every subgroup snapshot next to the
+  /// FedAvg-layer configuration: save serializes the peer's blob at
+  /// compaction time, install applies a received blob (apply-if-newer is
+  /// the application's business). Empty blob = nothing to carry.
+  std::function<Bytes(PeerId)> app_snapshot_save;
+  std::function<void(PeerId, const Bytes&)> app_snapshot_install;
+  /// Eq. (4)/(5) payload units carried by one app blob (e.g. one model
+  /// transfer). Unset = snapshot installs are pure framing.
+  std::function<std::uint64_t(const Bytes&)> app_snapshot_payload;
+
+  /// Leader-initiated state transfer riding the Raft InstallSnapshot
+  /// path: `leader` compacts its subgroup log (folding the current app
+  /// blob into the snapshot) and installs it on `to`. Returns false
+  /// unless `leader` currently leads `to`'s subgroup.
+  bool push_state_snapshot(PeerId leader, PeerId to);
 
   // --- observation --------------------------------------------------------
   const Topology& topology() const { return topology_; }
@@ -217,6 +249,9 @@ class TwoLayerRaftSystem {
   TwoLayerRaftOptions opts_;
   net::Network& net_;
   std::map<PeerId, std::unique_ptr<Peer>> peers_;
+  /// Denounced peers: refused at every join/rejoin handshake and kept
+  /// under standing eviction pressure by the layer supervisors.
+  std::set<PeerId> banned_;
 };
 
 }  // namespace p2pfl::core

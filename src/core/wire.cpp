@@ -1,7 +1,5 @@
 #include "core/wire.hpp"
 
-#include "fl/checkpoint.hpp"
-
 namespace p2pfl::core::wire {
 
 namespace {
@@ -102,30 +100,6 @@ std::optional<ModelPullMsg> decode_pull(const Bytes& b) {
   });
 }
 
-Bytes encode(const ModelPushMsg& m) {
-  ByteWriter w;
-  w.u64(m.round);
-  w.blob(m.checkpoint);
-  return w.take();
-}
-
-std::optional<ModelPushMsg> decode_push(const Bytes& b) {
-  std::optional<ModelPushMsg> m = guarded<ModelPushMsg>(b, [](ByteReader& r) {
-    ModelPushMsg out;
-    out.round = r.u64();
-    out.checkpoint = r.blob();
-    return out;
-  });
-  if (!m.has_value()) return std::nullopt;
-  // The checkpoint must itself be well-formed (magic + checksum); a
-  // damaged model is rejected here, at the frame boundary.
-  if (!m->checkpoint.empty() &&
-      !fl::decode_checkpoint(m->checkpoint).has_value()) {
-    return std::nullopt;
-  }
-  return m;
-}
-
 net::WireSize upload_wire(std::uint64_t payload, std::size_t dim) {
   net::WireSize s;
   s.payload = payload;
@@ -141,12 +115,6 @@ net::WireSize result_wire(std::uint64_t payload, std::size_t dim) {
   s.wire = kResultHeader + payload;
   s.modeled = static_cast<std::int64_t>(payload) -
               static_cast<std::int64_t>(4 * dim);
-  return s;
-}
-
-net::WireSize push_wire(std::size_t checkpoint_bytes) {
-  net::WireSize s;
-  s.wire = kPushHeader + checkpoint_bytes;
   return s;
 }
 
@@ -211,14 +179,6 @@ ModelPullMsg sample_pull(Rng& rng, const net::WireSample& s) {
   return m;
 }
 
-ModelPushMsg sample_push(Rng& rng, const net::WireSample& s) {
-  ModelPushMsg m;
-  m.round = s.round;
-  const secagg::Vector v = sample_vector(rng, s.dim);
-  m.checkpoint = fl::encode_checkpoint(v);
-  return m;
-}
-
 bool eq_rejoin(const RejoinRequestMsg& a, const RejoinRequestMsg& b) {
   return a.peer == b.peer && a.subgroup == b.subgroup &&
          a.incarnation == b.incarnation;
@@ -226,10 +186,6 @@ bool eq_rejoin(const RejoinRequestMsg& a, const RejoinRequestMsg& b) {
 
 bool eq_pull(const ModelPullMsg& a, const ModelPullMsg& b) {
   return a.peer == b.peer && a.last_round == b.last_round;
-}
-
-bool eq_push(const ModelPushMsg& a, const ModelPushMsg& b) {
-  return a.round == b.round && a.checkpoint == b.checkpoint;
 }
 
 template <typename T>
@@ -277,8 +233,6 @@ void register_codecs() {
                                          &sample_rejoin, &eq_rejoin));
     reg.add(make_codec<ModelPullMsg>("member:pull", &decode_pull,
                                      &sample_pull, &eq_pull));
-    reg.add(make_codec<ModelPushMsg>("member:push", &decode_push,
-                                     &sample_push, &eq_push));
     return true;
   }();
   (void)once;

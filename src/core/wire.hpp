@@ -60,53 +60,37 @@ struct ModelPullMsg {
   std::uint64_t last_round = 0;
 };
 
-/// Catch-up reply, leader -> peer (kind "member/push"): the leader's
-/// latest global model in fl/checkpoint encoding plus the round it
-/// belongs to. round == 0 with an empty checkpoint means the leader has
-/// nothing newer than the requester.
-struct ModelPushMsg {
-  std::uint64_t round = 0;
-  Bytes checkpoint;
-};
-
 Bytes encode(const AggUploadMsg& m);
 Bytes encode(const AggResultMsg& m);
 Bytes encode(const JoinRequestMsg& m);
 Bytes encode(const RejoinRequestMsg& m);
 Bytes encode(const ModelPullMsg& m);
-Bytes encode(const ModelPushMsg& m);
 
 std::optional<AggUploadMsg> decode_upload(const Bytes& b);
 std::optional<AggResultMsg> decode_result(const Bytes& b);
 std::optional<JoinRequestMsg> decode_join(const Bytes& b);
 std::optional<RejoinRequestMsg> decode_rejoin(const Bytes& b);
 std::optional<ModelPullMsg> decode_pull(const Bytes& b);
-/// Rejects pushes whose checkpoint fails fl::decode_checkpoint (bad
-/// magic / checksum), so a chaos-corrupted model never reaches a peer.
-std::optional<ModelPushMsg> decode_push(const Bytes& b);
 
 /// Framing: upload = round + group + weight + element count; result =
 /// round + element count; join = candidate + stale representative.
+/// There is no push reply: a leader answers a member/pull by installing
+/// its subgroup snapshot on the puller (Raft InstallSnapshot carrying
+/// the model as the snapshot's application blob).
 inline constexpr std::uint64_t kUploadHeader = 20;
 inline constexpr std::uint64_t kResultHeader = 12;
 inline constexpr std::uint64_t kJoinWire = 8;
 inline constexpr std::uint64_t kRejoinWire = 16;
 inline constexpr std::uint64_t kPullWire = 12;
-/// Push framing: round + checkpoint blob length prefix.
-inline constexpr std::uint64_t kPushHeader = 12;
 
 /// Charged size of one model upload / result accounted as `payload`
 /// model bytes while actually carrying `dim` floats.
 net::WireSize upload_wire(std::uint64_t payload, std::size_t dim);
 net::WireSize result_wire(std::uint64_t payload, std::size_t dim);
-/// Charged size of one catch-up push. Repair traffic sits outside the
-/// paper's Eq. (4)/(5) round cost, so payload stays 0 and the charge is
-/// byte-exact.
-net::WireSize push_wire(std::size_t checkpoint_bytes);
 
 /// Register the core codecs ("agg:upload", "agg:result", "ml:result",
-/// "join", "member:rejoin", "member:pull", "member:push"). Idempotent;
-/// called by the core actor constructors.
+/// "join", "member:rejoin", "member:pull"). Idempotent; called by the
+/// core actor constructors.
 void register_codecs();
 
 }  // namespace p2pfl::core::wire

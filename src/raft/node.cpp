@@ -592,6 +592,19 @@ void RaftNode::compact() {
   log_.compact_to(applied_);
 }
 
+bool RaftNode::push_snapshot(PeerId to) {
+  if (!running_ || role_ != Role::kLeader || to == id_) return false;
+  compact();
+  if (log_.snapshot_index() == 0) return false;
+  // compact() no-ops when nothing new was applied; re-save so the push
+  // carries the state machine's current blob, not the last compaction's
+  // (the app payload piggy-backed on snapshots can move without log
+  // entries — e.g. a new global model landing between config commits).
+  if (on_snapshot_save) snapshot_state_ = on_snapshot_save();
+  send_install_snapshot(to);
+  return true;
+}
+
 void RaftNode::send_install_snapshot(PeerId to) {
   InstallSnapshotArgs args;
   args.term = term_;
@@ -600,8 +613,10 @@ void RaftNode::send_install_snapshot(PeerId to) {
   args.last_included_term = log_.snapshot_term();
   args.members = snapshot_members_;
   args.app_state = snapshot_state_;
-  const std::uint64_t wire = args.wire_size();
-  send_rpc(to, "/is", std::move(args), wire);
+  net::WireSize size;
+  size.wire = args.wire_size();
+  size.payload = snapshot_payload ? snapshot_payload(snapshot_state_) : 0;
+  net_.send(id_, to, channel_ + "/is", std::move(args), size);
 }
 
 void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
@@ -634,6 +649,10 @@ void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
       log_.compact_to(idx);
       snapshot_members_ = args.members;
       snapshot_state_ = args.app_state;
+      // Still hand the blob to the application: the piggy-backed payload
+      // (e.g. the newest global model in a catch-up push) may carry
+      // state the replicated log alone never did.
+      if (on_snapshot_install) on_snapshot_install(idx, snapshot_state_);
     }
   } else {
     // Replace everything with the snapshot.

@@ -169,10 +169,22 @@ class RaftNode {
   /// a snapshot received from the leader (or restored at restart()).
   std::function<Bytes()> on_snapshot_save;
   std::function<void(Index, const Bytes&)> on_snapshot_install;
+  /// Application payload (model-transfer units, Eq. (4)/(5)) carried by
+  /// a snapshot state blob; charged on every InstallSnapshot send so
+  /// state-transfer catch-up shows up in the payload byte accounting.
+  /// Unset = snapshots are pure framing (payload 0).
+  std::function<std::uint64_t(const Bytes&)> snapshot_payload;
 
   /// Compact the log through the last applied entry (§7). No-op unless
   /// something new has been applied since the previous snapshot.
   void compact();
+
+  /// Leader-initiated state transfer: compact, refresh the snapshot's
+  /// application blob from on_snapshot_save (the blob may carry state —
+  /// e.g. the newest global model — that moved without log entries), and
+  /// send InstallSnapshot to `to`. Returns false unless this node is a
+  /// running leader with a snapshot to send.
+  bool push_snapshot(PeerId to);
 
   Index snapshot_index() const { return log_.snapshot_index(); }
 

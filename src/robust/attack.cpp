@@ -1,0 +1,63 @@
+#include "robust/attack.hpp"
+
+namespace p2pfl::robust {
+
+const char* attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kSignFlip: return "sign_flip";
+    case AttackKind::kScaledUpdate: return "scaled_update";
+    case AttackKind::kRandomNoise: return "random_noise";
+    case AttackKind::kConstantDrift: return "constant_drift";
+    case AttackKind::kInconsistentShares: return "inconsistent_shares";
+    case AttackKind::kSubtotalLie: return "subtotal_lie";
+    case AttackKind::kEquivocate: return "equivocate";
+  }
+  return "?";
+}
+
+bool attack_from_name(const std::string& name, AttackKind& out) {
+  for (AttackKind k :
+       {AttackKind::kNone, AttackKind::kSignFlip, AttackKind::kScaledUpdate,
+        AttackKind::kRandomNoise, AttackKind::kConstantDrift,
+        AttackKind::kInconsistentShares, AttackKind::kSubtotalLie,
+        AttackKind::kEquivocate}) {
+    if (name == attack_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void poison(std::vector<float>& w, const AttackSpec& spec, Rng& rng) {
+  const float mag = static_cast<float>(spec.magnitude);
+  switch (spec.kind) {
+    case AttackKind::kNone:
+      return;
+    case AttackKind::kSignFlip:
+      for (float& v : w) v = -mag * v;
+      return;
+    case AttackKind::kScaledUpdate:
+      for (float& v : w) v = mag * v;
+      return;
+    case AttackKind::kRandomNoise:
+      // The update is replaced wholesale by noise — the attacker
+      // contributes garbage, not a perturbed gradient.
+      for (float& v : w) {
+        v = static_cast<float>(rng.normal(0.0, spec.magnitude));
+      }
+      return;
+    case AttackKind::kConstantDrift:
+    case AttackKind::kInconsistentShares:
+    case AttackKind::kSubtotalLie:
+    case AttackKind::kEquivocate:
+      // Plausible-but-wrong: shift every coordinate by the lie offset.
+      // Values stay in a normal range, so nothing downstream rejects
+      // them on syntax — only consistency checks or robust rules can.
+      for (float& v : w) v += mag;
+      return;
+  }
+}
+
+}  // namespace p2pfl::robust

@@ -41,10 +41,14 @@ SacPeer::SacPeer(PeerId id, std::string channel, SacActorOptions opts,
   route_msg<SacShareReq>("/share_req", [this](const SacShareReq& m) {
     handle_share_request(m);
   });
+  route_msg<SacCommitEchoMsg>("/echo", [this](const SacCommitEchoMsg& m) {
+    handle_commit_echo(m);
+  });
 }
 
 SacPeer::~SacPeer() {
-  for (const char* suffix : {"/share", "/subtotal", "/request", "/share_req"}) {
+  for (const char* suffix :
+       {"/share", "/subtotal", "/request", "/share_req", "/echo"}) {
     host_.unroute(channel_ + suffix);
   }
 }
@@ -130,18 +134,23 @@ void SacPeer::begin_round(RoundId round, Vector model,
   const std::vector<Vector>& shares = round_->shares;
   const std::size_t n = round_->n;
   const std::size_t k = round_->k;
+  if (opts_.detect_inconsistent_shares) {
+    round_->my_commit.reserve(n);
+    for (const Vector& s : shares) {
+      round_->my_commit.push_back(wire::share_digest(s));
+    }
+    round_->seen_digest.assign(n, 0);
+    round_->peer_bad.assign(n, 0);
+    round_->pos_bad.assign(n, 0);
+  }
 
   // Distribute the n−k+1 consecutive shares each peer replicates.
   for (std::size_t j = 0; j < n; ++j) {
     if (j == round_->my_pos) continue;
-    SacShareMsg msg;
-    msg.round = round;
-    msg.from_pos = static_cast<std::uint32_t>(round_->my_pos);
-    for (std::size_t s : replica_share_indices(j, n, k)) {
-      msg.parts.emplace_back(static_cast<std::uint32_t>(s), shares[s]);
-    }
-    const net::WireSize wire = wire::share_wire(
-        msg.parts.size(), round_->share_bytes, model.size());
+    SacShareMsg msg = make_share_bundle(j, /*resend=*/false);
+    const net::WireSize wire =
+        wire::share_wire(msg.parts.size(), round_->share_bytes, model.size(),
+                         msg.commit.size());
     net_.send(id_, round_->group[j], channel_ + "/share", std::move(msg),
               wire);
   }
@@ -172,6 +181,7 @@ void SacPeer::begin_round(RoundId round, Vector model,
 void SacPeer::handle_share(const SacShareMsg& msg) {
   P2PFL_CHECK(round_.has_value());
   if (msg.from_pos >= round_->n) return;
+  if (!check_share_consistency(msg)) return;  // flagged: never contribute
   for (const auto& [idx, data] : msg.parts) {
     contribute(msg.from_pos, idx, data);
   }
@@ -185,17 +195,171 @@ void SacPeer::handle_share_request(const SacShareReq& msg) {
     return;
   }
   if (st.shares.empty()) return;  // never split in this round
-  SacShareMsg out;
-  out.round = st.round;
-  out.from_pos = static_cast<std::uint32_t>(st.my_pos);
-  for (std::size_t s : replica_share_indices(msg.reply_to_pos, st.n, st.k)) {
-    out.parts.emplace_back(static_cast<std::uint32_t>(s), st.shares[s]);
-  }
+  SacShareMsg out = make_share_bundle(msg.reply_to_pos, /*resend=*/true);
   net_.simulator().obs().metrics.counter("sac.share_resends").add(1);
-  const net::WireSize wire = wire::share_wire(
-      out.parts.size(), st.share_bytes, out.parts.front().second.size());
+  const net::WireSize wire =
+      wire::share_wire(out.parts.size(), st.share_bytes,
+                       out.parts.front().second.size(), out.commit.size());
   net_.send(id_, st.group[msg.reply_to_pos], channel_ + "/share",
             std::move(out), wire);
+}
+
+SacShareMsg SacPeer::make_share_bundle(std::size_t dest_pos, bool resend) {
+  RoundState& st = *round_;
+  SacShareMsg msg;
+  msg.round = st.round;
+  msg.from_pos = static_cast<std::uint32_t>(st.my_pos);
+  const robust::AttackSpec* atk =
+      opts_.byzantine ? opts_.byzantine->spec(id_) : nullptr;
+  float offset = 0.0f;
+  if (atk != nullptr) {
+    if (atk->kind == robust::AttackKind::kInconsistentShares &&
+        dest_pos % 2 == 1) {
+      // Different-but-plausible shares for every second holder: each
+      // bundle still decodes and sums like a real share, but holders now
+      // disagree about the sender's split.
+      offset = static_cast<float>(atk->magnitude);
+    } else if (atk->kind == robust::AttackKind::kEquivocate && resend) {
+      // Every retransmission tells a fresh lie.
+      ++st.equivocations_sent;
+      offset = static_cast<float>(atk->magnitude) *
+               static_cast<float>(st.equivocations_sent);
+    }
+  }
+  for (std::size_t s : replica_share_indices(dest_pos, st.n, st.k)) {
+    Vector data = st.shares[s];
+    if (offset != 0.0f) {
+      for (float& v : data) v += offset;
+    }
+    msg.parts.emplace_back(static_cast<std::uint32_t>(s), std::move(data));
+  }
+  if (opts_.detect_inconsistent_shares) {
+    msg.commit = st.my_commit;
+    if (offset != 0.0f) {
+      // The adversary keeps each bundle self-consistent — it recommits
+      // to the perturbed values, so the receiver's direct check passes
+      // and only cross-holder digest comparison can expose it.
+      for (const auto& [idx, data] : msg.parts) {
+        msg.commit[idx] = wire::share_digest(data);
+      }
+    }
+  }
+  if (offset != 0.0f) {
+    net_.simulator()
+        .obs()
+        .metrics.counter(resend ? "byzantine.equivocations_sent"
+                                : "byzantine.inconsistent_bundles_sent")
+        .add(1);
+  }
+  return msg;
+}
+
+bool SacPeer::check_share_consistency(const SacShareMsg& msg) {
+  if (!opts_.detect_inconsistent_shares) return true;
+  RoundState& st = *round_;
+  const std::size_t from = msg.from_pos;
+  bool bad = false;
+  std::uint64_t digest = 0;
+  if (msg.commit.size() == st.n) {
+    for (const auto& [idx, data] : msg.parts) {
+      if (idx >= st.n || msg.commit[idx] != wire::share_digest(data)) {
+        bad = true;  // data disagrees with its own commitment
+      }
+    }
+    digest = wire::commit_digest(msg.commit);
+    if (st.seen_digest[from] == 0) {
+      st.seen_digest[from] = digest;
+    } else if (st.seen_digest[from] != digest) {
+      bad = true;  // the commitment changed between sends: equivocation
+    }
+  } else {
+    bad = true;  // detection is on: a full commitment is mandatory
+  }
+  if (bad && st.peer_bad[from] == 0) {
+    st.peer_bad[from] = 1;
+    obs::Observability& o = net_.simulator().obs();
+    o.metrics.counter("byzantine.share_check_failed").add(1);
+    if (o.trace.category_enabled("chaos")) {
+      o.trace.instant("chaos", "byzantine.share_check_failed", id_,
+                      {{"channel", channel_},
+                       {"round", st.round},
+                       {"pos", from}});
+    }
+    // Escalate to the leader right away — a flagged sender must not
+    // have to wait for the share phase to settle to be attributed.
+    if (!is_leader()) send_commit_echo();
+  }
+  if (is_leader()) {
+    std::vector<std::size_t> newly;
+    if (digest != 0 && note_digest(from, digest)) newly.push_back(from);
+    if (bad && note_bad(from)) newly.push_back(from);
+    report_suspects(std::move(newly));
+  }
+  return !bad;
+}
+
+void SacPeer::send_commit_echo() {
+  RoundState& st = *round_;
+  if (st.my_pos == st.leader_pos) return;
+  SacCommitEchoMsg echo;
+  echo.round = st.round;
+  echo.from_pos = static_cast<std::uint32_t>(st.my_pos);
+  echo.digests = st.seen_digest;
+  echo.bad = st.peer_bad;
+  net_.send(id_, st.group[st.leader_pos], channel_ + "/echo",
+            std::move(echo), wire::echo_wire(st.n));
+}
+
+void SacPeer::handle_commit_echo(const SacCommitEchoMsg& msg) {
+  RoundState& st = *round_;
+  if (!opts_.detect_inconsistent_shares || !is_leader()) return;
+  if (msg.from_pos >= st.n) return;
+  const std::size_t upto =
+      std::min(static_cast<std::size_t>(st.n),
+               std::min(msg.digests.size(), msg.bad.size()));
+  std::vector<std::size_t> newly;
+  for (std::size_t pos = 0; pos < upto; ++pos) {
+    if (pos == msg.from_pos) continue;  // self-reports carry no weight
+    if (msg.digests[pos] != 0 && note_digest(pos, msg.digests[pos])) {
+      newly.push_back(pos);
+    }
+    if (msg.bad[pos] != 0 && note_bad(pos)) newly.push_back(pos);
+  }
+  report_suspects(std::move(newly));
+}
+
+bool SacPeer::note_digest(std::size_t pos, std::uint64_t digest) {
+  RoundState& st = *round_;
+  auto& seen = st.digest_sets[pos];
+  seen.insert(digest);
+  // One digest is consistent; two distinct ones prove the sender told
+  // different holders different stories.
+  if (seen.size() < 2) return false;
+  return st.byzantine_suspects.insert(pos).second;
+}
+
+bool SacPeer::note_bad(std::size_t pos) {
+  RoundState& st = *round_;
+  st.pos_bad[pos] = 1;
+  return st.byzantine_suspects.insert(pos).second;
+}
+
+void SacPeer::report_suspects(std::vector<std::size_t> newly) {
+  if (newly.empty()) return;
+  RoundState& st = *round_;
+  obs::Observability& o = net_.simulator().obs();
+  o.metrics.counter("byzantine.suspected")
+      .add(static_cast<std::uint64_t>(newly.size()));
+  if (o.trace.category_enabled("chaos")) {
+    for (std::size_t pos : newly) {
+      o.trace.instant("chaos", "byzantine.suspect", id_,
+                      {{"channel", channel_},
+                       {"round", st.round},
+                       {"pos", pos},
+                       {"peer", st.group[pos]}});
+    }
+  }
+  if (on_byzantine) on_byzantine(st.round, newly);
 }
 
 void SacPeer::contribute(std::size_t from_pos, std::size_t idx,
@@ -231,6 +395,13 @@ void SacPeer::maybe_finish_share_phase() {
   }
   st.share_phase_done = true;
   share_timer_.cancel();
+  if (opts_.detect_inconsistent_shares && st.my_pos != st.leader_pos &&
+      !st.echo_sent) {
+    // The settled share phase is the holder's full testimony: one echo
+    // per member per round in the fault-free case.
+    st.echo_sent = true;
+    send_commit_echo();
+  }
   obs::Observability& o = net_.simulator().obs();
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "sac.subtotal_phase", id_,
@@ -368,6 +539,13 @@ void SacPeer::on_share_timer() {
       if (on_share_timeout) on_share_timeout(st.round, missing);
     } else {
       o.metrics.counter("sac.share_retry_exhausted").add(1);
+      if (opts_.detect_inconsistent_shares && !st.echo_sent) {
+        // A share phase that never settles still owes the leader its
+        // testimony — this is exactly the case where a Byzantine sender
+        // stalled us by shipping bundles that failed their commitment.
+        st.echo_sent = true;
+        send_commit_echo();
+      }
     }
     return;
   }

@@ -34,11 +34,13 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "net/mux.hpp"
 #include "net/network.hpp"
+#include "robust/attack.hpp"
 #include "secagg/sac.hpp"
 #include "sim/timer.hpp"
 
@@ -69,6 +71,19 @@ struct SacActorOptions {
   /// Full cycles through a subtotal's replica holders before the round
   /// is declared unrecoverable.
   std::size_t recovery_passes = 3;
+  /// Share-consistency detection: every share bundle carries an FNV-1a
+  /// commitment of the sender's whole split, holders echo commitment
+  /// digests to the leader, and the leader attributes inconsistent or
+  /// equivocating senders via on_byzantine. Off by default — it adds
+  /// framing bytes to every share bundle plus one echo per member per
+  /// round, so the historical Eq. (4)/(5) byte accounting only changes
+  /// when a deployment opts in.
+  bool detect_inconsistent_shares = false;
+  /// Adversary registry consulted at the Byzantine injection points
+  /// (inconsistent share distribution, equivocating resends). nullptr =
+  /// everyone honest. The registry outlives the actor (the chaos engine
+  /// owns it).
+  const robust::ByzantineRegistry* byzantine = nullptr;
 };
 
 /// Messages (bodies carried in net::Envelope::body).
@@ -76,6 +91,24 @@ struct SacShareMsg {
   RoundId round = 0;
   std::uint32_t from_pos = 0;
   std::vector<std::pair<std::uint32_t, Vector>> parts;  // (share idx, data)
+  /// Share-consistency commitment (detection mode only, else empty):
+  /// FNV-1a digest of each of the sender's n shares, same vector to
+  /// every holder. A holder checks its own parts against it and echoes
+  /// the vector's digest to the leader, so a sender that distributed
+  /// inconsistent shares is caught either by the direct check (data ≠
+  /// commitment) or by the cross-holder echo (commitments differ).
+  std::vector<std::uint64_t> commit;
+};
+/// Per-holder detection report, sent to the leader when the share phase
+/// settles: for every position, the digest of the commit vector first
+/// seen from it (0 = nothing received) and whether any of its bundles
+/// failed the direct data-vs-commitment check or changed commitments
+/// between sends.
+struct SacCommitEchoMsg {
+  RoundId round = 0;
+  std::uint32_t from_pos = 0;
+  std::vector<std::uint64_t> digests;
+  std::vector<std::uint8_t> bad;
 };
 struct SacSubtotalMsg {
   RoundId round = 0;
@@ -131,6 +164,13 @@ class SacPeer {
   /// after all recovery passes (more than n−k peers lost) — the round
   /// is unrecoverable.
   std::function<void(RoundId)> on_unrecoverable;
+  /// Leader only (detection mode): positions attributed as Byzantine
+  /// this round — inconsistent share distribution proven by conflicting
+  /// commitment digests, a direct data-vs-commitment mismatch, or a
+  /// commitment that changed between sends. Fired as soon as a position
+  /// is first attributed; each position is reported at most once per
+  /// round.
+  std::function<void(RoundId, const std::vector<std::size_t>&)> on_byzantine;
 
  private:
   struct RoundState {
@@ -143,6 +183,24 @@ class SacPeer {
     std::uint64_t share_bytes = 0;
     /// This peer's own split, retained for retransmission requests.
     std::vector<Vector> shares;
+    /// Detection mode: commitment over the true split (resends must
+    /// repeat it bit-identically or be flagged as equivocation).
+    std::vector<std::uint64_t> my_commit;
+    /// Detection mode, every peer: first-seen commitment digest per
+    /// position (0 = none yet) and whether a position's bundles ever
+    /// failed a consistency check locally.
+    std::vector<std::uint64_t> seen_digest;
+    std::vector<std::uint8_t> peer_bad;
+    bool echo_sent = false;
+    /// Detection mode, leader: distinct commitment digests reported per
+    /// position (across own observations and echoes), merged bad flags,
+    /// and positions already attributed (each fires on_byzantine once).
+    std::map<std::size_t, std::set<std::uint64_t>> digest_sets;
+    std::vector<std::uint8_t> pos_bad;
+    std::set<std::size_t> byzantine_suspects;
+    /// Byzantine sender: how many equivocating resends were issued (each
+    /// one shifts the payload further so no two sends agree).
+    std::size_t equivocations_sent = 0;
     /// Accumulating subtotals for share indices this peer holds.
     std::map<std::size_t, std::vector<double>> acc;
     /// Per held index: which positions contributed already.
@@ -191,6 +249,22 @@ class SacPeer {
   void handle_subtotal(const SacSubtotalMsg& msg);
   void handle_request(const SacSubtotalReq& msg);
   void handle_share_request(const SacShareReq& msg);
+  void handle_commit_echo(const SacCommitEchoMsg& msg);
+  /// Build the share bundle for `dest_pos`, applying any active
+  /// Byzantine behaviour (and the matching commitment so the lie is
+  /// self-consistent — only cross-holder comparison can catch it).
+  SacShareMsg make_share_bundle(std::size_t dest_pos, bool resend);
+  /// Detection bookkeeping for one received bundle. Updates first-seen
+  /// digests / bad flags; on the leader feeds attribution directly.
+  /// Returns false when the bundle failed its direct consistency check
+  /// (its parts must not be contributed).
+  bool check_share_consistency(const SacShareMsg& msg);
+  void send_commit_echo();
+  /// Leader attribution; each returns true when `pos` became newly
+  /// suspect.
+  bool note_digest(std::size_t pos, std::uint64_t digest);
+  bool note_bad(std::size_t pos);
+  void report_suspects(std::vector<std::size_t> newly);
   void contribute(std::size_t from_pos, std::size_t idx,
                   const Vector& share);
   void maybe_finish_share_phase();

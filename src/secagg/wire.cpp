@@ -25,6 +25,12 @@ Bytes encode(const SacShareMsg& m) {
     w.u32(idx);
     w.vec_f32(data);
   }
+  // Detection-mode commitment rides as a trailer so non-detecting
+  // rounds keep the exact historical encoding (and byte accounting).
+  if (!m.commit.empty()) {
+    w.u32(static_cast<std::uint32_t>(m.commit.size()));
+    for (std::uint64_t d : m.commit) w.u64(d);
+  }
   return w.take();
 }
 
@@ -39,6 +45,12 @@ std::optional<SacShareMsg> decode_share(const Bytes& b) {
     for (std::uint32_t i = 0; i < parts && r.ok(); ++i) {
       const std::uint32_t idx = r.u32();
       m.parts.emplace_back(idx, r.vec_f32());
+    }
+    if (r.ok() && !r.exhausted()) {
+      const std::uint32_t entries = r.u32();
+      for (std::uint32_t i = 0; i < entries && r.ok(); ++i) {
+        m.commit.push_back(r.u64());
+      }
     }
     return m;
   });
@@ -96,16 +108,79 @@ std::optional<SacShareReq> decode_share_req(const Bytes& b) {
   });
 }
 
+Bytes encode(const SacCommitEchoMsg& m) {
+  ByteWriter w;
+  w.u64(m.round);
+  w.u32(m.from_pos);
+  w.u32(static_cast<std::uint32_t>(m.digests.size()));
+  for (std::uint64_t d : m.digests) w.u64(d);
+  w.u32(static_cast<std::uint32_t>(m.bad.size()));
+  for (std::uint8_t f : m.bad) w.u8(f);
+  return w.take();
+}
+
+std::optional<SacCommitEchoMsg> decode_commit_echo(const Bytes& b) {
+  return guarded<SacCommitEchoMsg>(b, [](ByteReader& r) {
+    SacCommitEchoMsg m;
+    m.round = r.u64();
+    m.from_pos = r.u32();
+    const std::uint32_t nd = r.u32();
+    for (std::uint32_t i = 0; i < nd && r.ok(); ++i) {
+      m.digests.push_back(r.u64());
+    }
+    const std::uint32_t nb = r.u32();
+    for (std::uint32_t i = 0; i < nb && r.ok(); ++i) {
+      m.bad.push_back(r.u8());
+    }
+    return m;
+  });
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t share_digest(const Vector& share) {
+  return fnv1a(share.data(), share.size() * sizeof(float));
+}
+
+std::uint64_t commit_digest(const std::vector<std::uint64_t>& commit) {
+  return fnv1a(commit.data(), commit.size() * sizeof(std::uint64_t));
+}
+
 net::WireSize share_wire(std::size_t parts, std::uint64_t payload_each,
-                         std::size_t dim) {
+                         std::size_t dim, std::size_t commit_entries) {
   net::WireSize s;
   s.payload = parts * payload_each;
   s.wire = kShareHeader + parts * kPerPartHeader + s.payload;
+  if (commit_entries > 0) {
+    s.wire += kCommitPrefix + commit_entries * kCommitPerShare;
+  }
   // Real encoding carries 4*dim data bytes per part; the charge carries
   // payload_each (they differ only under the modeled-CNN override).
   s.modeled = static_cast<std::int64_t>(parts) *
               (static_cast<std::int64_t>(payload_each) -
                static_cast<std::int64_t>(4 * dim));
+  return s;
+}
+
+net::WireSize echo_wire(std::size_t positions) {
+  net::WireSize s;
+  s.payload = 0;
+  s.wire = kEchoHeader + positions * kEchoPerPos;
   return s;
 }
 
@@ -135,6 +210,21 @@ SacShareMsg sample_share(Rng& rng, const net::WireSample& s) {
     m.parts.emplace_back(static_cast<std::uint32_t>(rng.index(s.n)),
                          sample_vector(rng, s.dim));
   }
+  // Exercise both framings: with and without the detection trailer.
+  if (rng.chance(0.5)) {
+    for (std::size_t i = 0; i < s.n; ++i) m.commit.push_back(rng.next_u64());
+  }
+  return m;
+}
+
+SacCommitEchoMsg sample_commit_echo(Rng& rng, const net::WireSample& s) {
+  SacCommitEchoMsg m;
+  m.round = s.round;
+  m.from_pos = static_cast<std::uint32_t>(rng.index(s.n));
+  for (std::size_t i = 0; i < s.n; ++i) {
+    m.digests.push_back(rng.chance(0.8) ? rng.next_u64() : 0);
+    m.bad.push_back(rng.chance(0.1) ? 1 : 0);
+  }
   return m;
 }
 
@@ -163,7 +253,12 @@ SacShareReq sample_share_req(Rng& rng, const net::WireSample& s) {
 
 bool eq_share(const SacShareMsg& a, const SacShareMsg& b) {
   return a.round == b.round && a.from_pos == b.from_pos &&
-         a.parts == b.parts;
+         a.parts == b.parts && a.commit == b.commit;
+}
+
+bool eq_commit_echo(const SacCommitEchoMsg& a, const SacCommitEchoMsg& b) {
+  return a.round == b.round && a.from_pos == b.from_pos &&
+         a.digests == b.digests && a.bad == b.bad;
 }
 
 bool eq_subtotal(const SacSubtotalMsg& a, const SacSubtotalMsg& b) {
@@ -222,6 +317,8 @@ void register_codecs(const std::string& family) {
                                      &sample_subtotal_req, &eq_subtotal_req));
   reg.add(make_codec<SacShareReq>(family + ":share_req", &decode_share_req,
                                   &sample_share_req, &eq_share_req));
+  reg.add(make_codec<SacCommitEchoMsg>(family + ":echo", &decode_commit_echo,
+                                       &sample_commit_echo, &eq_commit_echo));
 }
 
 }  // namespace p2pfl::secagg::wire

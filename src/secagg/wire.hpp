@@ -21,11 +21,20 @@ Bytes encode(const SacShareMsg& m);
 Bytes encode(const SacSubtotalMsg& m);
 Bytes encode(const SacSubtotalReq& m);
 Bytes encode(const SacShareReq& m);
+Bytes encode(const SacCommitEchoMsg& m);
 
 std::optional<SacShareMsg> decode_share(const Bytes& b);
 std::optional<SacSubtotalMsg> decode_subtotal(const Bytes& b);
 std::optional<SacSubtotalReq> decode_subtotal_req(const Bytes& b);
 std::optional<SacShareReq> decode_share_req(const Bytes& b);
+std::optional<SacCommitEchoMsg> decode_commit_echo(const Bytes& b);
+
+/// FNV-1a digest of one share's raw float bytes (the per-share
+/// commitment entry) / of a whole commitment vector (what holders echo
+/// to the leader). Not cryptographic: the threat model is consistency
+/// attribution among known members, not forgery by outsiders.
+std::uint64_t share_digest(const Vector& share);
+std::uint64_t commit_digest(const std::vector<std::uint64_t>& commit);
 
 /// Fixed encoded sizes of the control messages (u64 round + u32 fields).
 inline constexpr std::uint64_t kSubtotalReqWire = 16;
@@ -36,11 +45,24 @@ inline constexpr std::uint64_t kShareHeader = 16;
 inline constexpr std::uint64_t kPerPartHeader = 8;
 /// Framing of a subtotal: round + idx + element count.
 inline constexpr std::uint64_t kSubtotalHeader = 16;
+/// Commit-echo framing: round + from_pos + two vector length prefixes;
+/// each reported position adds 9 bytes (u64 digest + bad flag).
+inline constexpr std::uint64_t kEchoHeader = 20;
+inline constexpr std::uint64_t kEchoPerPos = 9;
+/// A non-empty commitment adds its length prefix + 8 bytes per share.
+inline constexpr std::uint64_t kCommitPrefix = 4;
+inline constexpr std::uint64_t kCommitPerShare = 8;
 
 /// Charged size of a share bundle of `parts` shares, each accounted as
 /// `payload_each` model bytes while actually holding `dim` floats.
+/// `commit_entries` > 0 adds the detection commitment's framing bytes
+/// (commitments are overhead, never Eq. (4)/(5) payload).
 net::WireSize share_wire(std::size_t parts, std::uint64_t payload_each,
-                         std::size_t dim);
+                         std::size_t dim, std::size_t commit_entries = 0);
+
+/// Charged size of a commit echo covering `positions` group members.
+/// Pure framing: payload 0.
+net::WireSize echo_wire(std::size_t positions);
 
 /// Charged size of one subtotal accounted as `payload` model bytes while
 /// actually holding `dim` floats.

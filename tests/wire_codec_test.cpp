@@ -32,13 +32,15 @@ const std::set<std::string> kExpectedKeys = {
     // Raft RPCs (both layers share one family).
     "raft:rv", "raft:rvr", "raft:ae", "raft:aer", "raft:is", "raft:isr",
     "raft:tn",
-    // SAC on the two-layer subgroup channels and the multilayer tree.
-    "sac:share", "sac:subtotal", "sac:request", "sac:share_req",
-    "ml:share", "ml:subtotal", "ml:request", "ml:share_req",
+    // SAC on the two-layer subgroup channels and the multilayer tree
+    // (incl. the Byzantine-detection commit echo).
+    "sac:share", "sac:subtotal", "sac:request", "sac:share_req", "sac:echo",
+    "ml:share", "ml:subtotal", "ml:request", "ml:share_req", "ml:echo",
     // Core aggregation layer.
     "agg:upload", "agg:result", "ml:result", "join",
-    // Self-healing membership: rejoin handshake + model catch-up.
-    "member:rejoin", "member:pull", "member:push"};
+    // Self-healing membership: rejoin handshake + model catch-up pull
+    // (the reply rides raft:is, the InstallSnapshot path).
+    "member:rejoin", "member:pull"};
 
 TEST(CodecRegistry, KeyOfKindUsesFirstAndLastSegment) {
   EXPECT_EQ(CodecRegistry::key_of_kind("raft/sg0/rv"), "raft:rv");

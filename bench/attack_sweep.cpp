@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.hpp"
 #include "bench/fl_series_common.hpp"
+#include "bench/json_util.hpp"
 #include "core/fl_experiment.hpp"
 #include "robust/attack.hpp"
 #include "robust/rules.hpp"
@@ -174,54 +175,44 @@ int main(int argc, char** argv) {
     gate_log += line;
   }
 
-  std::string json = "{\"bench\":\"attack_sweep\"";
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                ",\"peers\":%zu,\"subgroups\":%zu,\"rounds\":%zu,"
-                "\"samples\":%zu,\"magnitude\":%.3f,\"seed\":%llu,"
-                "\"gate_drop\":%.3f",
-                base.peers, base.subgroups, base.rounds,
-                base.data.train_samples, magnitude,
-                static_cast<unsigned long long>(base.seed), gate_drop);
-  json += buf;
-  json += ",\"clean\":{";
-  for (std::size_t i = 0; i < clean.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.4f", i > 0 ? "," : "",
-                  robust::rule_name(clean[i].defense), clean[i].accuracy);
-    json += buf;
+  bench::JsonWriter w = bench::bench_document("attack_sweep");
+  w.field_u64("peers", base.peers)
+      .field_u64("subgroups", base.subgroups)
+      .field_u64("rounds", base.rounds)
+      .field_u64("samples", base.data.train_samples)
+      .field_double("magnitude", magnitude, "%.3f")
+      .field_u64("seed", base.seed)
+      .field_double("gate_drop", gate_drop, "%.3f");
+  w.key("clean").object_begin();
+  for (const Cell& c : clean) {
+    w.field_double(robust::rule_name(c.defense), c.accuracy, "%.4f");
   }
-  json += "},\"cells\":[";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::snprintf(buf, sizeof(buf),
-                  "%s{\"attack\":\"%s\",\"defense\":\"%s\","
-                  "\"fraction\":%.2f,\"byzantine_peers\":%zu,"
-                  "\"accuracy\":%.4f,\"test_loss\":%.4f}",
-                  i > 0 ? "," : "", robust::attack_name(c.attack),
-                  robust::rule_name(c.defense), c.fraction,
-                  c.byzantine_peers, c.accuracy, c.test_loss);
-    json += buf;
+  w.object_end();
+  w.key("cells").array_begin();
+  for (const Cell& c : cells) {
+    w.object_begin()
+        .field_str("attack", robust::attack_name(c.attack))
+        .field_str("defense", robust::rule_name(c.defense))
+        .field_double("fraction", c.fraction, "%.2f")
+        .field_u64("byzantine_peers", c.byzantine_peers)
+        .field_double("accuracy", c.accuracy, "%.4f")
+        .field_double("test_loss", c.test_loss, "%.4f")
+        .object_end();
   }
-  std::snprintf(buf, sizeof(buf),
-                "],\"gate\":{\"checked\":%zu,\"failed\":%zu}}",
-                gate_checked, gate_failed);
-  json += buf;
+  w.array_end();
+  w.key("gate")
+      .object_begin()
+      .field_u64("checked", gate_checked)
+      .field_u64("failed", gate_failed)
+      .object_end()
+      .object_end();
 
-  std::printf("%s\n", json.c_str());
   if (!gate_log.empty()) {
     std::fprintf(stderr, "attack_sweep gate (fraction 0.2):\n%s",
                  gate_log.c_str());
   }
-  if (!out_path.empty()) {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "attack_sweep: cannot write %s\n",
-                   out_path.c_str());
-      return 2;
-    }
-    std::fprintf(f, "%s\n", json.c_str());
-    std::fclose(f);
-  }
+  const int emit_rc = bench::emit_bench_json(w.str(), out_path, "attack_sweep");
+  if (emit_rc != 0) return emit_rc;
   if (gate_failed > 0) {
     std::fprintf(stderr, "attack_sweep: %zu gate check(s) failed\n",
                  gate_failed);

@@ -1,0 +1,152 @@
+// Shared JSON emission for the bench binaries and p2pflctl --json.
+//
+// Every machine-readable bench document (BENCH_scale.json,
+// BENCH_attack.json, the --json outputs of p2pflctl) used to hand-roll
+// its own snprintf JSON; this header centralizes that into one writer
+// with deterministic formatting, and stamps every document with
+// `bench` + `schema_version` so the regression gate (bench/regress) can
+// refuse documents it does not understand. Keys are emitted in call
+// order and doubles through fixed printf formats, so a deterministic
+// run serializes byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace p2pfl::bench {
+
+/// Version of every BENCH_*.json document (bump on layout changes).
+inline constexpr std::uint32_t kBenchSchemaVersion = 1;
+
+/// Minimal order-preserving JSON document builder.
+class JsonWriter {
+ public:
+  JsonWriter& object_begin() {
+    value_prefix();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& object_end() {
+    out_ += '}';
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& array_begin() {
+    value_prefix();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& array_end() {
+    out_ += ']';
+    first_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+    out_ += obs::json_quote(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value_u64(std::uint64_t v) {
+    value_prefix();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value_bool(bool v) {
+    value_prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value_str(std::string_view v) {
+    value_prefix();
+    out_ += obs::json_quote(v);
+    return *this;
+  }
+  /// `fmt` must consume exactly one double (e.g. "%.4f", "%.17g").
+  JsonWriter& value_double(double v, const char* fmt = "%.17g") {
+    value_prefix();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, v);
+    out_ += buf;
+    return *this;
+  }
+  /// Splice a pre-rendered JSON value (an obs::SloReport::json(), …).
+  JsonWriter& value_raw(std::string_view json) {
+    value_prefix();
+    out_ += json;
+    return *this;
+  }
+
+  JsonWriter& field_u64(std::string_view k, std::uint64_t v) {
+    return key(k).value_u64(v);
+  }
+  JsonWriter& field_bool(std::string_view k, bool v) {
+    return key(k).value_bool(v);
+  }
+  JsonWriter& field_str(std::string_view k, std::string_view v) {
+    return key(k).value_str(v);
+  }
+  JsonWriter& field_double(std::string_view k, double v,
+                           const char* fmt = "%.17g") {
+    return key(k).value_double(v, fmt);
+  }
+  JsonWriter& field_raw(std::string_view k, std::string_view json) {
+    return key(k).value_raw(json);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void value_prefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Start a BENCH document: `{"bench":"<name>","schema_version":N,...`.
+inline JsonWriter bench_document(std::string_view name) {
+  JsonWriter w;
+  w.object_begin()
+      .field_str("bench", name)
+      .field_u64("schema_version", kBenchSchemaVersion);
+  return w;
+}
+
+/// Print the finished document to stdout and write it to `out_path`
+/// (skipped when empty). Returns 0, or 2 when the file could not be
+/// written — the usage-error exit code shared by every bench.
+inline int emit_bench_json(const std::string& json,
+                           const std::string& out_path, const char* bench) {
+  std::printf("%s\n", json.c_str());
+  if (out_path.empty()) return 0;
+  if (!obs::write_text_file(out_path, json + "\n")) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench, out_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace p2pfl::bench

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/json_util.hpp"
 #include "core/topology.hpp"
 #include "core/two_layer_agg.hpp"
 #include "net/mux.hpp"
@@ -179,48 +180,52 @@ int main(int argc, char** argv) {
     micro_naive_sf = schedule_fire_ops_per_sec(naive_b, micro_ops);
   }
 
-  std::string json;
-  char buf[2048];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"bench\":\"scale_sweep\",\"n\":%zu,\"group_size\":%zu,"
-      "\"groups\":%zu,\"rounds\":%zu,\"completed\":%s,"
-      "\"wall_s\":%.6f,\"sim_ms\":%.3f,"
-      "\"peers_per_sec\":%.1f,"
-      "\"events\":%llu,\"events_per_sec\":%.1f,"
-      "\"wire_bytes\":%llu,\"wire_bytes_per_sec\":%.1f,"
-      "\"event_pool_slots\":%llu,\"envelope_pool_slots\":%llu,"
-      "\"micro\":{\"ops\":%zu,"
-      "\"wheel\":{\"schedule_cancel_per_sec\":%.1f,"
-      "\"schedule_fire_per_sec\":%.1f},"
-      "\"naive_heap\":{\"schedule_cancel_per_sec\":%.1f,"
-      "\"schedule_fire_per_sec\":%.1f},"
-      "\"speedup\":{\"schedule_cancel\":%.2f,\"schedule_fire\":%.2f}}}",
-      s.peers, group_size, s.groups, s.rounds,
-      s.completed ? "true" : "false", s.wall_s, s.sim_ms,
-      static_cast<double>(s.peers * s.rounds) / s.wall_s,
-      static_cast<unsigned long long>(s.events),
-      static_cast<double>(s.events) / s.wall_s,
-      static_cast<unsigned long long>(s.wire_bytes),
-      static_cast<double>(s.wire_bytes) / s.wall_s,
-      static_cast<unsigned long long>(s.event_pool),
-      static_cast<unsigned long long>(s.envelope_pool), micro_ops,
-      micro_wheel_sc, micro_wheel_sf, micro_naive_sc, micro_naive_sf,
-      micro_naive_sc > 0 ? micro_wheel_sc / micro_naive_sc : 0.0,
-      micro_naive_sf > 0 ? micro_wheel_sf / micro_naive_sf : 0.0);
-  json = buf;
+  bench::JsonWriter w = bench::bench_document("scale_sweep");
+  w.field_u64("n", s.peers)
+      .field_u64("group_size", group_size)
+      .field_u64("groups", s.groups)
+      .field_u64("rounds", s.rounds)
+      .field_bool("completed", s.completed)
+      .field_double("wall_s", s.wall_s, "%.6f")
+      .field_double("sim_ms", s.sim_ms, "%.3f")
+      .field_double("peers_per_sec",
+                    static_cast<double>(s.peers * s.rounds) / s.wall_s,
+                    "%.1f")
+      .field_u64("events", s.events)
+      .field_double("events_per_sec",
+                    static_cast<double>(s.events) / s.wall_s, "%.1f")
+      .field_u64("wire_bytes", s.wire_bytes)
+      .field_double("wire_bytes_per_sec",
+                    static_cast<double>(s.wire_bytes) / s.wall_s, "%.1f")
+      .field_u64("event_pool_slots", s.event_pool)
+      .field_u64("envelope_pool_slots", s.envelope_pool);
+  w.key("micro").object_begin().field_u64("ops", micro_ops);
+  w.key("wheel")
+      .object_begin()
+      .field_double("schedule_cancel_per_sec", micro_wheel_sc, "%.1f")
+      .field_double("schedule_fire_per_sec", micro_wheel_sf, "%.1f")
+      .object_end();
+  w.key("naive_heap")
+      .object_begin()
+      .field_double("schedule_cancel_per_sec", micro_naive_sc, "%.1f")
+      .field_double("schedule_fire_per_sec", micro_naive_sf, "%.1f")
+      .object_end();
+  w.key("speedup")
+      .object_begin()
+      .field_double("schedule_cancel",
+                    micro_naive_sc > 0 ? micro_wheel_sc / micro_naive_sc
+                                       : 0.0,
+                    "%.2f")
+      .field_double("schedule_fire",
+                    micro_naive_sf > 0 ? micro_wheel_sf / micro_naive_sf
+                                       : 0.0,
+                    "%.2f")
+      .object_end()
+      .object_end()
+      .object_end();
 
-  std::printf("%s\n", json.c_str());
-  if (!out_path.empty()) {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "scale_sweep: cannot write %s\n",
-                   out_path.c_str());
-      return 2;
-    }
-    std::fprintf(f, "%s\n", json.c_str());
-    std::fclose(f);
-  }
+  const int emit_rc = bench::emit_bench_json(w.str(), out_path, "scale_sweep");
+  if (emit_rc != 0) return emit_rc;
   if (!s.completed) {
     std::fprintf(stderr,
                  "scale_sweep: round did not complete (%zu peers)\n",

@@ -18,6 +18,8 @@
 //                     [--partition-at=MS --heal-at=MS --interval=MS]
 //   p2pflctl explain  [same scenario flags as chaos, fault-free default]
 //                     [--round=N] [--out=BASE]
+//   p2pflctl watch    [same scenario flags as chaos, fault-free default]
+//                     [--max-latency-ms=T --out=BASE]
 //   p2pflctl wire     [--dim=D --n=N --k=K --seed=S] [--dump=KEY]
 //
 // Everything runs on the deterministic simulator; identical flags give
@@ -42,9 +44,20 @@
 // same scenario with causal span recording on and prints the chosen
 // round's critical path — which phases, links and retries the
 // end-to-end latency is attributable to — plus an abort post-mortem for
-// every round that died. `wire` prints the codec catalog: every
-// registered protocol message kind with its encoded size for the given
-// deployment shape, plus a hex dump of one sample encoding.
+// every round that died. `watch` runs the chaos scenario under the SLO
+// watchdog: a live per-round table (latency, bytes vs the Eq. (4)/(5)
+// closed form, churn, breached rules), the final SLO report and one
+// alert post-mortem per breach; `--out=BASE` writes
+// BASE.timeseries.jsonl and BASE.slo.json. `wire` prints the codec
+// catalog: every registered protocol message kind with its encoded size
+// for the given deployment shape, plus a hex dump of one sample
+// encoding.
+//
+// `health` and `attack` accept `--json` to print a single
+// machine-readable verdict document instead of the human tables. Exit
+// codes are uniform across subcommands: 0 = healthy / contained /
+// passed, 1 = degraded / breach / failed, 2 = usage error (unknown
+// command, unknown flag value, unwritable output path).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -52,6 +65,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
+#include "bench/json_util.hpp"
 #include "bench/obs_util.hpp"
 #include "chaos/soak.hpp"
 #include "core/fl_experiment.hpp"
@@ -111,7 +125,7 @@ int cmd_train(const bench::Args& args) {
                   result.final_weights.size(), ckpt.c_str());
     } else {
       std::fprintf(stderr, "failed to write checkpoint %s\n", ckpt.c_str());
-      return 1;
+      return 2;
     }
   }
   return 0;
@@ -244,6 +258,40 @@ void print_health(const sim::Simulator& sim,
   }
 }
 
+/// JSON value for a possibly-absent peer id (kNoPeer -> null).
+void peer_or_null(bench::JsonWriter& w, PeerId p) {
+  if (p == kNoPeer) {
+    w.value_raw("null");
+  } else {
+    w.value_u64(p);
+  }
+}
+
+/// Append the membership snapshot (`fedavg_leader` + per-subgroup
+/// summary) to an open --json verdict document.
+void health_report_json(bench::JsonWriter& w, const core::HealthReport& hr) {
+  w.key("fedavg_leader");
+  peer_or_null(w, hr.fedavg_leader);
+  w.field_u64("fedavg_members", hr.fedavg_members.size());
+  w.key("subgroups").array_begin();
+  for (const core::SubgroupHealth& h : hr.subgroups) {
+    w.object_begin().field_u64("subgroup", h.subgroup);
+    w.key("leader");
+    peer_or_null(w, h.leader);
+    w.field_u64("config", h.config.size())
+        .field_u64("live", h.live.size())
+        .field_u64("suspected", h.suspected.size())
+        .field_u64("evicted", h.evicted.size())
+        .field_u64("banned", h.banned.size())
+        .field_u64("effective_k", h.effective_k)
+        .field_u64("nominal_k", h.nominal_k)
+        .field_str("state",
+                   h.parked ? "parked" : (h.degraded ? "degraded" : "ok"))
+        .object_end();
+  }
+  w.array_end();
+}
+
 bool fully_healed(const core::HealthReport& hr) {
   if (hr.fedavg_leader == kNoPeer) return false;
   for (const core::SubgroupHealth& h : hr.subgroups) {
@@ -268,6 +316,7 @@ int cmd_health(const bench::Args& args) {
   const std::size_t tolerance =
       static_cast<std::size_t>(args.get_int("tolerance", 1));
   const bool amnesia = args.has("amnesia");
+  const bool json = args.has("json");
 
   sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   net::Network net(sim, {.base_latency = 15 * kMillisecond});
@@ -276,19 +325,44 @@ int cmd_health(const bench::Args& args) {
   opts.raft.election_timeout_max = 2 * T;
   core::TwoLayerRaftSystem sys(core::Topology::even(peers, groups), opts,
                                net);
+
+  PeerId victim = kNoPeer;
+  double evict_ms = -1.0;
+  double heal_ms = -1.0;
+  // One machine-readable verdict document under --json (tables off).
+  // `stage` names how far the scenario got: stabilize -> evict -> heal.
+  auto verdict = [&](const char* stage, bool ok) {
+    if (!json) return ok ? 0 : 1;
+    bench::JsonWriter w = bench::bench_document("p2pflctl_health");
+    w.field_u64("peers", peers)
+        .field_u64("groups", groups)
+        .field_bool("amnesia", amnesia)
+        .key("victim");
+    peer_or_null(w, victim);
+    w.field_str("stage", stage)
+        .field_bool("healed", ok)
+        .field_double("evict_ms", evict_ms, "%.0f")
+        .field_double("heal_ms", heal_ms, "%.0f");
+    health_report_json(w, sys.health(tolerance));
+    w.object_end();
+    std::printf("%s\n", w.str().c_str());
+    return ok ? 0 : 1;
+  };
+
   sys.start_all();
   while (!sys.stabilized() && sim.now() < 30 * kSecond) {
     sim.run_for(20 * kMillisecond);
   }
   if (!sys.stabilized()) {
-    std::printf("failed to stabilize\n");
-    return 1;
+    if (!json) std::printf("failed to stabilize\n");
+    return verdict("stabilize", false);
   }
-  std::printf("--- stabilized ---\n");
-  print_health(sim, sys.health(tolerance));
+  if (!json) {
+    std::printf("--- stabilized ---\n");
+    print_health(sim, sys.health(tolerance));
+  }
 
   // Crash a pure subgroup follower so both layers must notice and evict.
-  PeerId victim = kNoPeer;
   for (PeerId p : sys.topology().all_peers()) {
     bool leads = p == sys.fedavg_leader();
     for (SubgroupId g = 0; g < groups; ++g) {
@@ -299,7 +373,7 @@ int cmd_health(const bench::Args& args) {
       break;
     }
   }
-  std::printf("\n--- crashing peer %u ---\n", victim);
+  if (!json) std::printf("\n--- crashing peer %u ---\n", victim);
   sys.crash_peer(victim);
   const SimTime t0 = sim.now();
   auto evicted = [&] {
@@ -311,14 +385,17 @@ int cmd_health(const bench::Args& args) {
   while (!evicted() && sim.now() < t0 + 60 * kSecond) {
     sim.run_for(50 * kMillisecond);
   }
-  print_health(sim, sys.health(tolerance));
+  evict_ms = to_ms(sim.now() - t0);
+  if (!json) print_health(sim, sys.health(tolerance));
   if (!evicted()) {
-    std::printf("peer %u was never evicted\n", victim);
-    return 1;
+    if (!json) std::printf("peer %u was never evicted\n", victim);
+    return verdict("evict", false);
   }
 
-  std::printf("\n--- restarting peer %u%s ---\n", victim,
-              amnesia ? " (amnesia)" : "");
+  if (!json) {
+    std::printf("\n--- restarting peer %u%s ---\n", victim,
+                amnesia ? " (amnesia)" : "");
+  }
   if (amnesia) {
     sys.restart_peer_amnesia(victim);
   } else {
@@ -329,14 +406,16 @@ int cmd_health(const bench::Args& args) {
          sim.now() < t1 + 120 * kSecond) {
     sim.run_for(50 * kMillisecond);
   }
-  print_health(sim, sys.health(tolerance));
+  heal_ms = to_ms(sim.now() - t1);
   const bool healed =
       sys.stabilized() && fully_healed(sys.health(tolerance));
-  std::printf("\nself-healing: %s (evict %.0f ms after crash, heal %.0f ms "
-              "after restart)\n",
-              healed ? "OK" : "FAILED", to_ms(sim.now() - t0),
-              to_ms(sim.now() - t1));
-  return healed ? 0 : 1;
+  if (!json) {
+    print_health(sim, sys.health(tolerance));
+    std::printf("\nself-healing: %s (evict %.0f ms after crash, heal %.0f "
+                "ms after restart)\n",
+                healed ? "OK" : "FAILED", evict_ms, heal_ms);
+  }
+  return verdict("heal", healed);
 }
 
 int cmd_attack(const bench::Args& args) {
@@ -347,6 +426,7 @@ int cmd_attack(const bench::Args& args) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 7));
   const SimDuration horizon = args.get_int("seconds", 90) * kSecond;
+  const bool json = args.has("json");
 
   robust::AttackKind kind;
   const std::string attack = args.get("attack", "inconsistent_shares");
@@ -404,18 +484,53 @@ int cmd_attack(const bench::Args& args) {
   core::P2pFlSystem sys(core::Topology::even(peers, groups), cfg, net,
                         data.train, data.test, parts,
                         [] { return fl::Model::mlp(64, {16}); });
+
+  // Detection-chain counters reported by both output modes. Read with
+  // counter_value() so an unfired counter reports 0 without the lookup
+  // itself registering it into the metric dump.
+  static constexpr const char* kDetectionCounters[] = {
+      "byzantine.models_poisoned", "byzantine.inconsistent_bundles_sent",
+      "byzantine.equivocations_sent", "byzantine.share_check_failed",
+      "byzantine.upload_equivocations", "byzantine.suspected",
+      "byzantine.strikes", "membership.denounced", "membership.evicted"};
+
+  PeerId victim = kNoPeer;
+  // One machine-readable verdict document under --json (tables off).
+  auto emit_json = [&](const char* verdict, bool ok, bool honest_struck) {
+    bench::JsonWriter w = bench::bench_document("p2pflctl_attack");
+    w.field_str("attack", robust::attack_name(kind))
+        .field_str("defense", robust::rule_name(rule))
+        .field_bool("detectable", detectable)
+        .field_double("loss", loss, "%.4g")
+        .field_u64("strike_limit", cfg.suspect_strike_limit)
+        .key("victim");
+    peer_or_null(w, victim);
+    w.field_u64("rounds_completed", sys.rounds_completed())
+        .field_bool("banned",
+                    victim != kNoPeer && sys.raft().is_banned(victim))
+        .field_bool("honest_strikes", honest_struck)
+        .field_str("verdict", verdict)
+        .field_bool("ok", ok);
+    w.key("counters").object_begin();
+    for (const char* key : kDetectionCounters) {
+      w.field_u64(key, sim.obs().metrics.counter_value(key));
+    }
+    w.object_end().object_end();
+    std::printf("%s\n", w.str().c_str());
+    return ok ? 0 : 1;
+  };
+
   sys.start();
   while (sys.rounds_completed() < 2 && sim.now() < 30 * kSecond) {
     sim.run_for(100 * kMillisecond);
   }
   if (sys.rounds_completed() < 2) {
-    std::printf("rounds never started\n");
-    return 1;
+    if (!json) std::printf("rounds never started\n");
+    return json ? emit_json("no_rounds", false, false) : 1;
   }
 
   // Turn a pure subgroup follower adversarial: its SAC leader must
   // catch it from the share evidence alone.
-  PeerId victim = kNoPeer;
   for (PeerId p : sys.raft().topology().all_peers()) {
     bool leads = p == sys.raft().fedavg_leader();
     for (SubgroupId g = 0; g < groups; ++g) {
@@ -428,10 +543,12 @@ int cmd_attack(const bench::Args& args) {
   }
   registry.activate(victim,
                     {kind, args.get_double("magnitude", 10.0)});
-  std::printf("[%7.0fms] *** peer %u turns Byzantine: %s (defense %s, "
-              "loss %.2f, strike limit %zu) ***\n",
-              to_ms(sim.now()), victim, robust::attack_name(kind),
-              robust::rule_name(rule), loss, cfg.suspect_strike_limit);
+  if (!json) {
+    std::printf("[%7.0fms] *** peer %u turns Byzantine: %s (defense %s, "
+                "loss %.2f, strike limit %zu) ***\n",
+                to_ms(sim.now()), victim, robust::attack_name(kind),
+                robust::rule_name(rule), loss, cfg.suspect_strike_limit);
+  }
 
   const SimTime t0 = sim.now();
   auto evicted = [&] {
@@ -447,25 +564,20 @@ int cmd_attack(const bench::Args& args) {
   while (!finished() && sim.now() < t0 + horizon) {
     sim.run_for(100 * kMillisecond);
   }
-  print_health(sim, sys.raft().health(1));
-
-  auto& metrics = sim.obs().metrics;
-  std::printf("\ndetection:\n");
-  for (const char* key :
-       {"byzantine.models_poisoned", "byzantine.inconsistent_bundles_sent",
-        "byzantine.equivocations_sent", "byzantine.share_check_failed",
-        "byzantine.upload_equivocations", "byzantine.suspected",
-        "byzantine.strikes", "membership.denounced",
-        "membership.evicted"}) {
-    std::printf("  %-36s %6llu\n", key,
-                static_cast<unsigned long long>(
-                    metrics.counter(key).value()));
+  if (!json) {
+    print_health(sim, sys.raft().health(1));
+    std::printf("\ndetection:\n");
+    for (const char* key : kDetectionCounters) {
+      std::printf("  %-36s %6llu\n", key,
+                  static_cast<unsigned long long>(
+                      sim.obs().metrics.counter_value(key)));
+    }
+    std::printf("strikes:");
+    for (const auto& [p, s] : sys.strikes()) {
+      std::printf(" peer %u x%zu", p, s);
+    }
+    std::printf("%s\n", sys.strikes().empty() ? " none" : "");
   }
-  std::printf("strikes:");
-  for (const auto& [p, s] : sys.strikes()) {
-    std::printf(" peer %u x%zu", p, s);
-  }
-  std::printf("%s\n", sys.strikes().empty() ? " none" : "");
 
   // Honest peers must never be suspected, whatever the attack.
   bool honest_struck = false;
@@ -474,24 +586,31 @@ int cmd_attack(const bench::Args& args) {
   }
   const std::size_t completed = sys.rounds_completed();
   bool ok;
+  const char* verdict;
   if (detectable) {
     ok = !honest_struck && sys.raft().is_banned(victim) && evicted();
-    std::printf("\nattack: %s (adversary %u %s, %s honest strikes)\n",
-                ok ? "CONTAINED" : "NOT CONTAINED", victim,
-                sys.raft().is_banned(victim) ? "denounced + evicted"
-                                             : "still a member",
-                honest_struck ? "WITH" : "no");
+    verdict = ok ? "contained" : "not_contained";
+    if (!json) {
+      std::printf("\nattack: %s (adversary %u %s, %s honest strikes)\n",
+                  ok ? "CONTAINED" : "NOT CONTAINED", victim,
+                  sys.raft().is_banned(victim) ? "denounced + evicted"
+                                               : "still a member",
+                  honest_struck ? "WITH" : "no");
+    }
   } else {
     // Poisoning is invisible under SAC masking by design; the win here
     // is that rounds keep completing, nobody honest is framed, and the
     // chosen robust rule is what stands between the lie and the model.
     ok = !honest_struck && completed >= 10;
-    std::printf("\nattack: %s (undetectable kind — %zu rounds completed, "
-                "%s honest strikes; defense %s is the only mitigation)\n",
-                ok ? "TOLERATED" : "NOT TOLERATED", completed,
-                honest_struck ? "WITH" : "no", robust::rule_name(rule));
+    verdict = ok ? "tolerated" : "not_tolerated";
+    if (!json) {
+      std::printf("\nattack: %s (undetectable kind — %zu rounds completed, "
+                  "%s honest strikes; defense %s is the only mitigation)\n",
+                  ok ? "TOLERATED" : "NOT TOLERATED", completed,
+                  honest_struck ? "WITH" : "no", robust::rule_name(rule));
+    }
   }
-  return ok ? 0 : 1;
+  return json ? emit_json(verdict, ok, honest_struck) : (ok ? 0 : 1);
 }
 
 /// Shared soak-scenario flags of `chaos` and `explain` (they differ only
@@ -630,12 +749,80 @@ int cmd_explain(const bench::Args& args) {
                                  res.spans_jsonl.end(), '\n')));
     } else {
       std::fprintf(stderr, "failed to write %s\n", path.c_str());
-      return 1;
+      return 2;
     }
   }
 
   // Non-empty attribution is the contract CI's explain-smoke asserts.
   return cp != nullptr && !cp->segments.empty() ? 0 : 1;
+}
+
+int cmd_watch(const bench::Args& args) {
+  // Same scenario surface as `chaos`, fault-free by default, watched by
+  // the SLO engine: a live per-round table while the soak runs, then the
+  // per-rule report and one alert post-mortem per breach.
+  chaos::ChaosSoakConfig cfg = soak_config(args, 0.0, 0.0);
+  cfg.capture_spans = true;
+  cfg.capture_timeseries = true;
+  // Latency ceiling: committed rounds finish well under the round slot;
+  // a censored (aborted/skipped) round consumes the whole slot and so
+  // always trips a ceiling below it.
+  const double max_latency_ms =
+      args.get_double("max-latency-ms", 0.75 * to_ms(cfg.round_interval));
+  cfg.slo_rules = obs::default_rules(max_latency_ms);
+
+  std::printf(
+      "watch: %zu peers in %zu groups, %zu rounds @ %.0f ms, seed %llu "
+      "(loss %.2f, dup %.2f, churn mttf %.0f ms, SLO latency <= %.0f ms)\n",
+      cfg.peers, cfg.groups, cfg.rounds, to_ms(cfg.round_interval),
+      static_cast<unsigned long long>(cfg.seed), cfg.net.faults.drop_prob,
+      cfg.net.faults.duplicate_prob, to_ms(cfg.churn_mttf), max_latency_ms);
+  std::printf("\n%5s %9s %8s %7s %12s %8s %6s %7s  %s\n", "round",
+              "outcome", "lat ms", "contrib", "payload B", "retries",
+              "crash", "strikes", "slo");
+  cfg.on_sample = [&](const obs::RoundSample& s,
+                      const std::vector<obs::SloBreach>& breaches) {
+    std::string slo;
+    for (const obs::SloBreach& b : breaches) {
+      if (!slo.empty()) slo += ",";
+      slo += b.rule;
+    }
+    std::printf("%5llu %9s %8.0f %7zu %12llu %8llu %6llu %7llu  %s\n",
+                static_cast<unsigned long long>(s.round),
+                s.committed ? "committed" : "aborted", s.latency_ms,
+                s.contributors,
+                static_cast<unsigned long long>(s.payload_bytes),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.crashes),
+                static_cast<unsigned long long>(s.strikes),
+                slo.empty() ? "ok" : slo.c_str());
+  };
+
+  const chaos::ChaosSoakResult res = chaos::run_chaos_soak(cfg);
+
+  std::printf("\n%s", res.slo_report.table().c_str());
+  for (const obs::SloAlert& a : res.slo_alerts) {
+    std::printf("\n%s", obs::slo_alert_text(a).c_str());
+  }
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    if (!obs::write_text_file(out + ".timeseries.jsonl",
+                              res.timeseries_jsonl) ||
+        !obs::write_text_file(out + ".slo.json",
+                              res.slo_report.json() + "\n")) {
+      std::fprintf(stderr, "watch: cannot write %s.*\n", out.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s.timeseries.jsonl + %s.slo.json\n", out.c_str(),
+                out.c_str());
+  }
+
+  const bool healthy = res.slo_report.healthy();
+  std::printf("\nSLO: %s (%zu breach(es) over %llu samples)\n",
+              healthy ? "HEALTHY" : "BREACHED", res.slo_report.breaches.size(),
+              static_cast<unsigned long long>(res.slo_report.samples));
+  return healthy ? 0 : 1;
 }
 
 int cmd_wire(const bench::Args& args) {
@@ -669,7 +856,7 @@ int cmd_wire(const bench::Args& args) {
   if (c == nullptr) {
     std::fprintf(stderr, "no codec registered under key '%s'\n",
                  dump.c_str());
-    return 1;
+    return 2;
   }
   const std::optional<Bytes> encoded = c->encode(c->sample(rng, shape));
   if (!encoded.has_value()) return 1;
@@ -695,7 +882,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: p2pflctl "
                  "<train|cost|health|attack|recovery|trace|chaos|explain|"
-                 "wire> [--key=value...]\n");
+                 "watch|wire> [--key=value...]\n");
     return 2;
   }
   const bench::Args args(argc - 1, argv + 1);
@@ -708,6 +895,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace") return cmd_recovery(args, /*traced=*/true);
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "watch") return cmd_watch(args);
   if (cmd == "wire") return cmd_wire(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;

@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "core/topology.hpp"
 #include "core/two_layer_agg.hpp"
+#include "core/watchdog.hpp"
 #include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
@@ -48,10 +49,26 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
     return secagg::Vector(cfg.dim, static_cast<float>(id + 1));
   };
 
+  // Per-round health sampling + SLO evaluation over the same run.
+  const bool watch = cfg.capture_timeseries || !cfg.slo_rules.empty();
+  std::unique_ptr<core::RoundWatchdog> watchdog;
+  if (watch) {
+    core::WatchdogConfig wcfg;
+    wcfg.rules = cfg.slo_rules;
+    wcfg.model_payload_bytes = 4 * static_cast<std::uint64_t>(cfg.dim);
+    wcfg.dropout_tolerance = cfg.dropout_tolerance;
+    watchdog = std::make_unique<core::RoundWatchdog>(sim, net, topo, wcfg);
+    watchdog->on_sample = cfg.on_sample;
+  }
+
   ChaosSoakResult res;
   std::optional<RoundOutcome> current;
   agg.on_global_model = [&](std::uint64_t round, const secagg::Vector& g,
-                            std::size_t) {
+                            std::size_t groups_used) {
+    if (watchdog) {
+      watchdog->round_committed(round, agg.last_contributors().size(),
+                                groups_used);
+    }
     if (!current || current->round != round) return;
     const std::vector<PeerId>& who = agg.last_contributors();
     double expected = 0.0;
@@ -126,16 +143,23 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
       }
     }
     if (lead.fedavg_leader == kNoPeer) {
+      // Even a skipped tick (no live leader candidate anywhere) becomes
+      // an uncommitted sample: a crash window shows up in the series as
+      // censored round latency, not as a silent gap.
       ++res.rounds_skipped;
+      if (watchdog) watchdog->round_started(r);
       sim.run_for(cfg.round_interval);
+      if (watchdog) watchdog->round_finished(r);
       continue;
     }
 
     current = RoundOutcome{};
     current->round = r;
     ++res.rounds_started;
+    if (watchdog) watchdog->round_started(r);
     agg.begin_round(r, lead, model_of);
     sim.run_for(cfg.round_interval);
+    if (watchdog) watchdog->round_finished(r);
 
     if (current->committed) {
       ++res.rounds_committed;
@@ -162,6 +186,12 @@ ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg) {
       }
     }
     res.spans_jsonl = obs::spans_jsonl(spans);
+  }
+
+  if (watchdog) {
+    res.timeseries_jsonl = watchdog->series().jsonl();
+    res.slo_report = watchdog->report();
+    res.slo_alerts = watchdog->alerts();
   }
 
   res.crashes = engine.crashes();

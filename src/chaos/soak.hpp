@@ -21,9 +21,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 
 namespace p2pfl::chaos {
 
@@ -57,6 +61,18 @@ struct ChaosSoakConfig {
   /// span dump. Also tears down a trailing undecided round at the end so
   /// its abort reaches the flight recorder.
   bool capture_spans = false;
+  /// Record one obs::RoundSample per round (latency, phase breakdown,
+  /// bytes vs the Eq. (4)/(5) closed form, retries/drops/churn deltas)
+  /// into ChaosSoakResult::timeseries_jsonl.
+  bool capture_timeseries = false;
+  /// SLO rules the RoundWatchdog evaluates per sample (implies
+  /// capture_timeseries when non-empty). Breaches land in slo_report /
+  /// slo_alerts; alert post-mortems need capture_spans for evidence.
+  std::vector<obs::SloRule> slo_rules;
+  /// Fired live after each round's sample is judged (p2pflctl watch).
+  std::function<void(const obs::RoundSample&,
+                     const std::vector<obs::SloBreach>&)>
+      on_sample;
 };
 
 struct RoundOutcome {
@@ -90,6 +106,13 @@ struct ChaosSoakResult {
   std::vector<obs::CriticalPath> critical_paths;
   /// Flight-recorder dumps, one per aborted round, in abort order.
   std::vector<obs::Postmortem> postmortems;
+  // --- only when cfg.capture_timeseries / cfg.slo_rules -----------------
+  /// One RoundSample JSON object per round (obs::RoundSeries::jsonl).
+  std::string timeseries_jsonl;
+  /// SLO verdict over the whole run (empty-ruled engines stay healthy).
+  obs::SloReport slo_report;
+  /// Alert post-mortems, one per breach (bounded), in breach order.
+  std::vector<obs::SloAlert> slo_alerts;
 };
 
 ChaosSoakResult run_chaos_soak(const ChaosSoakConfig& cfg);

@@ -122,11 +122,13 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
       [this](std::uint64_t round, PeerId peer, const secagg::Vector& g) {
         model_received(round, peer, g);
       };
-  aggregator_->on_round_failed = [this](std::uint64_t) {
+  aggregator_->on_round_failed = [this](std::uint64_t round) {
     ++rounds_aborted_;
+    if (on_round_aborted) on_round_aborted(round);
   };
-  aggregator_->on_round_aborted = [this](std::uint64_t) {
+  aggregator_->on_round_aborted = [this](std::uint64_t round) {
     ++rounds_aborted_;
+    if (on_round_aborted) on_round_aborted(round);
   };
   // Detection -> eviction escalation: each attribution is one strike.
   // Below the limit the suspect is forgiven (re-admitted next round — a
@@ -253,6 +255,7 @@ void P2pFlSystem::drive_round(PeerId self) {
       static_cast<std::uint64_t>(net_.simulator().now()) + 1;
   if (round <= last_round_started_) return;
   last_round_started_ = round;
+  if (on_round_started) on_round_started(round);
   aggregator_->begin_round(round, lead, [this](PeerId id) {
     return peers_.at(id).current_weights;
   });

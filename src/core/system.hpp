@@ -93,6 +93,13 @@ class P2pFlSystem {
   std::function<void(std::uint64_t round, const secagg::Vector&,
                      std::size_t groups_used)>
       on_round_complete;
+  /// Fired when the FedAvg leader's driver starts an aggregation round,
+  /// before any round message goes on the wire (so an observer can
+  /// snapshot counters at the round boundary).
+  std::function<void(std::uint64_t round)> on_round_started;
+  /// Fired when a started round closes without a global model: failed
+  /// (zero uploads), superseded, or torn down under partition.
+  std::function<void(std::uint64_t round)> on_round_aborted;
 
  private:
   struct PeerRuntime {

@@ -79,6 +79,16 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return gauges_[name];
 }
 
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.value() : 0;
+}
+
+std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.value() : 0;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   auto it = histograms_.find(name);

@@ -29,11 +29,15 @@ class Counter {
 };
 
 /// Point-in-time signed level (current leaders, pending events…).
+/// A registered-but-never-set gauge reads 0 and appears in metric dumps
+/// exactly like a never-incremented counter does (obs_test.cpp pins
+/// this parity).
 class Gauge {
  public:
   void set(std::int64_t v) { value_ = v; }
   void add(std::int64_t d) { value_ += d; }
   std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
 
  private:
   std::int64_t value_ = 0;
@@ -93,6 +97,14 @@ class MetricsRegistry {
   /// Creates the histogram with `bounds` on first use; later calls with
   /// the same name return the existing histogram (bounds are ignored).
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Read-only lookups: the metric's value if it exists, 0 otherwise.
+  /// Unlike counter()/gauge() these never create the metric, so pure
+  /// observers (the SLO watchdog's per-round deltas, CLI dumps) can poll
+  /// names a scenario never produced without growing the registry — and
+  /// without perturbing the byte-identical golden metric dumps.
+  std::uint64_t counter_value(const std::string& name) const;
+  std::int64_t gauge_value(const std::string& name) const;
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }

@@ -1,0 +1,81 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+
+#include "obs/export.hpp"
+
+namespace p2pfl::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Loss/accuracy use negative = "not evaluated this round" and serialize
+/// as JSON null so downstream tooling can't mistake absence for zero.
+std::string fmt_optional(double v) { return v < 0.0 ? "null" : fmt_double(v); }
+
+}  // namespace
+
+void RoundSeries::append(RoundSample s) {
+  samples_.push_back(std::move(s));
+  ++appended_;
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+const RoundSample* RoundSeries::find(std::uint64_t round) const {
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->round == round) return &*it;
+  }
+  return nullptr;
+}
+
+std::string RoundSeries::sample_json(const RoundSample& s) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kRoundSampleSchemaVersion);
+  out += ",\"round\":" + std::to_string(s.round);
+  out += ",\"start_us\":" + std::to_string(s.start);
+  out += ",\"end_us\":" + std::to_string(s.end);
+  out += ",\"committed\":";
+  out += s.committed ? "true" : "false";
+  out += ",\"latency_ms\":" + fmt_double(s.latency_ms);
+  out += ",\"contributors\":" + std::to_string(s.contributors);
+  out += ",\"groups_used\":" + std::to_string(s.groups_used);
+  out += ",\"phases\":{";
+  bool first = true;
+  for (const auto& [label, us] : s.phases) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(label) + ":" + std::to_string(us);
+  }
+  out += '}';
+  out += ",\"wire_bytes\":" + std::to_string(s.wire_bytes);
+  out += ",\"payload_bytes\":" + std::to_string(s.payload_bytes);
+  out += ",\"expected_payload_bytes\":" + fmt_double(s.expected_payload_bytes);
+  out += ",\"retries\":" + std::to_string(s.retries);
+  out += ",\"drops\":" + std::to_string(s.drops);
+  out += ",\"aborts\":" + std::to_string(s.aborts);
+  out += ",\"crashes\":" + std::to_string(s.crashes);
+  out += ",\"restarts\":" + std::to_string(s.restarts);
+  out += ",\"evictions\":" + std::to_string(s.evictions);
+  out += ",\"rejoins\":" + std::to_string(s.rejoins);
+  out += ",\"strikes\":" + std::to_string(s.strikes);
+  out += ",\"loss\":" + fmt_optional(s.loss);
+  out += ",\"accuracy\":" + fmt_optional(s.accuracy);
+  out += '}';
+  return out;
+}
+
+std::string RoundSeries::jsonl() const {
+  std::string out;
+  for (const RoundSample& s : samples_) {
+    out += sample_json(s);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace p2pfl::obs

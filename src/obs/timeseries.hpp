@@ -1,0 +1,113 @@
+// Per-round health time-series: one RoundSample per FedAvg round.
+//
+// The paper's claims are trajectories — round latency under churn
+// (Figs. 10-12), communication cost vs the Eq. (4)/(5) closed form
+// (Figs. 13-14), accuracy under faults — so the observability layer
+// records them as a first-class stream instead of only point-in-time
+// aggregates. Every sample is assembled at the round barrier from
+// virtual-time measurements and counter deltas, so two runs with the
+// same seed produce byte-identical JSONL exports (the golden-series
+// determinism test relies on this).
+//
+// RoundSeries is a bounded ring (flight-recorder semantics, like the
+// SpanRecorder): a long soak retains the newest `capacity` samples and
+// counts evictions. The JSONL export stamps every line with
+// `schema_version` so downstream consumers (bench/regress, plots) can
+// reject streams they do not understand.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p2pfl::obs {
+
+/// Version of the RoundSample JSONL schema (bump on field changes).
+inline constexpr std::uint32_t kRoundSampleSchemaVersion = 1;
+
+/// One FedAvg round's health record. Byte fields are deltas over the
+/// round's window [start, end); counter fields likewise. `latency_ms`
+/// is commit latency for committed rounds; rounds that never committed
+/// are right-censored at the full round slot (they consumed at least
+/// that much wall-clock on the virtual timeline), which is what lets a
+/// latency SLO see aborted rounds.
+struct RoundSample {
+  std::uint64_t round = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool committed = false;
+  double latency_ms = 0.0;
+  std::size_t contributors = 0;
+  std::size_t groups_used = 0;
+
+  /// Critical-path phase attribution of a committed round (label ->
+  /// virtual microseconds, summing exactly to the commit latency when
+  /// spans were recorded); empty when spans are off or the round never
+  /// committed.
+  std::vector<std::pair<std::string, SimDuration>> phases;
+
+  /// Bytes put on the wire during the round window, full framing
+  /// (`wire_bytes`) and the Eq. (4)/(5) model-data portion
+  /// (`payload_bytes`).
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  /// Closed-form Eq. (4)/(5) payload bytes of one fault-free round at
+  /// this deployment shape (0 = not computed). The byte-budget SLO rule
+  /// compares `payload_bytes` against this.
+  double expected_payload_bytes = 0.0;
+
+  // --- counter deltas over the round window ------------------------------
+  std::uint64_t retries = 0;     // SAC share retries/resends + upload retries
+  std::uint64_t drops = 0;       // messages dropped, all reasons
+  std::uint64_t aborts = 0;      // rounds failed or torn down
+  std::uint64_t crashes = 0;     // peer crashes (chaos or scripted)
+  std::uint64_t restarts = 0;    // peer restarts
+  std::uint64_t evictions = 0;   // membership evictions
+  std::uint64_t rejoins = 0;     // completed rejoins
+  std::uint64_t strikes = 0;     // Byzantine-detection strikes
+
+  /// Training signal, when the harness evaluates it this round.
+  /// Negative = not evaluated (losses and accuracies are non-negative),
+  /// serialized as JSON null so absent stays distinguishable.
+  double loss = -1.0;
+  double accuracy = -1.0;
+};
+
+/// Bounded ring of RoundSamples with a deterministic JSONL export.
+class RoundSeries {
+ public:
+  explicit RoundSeries(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void append(RoundSample s);
+
+  const std::deque<RoundSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const RoundSample& back() const { return samples_.back(); }
+  /// Newest sample for `round`, or nullptr if never recorded/evicted.
+  const RoundSample* find(std::uint64_t round) const;
+
+  /// Samples appended over the series' lifetime (evicted ones included).
+  std::uint64_t total_appended() const { return appended_; }
+  /// Oldest samples evicted by the capacity ring.
+  std::uint64_t evicted() const { return appended_ - samples_.size(); }
+
+  /// One JSON object per retained sample, append order. Every line
+  /// carries schema_version; doubles use a locale-independent %.17g so
+  /// identical runs serialize byte-identically.
+  std::string jsonl() const;
+
+  /// One sample as a single JSON object (no trailing newline).
+  static std::string sample_json(const RoundSample& s);
+
+ private:
+  std::size_t capacity_;
+  std::deque<RoundSample> samples_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace p2pfl::obs

@@ -11,11 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "chaos/engine.hpp"
 #include "chaos/plan.hpp"
 #include "chaos/soak.hpp"
 #include "core/system.hpp"
+#include "core/watchdog.hpp"
 
 namespace p2pfl::chaos {
 namespace {
@@ -132,6 +134,97 @@ TEST(ChaosSoakSlow, SystemAbortsRoundsUnderPartitionAndRecovers) {
   f.sim.run_for(10 * kSecond);
   EXPECT_GE(f.sys->rounds_completed(), after_heal + 3)
       << "rounds must keep completing after the partition heals";
+}
+
+TEST(ChaosSoakSlow, CrashWindowTripsLatencySloWithAlertPostmortem) {
+  // A leader-severing window forces rounds to run to their collect
+  // timeout (or die outright): their censored latency must trip the
+  // round-latency SLO, and each breach must carry a flight-recorder
+  // post-mortem. The identical fault-free run must stay green.
+  const auto run = [](bool partition) {
+    ChaosSoakConfig cfg;
+    cfg.peers = 12;
+    cfg.groups = 3;
+    cfg.rounds = 8;
+    cfg.seed = 3;
+    cfg.round_interval = 1 * kSecond;
+    if (partition) {
+      cfg.partition_at = 2200 * kMillisecond;
+      cfg.heal_at = 5200 * kMillisecond;
+    }
+    cfg.capture_spans = true;
+    cfg.slo_rules = obs::default_rules(/*max_latency_ms=*/750.0);
+    return run_chaos_soak(cfg);
+  };
+
+  const ChaosSoakResult healthy = run(false);
+  EXPECT_TRUE(healthy.slo_report.healthy())
+      << healthy.slo_report.table();
+  EXPECT_TRUE(healthy.slo_alerts.empty());
+
+  const ChaosSoakResult breached = run(true);
+  EXPECT_FALSE(breached.slo_report.healthy());
+  std::size_t latency_breaches = 0;
+  for (const obs::SloBreach& b : breached.slo_report.breaches) {
+    latency_breaches += b.rule == "round_latency";
+  }
+  EXPECT_GT(latency_breaches, 0u) << breached.slo_report.table();
+
+  ASSERT_FALSE(breached.slo_alerts.empty());
+  bool found_latency_alert = false;
+  for (const obs::SloAlert& a : breached.slo_alerts) {
+    if (a.breach.rule != "round_latency") continue;
+    found_latency_alert = true;
+    // The alert must attribute the breach: a rendered table plus the
+    // breaching round's critical path from the span flight recorder.
+    EXPECT_FALSE(a.table.empty());
+    EXPECT_TRUE(a.critical_path.found) << "round " << a.breach.round;
+    EXPECT_FALSE(a.spans_jsonl.empty());
+  }
+  EXPECT_TRUE(found_latency_alert);
+  // The breaching rounds are visible in the JSONL stream as censored
+  // latency, not as gaps.
+  EXPECT_NE(breached.timeseries_jsonl.find("\"latency_ms\":1000"),
+            std::string::npos);
+}
+
+TEST(ChaosSoakSlow, WatchdogAttachesToFullSystemRounds) {
+  // The attach() path: P2pFlSystem round hooks (started / committed /
+  // aborted) drive the watchdog directly, so a live deployment gets the
+  // same per-round series as the soak harness.
+  FullSystemChaos f(9, 3, 7);
+  core::WatchdogConfig wcfg;
+  wcfg.rules = obs::default_rules(/*max_latency_ms=*/5000.0);
+  core::RoundWatchdog watchdog(f.sim, f.net, core::Topology::even(9, 3),
+                               wcfg);
+  watchdog.attach(*f.sys);
+  f.sys->start();
+  f.sim.run_for(6 * kSecond);
+  ASSERT_GE(f.sys->rounds_completed(), 1u);
+
+  ChaosPlan plan;
+  plan.partition_window(f.sim.now() + 100 * kMillisecond,
+                        f.sim.now() + 3 * kSecond + 100 * kMillisecond,
+                        {{0, 1, 2}, {3, 4, 5, 6, 7, 8}});
+  ChaosEngine engine(f.net, std::move(plan));
+  engine.start();
+  f.sim.run_for(8 * kSecond);
+
+  const obs::RoundSeries& series = watchdog.series();
+  ASSERT_FALSE(series.empty());
+  std::size_t committed = 0, uncommitted = 0;
+  for (const obs::RoundSample& s : series.samples()) {
+    (s.committed ? committed : uncommitted) += 1;
+    EXPECT_GT(s.end, s.start) << "round " << s.round;
+  }
+  EXPECT_GT(committed, 0u);
+  // The partition window produced at least one aborted/censored round.
+  EXPECT_GT(uncommitted, 0u);
+  // Typed SLO metrics were registered on the system's registry.
+  // `slo.evaluations` counts rule evaluations; the always-applicable
+  // latency threshold rule alone contributes one per sample.
+  EXPECT_GE(f.sim.obs().metrics.counter_value("slo.evaluations"),
+            series.total_appended());
 }
 
 TEST(ChaosSoakSlow, SystemLearnsOnLossyNetwork) {

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 
@@ -128,6 +129,31 @@ TEST(Serialize, EmptyString) {
   w.str("");
   ByteReader r(w.bytes());
   EXPECT_EQ(r.str(), "");
+}
+
+TEST(Json, ParsesDocumentAndDottedPaths) {
+  const auto v = json::parse(
+      "{\"bench\":\"x\",\"n\":3,\"ok\":true,\"none\":null,"
+      "\"cells\":[{\"acc\":0.25},{\"acc\":-1e2}],\"s\":\"a\\nb\"}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get("bench")->text, "x");
+  EXPECT_DOUBLE_EQ(v->at_path("cells.1.acc")->number, -100.0);
+  EXPECT_EQ(v->at_path("cells.0.acc")->text, "0.25");  // literal kept
+  EXPECT_TRUE(v->at_path("none")->is_null());
+  EXPECT_TRUE(v->get("ok")->boolean);
+  EXPECT_EQ(v->get("s")->text, "a\nb");
+  EXPECT_EQ(v->at_path("cells.2.acc"), nullptr);
+  EXPECT_EQ(v->at_path("missing.path"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  json::ParseError err;
+  EXPECT_FALSE(json::parse("{\"a\":", &err).has_value());
+  EXPECT_FALSE(err.message.empty());
+  EXPECT_FALSE(json::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(json::parse("[1 2]").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
 }
 
 }  // namespace

@@ -39,6 +39,42 @@ TEST(MetricsRegistry, GaugesGoUpAndDown) {
   EXPECT_EQ(reg.gauge("leaders").value(), 7);
 }
 
+TEST(MetricsRegistry, NeverSetGaugeAppearsInDumpLikeCounters) {
+  MetricsRegistry reg;
+  reg.counter("registered.counter");
+  reg.gauge("registered.gauge");  // registered but never set
+  const std::string dump = metrics_jsonl(reg);
+  // Registration alone must surface both metric kinds at value 0 —
+  // a gauge nobody set yet is "0", not "absent" (dump shape stays
+  // stable whether or not the code path that sets it ever ran).
+  EXPECT_NE(dump.find("\"registered.counter\""), std::string::npos);
+  EXPECT_NE(dump.find("\"registered.gauge\""), std::string::npos);
+  EXPECT_NE(dump.find("\"value\":0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ReadOnlyLookupsNeverRegister) {
+  MetricsRegistry reg;
+  reg.counter("real.counter").add(3);
+  reg.gauge("real.gauge").set(-2);
+  const std::string before = metrics_jsonl(reg);
+  // Observers (watchdog snapshots, CLI report loops) read through the
+  // const lookups; absent names answer 0 without materializing.
+  EXPECT_EQ(reg.counter_value("real.counter"), 3u);
+  EXPECT_EQ(reg.gauge_value("real.gauge"), -2);
+  EXPECT_EQ(reg.counter_value("phantom.counter"), 0u);
+  EXPECT_EQ(reg.gauge_value("phantom.gauge"), 0);
+  EXPECT_EQ(metrics_jsonl(reg), before);
+}
+
+TEST(MetricsRegistry, GaugeResetReturnsToZero) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("resettable");
+  g.set(41);
+  g.add(1);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
 TEST(MetricsRegistry, HistogramBoundsFixedOnFirstUse) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("lat", Histogram::linear_bounds(0, 10, 5));

@@ -3,6 +3,7 @@
 //   p2pflctl train    [--peers=N --groups=m|--n=K --dist=iid|noniid5|noniid0]
 //                     [--rounds=R --tolerance=F --fraction=P --seed=S]
 //                     [--weighted] [--checkpoint=FILE]
+//                     [--transport=sim|tcp]
 //   p2pflctl cost     [--peers=N --n=K --k=K2 --params=P]
 //   p2pflctl health   [--peers=N --groups=m --timeout-ms=T --tolerance=F]
 //                     [--amnesia] [--seed=S]
@@ -23,7 +24,11 @@
 //   p2pflctl wire     [--dim=D --n=N --k=K --seed=S] [--dump=KEY]
 //
 // Everything runs on the deterministic simulator; identical flags give
-// identical results. `trace` replays the recovery scenario with the
+// identical results. The one exception is `train --transport=tcp`,
+// which runs the full FedAvg system over real loopback TCP sockets
+// (net::tcp::TcpTransport) and cross-checks the per-round payload bytes
+// it measured on the wire against the paper's Eq. (4) closed form —
+// exit status 1 if they disagree. `trace` replays the recovery scenario with the
 // observability layer on and writes BASE.metrics.jsonl plus
 // BASE.trace.json (Chrome trace_event format; open in about://tracing).
 // `chaos` runs two-layer aggregation rounds under a scripted fault plan
@@ -59,9 +64,12 @@
 // passed, 1 = degraded / breach / failed, 2 = usage error (unknown
 // command, unknown flag value, unwritable output path).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "analysis/cost_model.hpp"
 #include "bench/bench_util.hpp"
@@ -74,6 +82,7 @@
 #include "core/wire.hpp"
 #include "fl/checkpoint.hpp"
 #include "net/codec.hpp"
+#include "net/tcp/tcp_transport.hpp"
 #include "raft/wire.hpp"
 #include "secagg/wire.hpp"
 
@@ -81,7 +90,122 @@ using namespace p2pfl;
 
 namespace {
 
+// `train --transport=tcp`: the same two-layer FedAvg system, but over
+// real loopback sockets. Every peer gets a listener, frames are the
+// canonical codec encodings, and the run cross-validates the measured
+// per-round payload bytes against Eq. (4) — the experiment that makes
+// the simulator's cost numbers trustworthy.
+int cmd_train_tcp(const bench::Args& args) {
+  const std::size_t peers = static_cast<std::size_t>(args.get_int("peers", 20));
+  const std::size_t groups =
+      static_cast<std::size_t>(args.get_int("groups", 5));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 10));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  if (groups == 0 || peers % groups != 0) {
+    std::fprintf(stderr, "tcp transport needs --peers divisible by --groups\n");
+    return 2;
+  }
+  const std::size_t n = peers / groups;
+
+  const core::Topology topo = core::Topology::even(peers, groups);
+  net::tcp::TcpTransport transport({.peers = topo.all_peers(), .seed = seed});
+  net::Network net(transport, {});
+
+  fl::SyntheticSpec spec;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 400;
+  spec.test_samples = 120;
+  spec.noise_scale = 0.6;
+  Rng data_rng(seed);
+  const fl::TrainTest data = fl::make_synthetic(spec, data_rng);
+  const fl::PeerIndices parts = fl::partition_iid(data.train, peers, data_rng);
+
+  core::SystemConfig cfg;
+  // Real-clock profile: training runs synchronously on the transport's
+  // loop thread, so election timeouts must sit well above the longest
+  // stall, and protocol retry timers far above loopback latency (on a
+  // clean local wire a retry would only distort the cost measurement).
+  cfg.raft.raft.election_timeout_min = 1 * kSecond;
+  cfg.raft.raft.election_timeout_max = 2 * kSecond;
+  cfg.raft.fedavg_presence_poll = 200 * kMillisecond;
+  cfg.round_interval = 1 * kSecond;
+  cfg.train_duration = 50 * kMillisecond;
+  cfg.agg.collect_timeout = 60 * kSecond;
+  cfg.agg.sac_share_timeout = 20 * kSecond;
+  cfg.agg.sac_subtotal_timeout = 20 * kSecond;
+  cfg.agg.upload_retry = 60 * kSecond;
+  cfg.learning_rate = 3e-3f;
+  cfg.seed = seed;
+  core::P2pFlSystem sys(topo, cfg, net, data.train, data.test, parts,
+                        [] { return fl::Model::mlp(64, {16}); });
+
+  std::mutex mu;
+  std::vector<std::uint64_t> payload_at_round;  // sent.payload snapshots
+  sys.on_round_complete = [&](std::uint64_t, const secagg::Vector&,
+                              std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    payload_at_round.push_back(net.stats().sent.payload);
+  };
+
+  transport.start();
+  std::printf("training over TCP: %zu peers in %zu subgroups of %zu, "
+              "%zu rounds (loopback ports %u..%u)\n",
+              peers, groups, n, rounds, transport.port_of(0),
+              transport.port_of(static_cast<PeerId>(peers - 1)));
+  transport.call([&] { sys.start(); });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30 + 3 * rounds);
+  for (;;) {
+    std::size_t done;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = payload_at_round.size();
+    }
+    if (done >= rounds + 1) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      transport.shutdown();
+      std::fprintf(stderr, "timed out after %zu completed rounds\n", done);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  transport.shutdown();
+
+  const std::size_t dim = sys.global_model_at(0).size();
+  const std::uint64_t w = 4 * static_cast<std::uint64_t>(dim);
+  const double expected = analysis::two_layer_cost_eq4(groups, n);
+  bool all_exact = true;
+  for (std::size_t r = 1; r < payload_at_round.size() && r <= rounds; ++r) {
+    const std::uint64_t delta = payload_at_round[r] - payload_at_round[r - 1];
+    const double units = static_cast<double>(delta) / static_cast<double>(w);
+    const bool exact = units == expected;
+    all_exact = all_exact && exact;
+    std::printf("  round %3zu  payload %8llu B  = %7.1f |w|  eq4 %7.1f  %s\n",
+                r, static_cast<unsigned long long>(delta), units, expected,
+                exact ? "exact" : "MISMATCH");
+  }
+  const auto ev = sys.evaluate_global();
+  std::printf("final: %.2f%% accuracy after %zu rounds; raw wire %llu B "
+              "sent / %llu B received over %llu frames\n",
+              ev.accuracy * 100.0, sys.rounds_completed(),
+              static_cast<unsigned long long>(transport.raw_bytes_sent()),
+              static_cast<unsigned long long>(transport.raw_bytes_received()),
+              static_cast<unsigned long long>(transport.frames_sent()));
+  std::printf("per-round payload %s the Eq. (4) closed form (%.1f |w|)\n",
+              all_exact ? "matches" : "DOES NOT match", expected);
+  return all_exact ? 0 : 1;
+}
+
 int cmd_train(const bench::Args& args) {
+  const std::string transport = args.get("transport", "sim");
+  if (transport == "tcp") return cmd_train_tcp(args);
+  if (transport != "sim") {
+    std::fprintf(stderr, "unknown transport '%s' (sim|tcp)\n",
+                 transport.c_str());
+    return 2;
+  }
   core::FlExperimentConfig cfg;
   cfg.peers = static_cast<std::size_t>(args.get_int("peers", 10));
   cfg.subgroups = static_cast<std::size_t>(args.get_int("groups", 0));

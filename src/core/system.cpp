@@ -41,13 +41,13 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
         parts[id], root.fork(1000 + id));
     rt.current_weights = w0_;
     rt.latest_global = w0_;
-    rt.driver = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, id] { drive_round(id); }, "fl.round_driver");
-    rt.trainer_done = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, id] { begin_local_training(id); },
+    rt.driver = std::make_unique<net::Timer>(
+        net_.transport(), [this, id] { drive_round(id); }, "fl.round_driver");
+    rt.trainer_done = std::make_unique<net::Timer>(
+        net_.transport(), [this, id] { begin_local_training(id); },
         "fl.trainer_done");
-    rt.catchup_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, id] { send_model_pull(id); },
+    rt.catchup_timer = std::make_unique<net::Timer>(
+        net_.transport(), [this, id] { send_model_pull(id); },
         "fl.catchup_retry");
     // State-transfer catch-up: a rejoined or fresh peer pulls the latest
     // global model from its subgroup leader instead of waiting a full
@@ -89,7 +89,7 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
     rt.latest_global = *weights;
     rt.current_weights = *weights;
     rt.trainer->set_weights(*weights);
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("fl.catchup_applied").add(1);
     if (o.trace.category_enabled("agg")) {
       o.trace.instant("agg", "fl.catchup_applied", id, {{"round", round}});
@@ -137,7 +137,7 @@ P2pFlSystem::P2pFlSystem(Topology topology, SystemConfig cfg,
   // membership path, which evicts it and refuses its rejoin handshakes.
   aggregator_->on_suspect = [this](std::uint64_t round, PeerId peer) {
     const std::size_t strikes = ++strikes_[peer];
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("byzantine.strikes").add(1);
     if (o.trace.category_enabled("agg")) {
       o.trace.instant("agg", "byzantine.strike", peer,
@@ -164,7 +164,7 @@ void P2pFlSystem::crash_peer(PeerId peer) {
   rt.trainer_done->cancel();
   rt.catchup_timer->cancel();
   rt.training = false;
-  net_.simulator().obs().spans.close_aborted(rt.train_span);
+  net_.obs().spans.close_aborted(rt.train_span);
   rt.train_span = obs::kNoSpan;
   // The driver timer keeps ticking but drive_round() checks leadership
   // and crash state before acting.
@@ -213,7 +213,7 @@ void P2pFlSystem::drive_round(PeerId self) {
   // quorum of its configuration) is parked out of the round instead, so
   // the FedAvg layer keeps making progress with the remaining groups;
   // it is un-parked automatically once repair gives it a leader again.
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   std::optional<HealthReport> health;
   RoundLeadership lead;
   lead.fedavg_leader = self;
@@ -252,7 +252,7 @@ void P2pFlSystem::drive_round(PeerId self) {
   }
 
   const std::uint64_t round =
-      static_cast<std::uint64_t>(net_.simulator().now()) + 1;
+      static_cast<std::uint64_t>(net_.now()) + 1;
   if (round <= last_round_started_) return;
   last_round_started_ = round;
   if (on_round_started) on_round_started(round);
@@ -272,7 +272,7 @@ void P2pFlSystem::model_received(std::uint64_t round, PeerId peer,
   rt.trainer->set_weights(global);
   if (!rt.training) {
     rt.training = true;
-    obs::SpanRecorder& sr = net_.simulator().obs().spans;
+    obs::SpanRecorder& sr = net_.obs().spans;
     if (sr.enabled() && rt.train_span == obs::kNoSpan) {
       // Training is caused by the arrival of the round's global model
       // (current() is the delivering link span); it completes next round.
@@ -286,7 +286,7 @@ void P2pFlSystem::model_received(std::uint64_t round, PeerId peer,
 void P2pFlSystem::begin_local_training(PeerId peer) {
   PeerRuntime& rt = peers_.at(peer);
   rt.training = false;
-  obs::SpanRecorder& sr0 = net_.simulator().obs().spans;
+  obs::SpanRecorder& sr0 = net_.obs().spans;
   if (net_.crashed(peer)) {
     sr0.close_aborted(rt.train_span);
     rt.train_span = obs::kNoSpan;
@@ -309,7 +309,7 @@ void P2pFlSystem::send_model_pull(PeerId peer) {
     wire::ModelPullMsg msg;
     msg.peer = peer;
     msg.last_round = rt.last_global_round;
-    net_.simulator().obs().metrics.counter("fl.catchup_pulls").add(1);
+    net_.obs().metrics.counter("fl.catchup_pulls").add(1);
     net_.send(peer, leader, "member/pull", msg, wire::kPullWire);
   }
   // No leader yet (or we are it): retry until a push or a live round
@@ -327,7 +327,7 @@ void P2pFlSystem::handle_model_pull(PeerId peer,
   // Answer by installing our subgroup snapshot on the puller — the
   // composite blob carries the newest global model (app_snapshot_save).
   if (raft_.push_state_snapshot(peer, msg.peer)) {
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("fl.catchup_snapshots").add(1);
     if (o.trace.category_enabled("agg")) {
       o.trace.instant("agg", "fl.catchup_snapshot", peer,

@@ -106,10 +106,10 @@ class P2pFlSystem {
     std::unique_ptr<fl::PeerTrainer> trainer;
     std::vector<float> current_weights;   // after local training
     std::vector<float> latest_global;     // last received global model
-    std::unique_ptr<sim::Timer> driver;   // round driver (acts if leader)
-    std::unique_ptr<sim::Timer> trainer_done;  // models compute time
+    std::unique_ptr<net::Timer> driver;   // round driver (acts if leader)
+    std::unique_ptr<net::Timer> trainer_done;  // models compute time
     /// Retries the model pull until a push (or a live round) arrives.
-    std::unique_ptr<sim::Timer> catchup_timer;
+    std::unique_ptr<net::Timer> catchup_timer;
     bool training = false;
     /// Round of the newest global model this peer holds (0 = only w0).
     std::uint64_t last_global_round = 0;

@@ -20,9 +20,9 @@ TwoLayerAggregator::TwoLayerAggregator(
     : topology_(topology),
       cfg_(cfg),
       net_(net),
-      byz_rng_(net.simulator().rng().fork(0x62797a'6c696521ULL /*"byzlie!"*/)),
+      byz_rng_(net.rng().fork(0x62797a'6c696521ULL /*"byzlie!"*/)),
       collect_timer_(
-          net.simulator(),
+          net.transport(),
           [this] {
             if (fed_ && !fed_->done) {
               auto it = peers_.find(leadership_.fedavg_leader);
@@ -67,8 +67,8 @@ TwoLayerAggregator::TwoLayerAggregator(
     auto [it, inserted] = peers_.emplace(id, std::move(st));
     P2PFL_CHECK(inserted);
     PeerState* ps = &it->second;
-    ps->upload_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, ps] { retry_upload(*ps); },
+    ps->upload_timer = std::make_unique<net::Timer>(
+        net_.transport(), [this, ps] { retry_upload(*ps); },
         "agg.upload_retry");
     ps->sac->on_complete = [this, ps](RoundId round,
                                       const secagg::Vector& avg) {
@@ -105,7 +105,7 @@ const robust::AttackSpec* TwoLayerAggregator::attack_of(PeerId id) const {
 void TwoLayerAggregator::mark_suspect(RoundId round, PeerId peer,
                                       const char* how) {
   if (!suspects_.insert(peer).second) return;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("byzantine.suspects_marked").add(1);
   if (o.trace.category_enabled("chaos")) {
     o.trace.instant("chaos", "byzantine.suspect_marked", peer,
@@ -163,9 +163,9 @@ void TwoLayerAggregator::begin_round(RoundId round,
              cfg_.fraction_p * static_cast<double>(live_groups))));
   collect_timer_.arm(cfg_.collect_timeout);
 
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("agg.rounds_started").add(1);
-  round_start_ = net_.simulator().now();
+  round_start_ = net_.now();
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "agg.round_begin", leadership.fedavg_leader,
                     {{"round", round},
@@ -241,7 +241,7 @@ void TwoLayerAggregator::begin_round(RoundId round,
 }
 
 void TwoLayerAggregator::abort_round() {
-  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  obs::SpanRecorder& sr = net_.obs().spans;
   for (auto& [id, p] : peers_) {
     p.sac->halt();
     p.pending_upload.reset();
@@ -255,7 +255,7 @@ void TwoLayerAggregator::abort_round() {
     // The round was still undecided: superseded by a newer one or torn
     // down by the system (e.g. the FedAvg layer lost its leader under a
     // partition).
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("agg.rounds_aborted").add(1);
     if (o.trace.category_enabled("agg")) {
       o.trace.instant("agg", "agg.round_abort", leadership_.fedavg_leader,
@@ -284,13 +284,13 @@ void TwoLayerAggregator::sac_complete(PeerState& p, RoundId round,
     // subgroup can notice; only cross-subtotal redundancy at the FedAvg
     // layer (robust rule) defends.
     robust::poison(msg.model, *atk, byz_rng_);
-    net_.simulator().obs().metrics.counter("byzantine.subtotal_lies").add(1);
+    net_.obs().metrics.counter("byzantine.subtotal_lies").add(1);
   }
   if (p.is_fed_leader) {
     handle_upload(p, msg);  // local, no wire transfer
     return;
   }
-  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  obs::SpanRecorder& sr = net_.obs().spans;
   if (sr.enabled()) {
     // Open at upload, closed when this round's result (or a supersession)
     // settles it; the upload link chains to it below.
@@ -311,7 +311,7 @@ void TwoLayerAggregator::retry_upload(PeerState& p) {
   if (!p.pending_upload || p.pending_upload->round != round_) return;
   if (net_.crashed(p.id)) return;
   if (p.upload_attempts >= cfg_.upload_retry_limit) {
-    obs::Observability& ob = net_.simulator().obs();
+    obs::Observability& ob = net_.obs();
     ob.metrics.counter("agg.uploads_abandoned").add(1);
     ob.spans.close_aborted(p.upload_span);
     p.upload_span = obs::kNoSpan;
@@ -319,7 +319,7 @@ void TwoLayerAggregator::retry_upload(PeerState& p) {
     return;
   }
   ++p.upload_attempts;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("agg.upload_retries").add(1);
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "agg.upload_retry", p.id,
@@ -361,7 +361,7 @@ void TwoLayerAggregator::settle_upload(PeerState& p, RoundId round) {
   }
   if (p.upload_span != obs::kNoSpan) {
     // Closed by the link that delivered the round's result.
-    obs::SpanRecorder& sr = net_.simulator().obs().spans;
+    obs::SpanRecorder& sr = net_.obs().spans;
     sr.close(p.upload_span, sr.current());
     p.upload_span = obs::kNoSpan;
   }
@@ -371,7 +371,7 @@ void TwoLayerAggregator::handle_upload(PeerState& p, const UploadMsg& msg) {
   if (!p.is_fed_leader || !fed_ || fed_->done || msg.round != fed_->round) {
     return;
   }
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("agg.uploads_received").add(1);
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "agg.upload", p.id,
@@ -402,7 +402,7 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
   if (!fed_ || fed_->done) return;
   if (net_.crashed(p.id)) return;  // a dead leader aggregates nothing
   if (!timed_out && fed_->uploads.size() < fed_->quorum) return;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   if (fed_->uploads.empty()) {
     fed_->done = true;
     collect_timer_.cancel();
@@ -435,7 +435,7 @@ void TwoLayerAggregator::fed_maybe_aggregate(PeerState& p, bool timed_out) {
   obs::SpanStackScope merge_scope(o.spans, merge_span);
   o.metrics.counter("agg.rounds_completed").add(1);
   const double latency_ms =
-      static_cast<double>(net_.simulator().now() - round_start_) /
+      static_cast<double>(net_.now() - round_start_) /
       static_cast<double>(kMillisecond);
   o.metrics
       .histogram("agg.round_latency_ms",

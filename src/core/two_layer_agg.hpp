@@ -36,7 +36,7 @@
 #include "net/network.hpp"
 #include "robust/rules.hpp"
 #include "secagg/sac_actor.hpp"
-#include "sim/timer.hpp"
+#include "net/transport.hpp"
 
 namespace p2pfl::core {
 
@@ -161,7 +161,7 @@ class TwoLayerAggregator {
     /// Upload awaiting its round's result; resent on upload_timer.
     std::optional<UploadMsg> pending_upload;
     std::size_t upload_attempts = 0;
-    std::unique_ptr<sim::Timer> upload_timer;
+    std::unique_ptr<net::Timer> upload_timer;
     /// Last round whose result this peer acted on. Results can arrive
     /// more than once (chaos duplication, upload-retry crossings); the
     /// relay/deliver must run exactly once per round.
@@ -209,7 +209,7 @@ class TwoLayerAggregator {
   std::map<PeerId, PeerState> peers_;
   RoundLeadership leadership_;
   std::optional<FedState> fed_;
-  sim::Timer collect_timer_;
+  net::Timer collect_timer_;
   /// Live SAC group per subgroup for the current round.
   std::vector<std::vector<PeerId>> round_groups_;
   /// Peers behind the most recent global model (see last_contributors()).

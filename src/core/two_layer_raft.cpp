@@ -79,17 +79,17 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
     peer->id = id;
     peer->subgroup = topology_.subgroup_of(id);
     peer->known_fed_cfg = designated;
-    peer->cfg_commit_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, p = peer.get()] { commit_fed_config(*p); },
+    peer->cfg_commit_timer = std::make_unique<net::Timer>(
+        net_.transport(), [this, p = peer.get()] { commit_fed_config(*p); },
         "fed.cfg_commit");
-    peer->join_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, p = peer.get()] { send_join_request(*p); },
+    peer->join_timer = std::make_unique<net::Timer>(
+        net_.transport(), [this, p = peer.get()] { send_join_request(*p); },
         "fed.join_retry");
-    peer->supervise_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, p = peer.get()] { supervise(*p); },
+    peer->supervise_timer = std::make_unique<net::Timer>(
+        net_.transport(), [this, p = peer.get()] { supervise(*p); },
         "member.supervise");
-    peer->rejoin_timer = std::make_unique<sim::Timer>(
-        net_.simulator(), [this, p = peer.get()] { send_rejoin_request(*p); },
+    peer->rejoin_timer = std::make_unique<net::Timer>(
+        net_.transport(), [this, p = peer.get()] { send_rejoin_request(*p); },
         "member.rejoin_retry");
     peer->host.route(kJoinChannel, [this, p = peer.get()](
                                        const net::Envelope& env) {
@@ -268,12 +268,12 @@ void TwoLayerRaftSystem::send_join_request(Peer& p) {
   const auto& members = p.fed_node->members();
   if ((target == kNoPeer || target == p.id) && !members.empty()) {
     target = members[static_cast<std::size_t>(
-                         net_.simulator().now() /
+                         net_.now() /
                          std::max<SimDuration>(1, opts_.fedavg_presence_poll)) %
                      members.size()];
   }
   if (target != kNoPeer && target != p.id) {
-    net_.simulator().obs().metrics.counter("fed.join_requests").add(1);
+    net_.obs().metrics.counter("fed.join_requests").add(1);
     net_.send(p.id, target, kJoinChannel, req, wire::kJoinWire);
   }
   // §V-B1: keep polling for a FedAvg leader until the join completes.
@@ -295,7 +295,7 @@ void TwoLayerRaftSystem::handle_join_request(Peer& p,
   // Denounced peers are refused outright: liveness proof does not lift
   // a Byzantine attribution.
   if (banned_.count(req.candidate) > 0) {
-    net_.simulator().obs().metrics.counter("membership.join_refused").add(1);
+    net_.obs().metrics.counter("membership.join_refused").add(1);
     return;
   }
   // A join request proves the candidate is alive; drop any suspicion the
@@ -324,7 +324,7 @@ void TwoLayerRaftSystem::check_join_complete(Peer& p) {
   if (!p.announced_join) {
     p.announced_join = true;
     P2PFL_DEBUG() << "peer " << p.id << " joined the FedAvg layer";
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("fed.joins_completed").add(1);
     if (o.trace.category_enabled("raft")) {
       o.trace.instant("raft", "fed.joined", p.id,
@@ -338,7 +338,7 @@ void TwoLayerRaftSystem::check_join_complete(Peer& p) {
 
 void TwoLayerRaftSystem::supervise(Peer& p) {
   if (!opts_.self_healing || net_.crashed(p.id)) return;
-  const SimTime now = net_.simulator().now();
+  const SimTime now = net_.now();
   if (p.sg_node->running() && p.sg_node->is_leader()) {
     supervise_layer(p, *p.sg_node, p.sg_suspected, /*fed_layer=*/false);
   } else {
@@ -397,7 +397,7 @@ void TwoLayerRaftSystem::supervise(Peer& p) {
       }
       ++p.probe_attempts;
       if (target != kNoPeer && target != p.id) {
-        net_.simulator().obs().metrics.counter("fed.stale_probes").add(1);
+        net_.obs().metrics.counter("fed.stale_probes").add(1);
         p.announced_join = false;
         net_.send(p.id, target, kJoinChannel, req, wire::kJoinWire);
       }
@@ -408,7 +408,7 @@ void TwoLayerRaftSystem::supervise(Peer& p) {
 }
 
 void TwoLayerRaftSystem::probe_stale_membership(Peer& p) {
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   if (!p.rejoining) {
     // A probe is a full rejoin handshake whose happy ending may simply
     // be "the leader talks to us again" — open it as one so the
@@ -458,8 +458,8 @@ PeerId TwoLayerRaftSystem::rejoin_target(const Peer& p,
 void TwoLayerRaftSystem::supervise_layer(
     Peer& p, raft::RaftNode& node, std::map<PeerId, SimTime>& suspected,
     bool fed_layer) {
-  const SimTime now = net_.simulator().now();
-  obs::Observability& o = net_.simulator().obs();
+  const SimTime now = net_.now();
+  obs::Observability& o = net_.obs();
   const char* layer = fed_layer ? "fed" : "sg";
   // Confirmed evictions first: a suspect missing from the adopted
   // configuration has been removed (adopt-at-append on this leader).
@@ -554,7 +554,7 @@ void TwoLayerRaftSystem::start_rejoin(Peer& p) {
   if (p.sg_node->in_config()) return;
   p.rejoining = true;
   p.rejoin_attempts = 0;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("membership.rejoin_started").add(1);
   if (o.trace.category_enabled("raft")) {
     o.trace.instant("raft", "membership.rejoin_start", p.id,
@@ -580,7 +580,7 @@ void TwoLayerRaftSystem::send_rejoin_request(Peer& p) {
   const PeerId target = rejoin_target(p, p.rejoin_attempts);
   ++p.rejoin_attempts;
   if (target != kNoPeer && target != p.id) {
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("membership.rejoin_requests").add(1);
     obs::SpanStackScope scope(o.spans, p.rejoin_span);
     net_.send(p.id, target, kRejoinChannel, req, wire::kRejoinWire);
@@ -605,7 +605,7 @@ void TwoLayerRaftSystem::handle_rejoin_request(
   // Denounced peers stay out: the rejoin handshake heals crashes, not
   // Byzantine attributions (lifted only by an explicit forgive()).
   if (banned_.count(req.peer) > 0) {
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("membership.rejoin_refused").add(1);
     if (o.trace.category_enabled("raft")) {
       o.trace.instant("raft", "membership.rejoin_refused", p.id,
@@ -626,7 +626,7 @@ void TwoLayerRaftSystem::finish_rejoin(Peer& p) {
   p.rejoining = false;
   p.stale_probe = false;
   p.rejoin_timer->cancel();
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("membership.rejoined").add(1);
   if (o.trace.category_enabled("raft")) {
     o.trace.instant("raft", "membership.rejoined", p.id,
@@ -647,8 +647,8 @@ void TwoLayerRaftSystem::finish_rejoin(Peer& p) {
 void TwoLayerRaftSystem::denounce(PeerId peer) {
   if (!banned_.insert(peer).second) return;
   Peer& target = peer_ref(peer);
-  const SimTime now = net_.simulator().now();
-  obs::Observability& o = net_.simulator().obs();
+  const SimTime now = net_.now();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("membership.denounced").add(1);
   if (o.trace.category_enabled("raft")) {
     o.trace.instant("raft", "membership.denounced", peer,
@@ -691,7 +691,7 @@ bool TwoLayerRaftSystem::push_state_snapshot(PeerId leader, PeerId to) {
   if (topology_.subgroup_of(to) != p.subgroup) return false;
   const bool sent = p.sg_node->push_snapshot(to);
   if (sent) {
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("membership.state_snapshots_pushed").add(1);
     if (o.trace.category_enabled("raft")) {
       o.trace.instant("raft", "membership.state_snapshot_push", leader,
@@ -706,7 +706,7 @@ void TwoLayerRaftSystem::abort_rejoin(Peer& p) {
   p.rejoining = false;
   p.stale_probe = false;
   p.rejoin_timer->cancel();
-  net_.simulator().obs().spans.close_aborted(p.rejoin_span);
+  net_.obs().spans.close_aborted(p.rejoin_span);
   p.rejoin_span = obs::kNoSpan;
 }
 
@@ -772,8 +772,8 @@ void TwoLayerRaftSystem::start_all() {
   for (auto& [id, peer] : peers_) {
     peer->sg_node->start();
     if (opts_.self_healing) {
-      peer->sg_contact_mark = net_.simulator().now();
-      peer->fed_contact_mark = net_.simulator().now();
+      peer->sg_contact_mark = net_.now();
+      peer->fed_contact_mark = net_.now();
       peer->supervise_timer->arm_periodic(opts_.membership_poll);
     }
   }
@@ -800,8 +800,8 @@ void TwoLayerRaftSystem::restart_peer(PeerId peer) {
   // already replaced this peer it simply never campaigns again.
   if (p.fed_node) p.fed_node->restart();
   if (opts_.self_healing) {
-    p.sg_contact_mark = net_.simulator().now();
-    p.fed_contact_mark = net_.simulator().now();
+    p.sg_contact_mark = net_.now();
+    p.fed_contact_mark = net_.now();
     p.supervise_timer->arm_periodic(opts_.membership_poll);
     // Evicted while down: the surviving log no longer names this peer.
     if (!p.sg_node->in_config()) start_rejoin(p);
@@ -828,15 +828,15 @@ void TwoLayerRaftSystem::restart_peer_amnesia(PeerId peer) {
       net_, p.host);
   wire_subgroup_node(p);
   p.sg_node->start();
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("membership.amnesia_restarts").add(1);
   if (o.trace.category_enabled("raft")) {
     o.trace.instant("raft", "membership.amnesia_restart", peer,
                     {{"subgroup", p.subgroup}});
   }
   if (opts_.self_healing) {
-    p.sg_contact_mark = net_.simulator().now();
-    p.fed_contact_mark = net_.simulator().now();
+    p.sg_contact_mark = net_.now();
+    p.fed_contact_mark = net_.now();
     p.supervise_timer->arm_periodic(opts_.membership_poll);
     start_rejoin(p);
   }

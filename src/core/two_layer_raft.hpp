@@ -38,7 +38,7 @@
 #include "net/network.hpp"
 #include "obs/span.hpp"
 #include "raft/node.hpp"
-#include "sim/timer.hpp"
+#include "net/transport.hpp"
 
 namespace p2pfl::core {
 
@@ -175,7 +175,7 @@ class TwoLayerRaftSystem {
   /// each subgroup would run with.
   HealthReport health(std::size_t sac_dropout_tolerance = 0) const;
 
-  // --- hooks (timestamp with net.simulator().now()) -----------------------
+  // --- hooks (timestamp with net.now()) -----------------------
   std::function<void(SubgroupId, PeerId)> on_subgroup_leader;
   std::function<void(PeerId)> on_fedavg_leader;
   /// New subgroup leader completed its FedAvg-layer join (it appears in
@@ -199,12 +199,12 @@ class TwoLayerRaftSystem {
     std::unique_ptr<raft::RaftNode> sg_node;
     std::unique_ptr<raft::RaftNode> fed_node;
     std::vector<PeerId> known_fed_cfg;
-    std::unique_ptr<sim::Timer> cfg_commit_timer;
-    std::unique_ptr<sim::Timer> join_timer;
+    std::unique_ptr<net::Timer> cfg_commit_timer;
+    std::unique_ptr<net::Timer> join_timer;
     bool announced_join = false;
     // Self-healing state.
-    std::unique_ptr<sim::Timer> supervise_timer;
-    std::unique_ptr<sim::Timer> rejoin_timer;
+    std::unique_ptr<net::Timer> supervise_timer;
+    std::unique_ptr<net::Timer> rejoin_timer;
     /// While this peer leads a layer: member -> time suspicion began.
     std::map<PeerId, SimTime> sg_suspected;
     std::map<PeerId, SimTime> fed_suspected;

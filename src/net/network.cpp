@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "net/sim_transport.hpp"
 
 namespace p2pfl::net {
 
@@ -41,23 +42,51 @@ void TrafficStats::record_duplicate_delivered(const std::string& kind,
 }
 
 Network::Network(sim::Simulator& sim, NetworkConfig cfg)
-    : sim_(sim),
+    : Network(std::make_unique<SimTransport>(sim), nullptr, cfg) {}
+
+Network::Network(Transport& transport, NetworkConfig cfg)
+    : Network(nullptr, &transport, cfg) {}
+
+Network::Network(std::unique_ptr<Transport> owned, Transport* external,
+                 NetworkConfig cfg)
+    : owned_transport_(std::move(owned)),
+      transport_(external != nullptr ? *external : *owned_transport_),
       cfg_(cfg),
-      rng_(sim.rng().fork(0x6e65'74ULL /*"net"*/)),
-      fault_rng_(sim.rng().fork(0x6368'616fULL /*"chao"*/)),
-      m_sent_msgs_(sim.obs().metrics.counter("net.sent.messages")),
-      m_sent_bytes_(sim.obs().metrics.counter("net.sent.bytes")),
-      m_sent_payload_(sim.obs().metrics.counter("net.sent.payload")),
-      m_delivered_msgs_(sim.obs().metrics.counter("net.delivered.messages")),
-      m_delivered_bytes_(sim.obs().metrics.counter("net.delivered.bytes")),
+      rng_(transport_.rng().fork(0x6e65'74ULL /*"net"*/)),
+      fault_rng_(transport_.rng().fork(0x6368'616fULL /*"chao"*/)),
+      m_sent_msgs_(transport_.obs().metrics.counter("net.sent.messages")),
+      m_sent_bytes_(transport_.obs().metrics.counter("net.sent.bytes")),
+      m_sent_payload_(transport_.obs().metrics.counter("net.sent.payload")),
+      m_delivered_msgs_(
+          transport_.obs().metrics.counter("net.delivered.messages")),
+      m_delivered_bytes_(
+          transport_.obs().metrics.counter("net.delivered.bytes")),
       m_delivered_payload_(
-          sim.obs().metrics.counter("net.delivered.payload")) {
+          transport_.obs().metrics.counter("net.delivered.payload")) {
   P2PFL_CHECK(cfg_.base_latency >= 0);
   P2PFL_CHECK(cfg_.latency_jitter >= 0);
+  sim_transport_ = dynamic_cast<SimTransport*>(&transport_);
+  transport_.set_sink(this);
+}
+
+Network::~Network() { transport_.set_sink(nullptr); }
+
+sim::Simulator& Network::simulator() {
+  sim::Simulator* sim = transport_.simulator();
+  P2PFL_CHECK_MSG(sim != nullptr,
+                  "Network::simulator() called on a non-deterministic "
+                  "transport; simulation-only layers cannot run here");
+  return *sim;
+}
+
+std::size_t Network::envelope_pool_slots() const {
+  return sim_transport_ != nullptr ? sim_transport_->envelope_pool_slots() : 0;
 }
 
 void Network::count_drop(const char* reason) {
-  sim_.obs().metrics.counter(std::string("net.dropped.") + reason).add(1);
+  transport_.obs()
+      .metrics.counter(std::string("net.dropped.") + reason)
+      .add(1);
   stats_.dropped_by_reason[reason] += 1;
 }
 
@@ -139,47 +168,32 @@ bool Network::partitioned(PeerId from, PeerId to) const {
   return gf != gt;
 }
 
-std::uint32_t Network::acquire_envelope(Envelope&& env) {
-  std::uint32_t slot;
-  if (env_free_head_ != kNoEnvSlot) {
-    slot = env_free_head_;
-    env_free_head_ = env_pool_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(env_pool_.size());
-    env_pool_.emplace_back();
-  }
-  env_pool_[slot].env = std::move(env);
-  return slot;
-}
-
-void Network::deliver_pooled(std::uint32_t slot) {
-  deliver_now(env_pool_[slot].env);
-  PooledEnvelope& rec = env_pool_[slot];
-  rec.env = Envelope{};  // drop the body/kind allocations eagerly
-  rec.next_free = env_free_head_;
-  env_free_head_ = slot;
-}
-
 void Network::schedule_delivery(Envelope env, PeerId from, PeerId to) {
-  SimDuration delay = latency_for(from, to);
-  const LinkFaults& f = faults_for(from, to, env.kind);
-  if (f.reorder_prob > 0.0 && f.reorder_jitter > 0 &&
-      fault_rng_.chance(f.reorder_prob)) {
-    delay += fault_rng_.uniform_int(0, f.reorder_jitter);
+  SimDuration delay = 0;
+  if (transport_.deterministic()) {
+    // The simulator has no wire, so the Network models the link: latency
+    // with jitter, chaos reordering, egress serialization. On a real
+    // transport the kernel and socket provide all of these and the
+    // modeled delay stays 0 (ignored by the backend anyway).
+    delay = latency_for(from, to);
+    const LinkFaults& f = faults_for(from, to, env.kind);
+    if (f.reorder_prob > 0.0 && f.reorder_jitter > 0 &&
+        fault_rng_.chance(f.reorder_prob)) {
+      delay += fault_rng_.uniform_int(0, f.reorder_jitter);
+    }
+    if (cfg_.egress_bytes_per_sec > 0) {
+      // Serialize through the sender's NIC: transmission begins when the
+      // link frees up and occupies it for wire_bytes / bandwidth.
+      const SimDuration tx = static_cast<SimDuration>(
+          static_cast<double>(env.wire_bytes) /
+          static_cast<double>(cfg_.egress_bytes_per_sec) * kSecond);
+      SimTime& free_at = egress_free_at_[from];
+      const SimTime start = std::max(transport_.now(), free_at);
+      free_at = start + tx;
+      delay += (free_at - transport_.now());
+    }
   }
-  if (cfg_.egress_bytes_per_sec > 0) {
-    // Serialize through the sender's NIC: transmission begins when the
-    // link frees up and occupies it for wire_bytes / bandwidth.
-    const SimDuration tx = static_cast<SimDuration>(
-        static_cast<double>(env.wire_bytes) /
-        static_cast<double>(cfg_.egress_bytes_per_sec) * kSecond);
-    SimTime& free_at = egress_free_at_[from];
-    const SimTime start = std::max(sim_.now(), free_at);
-    free_at = start + tx;
-    delay += (free_at - sim_.now());
-  }
-  const std::uint32_t slot = acquire_envelope(std::move(env));
-  sim_.schedule_after(delay, [this, slot] { deliver_pooled(slot); });
+  transport_.send_frame(std::move(env), delay);
 }
 
 void Network::send(Envelope env) {
@@ -198,7 +212,7 @@ void Network::send(Envelope env) {
   if (cfg_.encode_verify) verify_encoding(env);
   env.dest_incarnation = incarnation(env.to);
 
-  obs::SpanRecorder& sr = sim_.obs().spans;
+  obs::SpanRecorder& sr = transport_.obs().spans;
   if (sr.enabled() && env.span.span == obs::kNoSpan) {
     env.span = sr.current_ctx();
   }
@@ -209,8 +223,7 @@ void Network::send(Envelope env) {
       env.span.span = sr.open(obs::SpanKind::kLink, env.kind, env.from,
                               env.span.round, env.span.span);
     }
-    const std::uint32_t slot = acquire_envelope(std::move(env));
-    sim_.schedule_after(0, [this, slot] { deliver_pooled(slot); });
+    transport_.send_frame(std::move(env), 0);
     return;
   }
 
@@ -218,10 +231,10 @@ void Network::send(Envelope env) {
   m_sent_msgs_.add(1);
   m_sent_bytes_.add(env.wire_bytes);
   m_sent_payload_.add(env.payload_bytes);
-  sim_.obs()
+  transport_.obs()
       .metrics.counter("net.sent.bytes." + env.kind)
       .add(env.wire_bytes);
-  obs::TraceStream& tr = sim_.obs().trace;
+  obs::TraceStream& tr = transport_.obs().trace;
   if (tr.category_enabled("net")) {
     tr.instant("net", "net.send " + env.kind, env.from,
                {{"to", env.to}, {"bytes", env.wire_bytes}});
@@ -247,7 +260,7 @@ void Network::send(Envelope env) {
   const bool duplicate =
       f.duplicate_prob > 0.0 && fault_rng_.chance(f.duplicate_prob);
   if (duplicate) {
-    sim_.obs().metrics.counter("net.chaos.duplicates").add(1);
+    transport_.obs().metrics.counter("net.chaos.duplicates").add(1);
     if (tr.category_enabled("net")) {
       tr.instant("net", "net.chaos_dup " + env.kind, env.from,
                  {{"to", env.to}});
@@ -275,33 +288,17 @@ void Network::send(Envelope env) {
   schedule_delivery(std::move(env), env_from, env_to);
 }
 
-void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
-                   std::uint64_t wire_bytes) {
-  Envelope env;
-  env.from = from;
-  env.to = to;
-  env.kind = std::move(kind);
-  env.body = std::move(body);
-  env.wire_bytes = wire_bytes;
-  send(std::move(env));
-}
-
-void Network::send(PeerId from, PeerId to, std::string kind, std::any body,
-                   const WireSize& size) {
-  Envelope env;
-  env.from = from;
-  env.to = to;
-  env.kind = std::move(kind);
-  env.body = std::move(body);
-  env.wire_bytes = size.wire;
-  env.payload_bytes = size.payload;
-  env.modeled_delta = size.modeled;
-  send(std::move(env));
-}
-
 void Network::verify_encoding(const Envelope& env) const {
   const Codec* codec = CodecRegistry::global().find_kind(env.kind);
-  if (codec == nullptr) return;  // raw / test-only kind: nothing to check
+  if (codec == nullptr) {
+    // Raw / test-only kind: nothing to check on the simulator, a hard
+    // error on a real transport, where only canonical frames travel.
+    P2PFL_CHECK_MSG(transport_.deterministic(),
+                    "kind '" + env.kind +
+                        "' has no registered codec; only canonical codec "
+                        "frames may cross a real transport");
+    return;
+  }
   std::optional<Bytes> encoded = codec->encode(env.body);
   P2PFL_CHECK_MSG(encoded.has_value(),
                   "payload type does not match the codec for kind '" +
@@ -331,16 +328,16 @@ void Network::maybe_corrupt(Envelope& env, bool flip, bool truncate) {
     wire[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
   }
   env.body = CorruptPayload{std::move(wire)};
-  sim_.obs().metrics.counter("net.chaos.corrupted").add(1);
-  obs::TraceStream& tr = sim_.obs().trace;
+  transport_.obs().metrics.counter("net.chaos.corrupted").add(1);
+  obs::TraceStream& tr = transport_.obs().trace;
   if (tr.category_enabled("net")) {
     tr.instant("net", "net.chaos_corrupt " + env.kind, env.from,
                {{"to", env.to}});
   }
 }
 
-void Network::deliver_now(const Envelope& env) {
-  obs::SpanRecorder& sr = sim_.obs().spans;
+void Network::transport_deliver(Envelope& env) {
+  obs::SpanRecorder& sr = transport_.obs().spans;
   const obs::SpanId link = sr.enabled() ? env.span.span : obs::kNoSpan;
   if (crashed_.count(env.to) > 0) {  // lost in flight
     count_drop("receiver_crashed");
@@ -373,7 +370,7 @@ void Network::deliver_now(const Envelope& env) {
         codec != nullptr ? codec->decode(cp->wire) : std::nullopt;
     if (!decoded.has_value()) {
       count_drop("corrupt");
-      obs::TraceStream& tr = sim_.obs().trace;
+      obs::TraceStream& tr = transport_.obs().trace;
       if (tr.category_enabled("net")) {
         tr.instant("net", "net.drop_corrupt " + env.kind, env.to,
                    {{"from", env.from}});
@@ -392,10 +389,11 @@ void Network::deliver_now(const Envelope& env) {
       // stay equal to the Eq. (4)/(5) protocol counts.
       stats_.record_duplicate_delivered(env.kind, env.wire_bytes,
                                         env.payload_bytes);
-      sim_.obs().metrics.counter("net.delivered.dup.messages").add(1);
-      sim_.obs().metrics.counter("net.delivered.dup.bytes")
+      transport_.obs().metrics.counter("net.delivered.dup.messages").add(1);
+      transport_.obs()
+          .metrics.counter("net.delivered.dup.bytes")
           .add(env.wire_bytes);
-      obs::TraceStream& tr = sim_.obs().trace;
+      obs::TraceStream& tr = transport_.obs().trace;
       if (tr.category_enabled("net")) {
         tr.instant("net", "net.deliver_dup " + env.kind, env.to,
                    {{"from", env.from}, {"bytes", env.wire_bytes}});
@@ -405,10 +403,10 @@ void Network::deliver_now(const Envelope& env) {
       m_delivered_msgs_.add(1);
       m_delivered_bytes_.add(env.wire_bytes);
       m_delivered_payload_.add(env.payload_bytes);
-      sim_.obs()
+      transport_.obs()
           .metrics.counter("net.delivered.bytes." + env.kind)
           .add(env.wire_bytes);
-      obs::TraceStream& tr = sim_.obs().trace;
+      obs::TraceStream& tr = transport_.obs().trace;
       if (tr.category_enabled("net")) {
         tr.instant("net", "net.deliver " + env.kind, env.to,
                    {{"from", env.from}, {"bytes", env.wire_bytes}});
@@ -426,6 +424,22 @@ void Network::deliver_now(const Envelope& env) {
     return;
   }
   it->second->deliver(*msg);
+}
+
+void Network::transport_peer_up(PeerId peer) {
+  transport_.obs().metrics.counter("net.transport.peer_up").add(1);
+  obs::TraceStream& tr = transport_.obs().trace;
+  if (tr.category_enabled("net")) {
+    tr.instant("net", "net.peer_up", peer);
+  }
+}
+
+void Network::transport_peer_down(PeerId peer, const char* reason) {
+  transport_.obs().metrics.counter("net.transport.peer_down").add(1);
+  obs::TraceStream& tr = transport_.obs().trace;
+  if (tr.category_enabled("net")) {
+    tr.instant("net", std::string("net.peer_down ") + reason, peer);
+  }
 }
 
 void Network::crash(PeerId peer) {

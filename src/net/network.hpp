@@ -1,23 +1,40 @@
-// Simulated peer-to-peer message network.
+// Peer-to-peer message network: the protocol actors' façade over the
+// transport seam.
 //
-// Stands in for the paper's localhost TCP mesh shaped by `tc netem`:
-// every message is delivered after a configurable one-way latency
-// (default 15 ms, matching §VI-B1) through the discrete-event simulator.
-// The network is also the *measurement instrument* for the
+// Network owns the *policy* of message exchange — typed sends with
+// exact byte accounting, encode verification, fault injection (peer
+// crashes, blocked links, extra per-link delay, probabilistic
+// loss/duplication/reordering/corruption, named partitions) — and
+// delegates the *mechanics* (clock, timers, physically moving a frame)
+// to a net::Transport:
+//
+//  * backed by net::SimTransport it is the paper's localhost TCP mesh
+//    shaped by `tc netem`, reproduced on the deterministic simulator:
+//    every message is delivered after a configurable one-way latency
+//    (default 15 ms, matching §VI-B1) and the whole fault model above
+//    is available to the chaos engine in src/chaos;
+//  * backed by net::tcp::TcpTransport the same sends travel as
+//    length-prefixed canonical codec frames over real loopback sockets;
+//    the latency model is skipped (the kernel provides the real thing)
+//    and the stochastic fault draws that fire before transmission
+//    (loss, duplication) still apply, while in-flight modeling
+//    (reordering jitter, egress serialization) is meaningless and
+//    ignored.
+//
+// Either way the Network is the *measurement instrument* for the
 // communication-cost experiments (Figs. 13-14): every payload carries an
 // explicit wire size and the network keeps per-kind byte counters, so a
-// simulated aggregation can be checked byte-for-byte against the paper's
-// closed-form cost model. Fault injection (peer crashes, blocked links,
-// extra per-link delay, probabilistic loss/duplication/reordering, named
-// partitions) drives the recovery experiments of Figs. 10-12 and the
-// chaos engine in src/chaos.
+// run can be checked byte-for-byte against the paper's closed-form cost
+// model — including a real-socket run, which is exactly the
+// cross-validation the TCP backend exists for.
 #pragma once
 
 #include <any>
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -25,70 +42,19 @@
 
 #include "common/types.hpp"
 #include "net/codec.hpp"
+#include "net/envelope.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2pfl::net {
 
-/// One message on the wire. `body` is a typed payload (receivers access
-/// it through net::payload<T>); `wire_bytes` is the size accounted for
-/// cost analysis. When the network's encode-verify mode is on (the
-/// default) and a codec is registered for the kind, the charge is
-/// asserted against the real encoding at send time:
-///   wire_bytes == encoded-length + modeled_delta.
-struct Envelope {
-  PeerId from = kNoPeer;
-  PeerId to = kNoPeer;
-  std::string kind;
-  std::any body;
-  std::uint64_t wire_bytes = 0;
-  /// Model-data portion of wire_bytes, in the |w|-unit accounting of the
-  /// paper's Eq. (4)/(5) (0 for pure control messages). The closed-form
-  /// cost models count these bytes; wire_bytes additionally carries the
-  /// codec's framing overhead.
-  std::uint64_t payload_bytes = 0;
-  /// Bytes the charge models beyond the real encoding: experiments
-  /// simulate e.g. a 1.25M-parameter CNN (5 MB per transfer) while
-  /// computing on tiny vectors, so the charged wire size exceeds the
-  /// materialized encoding by exactly this declared amount (negative if
-  /// the modeled payload is smaller). 0 = the charge is byte-exact.
-  std::int64_t modeled_delta = 0;
-  /// Causal context (round id + span id). Stamped by the sender's
-  /// current span at send time when unset; in flight it names the
-  /// delivery's own link span (the parent chain lives in the recorder).
-  obs::SpanContext span;
-  /// Chaos-duplicated copy: delivered normally but accounted under a
-  /// distinct label so per-kind byte counts stay Eq. (4)/(5)-exact.
-  bool chaos_duplicate = false;
-  /// Incarnation of the destination peer this message was addressed to,
-  /// stamped by the network at send time. A crash bumps the target's
-  /// incarnation, so messages still in flight toward the dead process
-  /// are never delivered to its successor (dropped with reason
-  /// "stale_incarnation") — the property amnesia restarts rely on.
-  std::uint64_t dest_incarnation = 0;
-};
+class SimTransport;
 
 /// Protocol actors implement Endpoint to receive messages.
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
   virtual void deliver(const Envelope& env) = 0;
-};
-
-/// Charged sizes of one message: the full on-the-wire size, the
-/// |w|-unit model-data portion, and the declared modeled-payload delta
-/// (see the Envelope fields of the same names).
-struct WireSize {
-  std::uint64_t wire = 0;
-  std::uint64_t payload = 0;
-  std::int64_t modeled = 0;
-};
-
-/// A chaos-corrupted payload in flight: the message's real encoding with
-/// bits flipped or bytes truncated. The receiving side of the network
-/// decodes it through the codec registry — a surviving decode is
-/// delivered typed, a failing one is dropped with reason "corrupt".
-struct CorruptPayload {
-  Bytes wire;
 };
 
 /// Aggregate traffic counters, split by message kind.
@@ -134,6 +100,7 @@ struct LinkFaults {
   double duplicate_prob = 0.0;
   /// With probability reorder_prob a message picks up extra uniform
   /// latency in [0, reorder_jitter], letting later sends overtake it.
+  /// Simulator-only: a real transport's in-flight order is the wire's.
   double reorder_prob = 0.0;
   SimDuration reorder_jitter = 0;
   /// Probability a message's encoding has one random bit flipped in
@@ -155,6 +122,7 @@ struct LinkFaults {
 
 struct NetworkConfig {
   /// One-way delivery latency applied to every message (paper: 15 ms).
+  /// Simulator-only; a real transport's wire provides the latency.
   SimDuration base_latency = 15 * kMillisecond;
   /// Uniform jitter in [0, latency_jitter] added per message.
   SimDuration latency_jitter = 0;
@@ -172,18 +140,43 @@ struct NetworkConfig {
   /// the envelope's declared modeled_delta). On by default so every test
   /// run cross-checks the Eq. (4)/(5) byte accounting against real
   /// encodings; turn off only to send raw un-encodable bodies on
-  /// protocol kinds (some fault-injection tests do).
+  /// protocol kinds (some fault-injection tests do). On a
+  /// non-deterministic transport a codec is additionally *required*:
+  /// only canonical frames cross the seam.
   bool encode_verify = true;
 };
 
-class Network {
+class Network : public FrameSink {
  public:
-  Network(sim::Simulator& sim, NetworkConfig cfg = {});
+  /// Classic simulator-backed network: constructs and owns a
+  /// SimTransport over `sim`. Behaviorally identical to the pre-seam
+  /// Network — goldens pin this byte-for-byte.
+  explicit Network(sim::Simulator& sim, NetworkConfig cfg = {});
+
+  /// Seam constructor: run over any transport (the caller keeps
+  /// ownership and must outlive the network).
+  explicit Network(Transport& transport, NetworkConfig cfg = {});
+
+  ~Network() override;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  sim::Simulator& simulator() { return sim_; }
+  /// The transport behind the seam.
+  Transport& transport() { return transport_; }
+  /// Transport clock (virtual on sim, monotonic µs on TCP).
+  SimTime now() const { return transport_.now(); }
+  /// Metrics/trace/span bundle of the backing transport.
+  obs::Observability& obs() { return transport_.obs(); }
+  const obs::Observability& obs() const { return transport_.obs(); }
+  /// Root RNG of the backing transport (fork children from it).
+  Rng& rng() { return transport_.rng(); }
+
+  /// The simulator behind a sim-backed network. CHECK-fails on a real
+  /// transport — simulation-only layers (chaos engine, scale benches)
+  /// call this; protocol actors must use now()/obs()/rng() instead.
+  sim::Simulator& simulator();
+
   const NetworkConfig& config() const { return cfg_; }
 
   /// Register the handler for a peer. A peer must be attached before it
@@ -198,14 +191,44 @@ class Network {
   /// lost to a crash that happens while it is in flight.
   void send(Envelope env);
 
-  /// Convenience wrapper building the envelope (pure control message:
-  /// no model payload, byte-exact charge).
-  void send(PeerId from, PeerId to, std::string kind, std::any body,
-            std::uint64_t wire_bytes);
+  /// Typed convenience wrapper building the envelope (pure control
+  /// message: no model payload, byte-exact charge). The pre-PR-4
+  /// std::any-body overloads are retired: the body must be a concrete
+  /// message type, so every frame crossing the transport seam is a
+  /// canonical, codec-encodable value (raw-bodied envelopes for
+  /// simulator fault-injection tests can still be built by hand).
+  template <typename T>
+  void send(PeerId from, PeerId to, std::string kind, T body,
+            std::uint64_t wire_bytes) {
+    static_assert(!std::is_same_v<std::remove_cv_t<T>, std::any>,
+                  "untyped std::any bodies are retired; send the concrete "
+                  "message type so the frame stays canonical");
+    Envelope env;
+    env.from = from;
+    env.to = to;
+    env.kind = std::move(kind);
+    env.body = std::move(body);
+    env.wire_bytes = wire_bytes;
+    send(std::move(env));
+  }
 
-  /// Convenience wrapper carrying the full charged-size breakdown.
-  void send(PeerId from, PeerId to, std::string kind, std::any body,
-            const WireSize& size);
+  /// Typed convenience wrapper carrying the full charged-size breakdown.
+  template <typename T>
+  void send(PeerId from, PeerId to, std::string kind, T body,
+            const WireSize& size) {
+    static_assert(!std::is_same_v<std::remove_cv_t<T>, std::any>,
+                  "untyped std::any bodies are retired; send the concrete "
+                  "message type so the frame stays canonical");
+    Envelope env;
+    env.from = from;
+    env.to = to;
+    env.kind = std::move(kind);
+    env.body = std::move(body);
+    env.wire_bytes = size.wire;
+    env.payload_bytes = size.payload;
+    env.modeled_delta = size.modeled;
+    send(std::move(env));
+  }
 
   // --- fault injection -------------------------------------------------
   /// Crash a peer: it neither sends nor receives until restore().
@@ -258,36 +281,31 @@ class Network {
   const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  /// Pooled in-flight envelope records ever allocated (high-water of
-  /// simultaneously in-flight messages). Records are recycled through
-  /// an intrusive free list, so steady traffic allocates no new ones.
-  std::size_t envelope_pool_slots() const { return env_pool_.size(); }
+  /// Pooled in-flight envelope records ever allocated by a sim-backed
+  /// transport (high-water of simultaneously in-flight messages);
+  /// 0 on real transports, which do not pool.
+  std::size_t envelope_pool_slots() const;
+
+  // --- FrameSink (upcalls from the transport) ---------------------------
+  /// A frame arrived for a local peer: delivered-side accounting, chaos
+  /// corruption decode, incarnation/crash checks, endpoint dispatch.
+  void transport_deliver(Envelope& env) override;
+  void transport_peer_up(PeerId peer) override;
+  void transport_peer_down(PeerId peer, const char* reason) override;
 
  private:
+  Network(std::unique_ptr<Transport> owned, Transport* external,
+          NetworkConfig cfg);
+
   using Link = std::uint64_t;
   static Link link_key(PeerId from, PeerId to) {
     return (static_cast<Link>(from) << 32) | to;
   }
 
-  /// In-flight messages ride in a pooled record instead of being copied
-  /// into each delivery closure: the scheduled lambda captures only
-  /// (this, slot) — small enough for std::function's inline storage —
-  /// so a send costs no per-message function-node allocation and no
-  /// Envelope copy. `next_free` intrusively links free records.
-  struct PooledEnvelope {
-    Envelope env;
-    std::uint32_t next_free = kNoEnvSlot;
-  };
-  static constexpr std::uint32_t kNoEnvSlot = 0xffffffffu;
-
-  std::uint32_t acquire_envelope(Envelope&& env);
-  void deliver_pooled(std::uint32_t slot);
-
   SimDuration latency_for(PeerId from, PeerId to);
   const LinkFaults& faults_for(PeerId from, PeerId to,
                                const std::string& kind) const;
   void schedule_delivery(Envelope env, PeerId from, PeerId to);
-  void deliver_now(const Envelope& env);
   void count_drop(const char* reason);
   /// Encode-verify: charge must equal real encoding + modeled_delta.
   void verify_encoding(const Envelope& env) const;
@@ -296,7 +314,12 @@ class Network {
   /// must decode. No-op for kinds without a registered codec.
   void maybe_corrupt(Envelope& env, bool flip, bool truncate);
 
-  sim::Simulator& sim_;
+  /// Set for the legacy simulator constructor, which owns its transport.
+  std::unique_ptr<Transport> owned_transport_;
+  Transport& transport_;
+  /// Non-null when the transport is the deterministic simulator path
+  /// (envelope pool introspection); null on real transports.
+  SimTransport* sim_transport_ = nullptr;
   NetworkConfig cfg_;
   Rng rng_;
   /// Separate stream for stochastic faults so enabling chaos never
@@ -319,10 +342,6 @@ class Network {
   std::unordered_map<PeerId, int> partition_group_;
   /// Per-sender time at which its egress link becomes idle again.
   std::unordered_map<PeerId, SimTime> egress_free_at_;
-  /// Deque so records stay address-stable while a delivery handler
-  /// (which may send, acquiring fresh slots) holds a reference.
-  std::deque<PooledEnvelope> env_pool_;
-  std::uint32_t env_free_head_ = kNoEnvSlot;
   TrafficStats stats_;
 };
 

@@ -1,0 +1,100 @@
+#include "net/tcp/frame.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "net/codec.hpp"
+
+namespace p2pfl::net::tcp {
+
+Bytes encode_frame(const Envelope& env) {
+  const Codec* codec = CodecRegistry::global().find_kind(env.kind);
+  P2PFL_CHECK_MSG(codec != nullptr,
+                  "kind '" + env.kind +
+                      "' has no registered codec; only canonical frames "
+                      "may cross the TCP transport");
+  std::optional<Bytes> payload = codec->encode(env.body);
+  P2PFL_CHECK_MSG(payload.has_value(),
+                  "payload type does not match the codec for kind '" +
+                      env.kind + "'");
+  ByteWriter w;
+  w.u32(env.from);
+  w.u32(env.to);
+  w.str(env.kind);
+  w.u64(env.wire_bytes);
+  w.u64(env.payload_bytes);
+  w.u64(static_cast<std::uint64_t>(env.modeled_delta));
+  w.u64(env.dest_incarnation);
+  w.u64(env.span.round);
+  w.u64(env.span.span);
+  w.u8(env.chaos_duplicate ? 1 : 0);
+  w.blob(*payload);
+  return w.take();
+}
+
+std::optional<Envelope> decode_frame(const Bytes& body) {
+  ByteReader r(body);
+  Envelope env;
+  env.from = r.u32();
+  env.to = r.u32();
+  env.kind = r.str();
+  env.wire_bytes = r.u64();
+  env.payload_bytes = r.u64();
+  env.modeled_delta = static_cast<std::int64_t>(r.u64());
+  env.dest_incarnation = r.u64();
+  env.span.round = r.u64();
+  env.span.span = r.u64();
+  env.chaos_duplicate = r.u8() != 0;
+  const Bytes payload = r.blob();
+  if (!r.complete()) return std::nullopt;
+  const Codec* codec = CodecRegistry::global().find_kind(env.kind);
+  if (codec == nullptr) return std::nullopt;
+  std::optional<std::any> decoded = codec->decode(payload);
+  if (!decoded.has_value()) return std::nullopt;
+  env.body = std::move(*decoded);
+  return env;
+}
+
+void append_length_prefixed(Bytes& out, const Bytes& body) {
+  const std::uint32_t n = static_cast<std::uint32_t>(body.size());
+  out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((n >> 24) & 0xff));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+bool FrameAssembler::feed(const std::uint8_t* data, std::size_t n,
+                          const std::function<void(Bytes&&)>& on_frame) {
+  if (poisoned_) return false;
+  buf_.insert(buf_.end(), data, data + n);
+  for (;;) {
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < 4) break;
+    const std::uint8_t* p = buf_.data() + pos_;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len > max_frame_bytes_) {
+      poisoned_ = true;
+      return false;
+    }
+    if (avail < 4 + static_cast<std::size_t>(len)) break;
+    Bytes body(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+    pos_ += 4 + len;
+    on_frame(std::move(body));
+  }
+  // Compact once the consumed prefix dominates, keeping feed amortized
+  // O(bytes) without shifting the tail on every frame.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace p2pfl::net::tcp

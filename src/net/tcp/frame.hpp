@@ -1,0 +1,68 @@
+// Wire framing for the TCP transport.
+//
+// Every envelope crossing a socket travels as one length-prefixed frame:
+//
+//   [u32 LE body-length][frame body]
+//
+// where the frame body is a fixed little-endian header (routing ids,
+// kind, the Eq. (4)/(5) byte-accounting fields, span context, delivery
+// metadata) followed by the payload's canonical encoding from the
+// process-wide CodecRegistry — the same bytes the simulator's
+// encode-verify mode asserts against, which is what lets a loopback TCP
+// run be checked byte-for-byte against the closed-form cost model.
+//
+// FrameAssembler reassembles frames from an arbitrary stream chunking
+// (partial reads, coalesced frames, length prefixes split across reads)
+// and rejects oversized length prefixes before allocating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/serialize.hpp"
+#include "net/envelope.hpp"
+
+namespace p2pfl::net::tcp {
+
+/// Upper bound on one frame body; a larger length prefix is a protocol
+/// error (likely stream desync) and kills the connection.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Serialize the envelope into one frame body (header + canonical codec
+/// encoding of env.body). CHECK-fails when the kind has no registered
+/// codec or the body does not match it: only canonical frames travel.
+Bytes encode_frame(const Envelope& env);
+
+/// Strict inverse of encode_frame: decode the header, then the payload
+/// bytes through the kind's codec. nullopt on any malformed input —
+/// truncated header, unknown codec, codec rejection, trailing bytes.
+std::optional<Envelope> decode_frame(const Bytes& body);
+
+/// Append [u32 LE length][body] to `out`.
+void append_length_prefixed(Bytes& out, const Bytes& body);
+
+/// Incremental length-prefixed stream reassembler.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Feed one chunk of stream bytes. Invokes `on_frame` once per
+  /// completed frame body, in order. Returns false on protocol error
+  /// (length prefix exceeding the max) — the connection must be dropped,
+  /// the assembler is poisoned for further feeds.
+  bool feed(const std::uint8_t* data, std::size_t n,
+            const std::function<void(Bytes&&)>& on_frame);
+
+  /// Bytes buffered waiting for the rest of a frame.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::uint32_t max_frame_bytes_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace p2pfl::net::tcp

@@ -1,0 +1,53 @@
+#include "net/transport.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace p2pfl::net {
+
+Timer::Timer(Transport& transport, Callback cb, std::string name)
+    : transport_(transport),
+      cb_(std::move(cb)),
+      name_(std::move(name)),
+      fire_counter_(transport.obs().metrics.counter("sim.timer_fires")) {
+  P2PFL_CHECK(cb_ != nullptr);
+}
+
+Timer::~Timer() { cancel(); }
+
+void Timer::arm(SimDuration delay) {
+  cancel();
+  period_ = 0;
+  token_ = transport_.schedule_after(delay, [this] { fire(); });
+}
+
+void Timer::arm_periodic(SimDuration interval) {
+  P2PFL_CHECK(interval > 0);
+  cancel();
+  period_ = interval;
+  token_ = transport_.schedule_after(interval, [this] { fire(); });
+}
+
+void Timer::cancel() {
+  if (token_ != kNoTimerToken) {
+    transport_.cancel(token_);
+    token_ = kNoTimerToken;
+  }
+}
+
+void Timer::fire() {
+  token_ = kNoTimerToken;
+  fire_counter_.add(1);
+  obs::TraceStream& tr = transport_.obs().trace;
+  if (tr.category_enabled("sim")) {
+    tr.instant("sim", name_.empty() ? "timer" : name_, 0);
+  }
+  if (period_ > 0) {
+    // Re-arm before invoking the callback so the callback may cancel().
+    token_ = transport_.schedule_after(period_, [this] { fire(); });
+  }
+  cb_();
+}
+
+}  // namespace p2pfl::net

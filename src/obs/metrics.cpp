@@ -72,25 +72,30 @@ std::vector<double> Histogram::exponential_bounds(double start, double factor,
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return gauges_[name];
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second.value() : 0;
 }
 
 std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second.value() : 0;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, Histogram(std::move(bounds))).first;

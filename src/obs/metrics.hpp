@@ -1,17 +1,29 @@
 // Deterministic metrics registry: named counters, gauges and
 // fixed-bucket histograms.
 //
-// The registry is owned by the discrete-event Simulator, so every sample
-// is taken at a point in *virtual* time and two runs with the same seed
-// produce byte-identical metric dumps. Nothing in this module reads the
-// wall clock or any other ambient state. Metric objects are created on
-// first lookup and live as long as the registry; references returned by
-// counter()/gauge()/histogram() stay valid forever (node-based map), so
-// hot paths can cache them and skip the name lookup.
+// Under the discrete-event Simulator every sample is taken at a point in
+// *virtual* time and two runs with the same seed produce byte-identical
+// metric dumps. Nothing in this module reads the wall clock or any other
+// ambient state. Metric objects are created on first lookup and live as
+// long as the registry; references returned by counter()/gauge()/
+// histogram() stay valid forever (node-based map), so hot paths can
+// cache them and skip the name lookup.
+//
+// Thread safety (for the TCP transport, whose event-loop thread samples
+// while other threads may create/read): Counter and Gauge updates are
+// relaxed atomics, and registry creation/lookup is mutex-guarded — both
+// invisible to the single-threaded simulator path, whose golden dumps
+// stay byte-identical. Histograms stay unsynchronized: they are only
+// ever recorded from the owning callback thread (simulator caller or
+// TCP loop). The counters()/gauges()/histograms() iteration views are
+// safe only while no other thread is *creating* metrics — dump after
+// shutdown, or on the loop thread via TcpTransport::call.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,12 +32,16 @@ namespace p2pfl::obs {
 /// Monotonically increasing event count (messages sent, elections won…).
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time signed level (current leaders, pending events…).
@@ -34,13 +50,17 @@ class Counter {
 /// this parity).
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t d) { value_ += d; }
-  std::int64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket histogram with quantile queries.
@@ -113,6 +133,9 @@ class MetricsRegistry {
   }
 
  private:
+  /// Guards map creation/lookup only; the returned references are
+  /// stable and the metric objects synchronize themselves (atomics).
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

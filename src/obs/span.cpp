@@ -37,14 +37,15 @@ void SpanRecorder::evict_if_needed(std::uint64_t incoming_round) {
 
 SpanId SpanRecorder::open(SpanKind kind, std::string name, PeerId peer,
                           std::uint64_t round, SpanId parent) {
-  if (!enabled_) return kNoSpan;
+  if (!enabled()) return kNoSpan;
+  std::lock_guard<std::mutex> lock(mu_);
   evict_if_needed(round);
   std::vector<SpanId>& bucket = rounds_[round];
   if (bucket.size() >= max_spans_per_round_) {
     ++dropped_;
     return kNoSpan;
   }
-  if (parent == kNoSpan) parent = current();
+  if (parent == kNoSpan) parent = current_locked();
   const SpanId id = next_id_++;
   SpanRecord rec;
   rec.id = id;
@@ -62,6 +63,7 @@ SpanId SpanRecorder::open(SpanKind kind, std::string name, PeerId peer,
 
 void SpanRecorder::close(SpanId id, SpanId closed_by) {
   if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = spans_.find(id);
   if (it == spans_.end() || !it->second.open) return;
   it->second.open = false;
@@ -73,6 +75,7 @@ void SpanRecorder::close(SpanId id, SpanId closed_by) {
 
 void SpanRecorder::close_aborted(SpanId id) {
   if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = spans_.find(id);
   if (it == spans_.end() || !it->second.open) return;
   it->second.open = false;
@@ -82,15 +85,29 @@ void SpanRecorder::close_aborted(SpanId id) {
 
 void SpanRecorder::push(SpanId id) {
   if (id == kNoSpan) return;
-  const SpanRecord* rec = find(id);
-  stack_.emplace_back(id, rec != nullptr ? rec->round : 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spans_.find(id);
+  stack_.emplace_back(id, it != spans_.end() ? it->second.round : 0);
 }
 
 void SpanRecorder::pop() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!stack_.empty()) stack_.pop_back();
 }
 
+SpanId SpanRecorder::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_locked();
+}
+
+SpanContext SpanRecorder::current_ctx() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stack_.empty()) return {};
+  return {stack_.back().second, stack_.back().first};
+}
+
 const SpanRecord* SpanRecorder::find(SpanId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = spans_.find(id);
   return it == spans_.end() ? nullptr : &it->second;
 }
@@ -102,6 +119,7 @@ const std::vector<SpanId>* SpanRecorder::round_spans(
 }
 
 std::vector<std::uint64_t> SpanRecorder::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::uint64_t> out;
   out.reserve(rounds_.size());
   for (const auto& [r, ids] : rounds_) out.push_back(r);
@@ -109,6 +127,7 @@ std::vector<std::uint64_t> SpanRecorder::rounds() const {
 }
 
 void SpanRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
   rounds_.clear();
   stack_.clear();

@@ -33,10 +33,18 @@
 // default and costs one branch per call site; span ids are allocated
 // deterministically, so identical seeds produce byte-identical span
 // dumps.
+//
+// Recording is mutex-guarded so the TCP transport's event-loop thread
+// can record while another thread toggles enablement or reads sizes.
+// The current-span stack still assumes one *recording* thread at a time
+// — exactly what the transport seam guarantees by serializing all
+// protocol callbacks onto a single thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -95,8 +103,10 @@ class SpanRecorder {
   SpanRecorder(const SpanRecorder&) = delete;
   SpanRecorder& operator=(const SpanRecorder&) = delete;
 
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Flight-recorder bounds: rounds retained (round 0, the ambient
   /// bucket, is never evicted) and spans recorded per round.
@@ -114,16 +124,11 @@ class SpanRecorder {
   /// Close with the aborted flag (crash, supersession, abandonment).
   void close_aborted(SpanId id);
 
-  // --- current-span stack (single-threaded simulator) -------------------
+  // --- current-span stack (one callback thread at a time) ---------------
   void push(SpanId id);
   void pop();
-  SpanId current() const {
-    return stack_.empty() ? kNoSpan : stack_.back().first;
-  }
-  SpanContext current_ctx() const {
-    if (stack_.empty()) return {};
-    return {stack_.back().second, stack_.back().first};
-  }
+  SpanId current() const;
+  SpanContext current_ctx() const;
 
   // --- queries ----------------------------------------------------------
   const SpanRecord* find(SpanId id) const;
@@ -131,7 +136,10 @@ class SpanRecorder {
   const std::vector<SpanId>* round_spans(std::uint64_t round) const;
   /// Rounds currently retained, ascending.
   std::vector<std::uint64_t> rounds() const;
-  std::size_t size() const { return spans_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+  }
   /// Spans discarded by the per-round cap (ring evictions not counted).
   std::uint64_t dropped_spans() const { return dropped_; }
   /// Rounds evicted from the ring so far.
@@ -142,9 +150,16 @@ class SpanRecorder {
 
  private:
   void evict_if_needed(std::uint64_t incoming_round);
+  SpanId current_locked() const {
+    return stack_.empty() ? kNoSpan : stack_.back().first;
+  }
 
+  /// Guards recording state (spans_/rounds_/stack_/ids). The pointer-
+  /// returning queries (find, round_spans, all) are still only safe on
+  /// the recording thread or after the transport has shut down.
+  mutable std::mutex mu_;
   const SimTime* clock_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   SpanId next_id_ = 1;
   std::map<SpanId, SpanRecord> spans_;
   std::map<std::uint64_t, std::vector<SpanId>> rounds_;

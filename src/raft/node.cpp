@@ -26,10 +26,10 @@ RaftNode::RaftNode(PeerId id, std::string channel,
       opts_(opts),
       net_(net),
       host_(host),
-      rng_(net.simulator().rng().fork(0x7261'6674ULL ^ id)),
+      rng_(net.rng().fork(0x7261'6674ULL ^ id)),
       config_(initial_members_),
       election_timer_(
-          net.simulator(),
+          net.transport(),
           [this] {
             // Follower: suspects the leader is gone. Candidate: the
             // election reached no outcome. Either way, start (another)
@@ -38,7 +38,7 @@ RaftNode::RaftNode(PeerId id, std::string channel,
           },
           channel_ + ".election_timeout"),
       heartbeat_timer_(
-          net.simulator(),
+          net.transport(),
           [this] {
             if (running_ && role_ == Role::kLeader) broadcast_append();
           },
@@ -90,7 +90,7 @@ SimTime RaftNode::follower_last_contact(PeerId follower) const {
 bool RaftNode::quorum_contact_recent() const {
   if (!in_config()) return false;
   std::size_t fresh = 1;  // self
-  const SimTime now = net_.simulator().now();
+  const SimTime now = net_.now();
   for (const auto& [m, t] : follower_contact_) {
     if (m != id_ && now - t < opts_.election_timeout_min) ++fresh;
   }
@@ -112,9 +112,9 @@ void RaftNode::stop() {
   election_timer_.cancel();
   heartbeat_timer_.cancel();
   if (role_ == Role::kLeader) {
-    net_.simulator().obs().metrics.gauge("raft.leaders." + channel_).add(-1);
+    net_.obs().metrics.gauge("raft.leaders." + channel_).add(-1);
   }
-  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  obs::SpanRecorder& sr = net_.obs().spans;
   for (const auto& [idx, span] : replicate_spans_) sr.close_aborted(span);
   replicate_spans_.clear();
   role_ = Role::kFollower;
@@ -165,7 +165,7 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
   if (term > term_) {
     term_ = term;
     voted_for_ = kNoPeer;
-    net_.simulator().obs().metrics.counter("raft.term_bumps").add(1);
+    net_.obs().metrics.counter("raft.term_bumps").add(1);
   }
   role_ = Role::kFollower;
   prevote_phase_ = false;
@@ -180,7 +180,7 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
   if (was_leader) {
     P2PFL_DEBUG() << channel_ << " peer " << id_ << " stepped down (term "
                   << term_ << ")";
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     for (const auto& [idx, span] : replicate_spans_) {
       o.spans.close_aborted(span);
     }
@@ -237,7 +237,7 @@ void RaftNode::start_real_election() {
   votes_.insert(id_);
   leader_hint_ = kNoPeer;
   ++metrics_.elections_started;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("raft.elections_started").add(1);
   o.metrics.counter("raft.term_bumps").add(1);
   if (o.trace.category_enabled("raft")) {
@@ -259,7 +259,7 @@ void RaftNode::become_leader() {
   role_ = Role::kLeader;
   leader_hint_ = id_;
   ++metrics_.times_elected;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("raft.elections_won").add(1);
   o.metrics.gauge("raft.leaders." + channel_).add(1);
   if (o.trace.category_enabled("raft")) {
@@ -278,7 +278,7 @@ void RaftNode::become_leader() {
   for (PeerId p : config_) {
     next_index_[p] = log_.last_index() + 1;
     match_index_[p] = p == id_ ? log_.last_index() : 0;
-    if (p != id_) follower_contact_[p] = net_.simulator().now();
+    if (p != id_) follower_contact_[p] = net_.now();
   }
   // §5.4.2: a fresh leader cannot directly commit entries from previous
   // terms; appending a current-term no-op lets them commit transitively.
@@ -349,7 +349,7 @@ void RaftNode::handle_request_vote(const RequestVoteArgs& args) {
     reply.pre_vote = true;
     const bool heard_leader_recently =
         last_leader_contact_ >= 0 &&
-        net_.simulator().now() - last_leader_contact_ <
+        net_.now() - last_leader_contact_ <
             opts_.election_timeout_min;
     reply.vote_granted =
         role_ != Role::kLeader && !heard_leader_recently &&
@@ -368,7 +368,7 @@ void RaftNode::handle_request_vote(const RequestVoteArgs& args) {
   if (opts_.leader_stickiness) {
     const bool follower_sticky =
         role_ == Role::kFollower && last_leader_contact_ >= 0 &&
-        net_.simulator().now() - last_leader_contact_ <
+        net_.now() - last_leader_contact_ <
             opts_.election_timeout_min;
     const bool leader_sticky =
         role_ == Role::kLeader && quorum_contact_recent();
@@ -439,7 +439,7 @@ void RaftNode::handle_append_entries(const AppendEntriesArgs& args) {
     become_follower(args.term, args.leader);
   }
   leader_hint_ = args.leader;
-  last_leader_contact_ = net_.simulator().now();
+  last_leader_contact_ = net_.now();
   reply.term = term_;
   if (in_config()) reset_election_timer();
 
@@ -501,7 +501,7 @@ void RaftNode::handle_append_entries_reply(const AppendEntriesReply& reply) {
   if (role_ != Role::kLeader || reply.term != term_) return;
   auto nit = next_index_.find(reply.follower);
   if (nit == next_index_.end()) return;  // no longer a member
-  follower_contact_[reply.follower] = net_.simulator().now();
+  follower_contact_[reply.follower] = net_.now();
 
   if (reply.success) {
     match_index_[reply.follower] =
@@ -540,7 +540,7 @@ void RaftNode::advance_commit() {
 
 void RaftNode::apply_committed() {
   obs::Counter& applied_counter =
-      net_.simulator().obs().metrics.counter("raft.entries_applied");
+      net_.obs().metrics.counter("raft.entries_applied");
   while (applied_ < commit_) {
     ++applied_;
     const LogEntry& e = log_.at(applied_);
@@ -551,7 +551,7 @@ void RaftNode::apply_committed() {
       if (sit != replicate_spans_.end()) {
         // Credit the AppendEntries reply (or quorum-forming link) whose
         // arrival advanced the commit index past this entry.
-        obs::SpanRecorder& sr = net_.simulator().obs().spans;
+        obs::SpanRecorder& sr = net_.obs().spans;
         obs::SpanId closer = sr.current();
         if (closer == sit->second) closer = obs::kNoSpan;
         sr.close(sit->second, closer);
@@ -631,7 +631,7 @@ void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
     become_follower(args.term, args.leader);
   }
   leader_hint_ = args.leader;
-  last_leader_contact_ = net_.simulator().now();
+  last_leader_contact_ = net_.now();
   reply.term = term_;
   if (in_config()) reset_election_timer();
 
@@ -661,7 +661,7 @@ void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
     snapshot_state_ = args.app_state;
     commit_ = idx;
     applied_ = idx;
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("raft.snapshot_installs").add(1);
     if (o.trace.category_enabled("raft")) {
       o.trace.instant("raft", "raft.snapshot_install", id_,
@@ -683,7 +683,7 @@ void RaftNode::handle_install_snapshot_reply(
   if (role_ != Role::kLeader || reply.term != term_) return;
   auto it = next_index_.find(reply.follower);
   if (it == next_index_.end()) return;
-  follower_contact_[reply.follower] = net_.simulator().now();
+  follower_contact_[reply.follower] = net_.now();
   match_index_[reply.follower] =
       std::max(match_index_[reply.follower], reply.match_index);
   it->second = std::max(it->second, reply.match_index + 1);
@@ -712,7 +712,7 @@ void RaftNode::adopt_latest_config() {
       if (next_index_.count(p) == 0) {
         next_index_[p] = log_.last_index() + 1;
         match_index_[p] = 0;
-        follower_contact_[p] = net_.simulator().now();
+        follower_contact_[p] = net_.now();
       }
     }
     for (auto it = next_index_.begin(); it != next_index_.end();) {
@@ -743,7 +743,7 @@ std::optional<Index> RaftNode::propose(Bytes command) {
   log_.append(LogEntry{term_, EntryKind::kCommand, std::move(command)});
   const Index idx = log_.last_index();
   match_index_[id_] = idx;
-  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  obs::SpanRecorder& sr = net_.obs().spans;
   obs::SpanId rep = obs::kNoSpan;
   if (sr.enabled()) {
     // Propose -> applied-on-this-leader; the AppendEntries fan-out below

@@ -27,7 +27,7 @@
 #include "net/network.hpp"
 #include "raft/log.hpp"
 #include "raft/types.hpp"
-#include "sim/timer.hpp"
+#include "net/transport.hpp"
 
 namespace p2pfl::raft {
 
@@ -274,8 +274,8 @@ class RaftNode {
   /// has not been incremented yet).
   bool prevote_phase_ = false;
 
-  sim::Timer election_timer_;
-  sim::Timer heartbeat_timer_;
+  net::Timer election_timer_;
+  net::Timer heartbeat_timer_;
   RaftMetrics metrics_;
 };
 

@@ -26,10 +26,10 @@ SacPeer::SacPeer(PeerId id, std::string channel, SacActorOptions opts,
       opts_(opts),
       net_(net),
       host_(host),
-      rng_(net.simulator().rng().fork(0x7361'63ULL ^ (id * 2654435761ULL))),
-      share_timer_(net.simulator(), [this] { on_share_timer(); },
+      rng_(net.rng().fork(0x7361'63ULL ^ (id * 2654435761ULL))),
+      share_timer_(net.transport(), [this] { on_share_timer(); },
                    channel_ + ".share_timeout"),
-      subtotal_timer_(net.simulator(), [this] { on_subtotal_timer(); },
+      subtotal_timer_(net.transport(), [this] { on_subtotal_timer(); },
                       channel_ + ".subtotal_timeout") {
   wire::register_codecs(family_of(channel_));
   route_msg<SacShareMsg>(
@@ -78,7 +78,7 @@ SimDuration SacPeer::backoff(SimDuration base, std::size_t step) const {
 
 void SacPeer::halt() {
   if (round_) {
-    obs::SpanRecorder& sr = net_.simulator().obs().spans;
+    obs::SpanRecorder& sr = net_.obs().spans;
     sr.close_aborted(round_->share_span);
     sr.close_aborted(round_->subtotal_span);
   }
@@ -113,7 +113,7 @@ void SacPeer::begin_round(RoundId round, Vector model,
   st.got_share_from.assign(st.n, false);
   round_ = std::move(st);
 
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("sac.rounds_started").add(1);
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "sac.share_phase", id_,
@@ -196,7 +196,7 @@ void SacPeer::handle_share_request(const SacShareReq& msg) {
   }
   if (st.shares.empty()) return;  // never split in this round
   SacShareMsg out = make_share_bundle(msg.reply_to_pos, /*resend=*/true);
-  net_.simulator().obs().metrics.counter("sac.share_resends").add(1);
+  net_.obs().metrics.counter("sac.share_resends").add(1);
   const net::WireSize wire =
       wire::share_wire(out.parts.size(), st.share_bytes,
                        out.parts.front().second.size(), out.commit.size());
@@ -245,8 +245,7 @@ SacShareMsg SacPeer::make_share_bundle(std::size_t dest_pos, bool resend) {
     }
   }
   if (offset != 0.0f) {
-    net_.simulator()
-        .obs()
+    net_.obs()
         .metrics.counter(resend ? "byzantine.equivocations_sent"
                                 : "byzantine.inconsistent_bundles_sent")
         .add(1);
@@ -277,7 +276,7 @@ bool SacPeer::check_share_consistency(const SacShareMsg& msg) {
   }
   if (bad && st.peer_bad[from] == 0) {
     st.peer_bad[from] = 1;
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("byzantine.share_check_failed").add(1);
     if (o.trace.category_enabled("chaos")) {
       o.trace.instant("chaos", "byzantine.share_check_failed", id_,
@@ -347,7 +346,7 @@ bool SacPeer::note_bad(std::size_t pos) {
 void SacPeer::report_suspects(std::vector<std::size_t> newly) {
   if (newly.empty()) return;
   RoundState& st = *round_;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("byzantine.suspected")
       .add(static_cast<std::uint64_t>(newly.size()));
   if (o.trace.category_enabled("chaos")) {
@@ -402,7 +401,7 @@ void SacPeer::maybe_finish_share_phase() {
     st.echo_sent = true;
     send_commit_echo();
   }
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   if (o.trace.category_enabled("agg")) {
     o.trace.instant("agg", "sac.subtotal_phase", id_,
                     {{"channel", channel_}, {"round", st.round}});
@@ -421,7 +420,7 @@ void SacPeer::maybe_finish_share_phase() {
 void SacPeer::emit_subtotals() {
   RoundState& st = *round_;
   const std::size_t n = st.n;
-  obs::SpanRecorder& sr = net_.simulator().obs().spans;
+  obs::SpanRecorder& sr = net_.obs().spans;
   if (opts_.broadcast_subtotals) {
     // Alg. 2 line 7: broadcast the primary subtotal to every other peer.
     // Every peer waits for all n subtotals; the wait span is closed by
@@ -500,7 +499,7 @@ void SacPeer::maybe_complete() {
   st.completed = true;
   share_timer_.cancel();
   subtotal_timer_.cancel();
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   if (st.subtotal_span != obs::kNoSpan) {
     // Closed by the link that delivered the final subtotal (or nothing,
     // when the wait resolved synchronously at open).
@@ -522,7 +521,7 @@ void SacPeer::maybe_complete() {
 void SacPeer::on_share_timer() {
   if (!round_ || round_->share_phase_done || round_->completed) return;
   RoundState& st = *round_;
-  obs::Observability& o = net_.simulator().obs();
+  obs::Observability& o = net_.obs();
   ++st.share_retries;
   if (st.share_retries > opts_.share_retry_limit) {
     // Retry budget exhausted. The leader reports the positions that never
@@ -598,7 +597,7 @@ void SacPeer::request_missing_subtotals() {
   RoundState& st = *round_;
   // Alg. 4 recovery burst, fired from a timer (empty span stack): parent
   // explicitly onto the subtotal wait it is trying to resolve.
-  obs::ScopedSpan recovery_span(net_.simulator().obs().spans,
+  obs::ScopedSpan recovery_span(net_.obs().spans,
                                 obs::SpanKind::kRecovery,
                                 channel_ + "/recovery", id_, st.round,
                                 st.subtotal_span);
@@ -614,14 +613,14 @@ void SacPeer::request_missing_subtotals() {
         attempt >= holders.size() * opts_.recovery_passes) {
       P2PFL_WARN() << channel_ << " round " << st.round << ": subtotal "
                    << idx << " unrecoverable";
-      net_.simulator().obs().metrics.counter("sac.unrecoverable").add(1);
+      net_.obs().metrics.counter("sac.unrecoverable").add(1);
       if (on_unrecoverable) on_unrecoverable(st.round);
       return;
     }
     // Cycle through the replica holders, several passes: a holder that
     // was merely behind (or whose reply was lost) answers on a later one.
     const std::size_t target = holders[attempt % holders.size()];
-    obs::Observability& o = net_.simulator().obs();
+    obs::Observability& o = net_.obs();
     o.metrics.counter("sac.recovery_requests").add(1);
     if (o.trace.category_enabled("agg")) {
       o.trace.instant("agg", "sac.recovery_request", id_,

@@ -42,7 +42,7 @@
 #include "net/network.hpp"
 #include "robust/attack.hpp"
 #include "secagg/sac.hpp"
-#include "sim/timer.hpp"
+#include "net/transport.hpp"
 
 namespace p2pfl::secagg {
 
@@ -287,8 +287,8 @@ class SacPeer {
   /// Messages for rounds this peer has not begun yet (begin_round control
   /// and peer shares race over equal-latency links).
   std::vector<std::pair<RoundId, net::Envelope>> stash_;
-  sim::Timer share_timer_;
-  sim::Timer subtotal_timer_;
+  net::Timer share_timer_;
+  net::Timer subtotal_timer_;
 };
 
 }  // namespace p2pfl::secagg

@@ -6,7 +6,7 @@
 //                     [--transport=sim|tcp]
 //   p2pflctl cost     [--peers=N --n=K --k=K2 --params=P]
 //   p2pflctl health   [--peers=N --groups=m --timeout-ms=T --tolerance=F]
-//                     [--amnesia] [--seed=S]
+//                     [--amnesia] [--wal[=DIR]] [--seed=S]
 //   p2pflctl attack   [--peers=N --groups=m --attack=KIND --defense=RULE]
 //                     [--magnitude=M --strike-limit=K --loss=P --seed=S]
 //   p2pflctl recovery [--peers=N --groups=m --timeout-ms=T --crash=sub|fed]
@@ -17,6 +17,8 @@
 //                     [--corrupt=P --truncate=P]
 //                     [--churn-mttf=MS --churn-mttr=MS]
 //                     [--partition-at=MS --heal-at=MS --interval=MS]
+//                     [--transport=sim|tcp] [--wal=DIR]
+//                     [--kill-after-round=N] [--resume]
 //   p2pflctl explain  [same scenario flags as chaos, fault-free default]
 //                     [--round=N] [--out=BASE]
 //   p2pflctl watch    [same scenario flags as chaos, fault-free default]
@@ -34,12 +36,23 @@
 // `chaos` runs two-layer aggregation rounds under a scripted fault plan
 // (message loss, duplication, reordering, crash/restart churn and an
 // optional partition window) and checks that every committed round is
-// the exact average of its contributing peers. `health` exercises the
+// the exact average of its contributing peers. `chaos --transport=tcp`
+// moves the same self-healing scenario onto real loopback sockets with
+// WAL-backed Raft state in --wal=DIR: it injects a connection reset, a
+// bandwidth-throttle window and a crash/restart through the chaos
+// engine, then verifies the victim rejoined from its on-disk log with
+// zero InstallSnapshot RPCs. `--kill-after-round=N` SIGKILLs the whole
+// process mid-run (exit 137) so a second invocation with `--resume` can
+// prove every peer recovers from the write-ahead logs it left behind.
+// `health` exercises the
 // self-healing membership path end to end — stabilize, crash a peer,
 // watch it get suspected and evicted, restart it (optionally with
 // amnesia) and watch it rejoin — printing the live membership table at
 // each stage; exit status reflects whether the final state is fully
-// healed. `attack` turns one subgroup follower adversarial mid-run
+// healed. With `--wal[=DIR]` the cluster runs on persistent Raft
+// storage and the verdict reports whether the restarted peer replayed
+// its state from disk, plus the raft.*/chaos.transport.*/net.tcp.*
+// durability counters (these also land in the `--json` document). `attack` turns one subgroup follower adversarial mid-run
 // (inconsistent SAC shares by default; any robust::AttackKind by flag)
 // with Byzantine detection on, then reports the detection → strikes →
 // denounce → eviction chain and the membership table with its banned
@@ -63,11 +76,17 @@
 // codes are uniform across subcommands: 0 = healthy / contained /
 // passed, 1 = degraded / breach / failed, 2 = usage error (unknown
 // command, unknown flag value, unwritable output path).
+#include <dirent.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -75,6 +94,8 @@
 #include "bench/bench_util.hpp"
 #include "bench/json_util.hpp"
 #include "bench/obs_util.hpp"
+#include "chaos/engine.hpp"
+#include "chaos/plan.hpp"
 #include "chaos/soak.hpp"
 #include "core/fl_experiment.hpp"
 #include "core/system.hpp"
@@ -431,6 +452,46 @@ bool fully_healed(const core::HealthReport& hr) {
   return true;
 }
 
+/// Delete every regular file in `dir` (the flat layout raft::WalStorage
+/// uses). Missing directory is fine — it's created on first use.
+void wipe_wal_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    ::unlink((dir + "/" + e->d_name).c_str());
+  }
+  ::closedir(d);
+}
+
+/// Append the durability/fault-injection metrics sub-object to an open
+/// JSON document: every `raft.*` counter, every `chaos.transport.*`
+/// counter, and a summary of the `raft.recovery_ms` histogram. The
+/// names are exactly the registry names, so a dashboard can join this
+/// against a metrics JSONL dump.
+void durability_metrics_json(bench::JsonWriter& w,
+                             const obs::MetricsRegistry& metrics) {
+  w.key("metrics").object_begin();
+  for (const auto& [name, c] : metrics.counters()) {
+    if (name.rfind("raft.", 0) == 0 ||
+        name.rfind("chaos.transport.", 0) == 0 ||
+        name.rfind("net.tcp.", 0) == 0 ||
+        name.rfind("membership.", 0) == 0) {
+      w.field_u64(name, c.value());
+    }
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (name != "raft.recovery_ms" || h.count() == 0) continue;
+    w.key(name)
+        .object_begin()
+        .field_u64("count", h.count())
+        .field_double("mean", h.mean(), "%.3f")
+        .field_double("max", h.max(), "%.3f")
+        .object_end();
+  }
+  w.object_end();
+}
+
 int cmd_health(const bench::Args& args) {
   const std::size_t peers =
       static_cast<std::size_t>(args.get_int("peers", 12));
@@ -441,12 +502,22 @@ int cmd_health(const bench::Args& args) {
       static_cast<std::size_t>(args.get_int("tolerance", 1));
   const bool amnesia = args.has("amnesia");
   const bool json = args.has("json");
+  const bool wal = args.has("wal");
 
   sim::Simulator sim(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   net::Network net(sim, {.base_latency = 15 * kMillisecond});
   core::TwoLayerRaftOptions opts;
   opts.raft.election_timeout_min = T;
   opts.raft.election_timeout_max = 2 * T;
+  if (wal) {
+    // Crash-durable mode: every peer persists through a write-ahead
+    // log, so the restart below is a true process restart — the state
+    // comes back from disk, not from the surviving replicas.
+    std::string dir = args.get("wal", "");
+    if (dir.empty()) dir = "p2pflctl_health_wal";
+    wipe_wal_dir(dir);
+    opts.storage_dir = dir;
+  }
   core::TwoLayerRaftSystem sys(core::Topology::even(peers, groups), opts,
                                net);
 
@@ -461,13 +532,21 @@ int cmd_health(const bench::Args& args) {
     w.field_u64("peers", peers)
         .field_u64("groups", groups)
         .field_bool("amnesia", amnesia)
+        .field_bool("wal", wal)
         .key("victim");
     peer_or_null(w, victim);
+    w.key("recovered_from_wal");
+    if (victim == kNoPeer) {
+      w.value_raw("null");
+    } else {
+      w.value_bool(sys.subgroup_node(victim).recovered_from_storage());
+    }
     w.field_str("stage", stage)
         .field_bool("healed", ok)
         .field_double("evict_ms", evict_ms, "%.0f")
         .field_double("heal_ms", heal_ms, "%.0f");
     health_report_json(w, sys.health(tolerance));
+    durability_metrics_json(w, sim.obs().metrics);
     w.object_end();
     std::printf("%s\n", w.str().c_str());
     return ok ? 0 : 1;
@@ -538,6 +617,15 @@ int cmd_health(const bench::Args& args) {
     std::printf("\nself-healing: %s (evict %.0f ms after crash, heal %.0f "
                 "ms after restart)\n",
                 healed ? "OK" : "FAILED", evict_ms, heal_ms);
+    if (wal && victim != kNoPeer) {
+      std::printf("wal: peer %u %s from disk (raft.recoveries=%llu)\n",
+                  victim,
+                  sys.subgroup_node(victim).recovered_from_storage()
+                      ? "recovered"
+                      : "did NOT recover",
+                  static_cast<unsigned long long>(
+                      sim.obs().metrics.counter_value("raft.recoveries")));
+    }
   }
   return verdict("heal", healed);
 }
@@ -764,7 +852,223 @@ chaos::ChaosSoakConfig soak_config(const bench::Args& args,
   return cfg;
 }
 
+// `chaos --transport=tcp`: the self-healing chaos scenario over real
+// loopback sockets with crash-durable Raft state. Stabilize, then run a
+// scripted transport-fault plan (a connection reset, a slow-writer
+// throttle window) plus a crash that outlives the suspicion grace; the
+// victim is evicted, restarts from its write-ahead log and rejoins.
+//
+// `--kill-after-round=N` SIGKILLs the whole process the moment round N
+// completes (exit 137, nothing flushed gracefully) — re-running with
+// `--resume` over the same `--wal` directory must then recover every
+// peer from disk and heal. That pair of invocations is the crash-
+// recovery soak CI runs nightly.
+int cmd_chaos_tcp(const bench::Args& args) {
+  const std::size_t peers =
+      static_cast<std::size_t>(args.get_int("peers", 12));
+  const std::size_t groups =
+      static_cast<std::size_t>(args.get_int("groups", 3));
+  const std::size_t rounds =
+      static_cast<std::size_t>(args.get_int("rounds", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const long kill_after = args.get_int("kill-after-round", 0);
+  const bool resume = args.has("resume");
+  std::string wal_dir = args.get("wal", "");
+  if (wal_dir.empty()) wal_dir = "p2pflctl_chaos_wal";
+  if (groups == 0 || peers % groups != 0) {
+    std::fprintf(stderr, "tcp transport needs --peers divisible by --groups\n");
+    return 2;
+  }
+  if (!resume) wipe_wal_dir(wal_dir);
+
+  const core::Topology topo = core::Topology::even(peers, groups);
+  net::tcp::TcpTransport transport({.peers = topo.all_peers(), .seed = seed});
+  net::Network net(transport, {});
+
+  fl::SyntheticSpec spec;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 400;
+  spec.test_samples = 120;
+  spec.noise_scale = 0.6;
+  Rng data_rng(seed);
+  const fl::TrainTest data = fl::make_synthetic(spec, data_rng);
+  const fl::PeerIndices parts = fl::partition_iid(data.train, peers, data_rng);
+
+  core::SystemConfig cfg;
+  // Real-clock profile (see cmd_train_tcp), plus self-healing timing
+  // sized so an 8-second crash reliably outlives the suspicion grace.
+  cfg.raft.raft.election_timeout_min = 1 * kSecond;
+  cfg.raft.raft.election_timeout_max = 2 * kSecond;
+  cfg.raft.fedavg_presence_poll = 200 * kMillisecond;
+  cfg.raft.config_commit_interval = 500 * kMillisecond;
+  cfg.raft.suspicion_grace = 4 * kSecond;
+  cfg.raft.membership_poll = 500 * kMillisecond;
+  cfg.raft.rejoin_retry = 500 * kMillisecond;
+  cfg.raft.storage_dir = wal_dir;
+  cfg.agg.collect_timeout = 60 * kSecond;
+  cfg.agg.sac_share_timeout = 20 * kSecond;
+  cfg.agg.sac_subtotal_timeout = 20 * kSecond;
+  cfg.agg.upload_retry = 60 * kSecond;
+  cfg.agg.sac_dropout_tolerance = 1;
+  // Rounds tick every second, so the restarted victim refreshes its
+  // model from the next live round result; a catch-up pull would be
+  // answered with a deliberate snapshot push and muddy the
+  // zero-state-transfer verdict below.
+  cfg.catchup_retry = 60 * kSecond;
+  cfg.round_interval = 1 * kSecond;
+  cfg.train_duration = 50 * kMillisecond;
+  cfg.learning_rate = 3e-3f;
+  cfg.seed = seed;
+  core::P2pFlSystem sys(topo, cfg, net, data.train, data.test, parts,
+                        [] { return fl::Model::mlp(64, {16}); });
+
+  std::mutex mu;
+  std::size_t rounds_done = 0;
+  std::set<PeerId> rejoined;
+  sys.raft().on_peer_rejoined = [&](PeerId p) {
+    std::lock_guard<std::mutex> lock(mu);
+    rejoined.insert(p);
+  };
+  sys.on_round_complete = [&](std::uint64_t, const secagg::Vector&,
+                              std::size_t) {
+    std::size_t done;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = ++rounds_done;
+    }
+    if (kill_after > 0 && done == static_cast<std::size_t>(kill_after)) {
+      // The nightly crash soak: die NOW, mid-everything, with no
+      // graceful teardown. Whatever the WALs hold is the truth the
+      // --resume run must come back from.
+      std::printf("%zu rounds complete; SIGKILL (resume from %s)\n", done,
+                  wal_dir.c_str());
+      std::fflush(stdout);
+      ::raise(SIGKILL);
+    }
+  };
+
+  transport.start();
+  transport.call([&] { sys.start(); });
+
+  std::size_t recovered = 0;
+  transport.call([&] {
+    for (PeerId p : topo.all_peers()) {
+      recovered += sys.raft().subgroup_node(p).recovered_from_storage();
+    }
+  });
+  std::printf("chaos over TCP: %zu peers in %zu subgroups, wal %s, "
+              "%zu/%zu peers recovered from disk\n",
+              peers, groups, wal_dir.c_str(), recovered, peers);
+  if (resume && recovered == 0) {
+    std::fprintf(stderr, "--resume: no write-ahead state in %s\n",
+                 wal_dir.c_str());
+    transport.shutdown();
+    return 1;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto wait_until = [&](const std::function<bool()>& cond_on_loop,
+                        std::chrono::seconds budget) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    for (;;) {
+      bool ok = false;
+      transport.call([&] { ok = cond_on_loop(); });
+      if (ok) return true;
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  };
+
+  if (!wait_until([&] { return sys.raft().stabilized(); },
+                  std::chrono::seconds(60))) {
+    std::fprintf(stderr, "failed to stabilize\n");
+    transport.shutdown();
+    return 1;
+  }
+
+  // Pick a pure follower as the crash victim, then script the plan
+  // relative to the live clock: reset, throttle, crash past the
+  // suspicion grace, restart from the WAL.
+  PeerId victim = kNoPeer;
+  chaos::ChaosEngineHooks hooks;
+  hooks.crash = [&sys](PeerId p) { sys.crash_peer(p); };
+  hooks.restart = [&sys](PeerId p) { sys.restart_peer(p); };
+  std::optional<chaos::ChaosEngine> engine;
+  transport.call([&] {
+    for (PeerId p : topo.all_peers()) {
+      bool leads = p == sys.raft().fedavg_leader();
+      for (SubgroupId g = 0; g < groups; ++g) {
+        leads = leads || sys.raft().subgroup_leader(g) == p;
+      }
+      if (!leads) victim = p;  // keep the last: furthest from leaders
+    }
+    const SimTime now = transport.now();
+    chaos::ChaosPlan plan;
+    plan.conn_reset_at(now + 1 * kSecond, topo.group(0)[0],
+                       topo.group(0)[1]);
+    plan.throttle_window(now + 1 * kSecond, now + 3 * kSecond,
+                         topo.group(1)[1], /*bytes_per_sec=*/4'000'000);
+    plan.crash_at(now + 2 * kSecond, victim);
+    plan.restart_at(now + 10 * kSecond, victim);
+    engine.emplace(net, std::move(plan), hooks);
+    engine->start();
+  });
+  std::printf("plan: reset %u<->%u, throttle %u, crash+restart %u\n",
+              topo.group(0)[0], topo.group(0)[1],
+              topo.group(1)[1], victim);
+
+  const bool healed = wait_until(
+      [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        return rejoined.count(victim) > 0 && sys.raft().stabilized() &&
+               fully_healed(sys.raft().health(cfg.agg.sac_dropout_tolerance)) &&
+               rounds_done >= rounds;
+      },
+      std::chrono::seconds(120 + 3 * rounds));
+
+  std::size_t final_rounds;
+  bool victim_recovered = false;
+  std::uint64_t victim_snapshot_installs = 0;
+  transport.call([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    final_rounds = rounds_done;
+    victim_recovered =
+        sys.raft().subgroup_node(victim).recovered_from_storage();
+    victim_snapshot_installs =
+        sys.raft().subgroup_node(victim).metrics().snapshot_installs;
+  });
+  const obs::MetricsRegistry& m = transport.obs().metrics;
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "after %.1f s: %zu rounds, victim %u %s from wal "
+      "(snapshot installs %llu), conn resets %llu, throttle windows %llu, "
+      "outq drops %llu, evictions %llu, rejoins %llu\n",
+      elapsed_s, final_rounds, victim,
+      victim_recovered ? "recovered" : "rebuilt without wal",
+      static_cast<unsigned long long>(victim_snapshot_installs),
+      static_cast<unsigned long long>(
+          m.counter_value("chaos.transport.conn_resets")),
+      static_cast<unsigned long long>(
+          m.counter_value("chaos.transport.throttle_windows")),
+      static_cast<unsigned long long>(m.counter_value("net.tcp.outq_dropped")),
+      static_cast<unsigned long long>(m.counter_value("membership.evicted")),
+      static_cast<unsigned long long>(m.counter_value("membership.rejoined")));
+  transport.shutdown();
+
+  // Healed means: victim evicted and back in, every subgroup led, no
+  // standing suspicions — and the WAL restart really was a disk
+  // recovery with zero snapshot state transfer.
+  const bool ok = healed && victim_recovered && victim_snapshot_installs == 0;
+  std::printf("self-healing over TCP: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 int cmd_chaos(const bench::Args& args) {
+  if (args.get("transport", "sim") == "tcp") return cmd_chaos_tcp(args);
   chaos::ChaosSoakConfig cfg = soak_config(args, 0.05, 0.05);
   const long reorder_ms = args.get_int("reorder-ms", 0);
 

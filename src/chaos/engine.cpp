@@ -11,13 +11,29 @@ namespace p2pfl::chaos {
 ChaosEngine::ChaosEngine(net::Network& net, ChaosPlan plan,
                          ChaosEngineHooks hooks)
     : net_(net),
-      sim_(net.simulator()),
+      tr_(net.transport()),
       plan_(std::move(plan)),
       hooks_(std::move(hooks)),
-      rng_(sim_.rng().fork(0x6368'616f'7321ULL /*"chaos!"*/)) {
+      // net.rng() is the transport root — on the sim path the very same
+      // object sim_.rng() used to be, so the fork stream (and every
+      // golden trace derived from it) is unchanged.
+      rng_(net.rng().fork(0x6368'616f'7321ULL /*"chaos!"*/)) {
   if (!hooks_.crash) hooks_.crash = [this](PeerId p) { net_.crash(p); };
   if (!hooks_.restart) hooks_.restart = [this](PeerId p) { net_.restore(p); };
   if (!hooks_.restart_amnesia) hooks_.restart_amnesia = hooks_.restart;
+}
+
+net::FaultInjector& ChaosEngine::injector() {
+  if (!injector_) {
+    injector_ = std::make_unique<net::FaultInjector>(net_.obs());
+    tr_.set_fault_injector(injector_.get());
+  }
+  return *injector_;
+}
+
+void ChaosEngine::schedule_at(SimTime at, std::function<void()> fn) {
+  const SimTime now = tr_.now();
+  tr_.schedule_after(at > now ? at - now : 0, std::move(fn));
 }
 
 SimDuration ChaosEngine::exp_draw(SimDuration mean) {
@@ -31,7 +47,7 @@ SimDuration ChaosEngine::exp_draw(SimDuration mean) {
 void ChaosEngine::trace_fault(const char* name, std::uint32_t tid,
                               obs::TraceArgs args) {
   ++faults_injected_;
-  obs::Observability& o = sim_.obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter(std::string("chaos.") + name).add(1);
   if (o.trace.category_enabled("chaos")) {
     o.trace.instant("chaos", std::string("chaos.") + name, tid,
@@ -46,7 +62,7 @@ void ChaosEngine::redundant(const char* op, PeerId peer) {
   // the system under test, so record the redundancy and do nothing.
   // Deliberately not a fault: faults_injected_ stays untouched.
   ++redundant_faults_;
-  obs::Observability& o = sim_.obs();
+  obs::Observability& o = net_.obs();
   o.metrics.counter("chaos.redundant").add(1);
   if (o.trace.category_enabled("chaos")) {
     o.trace.instant("chaos", "chaos.redundant", peer, {{"op", op}});
@@ -82,24 +98,24 @@ void ChaosEngine::do_restart(PeerId peer, const char* cause, bool amnesia) {
 }
 
 void ChaosEngine::churn_fail(const ChurnSpec& spec, PeerId peer) {
-  if (sim_.now() >= spec.end) return;
+  if (tr_.now() >= spec.end) return;
   if (down_.count(peer) > 0 ||
       down_.size() >= spec.max_concurrent_down) {
     // Postpone: the peer is already down (explicit plan crash) or the
     // concurrency guard is saturated.
-    schedule_churn_failure(spec, peer, sim_.now() + exp_draw(spec.mttr));
+    schedule_churn_failure(spec, peer, tr_.now() + exp_draw(spec.mttr));
     return;
   }
   do_crash(peer, "churn");
-  const SimTime back_at = sim_.now() + exp_draw(spec.mttr);
-  sim_.schedule_at(back_at, [this, &spec, peer] {
+  const SimTime back_at = tr_.now() + exp_draw(spec.mttr);
+  schedule_at(back_at, [this, &spec, peer] {
     // Drawn only when requested so amnesia-free plans keep the exact
     // RNG sequence (and thus trace stream) they had before this knob.
     const bool amnesia =
         spec.amnesia_prob > 0 &&
         rng_.uniform(0.0, 1.0) < spec.amnesia_prob;
     do_restart(peer, "churn", amnesia);
-    const SimTime next_fail = sim_.now() + exp_draw(spec.mttf);
+    const SimTime next_fail = tr_.now() + exp_draw(spec.mttf);
     if (next_fail < spec.end) schedule_churn_failure(spec, peer, next_fail);
   });
 }
@@ -107,7 +123,7 @@ void ChaosEngine::churn_fail(const ChurnSpec& spec, PeerId peer) {
 void ChaosEngine::schedule_churn_failure(const ChurnSpec& spec, PeerId peer,
                                          SimTime at) {
   if (at >= spec.end) return;
-  sim_.schedule_at(at, [this, &spec, peer] { churn_fail(spec, peer); });
+  schedule_at(at, [this, &spec, peer] { churn_fail(spec, peer); });
 }
 
 void ChaosEngine::start() {
@@ -115,27 +131,27 @@ void ChaosEngine::start() {
   started_ = true;
 
   for (const CrashEvent& e : plan_.crashes()) {
-    sim_.schedule_at(e.at, [this, e] { do_crash(e.peer, "plan"); });
+    schedule_at(e.at, [this, e] { do_crash(e.peer, "plan"); });
   }
   for (const RestartEvent& e : plan_.restarts()) {
-    sim_.schedule_at(e.at,
+    schedule_at(e.at,
                      [this, e] { do_restart(e.peer, "plan", e.amnesia); });
   }
   for (const PartitionEvent& e : plan_.partitions()) {
-    sim_.schedule_at(e.at, [this, &e] {
+    schedule_at(e.at, [this, &e] {
       net_.partition(e.groups);
       trace_fault("partition", 0,
                   {{"groups", static_cast<std::uint64_t>(e.groups.size())}});
     });
     if (e.heal_at > 0) {
-      sim_.schedule_at(e.heal_at, [this] {
+      schedule_at(e.heal_at, [this] {
         net_.heal();
         trace_fault("heal", 0, {});
       });
     }
   }
   for (const SlowGroupEvent& e : plan_.slow_groups()) {
-    sim_.schedule_at(e.at, [this, &e] {
+    schedule_at(e.at, [this, &e] {
       for (PeerId s : e.peers) {
         for (PeerId o : e.universe) {
           if (o == s) continue;
@@ -148,7 +164,7 @@ void ChaosEngine::start() {
                    {"peers", static_cast<std::uint64_t>(e.peers.size())}});
     });
     if (e.clear_at > 0) {
-      sim_.schedule_at(e.clear_at, [this, &e] {
+      schedule_at(e.clear_at, [this, &e] {
         for (PeerId s : e.peers) {
           for (PeerId o : e.universe) {
             if (o == s) continue;
@@ -162,7 +178,7 @@ void ChaosEngine::start() {
     }
   }
   for (const FaultWindowEvent& e : plan_.fault_windows()) {
-    sim_.schedule_at(e.at, [this, &e] {
+    schedule_at(e.at, [this, &e] {
       saved_defaults_ = net_.config().faults;
       net_.set_default_faults(e.faults);
       trace_fault("fault_window", 0,
@@ -171,7 +187,7 @@ void ChaosEngine::start() {
                    {"reorder", e.faults.reorder_prob}});
     });
     if (e.clear_at > 0) {
-      sim_.schedule_at(e.clear_at, [this] {
+      schedule_at(e.clear_at, [this] {
         net_.set_default_faults(saved_defaults_);
         trace_fault("fault_window_clear", 0, {});
       });
@@ -179,7 +195,7 @@ void ChaosEngine::start() {
   }
   for (const ByzantineSpec& spec : plan_.byzantines()) {
     P2PFL_CHECK_MSG(!spec.peers.empty(), "byzantine spec without peers");
-    sim_.schedule_at(spec.start, [this, &spec] {
+    schedule_at(spec.start, [this, &spec] {
       for (PeerId p : spec.peers) {
         registry_.activate(p, spec.attack);
         ++byzantine_activations_;
@@ -190,7 +206,7 @@ void ChaosEngine::start() {
       }
     });
     if (spec.end > 0) {
-      sim_.schedule_at(spec.end, [this, &spec] {
+      schedule_at(spec.end, [this, &spec] {
         for (PeerId p : spec.peers) {
           registry_.deactivate(p);
           trace_fault("byzantine_end", p, {});
@@ -206,6 +222,71 @@ void ChaosEngine::start() {
       schedule_churn_failure(spec, p, spec.start + exp_draw(spec.mttf));
     }
   }
+
+  // Transport-native faults, scheduled after every legacy event type so
+  // pre-PR plans keep their exact event insertion order (and goldens).
+  // Install the injector up front: its windows must be ready before the
+  // first event fires, and creating it inside a TCP loop-thread callback
+  // would race the off-thread send_frame path.
+  if (!plan_.conn_resets().empty() || !plan_.stall_windows().empty() ||
+      !plan_.throttle_windows().empty() ||
+      !plan_.reconnect_storms().empty()) {
+    injector();
+  }
+  for (const ConnResetEvent& e : plan_.conn_resets()) {
+    schedule_at(e.at,
+                [this, e] { do_conn_reset(e.a, e.b, e.sim_outage); });
+  }
+  for (const StallWindowEvent& e : plan_.stall_windows()) {
+    P2PFL_CHECK(e.until > e.at);
+    schedule_at(e.at, [this, e] {
+      if (e.bidirectional) {
+        injector().stall_pair(e.from, e.to, e.until);
+      } else {
+        injector().stall_link(e.from, e.to, e.until);
+      }
+      trace_fault("transport.stall", e.from,
+                  {{"to", static_cast<std::uint64_t>(e.to)},
+                   {"until_us", e.until}});
+    });
+  }
+  for (const ThrottleWindowEvent& e : plan_.throttle_windows()) {
+    P2PFL_CHECK(e.until > e.at);
+    P2PFL_CHECK(e.bytes_per_sec > 0);
+    schedule_at(e.at, [this, e] {
+      injector().throttle_peer(e.peer, e.bytes_per_sec, e.until);
+      trace_fault("transport.throttle", e.peer,
+                  {{"bytes_per_sec", e.bytes_per_sec},
+                   {"until_us", e.until}});
+    });
+  }
+  for (const ReconnectStormEvent& e : plan_.reconnect_storms()) {
+    P2PFL_CHECK_MSG(e.pairs.size() >= 2 && e.pairs.size() % 2 == 0,
+                    "reconnect storm needs a flattened pair list");
+    P2PFL_CHECK(e.period > 0);
+    P2PFL_CHECK(e.until > e.at);
+    schedule_at(e.at, [this, &e] { storm_tick(e); });
+  }
+}
+
+void ChaosEngine::do_conn_reset(PeerId a, PeerId b, SimDuration sim_outage) {
+  if (tr_.deterministic()) {
+    // The simulator has no connections to tear down; model the reconnect
+    // outage as a bidirectional stall of the modeled duration.
+    injector().stall_pair(a, b, tr_.now() + sim_outage);
+  } else {
+    tr_.inject_connection_reset(a, b);
+  }
+  trace_fault("transport.conn_reset", a,
+              {{"peer_b", static_cast<std::uint64_t>(b)}});
+}
+
+void ChaosEngine::storm_tick(const ReconnectStormEvent& e) {
+  if (tr_.now() >= e.until) return;
+  for (std::size_t i = 0; i + 1 < e.pairs.size(); i += 2) {
+    do_conn_reset(e.pairs[i], e.pairs[i + 1], e.sim_outage);
+  }
+  schedule_at(tr_.now() + e.period, [this, &e] { storm_tick(e); });
 }
 
 }  // namespace p2pfl::chaos

@@ -1,13 +1,21 @@
-// Deterministic executor for ChaosPlans.
+// Executor for ChaosPlans over the transport seam.
 //
-// The engine turns a declarative plan into simulator events: every
-// crash, restart, partition, heal and fault window becomes one event on
-// the discrete-event queue, every injected fault is counted in the
-// metrics registry (`chaos.*`) and emitted to the trace stream
-// (category "chaos"), and every stochastic draw (churn timings) comes
-// from an RNG forked off the simulator's root — so two runs with the
-// same (seed, plan) produce byte-identical trace streams while
-// different seeds diverge.
+// The engine turns a declarative plan into transport timer events: every
+// crash, restart, partition, heal and fault window becomes one scheduled
+// callback, every injected fault is counted in the metrics registry
+// (`chaos.*`) and emitted to the trace stream (category "chaos"), and
+// every stochastic draw (churn timings) comes from an RNG forked off the
+// transport's root. On the deterministic simulator those timers are
+// discrete events on the virtual clock, so two runs with the same
+// (seed, plan) produce byte-identical trace streams while different
+// seeds diverge; on TCP the same plan fires on the monotonic clock and
+// the loop thread, so one plan exercises both backends.
+//
+// Transport-native faults (connection resets, half-open stall windows,
+// slow-writer throttling, reconnect storms) execute through a
+// net::FaultInjector the engine owns and installs lazily on the
+// transport — plans without transport faults never create it, keeping
+// legacy metric registries and goldens untouched.
 //
 // Crashing a protocol peer usually involves more than silencing its
 // links (Raft nodes must stop, timers must be cancelled), so the engine
@@ -16,9 +24,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 
 #include "chaos/plan.hpp"
+#include "net/fault_injector.hpp"
 #include "net/network.hpp"
 
 namespace p2pfl::chaos {
@@ -47,9 +57,14 @@ class ChaosEngine {
   ChaosEngine(const ChaosEngine&) = delete;
   ChaosEngine& operator=(const ChaosEngine&) = delete;
 
-  /// Schedule every plan event on the simulator. Call once; events in
-  /// the past (at <= now) fire on the next simulator step.
+  /// Schedule every plan event on the transport. Call once; events in
+  /// the past (at <= now) fire on the next transport step.
   void start();
+
+  /// The transport-fault injector, created and installed on the
+  /// transport on first use. Tests may open stall/throttle windows on it
+  /// directly; plan events go through it automatically.
+  net::FaultInjector& injector();
 
   // --- observation -------------------------------------------------------
   std::size_t faults_injected() const { return faults_injected_; }
@@ -79,13 +94,20 @@ class ChaosEngine {
   void trace_fault(const char* name, std::uint32_t tid,
                    obs::TraceArgs args);
   SimDuration exp_draw(SimDuration mean);
+  /// schedule_after(at - now), clamped so past events fire immediately.
+  void schedule_at(SimTime at, std::function<void()> fn);
+  void do_conn_reset(PeerId a, PeerId b, SimDuration sim_outage);
+  void storm_tick(const ReconnectStormEvent& e);
 
   net::Network& net_;
-  sim::Simulator& sim_;
+  net::Transport& tr_;
   ChaosPlan plan_;
   ChaosEngineHooks hooks_;
   Rng rng_;
   robust::ByzantineRegistry registry_;
+  /// Lazily created so plans without transport faults register no
+  /// chaos.transport.* counters (pre-PR metric dumps stay identical).
+  std::unique_ptr<net::FaultInjector> injector_;
   std::set<PeerId> down_;
   net::LinkFaults saved_defaults_;
   std::size_t faults_injected_ = 0;

@@ -82,6 +82,51 @@ struct ChurnSpec {
   double amnesia_prob = 0.0;
 };
 
+/// Forcibly reset the connection between two peers at `at`, as if the
+/// kernel sent RST. On TCP the transport tears the sockets down and
+/// reconnects with (jittered) backoff; the deterministic simulator has
+/// no connections, so the engine models the same outage as a
+/// bidirectional stall of `sim_outage`.
+struct ConnResetEvent {
+  SimTime at = 0;
+  PeerId a = kNoPeer;
+  PeerId b = kNoPeer;
+  /// Modeled reconnect outage on the sim path (≈ min backoff + RTT).
+  SimDuration sim_outage = 30 * kMillisecond;
+};
+
+/// Half-open stall: frames from->to are silently held during
+/// [at, until) — the sender perceives an alive peer that never answers.
+/// `bidirectional` stalls both directions (a fully wedged link).
+struct StallWindowEvent {
+  SimTime at = 0;
+  SimTime until = 0;
+  PeerId from = kNoPeer;
+  PeerId to = kNoPeer;
+  bool bidirectional = false;
+};
+
+/// Clamp one peer's egress to `bytes_per_sec` during [at, until) — the
+/// slow-writer scenario (an overloaded or badly-connected peer).
+struct ThrottleWindowEvent {
+  SimTime at = 0;
+  SimTime until = 0;
+  PeerId peer = kNoPeer;
+  std::uint64_t bytes_per_sec = 0;
+};
+
+/// Reconnect storm: every `period` during [at, until), reset the
+/// connections between consecutive `pairs` entries (a flapping switch
+/// forcing the mesh through its reconnect path over and over).
+struct ReconnectStormEvent {
+  SimTime at = 0;
+  SimTime until = 0;
+  SimDuration period = 100 * kMillisecond;
+  /// Flattened pair list: {a0,b0, a1,b1, ...}.
+  std::vector<PeerId> pairs;
+  SimDuration sim_outage = 30 * kMillisecond;
+};
+
 /// Turn `peers` adversarial during [start, end): the engine activates
 /// the given attack in the run's ByzantineRegistry at `start` and
 /// deactivates it at `end` (0 = stay adversarial forever). Which lies
@@ -141,6 +186,25 @@ class ChaosPlan {
     byzantines_.push_back({start, end, std::move(peers), attack});
     return *this;
   }
+  ChaosPlan& conn_reset_at(SimTime t, PeerId a, PeerId b,
+                           SimDuration sim_outage = 30 * kMillisecond) {
+    conn_resets_.push_back({t, a, b, sim_outage});
+    return *this;
+  }
+  ChaosPlan& stall_window(SimTime at, SimTime until, PeerId from, PeerId to,
+                          bool bidirectional = false) {
+    stall_windows_.push_back({at, until, from, to, bidirectional});
+    return *this;
+  }
+  ChaosPlan& throttle_window(SimTime at, SimTime until, PeerId peer,
+                             std::uint64_t bytes_per_sec) {
+    throttle_windows_.push_back({at, until, peer, bytes_per_sec});
+    return *this;
+  }
+  ChaosPlan& reconnect_storm(ReconnectStormEvent e) {
+    reconnect_storms_.push_back(std::move(e));
+    return *this;
+  }
 
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
   const std::vector<RestartEvent>& restarts() const { return restarts_; }
@@ -155,11 +219,25 @@ class ChaosPlan {
   }
   const std::vector<ChurnSpec>& churns() const { return churns_; }
   const std::vector<ByzantineSpec>& byzantines() const { return byzantines_; }
+  const std::vector<ConnResetEvent>& conn_resets() const {
+    return conn_resets_;
+  }
+  const std::vector<StallWindowEvent>& stall_windows() const {
+    return stall_windows_;
+  }
+  const std::vector<ThrottleWindowEvent>& throttle_windows() const {
+    return throttle_windows_;
+  }
+  const std::vector<ReconnectStormEvent>& reconnect_storms() const {
+    return reconnect_storms_;
+  }
 
   bool empty() const {
     return crashes_.empty() && restarts_.empty() && partitions_.empty() &&
            slow_groups_.empty() && fault_windows_.empty() &&
-           churns_.empty() && byzantines_.empty();
+           churns_.empty() && byzantines_.empty() && conn_resets_.empty() &&
+           stall_windows_.empty() && throttle_windows_.empty() &&
+           reconnect_storms_.empty();
   }
 
  private:
@@ -170,6 +248,10 @@ class ChaosPlan {
   std::vector<FaultWindowEvent> fault_windows_;
   std::vector<ChurnSpec> churns_;
   std::vector<ByzantineSpec> byzantines_;
+  std::vector<ConnResetEvent> conn_resets_;
+  std::vector<StallWindowEvent> stall_windows_;
+  std::vector<ThrottleWindowEvent> throttle_windows_;
+  std::vector<ReconnectStormEvent> reconnect_storms_;
 };
 
 }  // namespace p2pfl::chaos

@@ -1,5 +1,7 @@
 #include "core/two_layer_raft.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 
 #include "common/check.hpp"
@@ -73,6 +75,9 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
                                        net::Network& net)
     : topology_(std::move(topology)), opts_(opts), net_(net) {
   wire::register_codecs();
+  if (!opts_.storage_dir.empty()) {
+    ::mkdir(opts_.storage_dir.c_str(), 0755);  // EEXIST is fine
+  }
   const auto designated = topology_.designated_leaders();
   for (PeerId id : topology_.all_peers()) {
     auto peer = std::make_unique<Peer>();
@@ -117,15 +122,35 @@ TwoLayerRaftSystem::TwoLayerRaftSystem(Topology topology,
       // experiments start from). Later elections are fully randomized.
       sg_opts.initial_election_timeout = opts_.raft.election_timeout_min / 2;
     }
-    peer->sg_node = std::make_unique<raft::RaftNode>(
-        id, subgroup_channel(peer->subgroup),
-        topology_.group(peer->subgroup), sg_opts, net_, peer->host);
-    wire_subgroup_node(*peer);
+    make_sg_node(*peer, topology_.group(peer->subgroup), sg_opts);
     // Designated bootstrap representatives are FedAvg members from t=0.
     if (is_designated) {
       ensure_fed_node(*peer);
     }
   }
+}
+
+std::string TwoLayerRaftSystem::sg_storage_prefix(const Peer& p) const {
+  return opts_.storage_dir + "/peer" + std::to_string(p.id) + "_sg" +
+         std::to_string(p.subgroup);
+}
+
+std::string TwoLayerRaftSystem::fed_storage_prefix(const Peer& p) const {
+  return opts_.storage_dir + "/peer" + std::to_string(p.id) + "_fed";
+}
+
+void TwoLayerRaftSystem::make_sg_node(Peer& p, std::vector<PeerId> config,
+                                      raft::RaftOptions sg_opts) {
+  if (!opts_.storage_dir.empty() && !p.sg_storage) {
+    p.sg_storage = std::make_unique<raft::WalStorage>(sg_storage_prefix(p));
+  }
+  // Destroy any predecessor instance first: its destructor unroutes the
+  // subgroup channels the replacement is about to register.
+  p.sg_node.reset();
+  p.sg_node = std::make_unique<raft::RaftNode>(
+      p.id, subgroup_channel(p.subgroup), std::move(config), sg_opts, net_,
+      p.host, p.sg_storage.get());
+  wire_subgroup_node(p);
 }
 
 TwoLayerRaftSystem::~TwoLayerRaftSystem() {
@@ -185,33 +210,44 @@ void TwoLayerRaftSystem::wire_subgroup_node(Peer& p) {
   };
 }
 
+void TwoLayerRaftSystem::make_fed_node(Peer& p) {
+  raft::RaftOptions fed_opts = opts_.raft;
+  fed_opts.compaction_threshold = opts_.log_compaction_threshold;
+  if (!opts_.storage_dir.empty() && !p.fed_storage) {
+    p.fed_storage = std::make_unique<raft::WalStorage>(fed_storage_prefix(p));
+  }
+  p.fed_node.reset();  // unroute any predecessor first
+  p.fed_node = std::make_unique<raft::RaftNode>(
+      p.id, kFedChannel, p.known_fed_cfg, fed_opts, net_, p.host,
+      p.fed_storage.get());
+  p.fed_node->on_become_leader = [this, &p] {
+    P2PFL_DEBUG() << "peer " << p.id << " became FedAvg-layer leader";
+    if (on_fedavg_leader) on_fedavg_leader(p.id);
+  };
+  p.fed_node->on_config_adopted = [this, &p](const std::vector<PeerId>& cfg) {
+    // Track the layer's membership for subgroup-log commits.
+    p.known_fed_cfg = cfg;
+    const bool member = std::find(cfg.begin(), cfg.end(), p.id) != cfg.end();
+    if (member) {
+      check_join_complete(p);
+    } else if (p.sg_node->is_leader() && !net_.crashed(p.id)) {
+      // The layer evicted this representative while it was out (e.g.
+      // the fed supervisor saw it silent during a crash window it has
+      // since recovered from): run the §V-B1 join handshake again.
+      p.announced_join = false;
+      send_join_request(p);
+    }
+  };
+}
+
 void TwoLayerRaftSystem::ensure_fed_node(Peer& p) {
   if (!p.fed_node) {
-    raft::RaftOptions fed_opts = opts_.raft;
-    fed_opts.compaction_threshold = opts_.log_compaction_threshold;
-    p.fed_node = std::make_unique<raft::RaftNode>(
-        p.id, kFedChannel, p.known_fed_cfg, fed_opts, net_, p.host);
-    p.fed_node->on_become_leader = [this, &p] {
-      P2PFL_DEBUG() << "peer " << p.id << " became FedAvg-layer leader";
-      if (on_fedavg_leader) on_fedavg_leader(p.id);
-    };
-    p.fed_node->on_config_adopted = [this,
-                                     &p](const std::vector<PeerId>& cfg) {
-      // Track the layer's membership for subgroup-log commits.
-      p.known_fed_cfg = cfg;
-      const bool member =
-          std::find(cfg.begin(), cfg.end(), p.id) != cfg.end();
-      if (member) {
-        check_join_complete(p);
-      } else if (p.sg_node->is_leader() && !net_.crashed(p.id)) {
-        // The layer evicted this representative while it was out (e.g.
-        // the fed supervisor saw it silent during a crash window it has
-        // since recovered from): run the §V-B1 join handshake again.
-        p.announced_join = false;
-        send_join_request(p);
-      }
-    };
-    p.fed_node->start();
+    make_fed_node(p);
+    if (p.fed_node->recovered_from_storage()) {
+      p.fed_node->restart();
+    } else {
+      p.fed_node->start();
+    }
   } else if (!p.fed_node->running()) {
     p.fed_node->restart();
   }
@@ -770,7 +806,14 @@ HealthReport TwoLayerRaftSystem::health(
 
 void TwoLayerRaftSystem::start_all() {
   for (auto& [id, peer] : peers_) {
-    peer->sg_node->start();
+    if (peer->sg_node->recovered_from_storage()) {
+      // The WAL carried state from a previous process: resume from it
+      // (restart fires the snapshot-install/config hooks) instead of
+      // booting a fresh term-0 follower.
+      peer->sg_node->restart();
+    } else {
+      peer->sg_node->start();
+    }
     if (opts_.self_healing) {
       peer->sg_contact_mark = net_.now();
       peer->fed_contact_mark = net_.now();
@@ -792,13 +835,43 @@ void TwoLayerRaftSystem::crash_peer(PeerId peer) {
   abort_rejoin(p);
 }
 
+void TwoLayerRaftSystem::rebuild_from_storage(Peer& p) {
+  raft::RaftOptions sg_opts = opts_.raft;
+  sg_opts.compaction_threshold = opts_.log_compaction_threshold;
+  make_sg_node(p, topology_.group(p.subgroup), sg_opts);
+  if (p.sg_node->recovered_from_storage()) {
+    p.sg_node->restart();
+  } else {
+    // WAL was empty or unusable: amnesia fallback — a blank follower
+    // that waits to be configured back in.
+    p.sg_node->start();
+  }
+  // The FedAvg instance comes back only if it left durable state; a
+  // representative without one is recreated on its next leadership.
+  p.fed_node.reset();
+  if (p.fed_storage) {
+    make_fed_node(p);
+    if (p.fed_node->recovered_from_storage()) {
+      p.fed_node->restart();
+    } else {
+      p.fed_node.reset();
+    }
+  }
+}
+
 void TwoLayerRaftSystem::restart_peer(PeerId peer) {
   Peer& p = peer_ref(peer);
   net_.restore(peer);
-  p.sg_node->restart();
-  // A previous FedAvg instance comes back passively; if the layer has
-  // already replaced this peer it simply never campaigns again.
-  if (p.fed_node) p.fed_node->restart();
+  if (p.sg_storage) {
+    // Durable mode models a full process restart: the in-memory
+    // instances are gone, everything comes back from the WAL.
+    rebuild_from_storage(p);
+  } else {
+    p.sg_node->restart();
+    // A previous FedAvg instance comes back passively; if the layer has
+    // already replaced this peer it simply never campaigns again.
+    if (p.fed_node) p.fed_node->restart();
+  }
   if (opts_.self_healing) {
     p.sg_contact_mark = net_.now();
     p.fed_contact_mark = net_.now();
@@ -813,20 +886,20 @@ void TwoLayerRaftSystem::restart_peer_amnesia(PeerId peer) {
   P2PFL_CHECK_MSG(net_.crashed(peer),
                   "amnesia restart requires a crashed peer");
   net_.restore(peer);
-  // Wipe persistent Raft state. The successor instance boots with an
-  // empty configuration: it can neither campaign nor vote (no
-  // split-brain from the forgotten term/vote), and waits for its leader
-  // to configure it back in and replicate (or snapshot-install) history.
+  // Wipe persistent Raft state — in durable mode literally: the WALs
+  // are deleted, so there is nothing to recover. The successor instance
+  // boots with an empty configuration: it can neither campaign nor vote
+  // (no split-brain from the forgotten term/vote), and waits for its
+  // leader to configure it back in and replicate (or snapshot-install)
+  // history.
   p.fed_node.reset();
+  if (p.sg_storage) p.sg_storage->wipe();
+  if (p.fed_storage) p.fed_storage->wipe();
   p.announced_join = false;
   p.known_fed_cfg = topology_.designated_leaders();
   raft::RaftOptions sg_opts = opts_.raft;
   sg_opts.compaction_threshold = opts_.log_compaction_threshold;
-  p.sg_node.reset();  // unroutes the dead instance's channels first
-  p.sg_node = std::make_unique<raft::RaftNode>(
-      peer, subgroup_channel(p.subgroup), std::vector<PeerId>{}, sg_opts,
-      net_, p.host);
-  wire_subgroup_node(p);
+  make_sg_node(p, {}, sg_opts);
   p.sg_node->start();
   obs::Observability& o = net_.obs();
   o.metrics.counter("membership.amnesia_restarts").add(1);

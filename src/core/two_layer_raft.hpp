@@ -38,6 +38,7 @@
 #include "net/network.hpp"
 #include "obs/span.hpp"
 #include "raft/node.hpp"
+#include "raft/storage.hpp"
 #include "net/transport.hpp"
 
 namespace p2pfl::core {
@@ -67,6 +68,15 @@ struct TwoLayerRaftOptions {
   SimDuration membership_poll = 250 * kMillisecond;
   /// Retry interval of an evicted peer's rejoin handshake.
   SimDuration rejoin_retry = 200 * kMillisecond;
+
+  // --- crash durability ---------------------------------------------------
+  /// Directory for per-peer write-ahead logs (created if missing). When
+  /// set, every Raft instance persists term/vote/log/snapshot through a
+  /// raft::WalStorage, restart_peer() models a full process restart —
+  /// the in-memory instances are destroyed and rebuilt from disk — and
+  /// an amnesia restart is exactly "delete the WAL". Empty = in-memory
+  /// only (the pre-durability behavior).
+  std::string storage_dir;
 };
 
 /// Point-in-time membership health of one subgroup (see health()).
@@ -196,6 +206,10 @@ class TwoLayerRaftSystem {
     PeerId id = kNoPeer;
     SubgroupId subgroup = 0;
     net::PeerHost host;
+    /// Declared before the nodes: a node writes through its storage until
+    /// destruction, so the WAL must be torn down after it.
+    std::unique_ptr<raft::WalStorage> sg_storage;
+    std::unique_ptr<raft::WalStorage> fed_storage;
     std::unique_ptr<raft::RaftNode> sg_node;
     std::unique_ptr<raft::RaftNode> fed_node;
     std::vector<PeerId> known_fed_cfg;
@@ -226,6 +240,18 @@ class TwoLayerRaftSystem {
   const Peer& peer_ref(PeerId id) const;
   void wire_subgroup_node(Peer& p);
   void ensure_fed_node(Peer& p);
+  std::string sg_storage_prefix(const Peer& p) const;
+  std::string fed_storage_prefix(const Peer& p) const;
+  /// Create (or reuse) the peer's sg WAL and build + wire the subgroup
+  /// node over it, with `config` as the bootstrap configuration; any
+  /// durable state recovered from disk supersedes it.
+  void make_sg_node(Peer& p, std::vector<PeerId> config,
+                    raft::RaftOptions sg_opts);
+  /// Build + wire the FedAvg-layer node (over its WAL when durable).
+  void make_fed_node(Peer& p);
+  /// Process-restart model: destroy both in-memory instances and rebuild
+  /// them from their write-ahead logs.
+  void rebuild_from_storage(Peer& p);
   void handle_subgroup_leadership(Peer& p);
   void handle_subgroup_stepdown(Peer& p);
   void commit_fed_config(Peer& p);

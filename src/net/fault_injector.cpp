@@ -1,0 +1,132 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace p2pfl::net {
+
+FaultInjector::FaultInjector(obs::Observability& obs)
+    : stall_windows_(obs.metrics.counter("chaos.transport.stall_windows")),
+      throttle_windows_(
+          obs.metrics.counter("chaos.transport.throttle_windows")),
+      stalled_frames_(obs.metrics.counter("chaos.transport.stalled_frames")),
+      throttled_frames_(
+          obs.metrics.counter("chaos.transport.throttled_frames")) {}
+
+void FaultInjector::stall_link(PeerId from, PeerId to, SimTime until) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimTime& u = stalls_[{from, to}];
+  u = std::max(u, until);
+  stall_windows_.add(1);
+}
+
+void FaultInjector::stall_pair(PeerId a, PeerId b, SimTime until) {
+  stall_link(a, b, until);
+  stall_link(b, a, until);
+}
+
+void FaultInjector::throttle_peer(PeerId peer, std::uint64_t bytes_per_sec,
+                                  SimTime until) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Throttle& t = throttles_[peer];
+  t.bytes_per_sec = bytes_per_sec;
+  t.until = std::max(t.until, until);
+  throttle_windows_.add(1);
+}
+
+void FaultInjector::clear(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stalls_.clear();
+  throttles_.clear();
+  // Keep future release floors: already-held frames must stay FIFO.
+  for (auto it = release_floor_.begin(); it != release_floor_.end();) {
+    it = it->second <= now ? release_floor_.erase(it) : std::next(it);
+  }
+}
+
+bool FaultInjector::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !stalls_.empty() || !throttles_.empty();
+}
+
+SimTime FaultInjector::stall_until_locked(PeerId from, PeerId to,
+                                          SimTime now) {
+  auto it = stalls_.find({from, to});
+  if (it == stalls_.end()) return now;
+  if (it->second <= now) {
+    stalls_.erase(it);  // window expired; drop the entry
+    return now;
+  }
+  return it->second;
+}
+
+SimDuration FaultInjector::frame_delay(PeerId from, PeerId to,
+                                       std::uint64_t bytes, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimTime release = now;
+
+  const SimTime stall = stall_until_locked(from, to, now);
+  if (stall > release) {
+    release = stall;
+    stalled_frames_.add(1);
+  }
+
+  auto th = throttles_.find(from);
+  if (th != throttles_.end()) {
+    if (th->second.until <= now) {
+      throttles_.erase(th);
+    } else if (th->second.bytes_per_sec > 0) {
+      // Serialization model: the frame starts once the egress is free
+      // (and any stall cleared) and takes bytes/rate to drain.
+      Throttle& t = th->second;
+      const SimTime start = std::max(t.free_at, release);
+      const SimDuration xmit = static_cast<SimDuration>(
+          (bytes * 1'000'000ULL) / t.bytes_per_sec);
+      release = start + xmit;
+      t.free_at = release;
+      throttled_frames_.add(1);
+    }
+  }
+
+  // FIFO floor: never let this frame release before an earlier one on
+  // the same directed link.
+  SimTime& floor = release_floor_[{from, to}];
+  release = std::max(release, floor);
+  if (release > now) {
+    floor = release;
+  } else {
+    release_floor_.erase({from, to});
+  }
+  return release - now;
+}
+
+SimTime FaultInjector::writable_at(PeerId from, PeerId to, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimTime at = stall_until_locked(from, to, now);
+  auto th = throttles_.find(from);
+  if (th != throttles_.end()) {
+    if (th->second.until <= now) {
+      throttles_.erase(th);
+    } else {
+      at = std::max(at, th->second.free_at);
+    }
+  }
+  if (at > now) stalled_frames_.add(1);
+  return at;
+}
+
+void FaultInjector::note_written(PeerId from, std::uint64_t bytes,
+                                 SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto th = throttles_.find(from);
+  if (th == throttles_.end() || th->second.until <= now ||
+      th->second.bytes_per_sec == 0) {
+    return;
+  }
+  Throttle& t = th->second;
+  const SimDuration xmit =
+      static_cast<SimDuration>((bytes * 1'000'000ULL) / t.bytes_per_sec);
+  t.free_at = std::max(t.free_at, now) + xmit;
+  throttled_frames_.add(1);
+}
+
+}  // namespace p2pfl::net

@@ -1,0 +1,95 @@
+// Backend-agnostic transport-fault state, applied at the frame boundary.
+//
+// The chaos engine's probabilistic faults (drop/dup/corrupt/reorder)
+// live in net::Network and draw from the deterministic fault RNG; this
+// class holds the *transport-native* faults that make sense on a real
+// wire too: half-open stall windows (a direction of a link silently
+// stops moving frames) and slow-writer throttling (a peer's egress is
+// clamped to a byte rate). Both transports honor the same injector:
+//
+//  * SimTransport asks frame_delay() per frame and adds the hold to the
+//    modeled delivery delay. A per-link release floor keeps delivery
+//    FIFO: a frame sent after a stall clears can never overtake frames
+//    still being held on the same link.
+//  * TcpTransport asks writable_at() before flushing a connection's
+//    outbound queue and re-arms its flush timer until the hold clears,
+//    so stalled/throttled frames accumulate in the (bounded) queue
+//    exactly like a real slow or wedged peer; note_written() charges
+//    actual bytes against the throttle.
+//
+// The injector draws no randomness — it is pure deterministic state —
+// so installing one never perturbs the chaos RNG stream, and a null
+// injector (the default on every transport) is byte-for-byte the
+// pre-fault-seam behavior.
+//
+// Thread-safety: all methods lock; on TCP the engine mutates from timer
+// callbacks on the loop thread while tests may mutate from the driver
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/types.hpp"
+#include "obs/obs.hpp"
+
+namespace p2pfl::net {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(obs::Observability& obs);
+
+  /// Stall one direction of a link: frames from->to are held until
+  /// `until` (transport time). Extending an active window is fine.
+  void stall_link(PeerId from, PeerId to, SimTime until);
+  /// Stall both directions (a half-open TCP peer or a reset outage).
+  void stall_pair(PeerId a, PeerId b, SimTime until);
+
+  /// Clamp `peer`'s egress to `bytes_per_sec` until `until`.
+  void throttle_peer(PeerId peer, std::uint64_t bytes_per_sec, SimTime until);
+
+  /// Drop all fault state (heal).
+  void clear(SimTime now);
+
+  /// --- sim path: per-frame extra delivery delay ----------------------
+  /// Extra hold (>= 0) for a frame of `bytes` sent now on from->to.
+  /// Accounts the frame against the sender's throttle and advances the
+  /// link's FIFO release floor.
+  SimDuration frame_delay(PeerId from, PeerId to, std::uint64_t bytes,
+                          SimTime now);
+
+  /// --- tcp path: write gating -----------------------------------------
+  /// Earliest transport time the from->to connection may write (now if
+  /// unconstrained). The TCP flush loop re-arms a timer at this time.
+  SimTime writable_at(PeerId from, PeerId to, SimTime now);
+  /// Charge `bytes` actually written by `from` against its throttle.
+  void note_written(PeerId from, std::uint64_t bytes, SimTime now);
+
+  /// Any stall or throttle currently installed (cheap liveness probe).
+  bool active() const;
+
+ private:
+  struct Throttle {
+    std::uint64_t bytes_per_sec = 0;
+    SimTime until = 0;
+    SimTime free_at = 0;  // egress busy until here (serialization model)
+  };
+
+  using Link = std::pair<PeerId, PeerId>;
+
+  SimTime stall_until_locked(PeerId from, PeerId to, SimTime now);
+
+  mutable std::mutex mu_;
+  std::map<Link, SimTime> stalls_;
+  std::map<Link, SimTime> release_floor_;
+  std::map<PeerId, Throttle> throttles_;
+
+  obs::Counter& stall_windows_;
+  obs::Counter& throttle_windows_;
+  obs::Counter& stalled_frames_;
+  obs::Counter& throttled_frames_;
+};
+
+}  // namespace p2pfl::net

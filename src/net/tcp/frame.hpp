@@ -58,6 +58,19 @@ class FrameAssembler {
   /// Bytes buffered waiting for the rest of a frame.
   std::size_t buffered() const { return buf_.size() - pos_; }
 
+  /// True after a protocol error: feed() refuses further input.
+  bool poisoned() const { return poisoned_; }
+
+  /// Forget all buffered bytes and clear the poisoned flag, making the
+  /// assembler reusable for a *new* connection. The transport calls
+  /// this when it tears a desynced stream down, so the slot's next
+  /// accept starts clean instead of staying poisoned forever.
+  void reset() {
+    buf_.clear();
+    pos_ = 0;
+    poisoned_ = false;
+  }
+
  private:
   std::uint32_t max_frame_bytes_;
   Bytes buf_;

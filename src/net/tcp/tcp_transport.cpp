@@ -1,5 +1,7 @@
 #include "net/tcp/tcp_transport.hpp"
 
+#include "net/fault_injector.hpp"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -369,6 +371,14 @@ void TcpTransport::send_on_loop(Envelope&& env) {
   framed.reserve(body.size() + 4);
   append_length_prefixed(framed, body);
   c.outq.push_back(std::move(framed));
+  if (cfg_.max_outq_frames > 0 && c.outq.size() > cfg_.max_outq_frames) {
+    // Bounded queue: drop the oldest undelivered frame. The front frame
+    // is exempt while partially written — dropping it would tear the
+    // byte stream at an unknowable point.
+    const std::size_t victim = c.front_pos > 0 ? 1 : 0;
+    c.outq.erase(c.outq.begin() + static_cast<std::ptrdiff_t>(victim));
+    obs_.metrics.counter("net.tcp.outq_dropped").add(1);
+  }
   if (c.fd < 0 && c.retry_timer == kNoTimerToken) start_connect(c);
   if (c.connected) flush_out(c);
 }
@@ -419,6 +429,29 @@ void TcpTransport::start_connect(OutConn& c) {
 
 void TcpTransport::flush_out(OutConn& c) {
   while (!c.outq.empty()) {
+    // Fault-injector gate, checked at frame boundaries only (a frame
+    // already in flight is always finished, never torn). While a stall
+    // or throttle window holds the link, frames accumulate in the
+    // bounded outq exactly like behind a real slow peer; a timer
+    // re-flushes when the window should clear.
+    FaultInjector* fi = fault_injector();
+    if (fi != nullptr && c.front_pos == 0) {
+      const SimTime now_us = now();
+      const SimTime at = fi->writable_at(c.from, c.to, now_us);
+      if (at > now_us) {
+        if (c.flush_timer == kNoTimerToken) {
+          const std::uint64_t key = pair_key(c.from, c.to);
+          c.flush_timer = schedule_after(at - now_us, [this, key] {
+            auto it = out_conns_.find(key);
+            if (it == out_conns_.end()) return;
+            it->second.flush_timer = kNoTimerToken;
+            if (it->second.connected) flush_out(it->second);
+          });
+        }
+        epoll_mod(c.fd, EPOLLIN);  // don't spin on writability
+        return;
+      }
+    }
     const Bytes& front = c.outq.front();
     const std::size_t remaining = front.size() - c.front_pos;
     const ssize_t n =
@@ -435,6 +468,7 @@ void TcpTransport::flush_out(OutConn& c) {
                               std::memory_order_relaxed);
     c.front_pos += static_cast<std::size_t>(n);
     if (c.front_pos == front.size()) {
+      if (fi != nullptr) fi->note_written(c.from, front.size(), now());
       c.outq.pop_front();
       c.front_pos = 0;
     }
@@ -471,8 +505,14 @@ void TcpTransport::schedule_reconnect(OutConn& c) {
   c.backoff = c.backoff == 0
                   ? cfg_.reconnect_backoff_min
                   : std::min(c.backoff * 2, cfg_.reconnect_backoff_max);
+  // Jitter the delay so the mesh's retries against a dead peer spread
+  // out instead of synchronizing into a reconnect storm.
+  const SimDuration delay =
+      cfg_.reconnect_jitter && c.backoff > 1
+          ? rng_.uniform_int(c.backoff / 2, c.backoff)
+          : c.backoff;
   const std::uint64_t key = pair_key(c.from, c.to);
-  c.retry_timer = schedule_after(c.backoff, [this, key] {
+  c.retry_timer = schedule_after(delay, [this, key] {
     auto it = out_conns_.find(key);
     if (it == out_conns_.end()) return;
     OutConn& conn = it->second;
@@ -492,10 +532,19 @@ void TcpTransport::handle_accept(Listener& l) {
       return;
     }
     set_nodelay(fd);
-    in_conns_.emplace_back(cfg_.max_frame_bytes);
-    InConn& c = in_conns_.back();
-    c.fd = fd;
-    fd_refs_[fd] = FdRef{FdRef::Kind::kIn, kNoPeer, 0, &c};
+    InConn* c;
+    if (!in_free_.empty()) {
+      // Reuse a closed slot: its assembler was reset on close, so a
+      // previously poisoned stream never haunts a fresh connection.
+      c = &in_conns_[in_free_.back()];
+      in_free_.pop_back();
+    } else {
+      in_conns_.emplace_back(cfg_.max_frame_bytes);
+      c = &in_conns_.back();
+      c->slot = in_conns_.size() - 1;
+    }
+    c->fd = fd;
+    fd_refs_[fd] = FdRef{FdRef::Kind::kIn, kNoPeer, 0, c};
     epoll_add(fd, EPOLLIN);
     obs_.metrics.counter("net.tcp.accepts").add(1);
   }
@@ -536,6 +585,27 @@ void TcpTransport::close_in(InConn& c) {
   fd_refs_.erase(c.fd);
   ::close(c.fd);
   c.fd = -1;
+  // Clear any poisoned/partial stream state and recycle the slot; the
+  // sender's reconnect (or its next send) re-handshakes onto a fresh
+  // accept that may land right back here.
+  c.assembler.reset();
+  in_free_.push_back(c.slot);
+}
+
+void TcpTransport::inject_connection_reset(PeerId a, PeerId b) {
+  post([this, a, b] {
+    obs_.metrics.counter("chaos.transport.conn_resets").add(1);
+    for (auto& [key, c] : out_conns_) {
+      (void)key;
+      if (((c.from == a && c.to == b) || (c.from == b && c.to == a)) &&
+          c.fd >= 0) {
+        // Closing the outbound fd RSTs the whole socket, so the
+        // accepted inbound half dies with it; fail_out re-queues the
+        // reconnect when traffic is pending.
+        fail_out(c, "chaos_reset");
+      }
+    }
+  });
 }
 
 void TcpTransport::debug_close_connections() {

@@ -58,6 +58,15 @@ struct TcpTransportConfig {
   /// Reconnect backoff: first retry after min, doubling to max.
   SimDuration reconnect_backoff_min = 20 * kMillisecond;
   SimDuration reconnect_backoff_max = 500 * kMillisecond;
+  /// Jitter each reconnect delay uniformly in [backoff/2, backoff] so a
+  /// mesh of peers retrying a dead target never synchronizes into a
+  /// reconnect storm.
+  bool reconnect_jitter = true;
+  /// Per-directed-pair outbound queue cap, in frames. When a dead or
+  /// stalled peer lets the queue reach the cap, the oldest *undelivered*
+  /// frame is dropped (never the partially-written front, which would
+  /// tear the stream) and `net.tcp.outq_dropped` counts it. 0 = no cap.
+  std::size_t max_outq_frames = 4096;
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
 };
 
@@ -114,6 +123,11 @@ class TcpTransport final : public Transport {
   /// reconnect through the normal backoff path.
   void debug_close_connections();
 
+  /// Chaos: tear down every established connection between `a` and `b`
+  /// in both directions, as if the kernel sent RST. The pairs reconnect
+  /// through the normal (jittered) backoff path.
+  void inject_connection_reset(PeerId a, PeerId b) override;
+
  private:
   struct Listener {
     PeerId peer = kNoPeer;
@@ -135,12 +149,19 @@ class TcpTransport final : public Transport {
     std::size_t front_pos = 0;
     SimDuration backoff = 0;  // next reconnect delay (0 = fresh)
     TimerToken retry_timer = kNoTimerToken;
+    /// Armed while a fault-injector stall/throttle window holds writes;
+    /// fires a re-flush when the window is expected to clear.
+    TimerToken flush_timer = kNoTimerToken;
   };
 
   /// One accepted inbound stream (sender anonymous; frames self-route).
+  /// Slots are recycled through in_free_: a closed connection's record
+  /// (and reset assembler) is reused by the next accept instead of
+  /// growing the deque forever.
   struct InConn {
     int fd = -1;
     FrameAssembler assembler;
+    std::size_t slot = 0;
     explicit InConn(std::uint32_t max) : assembler(max) {}
   };
 
@@ -211,6 +232,8 @@ class TcpTransport final : public Transport {
   std::unordered_map<std::uint64_t, OutConn> out_conns_;
   /// Stable-address inbound records (FdRefs point at them).
   std::deque<InConn> in_conns_;
+  /// Recyclable in_conns_ slots (closed connections).
+  std::vector<std::size_t> in_free_;
   std::unordered_map<int, FdRef> fd_refs_;
 
   std::mutex task_mu_;

@@ -29,6 +29,7 @@
 //    deadline in that clock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -68,6 +69,8 @@ class FrameSink {
     (void)reason;
   }
 };
+
+class FaultInjector;
 
 class Transport {
  public:
@@ -119,6 +122,31 @@ class Transport {
   /// flushing what can be flushed. No-ops on the simulator.
   virtual void start() {}
   virtual void shutdown() {}
+
+  /// Install (or remove, with nullptr) the transport-fault injector.
+  /// Both backends consult it at the frame boundary; a null injector is
+  /// byte-for-byte the pre-seam behavior. The injector must outlive its
+  /// installation. Atomic because the chaos engine installs from outside
+  /// the TCP loop thread while the loop is already pumping frames.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
+  /// Forcibly reset any established connection between `a` and `b`
+  /// (both directions), as if the kernel sent RST. Real transports tear
+  /// the sockets down and go through their reconnect path; the
+  /// deterministic simulator has no connections, so the chaos engine
+  /// models the reset outage as a brief stall window instead.
+  virtual void inject_connection_reset(PeerId a, PeerId b) {
+    (void)a;
+    (void)b;
+  }
+
+ protected:
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 };
 
 /// Resettable one-shot and periodic timer over the transport seam.

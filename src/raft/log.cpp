@@ -61,6 +61,13 @@ void RaftLog::install_snapshot(Index idx, Term term) {
   snap_term_ = term;
 }
 
+void RaftLog::restore(Index snap_index, Term snap_term,
+                      std::vector<LogEntry> entries) {
+  snap_index_ = snap_index;
+  snap_term_ = snap_term;
+  entries_ = std::move(entries);
+}
+
 std::vector<LogEntry> RaftLog::slice(Index from, std::size_t max) const {
   std::vector<LogEntry> out;
   if (from < first_index() || from > last_index()) return out;

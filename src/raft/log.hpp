@@ -37,6 +37,10 @@ class RaftLog {
   /// Reset the whole log to a snapshot received from the leader.
   void install_snapshot(Index idx, Term term);
 
+  /// Reset the log wholesale from recovered persistent state (WAL
+  /// replay): snapshot boundary plus the surviving entry tail.
+  void restore(Index snap_index, Term snap_term, std::vector<LogEntry> entries);
+
   /// Term of the entry at `idx`; 0 for idx == 0, the snapshot term at the
   /// snapshot boundary. Requires snapshot_index() <= idx <= last_index().
   Term term_at(Index idx) const;

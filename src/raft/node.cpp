@@ -19,13 +19,14 @@ const char* role_name(Role r) {
 
 RaftNode::RaftNode(PeerId id, std::string channel,
                    std::vector<PeerId> initial_members, RaftOptions opts,
-                   net::Network& net, net::PeerHost& host)
+                   net::Network& net, net::PeerHost& host, Storage* storage)
     : id_(id),
       channel_(std::move(channel)),
       initial_members_(std::move(initial_members)),
       opts_(opts),
       net_(net),
       host_(host),
+      storage_(storage),
       rng_(net.rng().fork(0x7261'6674ULL ^ id)),
       config_(initial_members_),
       election_timer_(
@@ -47,6 +48,38 @@ RaftNode::RaftNode(PeerId id, std::string channel,
   P2PFL_CHECK(opts_.election_timeout_max >= opts_.election_timeout_min);
   std::sort(config_.begin(), config_.end());
   snapshot_members_ = config_;
+  if (storage_) {
+    // Replay the WAL (Figure 2 persistent state) before anything else.
+    // Volatile state is rebuilt by restart(); callers that see
+    // recovered_from_storage() must resume via restart(), which also
+    // re-installs the recovered snapshot into the application.
+    PersistentState st = storage_->load();
+    const RecoveryInfo& info = storage_->recovery();
+    obs::Observability& o = net_.obs();
+    if (st.has_state) {
+      recovered_from_storage_ = true;
+      term_ = st.term;
+      voted_for_ = st.voted_for;
+      log_.restore(st.snap_index, st.snap_term, std::move(st.entries));
+      if (st.snap_index > 0) {
+        snapshot_members_ = std::move(st.snap_members);
+        snapshot_state_ = std::move(st.snap_app_state);
+      }
+      commit_ = log_.snapshot_index();
+      applied_ = log_.snapshot_index();
+      adopt_latest_config();
+      o.metrics.counter("raft.recoveries").add(1);
+      P2PFL_INFO() << channel_ << " peer " << id_ << " recovered from WAL: term "
+                   << term_ << ", log [" << log_.snapshot_index() + 1 << ", "
+                   << log_.last_index() << "]"
+                   << (info.truncated_tail ? " (torn tail truncated)" : "");
+    }
+    if (info.truncated_tail) o.metrics.counter("raft.wal_truncations").add(1);
+    o.metrics
+        .histogram("raft.recovery_ms",
+                   obs::Histogram::exponential_bounds(0.01, 2.0, 20))
+        .record(info.duration_ms);
+  }
   wire::register_codecs();
   // One typed route per RPC kind: the payload arrives as the exact
   // struct the codec registry knows for that kind, no string dispatch.
@@ -158,6 +191,32 @@ void RaftNode::reset_election_timer() {
   election_timer_.arm(random_election_timeout());
 }
 
+// --- durability write-through ----------------------------------------------
+
+void RaftNode::persist_term_vote() {
+  if (storage_) storage_->persist_term_vote(term_, voted_for_);
+}
+
+void RaftNode::persist_append(Index index, const LogEntry& entry) {
+  if (storage_) storage_->append_entry(index, entry);
+}
+
+void RaftNode::persist_truncate(Index index) {
+  if (storage_) storage_->truncate_from(index);
+}
+
+void RaftNode::persist_snapshot() {
+  if (!storage_) return;
+  storage_->save_snapshot(log_.snapshot_index(), log_.snapshot_term(),
+                          snapshot_members_, snapshot_state_, term_,
+                          voted_for_, log_.slice(log_.first_index(),
+                                                 log_.size()));
+}
+
+void RaftNode::persist_sync() {
+  if (storage_) storage_->sync();
+}
+
 // --- role transitions ------------------------------------------------------
 
 void RaftNode::become_follower(Term term, PeerId leader_hint) {
@@ -165,6 +224,8 @@ void RaftNode::become_follower(Term term, PeerId leader_hint) {
   if (term > term_) {
     term_ = term;
     voted_for_ = kNoPeer;
+    persist_term_vote();
+    persist_sync();
     net_.obs().metrics.counter("raft.term_bumps").add(1);
   }
   role_ = Role::kFollower;
@@ -233,6 +294,8 @@ void RaftNode::start_real_election() {
   role_ = Role::kCandidate;
   ++term_;
   voted_for_ = id_;
+  persist_term_vote();
+  persist_sync();
   votes_.clear();
   votes_.insert(id_);
   leader_hint_ = kNoPeer;
@@ -283,6 +346,8 @@ void RaftNode::become_leader() {
   // §5.4.2: a fresh leader cannot directly commit entries from previous
   // terms; appending a current-term no-op lets them commit transitively.
   log_.append(LogEntry{term_, EntryKind::kNoop, {}});
+  persist_append(log_.last_index(), log_.at(log_.last_index()));
+  persist_sync();
   match_index_[id_] = log_.last_index();
   P2PFL_DEBUG() << channel_ << " peer " << id_ << " elected leader, term "
                 << term_;
@@ -385,6 +450,8 @@ void RaftNode::handle_request_vote(const RequestVoteArgs& args) {
       (voted_for_ == kNoPeer || voted_for_ == args.candidate) &&
       log_.candidate_up_to_date(args.last_log_index, args.last_log_term)) {
     voted_for_ = args.candidate;
+    persist_term_vote();
+    persist_sync();
     reply.vote_granted = true;
     ++metrics_.votes_granted;
     // Granting a vote counts as hearing from a viable leader candidate.
@@ -477,11 +544,16 @@ void RaftNode::handle_append_entries(const AppendEntriesArgs& args) {
       if (log_.term_at(idx) == e.term) continue;  // already have it
       P2PFL_CHECK_MSG(idx > commit_, "attempt to truncate committed entry");
       log_.truncate_from(idx);
+      persist_truncate(idx);
     }
     log_.append(e);
+    persist_append(idx, e);
     log_changed = true;
   }
-  if (log_changed) adopt_latest_config();
+  if (log_changed) {
+    persist_sync();
+    adopt_latest_config();
+  }
 
   const Index last_new = args.prev_log_index + args.entries.size();
   if (args.leader_commit > commit_) {
@@ -590,6 +662,7 @@ void RaftNode::compact() {
   }
   snapshot_state_ = on_snapshot_save ? on_snapshot_save() : Bytes{};
   log_.compact_to(applied_);
+  persist_snapshot();
 }
 
 bool RaftNode::push_snapshot(PeerId to) {
@@ -649,6 +722,7 @@ void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
       log_.compact_to(idx);
       snapshot_members_ = args.members;
       snapshot_state_ = args.app_state;
+      persist_snapshot();
       // Still hand the blob to the application: the piggy-backed payload
       // (e.g. the newest global model in a catch-up push) may carry
       // state the replicated log alone never did.
@@ -661,6 +735,8 @@ void RaftNode::handle_install_snapshot(const InstallSnapshotArgs& args) {
     snapshot_state_ = args.app_state;
     commit_ = idx;
     applied_ = idx;
+    persist_snapshot();
+    ++metrics_.snapshot_installs;
     obs::Observability& o = net_.obs();
     o.metrics.counter("raft.snapshot_installs").add(1);
     if (o.trace.category_enabled("raft")) {
@@ -742,6 +818,8 @@ std::optional<Index> RaftNode::propose(Bytes command) {
   if (!is_leader()) return std::nullopt;
   log_.append(LogEntry{term_, EntryKind::kCommand, std::move(command)});
   const Index idx = log_.last_index();
+  persist_append(idx, log_.at(idx));
+  persist_sync();
   match_index_[id_] = idx;
   obs::SpanRecorder& sr = net_.obs().spans;
   obs::SpanId rep = obs::kNoSpan;
@@ -766,6 +844,8 @@ std::optional<Index> RaftNode::propose_add_server(PeerId server) {
   std::vector<PeerId> next = config_;
   next.push_back(server);
   log_.append(LogEntry{term_, EntryKind::kConfig, encode_members(next)});
+  persist_append(log_.last_index(), log_.at(log_.last_index()));
+  persist_sync();
   match_index_[id_] = log_.last_index();
   pending_config_ = log_.last_index();
   adopt_latest_config();
@@ -785,6 +865,8 @@ std::optional<Index> RaftNode::propose_remove_server(PeerId server) {
     if (p != server) next.push_back(p);
   }
   log_.append(LogEntry{term_, EntryKind::kConfig, encode_members(next)});
+  persist_append(log_.last_index(), log_.at(log_.last_index()));
+  persist_sync();
   match_index_[id_] = log_.last_index();
   pending_config_ = log_.last_index();
   adopt_latest_config();

@@ -26,6 +26,7 @@
 #include "net/mux.hpp"
 #include "net/network.hpp"
 #include "raft/log.hpp"
+#include "raft/storage.hpp"
 #include "raft/types.hpp"
 #include "net/transport.hpp"
 
@@ -74,6 +75,9 @@ struct RaftMetrics {
   std::uint64_t votes_granted = 0;
   std::uint64_t times_elected = 0;
   std::uint64_t entries_applied = 0;
+  /// Snapshots received via InstallSnapshot (state transfer). A WAL
+  /// recovery that rejoins cleanly keeps this at 0.
+  std::uint64_t snapshot_installs = 0;
 };
 
 class RaftNode {
@@ -81,9 +85,18 @@ class RaftNode {
   /// `channel` namespaces this cluster's RPC traffic (e.g. "raft/sg3").
   /// `initial_members` is the bootstrap configuration; it is superseded
   /// by any kConfig entry that later lands in the log.
+  ///
+  /// `storage` (optional, not owned, must outlive the node) makes the
+  /// Figure-2 persistent state crash-durable: the constructor replays it
+  /// via Storage::load() and every persistent-state mutation writes
+  /// through before the node acts on it. When the replay recovered
+  /// state, wire the callbacks and then call restart() instead of
+  /// start() so the snapshot installs into the application and the
+  /// recovered configuration is adopted.
   RaftNode(PeerId id, std::string channel,
            std::vector<PeerId> initial_members, RaftOptions opts,
-           net::Network& net, net::PeerHost& host);
+           net::Network& net, net::PeerHost& host,
+           Storage* storage = nullptr);
   ~RaftNode();
 
   RaftNode(const RaftNode&) = delete;
@@ -188,6 +201,10 @@ class RaftNode {
 
   Index snapshot_index() const { return log_.snapshot_index(); }
 
+  /// True when the constructor replayed durable state from storage.
+  /// Such a node should be resumed with restart(), not start().
+  bool recovered_from_storage() const { return recovered_from_storage_; }
+
  private:
   // Role transitions.
   void become_follower(Term term, PeerId leader_hint);
@@ -226,6 +243,13 @@ class RaftNode {
   void apply_committed();
   void adopt_latest_config();
 
+  // Durability write-through (all no-ops when storage_ is null).
+  void persist_term_vote();
+  void persist_append(Index index, const LogEntry& entry);
+  void persist_truncate(Index index);
+  void persist_snapshot();
+  void persist_sync();
+
   // Helpers.
   std::size_t quorum() const { return config_.size() / 2 + 1; }
   void reset_election_timer();
@@ -240,6 +264,8 @@ class RaftNode {
   const RaftOptions opts_;
   net::Network& net_;
   net::PeerHost& host_;
+  Storage* storage_ = nullptr;  // not owned; null = in-memory only
+  bool recovered_from_storage_ = false;
   Rng rng_;
 
   // Persistent state (survives stop()/restart()).

@@ -5,6 +5,10 @@
 // concurrent hammering (the configuration the TSan CI job compiles).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "core/wire.hpp"
+#include "net/fault_injector.hpp"
 #include "net/network.hpp"
 #include "net/tcp/tcp_transport.hpp"
 #include "obs/metrics.hpp"
@@ -230,6 +235,115 @@ TEST(TcpTransport, ReconnectsAndFlushesAfterConnectionLoss) {
   const auto* last = payload<core::wire::AggResultMsg>(e1.got.back().body);
   ASSERT_NE(last, nullptr);
   EXPECT_EQ(last->round, 14u);
+}
+
+TEST(TcpTransport, InjectedConnectionResetHealsWithoutLoss) {
+  TcpTransport t({.peers = {0, 1}, .seed = 7});
+  Network net(t, {});
+  CollectingEndpoint e1;
+  net.attach(0, new CollectingEndpoint);  // leaked: trivial test scope
+  net.attach(1, &e1);
+  t.start();
+  t.call([&] { net.send(result_envelope(0, 1, 4, 1)); });
+  ASSERT_TRUE(wait_on_loop(t, [&] { return e1.count() == 1; }));
+
+  // The chaos entry point: RST both directed connections of the pair,
+  // then keep sending — reconnect must flush everything queued.
+  t.inject_connection_reset(0, 1);
+  t.call([&] {
+    for (int i = 0; i < 5; ++i) net.send(result_envelope(0, 1, 4, 10 + i));
+  });
+  ASSERT_TRUE(wait_on_loop(t, [&] { return e1.count() == 6; }));
+  t.shutdown();
+  EXPECT_GE(t.obs().metrics.counter_value("chaos.transport.conn_resets"), 1u);
+  EXPECT_GE(t.obs().metrics.counter_value("net.tcp.connects"), 2u);
+  const auto* last = payload<core::wire::AggResultMsg>(e1.got.back().body);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->round, 14u);
+}
+
+TEST(TcpTransport, BoundedOutqDropsOldestUnderStall) {
+  TcpTransportConfig cfg{.peers = {0, 1}, .seed = 7};
+  cfg.max_outq_frames = 4;
+  TcpTransport t(cfg);
+  Network net(t, {});
+  CollectingEndpoint e1;
+  net.attach(0, new CollectingEndpoint);  // leaked: trivial test scope
+  net.attach(1, &e1);
+  t.start();
+
+  // Gate the 0->1 link far into the future so nothing leaves the queue,
+  // then overfill it: the cap must shed from the front (oldest first).
+  FaultInjector fi(t.obs());
+  t.set_fault_injector(&fi);
+  t.call([&] {
+    fi.stall_link(0, 1, t.now() + 3600 * kSecond);
+    for (int i = 0; i < 10; ++i) net.send(result_envelope(0, 1, 4, 10 + i));
+  });
+  ASSERT_TRUE(wait_on_loop(t, [&] {
+    return t.obs().metrics.counter_value("net.tcp.outq_dropped") >= 6;
+  }));
+  EXPECT_EQ(e1.count(), 0u);  // everything still held
+
+  // Lift the stall; the next send both re-triggers the flush and (queue
+  // still full) evicts one more victim. Survivors arrive in order.
+  t.call([&] {
+    fi.clear(t.now());
+    net.send(result_envelope(0, 1, 4, 99));
+  });
+  ASSERT_TRUE(wait_on_loop(t, [&] { return e1.count() == 4; }));
+  t.shutdown();
+  EXPECT_EQ(t.obs().metrics.counter_value("net.tcp.outq_dropped"), 7u);
+  const std::uint64_t want[] = {17, 18, 19, 99};
+  for (int i = 0; i < 4; ++i) {
+    const auto* msg = payload<core::wire::AggResultMsg>(e1.got[i].body);
+    ASSERT_NE(msg, nullptr);
+    EXPECT_EQ(msg->round, want[i]);
+  }
+}
+
+TEST(TcpTransport, OversizeFramePoisonsOnlyThatConnection) {
+  TcpTransport t({.peers = {0, 1}, .seed = 7});
+  Network net(t, {});
+  CollectingEndpoint e1;
+  net.attach(0, new CollectingEndpoint);  // leaked: trivial test scope
+  net.attach(1, &e1);
+  t.start();
+  t.call([&] { net.send(result_envelope(0, 1, 4, 1)); });
+  ASSERT_TRUE(wait_on_loop(t, [&] { return e1.count() == 1; }));
+
+  // A rogue stream: connect straight to peer 1's listener and write an
+  // oversized length prefix (stream desync). The transport must kill
+  // that inbound connection — and only that one.
+  const int rogue = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(rogue, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(t.port_of(1));
+  ASSERT_EQ(::connect(rogue, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::uint8_t poison[4] = {0xff, 0xff, 0xff, 0xff};  // 4 GB "frame"
+  ASSERT_EQ(::send(rogue, poison, sizeof(poison), 0), 4);
+  ASSERT_TRUE(wait_on_loop(t, [&] {
+    return t.obs().metrics.counter_value("net.tcp.frame_protocol_error") == 1;
+  }));
+
+  // The legitimate 0->1 stream is untouched...
+  t.call([&] { net.send(result_envelope(0, 1, 4, 2)); });
+  ASSERT_TRUE(wait_on_loop(t, [&] { return e1.count() == 2; }));
+
+  // ...and the freed inbound slot is reusable: force a reconnect so the
+  // fresh accept may land on the recycled (reset, un-poisoned) slot.
+  t.debug_close_connections();
+  t.call([&] { net.send(result_envelope(0, 1, 4, 3)); });
+  ASSERT_TRUE(wait_on_loop(t, [&] { return e1.count() == 3; }));
+  ::close(rogue);
+  t.shutdown();
+  const auto* last = payload<core::wire::AggResultMsg>(e1.got.back().body);
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->round, 3u);
 }
 
 TEST(ObsThreadSafety, RegistryAndCountersSurviveConcurrentHammering) {

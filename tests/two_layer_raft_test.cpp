@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/two_layer_raft.hpp"
 
@@ -286,6 +290,164 @@ TEST(TwoLayerRaft, LongRunCompactsConfigLogsAndLateJoinerRecovers) {
   std::sort(expected.begin(), expected.end());
   std::sort(known.begin(), known.end());
   EXPECT_EQ(known, expected);
+}
+
+// --- crash durability ----------------------------------------------------
+
+/// Like System, but every Raft instance persists through a WAL under a
+/// fresh per-test directory, and the TwoLayerRaftSystem can be torn
+/// down and rebuilt over the same directory (a full process restart).
+struct DurableSystem {
+  explicit DurableSystem(std::size_t peers, std::size_t groups,
+                         std::uint64_t seed = 42)
+      : dir(fresh_dir()),
+        peers(peers),
+        groups(groups),
+        sim(seed),
+        net(sim, {.base_latency = 15 * kMillisecond}) {
+    build();
+  }
+
+  static std::string fresh_dir() {
+    static int counter = 0;
+    return testing::TempDir() + "tlr_durable_" + std::to_string(::getpid()) +
+           "_" + std::to_string(counter++);
+  }
+
+  void build() {
+    TwoLayerRaftOptions opts = fast_options();
+    opts.storage_dir = dir;
+    sys = std::make_unique<TwoLayerRaftSystem>(
+        Topology::even(peers, groups), opts, net);
+  }
+
+  /// Process restart: destroy every in-memory instance, rebuild the
+  /// whole system from the write-ahead logs.
+  void reboot() {
+    sys.reset();
+    build();
+    sys->start_all();
+  }
+
+  bool run_until_stable(SimDuration budget = 10 * kSecond) {
+    const SimTime deadline = sim.now() + budget;
+    while (sim.now() < deadline) {
+      if (sys->stabilized()) return true;
+      sim.run_for(20 * kMillisecond);
+    }
+    return sys->stabilized();
+  }
+
+  std::string dir;
+  std::size_t peers;
+  std::size_t groups;
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<TwoLayerRaftSystem> sys;
+};
+
+TEST(TwoLayerRaftDurable, RestartReplaysWalWithoutStateTransfer) {
+  DurableSystem s(9, 3);
+  s.sys->start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  s.sim.run_for(2 * kSecond);  // accumulate config commits in every log
+
+  // Crash a follower briefly (shorter than the suspicion grace, so it is
+  // not evicted while down).
+  const SubgroupId g = 0;
+  PeerId victim = kNoPeer;
+  for (PeerId p : s.sys->topology().group(g)) {
+    if (p != s.sys->subgroup_leader(g)) victim = p;
+  }
+  ASSERT_NE(victim, kNoPeer);
+  const raft::Term term_before =
+      s.sys->subgroup_node(victim).current_term();
+  const raft::Index log_before =
+      s.sys->subgroup_node(victim).last_log_index();
+  ASSERT_GT(log_before, 0u);
+
+  s.sys->crash_peer(victim);
+  s.sim.run_for(300 * kMillisecond);
+  s.sys->restart_peer(victim);
+
+  // Durable mode rebuilt the node object from its WAL: the persisted
+  // term and log survived the "process" death.
+  raft::RaftNode& revived = s.sys->subgroup_node(victim);
+  EXPECT_TRUE(revived.recovered_from_storage());
+  EXPECT_GE(revived.current_term(), term_before);
+  EXPECT_GE(revived.last_log_index(), log_before);
+
+  ASSERT_TRUE(s.run_until_stable());
+  s.sim.run_for(2 * kSecond);
+  // The intact log caught up by plain replication — no snapshot install
+  // (state transfer) was needed.
+  EXPECT_EQ(s.sys->subgroup_node(victim).metrics().snapshot_installs, 0u);
+  const PeerId leader = s.sys->subgroup_leader(g);
+  ASSERT_NE(leader, kNoPeer);
+  EXPECT_GE(s.sys->subgroup_node(victim).commit_index(),
+            s.sys->subgroup_node(leader).snapshot_index());
+}
+
+TEST(TwoLayerRaftDurable, AmnesiaRestartDeletesTheWal) {
+  DurableSystem s(9, 3);
+  s.sys->start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  s.sim.run_for(kSecond);
+
+  const SubgroupId g = 1;
+  PeerId victim = kNoPeer;
+  for (PeerId p : s.sys->topology().group(g)) {
+    if (p != s.sys->subgroup_leader(g)) victim = p;
+  }
+  ASSERT_NE(victim, kNoPeer);
+  s.sys->crash_peer(victim);
+  s.sim.run_for(300 * kMillisecond);
+  s.sys->restart_peer_amnesia(victim);
+
+  // Amnesia is literal: the WAL is gone, nothing was recovered, and the
+  // blank node waits for the rejoin handshake.
+  raft::RaftNode& blank = s.sys->subgroup_node(victim);
+  EXPECT_FALSE(blank.recovered_from_storage());
+  EXPECT_EQ(blank.current_term(), 0u);
+  ASSERT_TRUE(s.run_until_stable(20 * kSecond));
+  // After rejoining, the re-learned state persists again: a plain
+  // durable restart now recovers it.
+  s.sim.run_for(2 * kSecond);
+  s.sys->crash_peer(victim);
+  s.sim.run_for(300 * kMillisecond);
+  s.sys->restart_peer(victim);
+  EXPECT_TRUE(s.sys->subgroup_node(victim).recovered_from_storage());
+  ASSERT_TRUE(s.run_until_stable(20 * kSecond));
+}
+
+TEST(TwoLayerRaftDurable, WholeClusterRebootsFromWals) {
+  DurableSystem s(9, 3);
+  s.sys->start_all();
+  ASSERT_TRUE(s.run_until_stable());
+  s.sim.run_for(3 * kSecond);
+  std::vector<raft::Index> log_before;
+  std::vector<raft::Term> term_before;
+  for (PeerId p = 0; p < 9; ++p) {
+    log_before.push_back(s.sys->subgroup_node(p).last_log_index());
+    term_before.push_back(s.sys->subgroup_node(p).current_term());
+  }
+
+  // Kill the whole process and bring it back over the same directory.
+  s.reboot();
+
+  for (PeerId p = 0; p < 9; ++p) {
+    raft::RaftNode& node = s.sys->subgroup_node(p);
+    EXPECT_TRUE(node.recovered_from_storage()) << "peer " << p;
+    EXPECT_GE(node.last_log_index(), log_before[p]) << "peer " << p;
+    // Recovered terms forbid time travel: no revived node may grant a
+    // vote it already cast or accept a stale leader.
+    EXPECT_GE(node.current_term(), term_before[p]) << "peer " << p;
+  }
+  // Leadership re-randomizes after a full reboot (every node comes back
+  // a follower), so assert structure, not identity: stabilized() checks
+  // one leader per subgroup with the FedAvg membership exactly them.
+  ASSERT_TRUE(s.run_until_stable(20 * kSecond));
+  EXPECT_EQ(s.sys->fedavg_members().size(), 3u);
 }
 
 }  // namespace
